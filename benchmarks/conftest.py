@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one benchmark module
+here.  Benchmarks run scaled-down sessions (shorter duration, fewer
+repetitions than the paper's 10 000 TU x 10) so the whole harness finishes
+in minutes; the *shape* assertions are on relative behaviour, which is what
+the reproduction targets.
+
+The Figure 4 benchmark uses ``size_unit_gb = 2.0``: the paper gives job
+sizes in unspecified "arbitrary units", and 2 GB/unit calibrates offered
+load so the paper's own regime description holds (interval 2.0 saturates
+the 624-core private tier, 3.0 leaves it mostly free) -- see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PlatformConfig
+
+#: Session length for benchmark sweeps (TU).  The paper uses 10 000; this
+#: is enough for steady-state ordering to emerge.
+BENCH_DURATION = 600.0
+#: Repetitions per cell (the paper uses 10).
+BENCH_REPS = 3
+#: The calibrated unit mapping for load-sensitive figures.
+FIG4_UNIT_GB = 4.0
+
+
+def bench_config(**overrides) -> PlatformConfig:
+    """Paper defaults with benchmark-scale duration."""
+    config = PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": BENCH_DURATION, "repetitions": BENCH_REPS},
+    )
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+@pytest.fixture(scope="session")
+def print_header():
+    def _print(title: str) -> None:
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+
+    return _print

@@ -1,0 +1,76 @@
+"""Ablation: scheduler resilience to VM failures.
+
+Sweeps the VM mean-time-between-failures from "reliable" (no failures,
+the paper's setting) down to hostile churn and reports throughput, retry
+overhead and profit.  The platform must degrade gracefully: completion
+stays high because failed stage tasks are retried, while latency and cost
+absorb the damage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import aggregate_runs
+from repro.core.config import AllocationAlgorithm, ScalingAlgorithm
+from repro.sim.report import render_table
+from repro.sim.session import run_repetitions
+
+from .conftest import bench_config
+
+MTBFS = (None, 200.0, 50.0, 15.0)
+
+
+def run_ablation():
+    rows = []
+    for mtbf in MTBFS:
+        config = bench_config(
+            workload={"mean_interarrival": 2.5},
+            cloud={"vm_mtbf_tu": mtbf},
+            scheduler={
+                "allocation": AllocationAlgorithm.GREEDY,
+                "scaling": ScalingAlgorithm.PREDICTIVE,
+            },
+        )
+        results = run_repetitions(config, base_seed=5400)
+        stats = aggregate_runs([r.metrics() for r in results])
+        failures = sum(r.worker_failures for r in results) / len(results)
+        retries = sum(r.task_retries for r in results) / len(results)
+        completion = sum(r.completion_fraction for r in results) / len(results)
+        rows.append((mtbf, stats, failures, retries, completion))
+    return rows
+
+
+def test_failure_resilience(print_header, benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    print_header("Ablation -- VM failure injection (MTBF sweep)")
+    print(
+        render_table(
+            ["MTBF (TU)", "profit/run", "latency", "failures", "retries",
+             "completion"],
+            [
+                ["inf" if mtbf is None else mtbf,
+                 stats["mean_profit_per_run"], stats["mean_latency"],
+                 round(failures, 1), round(retries, 1),
+                 f"{completion:.2f}"]
+                for mtbf, stats, failures, retries, completion in rows
+            ],
+        )
+    )
+
+    reliable = rows[0]
+    hostile = rows[-1]
+
+    # No-failure baseline really has none.
+    assert reliable[2] == 0.0 and reliable[3] == 0.0
+
+    # Failures and retries grow as MTBF shrinks.
+    failures = [r[2] for r in rows]
+    assert failures == sorted(failures)
+
+    # Graceful degradation: even at MTBF 15 TU the platform completes the
+    # bulk of what it was asked to do within the session ...
+    assert hostile[4] > 0.6
+    # ... while latency honestly reflects the retry overhead.
+    assert hostile[1]["mean_latency"].mean > reliable[1]["mean_latency"].mean

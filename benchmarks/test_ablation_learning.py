@@ -1,0 +1,125 @@
+"""Ablation: learning-guided allocation under profiling drift.
+
+The paper's future work ("we plan to adopt learning algorithms to guide
+the Scheduler", Section VI) pays off when the knowledge base's profiled
+model no longer matches reality.  We simulate drift: planning still
+believes Table II, but execution follows a drifted model in which the two
+most parallel stages (1 and 5, c = 0.89/0.91) have lost almost all
+scalability (c = 0.10) -- e.g. the storage layer became the bottleneck.
+
+- the model-based greedy allocator keeps buying 8-16 threads for those
+  stages and burns core-hours for no speedup;
+- the learned allocator observes realised durations and stops paying.
+
+Also checked: with NO drift, learning matches model-based greedy within
+noise (the exploration tax is small).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import aggregate_runs
+from repro.apps.base import ApplicationModel, StageModel
+from repro.apps.gatk import build_gatk_model
+from repro.core.config import AllocationAlgorithm, ScalingAlgorithm
+from repro.scheduler.learning import LearnedAllocation
+from repro.sim.report import render_table
+from repro.sim.session import SimulationSession
+
+from .conftest import BENCH_REPS, bench_config
+
+#: Stages whose real scalability collapsed.
+DRIFTED_STAGES = (0, 4)
+DRIFTED_C = 0.10
+
+
+def drifted_gatk() -> ApplicationModel:
+    base = build_gatk_model()
+    stages = tuple(
+        StageModel(
+            index=s.index, name=s.name, a=s.a, b=s.b,
+            c=DRIFTED_C if s.index in DRIFTED_STAGES else s.c,
+            ram_gb=s.ram_gb,
+        )
+        for s in base.stages
+    )
+    return ApplicationModel(
+        name=base.name, stages=stages,
+        input_format=base.input_format, output_format=base.output_format,
+        worker_class=base.worker_class,
+    )
+
+
+def _config(allocation: AllocationAlgorithm):
+    return bench_config(
+        simulation={"duration": 900.0},
+        workload={"mean_interarrival": 2.5},
+        scheduler={
+            "allocation": allocation,
+            "scaling": ScalingAlgorithm.PREDICTIVE,
+        },
+    )
+
+
+def run_comparison(actual_app):
+    out = {}
+    for allocation in (AllocationAlgorithm.GREEDY, AllocationAlgorithm.LEARNED):
+        runs = []
+        for k in range(BENCH_REPS):
+            session = SimulationSession(
+                _config(allocation), actual_app=actual_app
+            )
+            runs.append(session.run(seed=6000 + k))
+        out[allocation.value] = aggregate_runs([r.metrics() for r in runs])
+    return out
+
+
+def test_learning_beats_model_based_under_drift(print_header, benchmark):
+    results = benchmark.pedantic(
+        run_comparison, args=(drifted_gatk(),), rounds=1, iterations=1
+    )
+
+    print_header(
+        "Ablation -- learned vs. model-based allocation under profiling "
+        f"drift (stages {DRIFTED_STAGES} degraded to c={DRIFTED_C})"
+    )
+    print(
+        render_table(
+            ["allocation", "profit/run", "core-stages/run", "latency"],
+            [
+                [name, stats["mean_profit_per_run"],
+                 stats["mean_core_stages"], stats["mean_latency"]]
+                for name, stats in results.items()
+            ],
+        )
+    )
+
+    greedy = results["greedy"]
+    learned = results["learned"]
+    # The learner must spend fewer cores per run (it stops buying threads
+    # the drifted stages cannot use) ...
+    assert learned["mean_core_stages"].mean < greedy["mean_core_stages"].mean
+    # ... and turn that into better profit.
+    assert learned["mean_profit_per_run"].mean > greedy["mean_profit_per_run"].mean
+
+
+def test_learning_matches_model_when_model_is_right(print_header, benchmark):
+    results = benchmark.pedantic(
+        run_comparison, args=(None,), rounds=1, iterations=1
+    )
+    print_header("Ablation -- learned vs. model-based with a correct model")
+    print(
+        render_table(
+            ["allocation", "profit/run", "core-stages/run"],
+            [
+                [name, stats["mean_profit_per_run"], stats["mean_core_stages"]]
+                for name, stats in results.items()
+            ],
+        )
+    )
+    greedy = results["greedy"]["mean_profit_per_run"]
+    learned = results["learned"]["mean_profit_per_run"]
+    # Exploration costs a little; it must not cost much.
+    tolerance = 0.12 * abs(greedy.mean) + 2 * max(greedy.std, learned.std)
+    assert learned.mean >= greedy.mean - tolerance

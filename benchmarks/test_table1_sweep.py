@@ -1,0 +1,108 @@
+"""Table I regeneration: the variable-parameter grid.
+
+Validates that the sweep engine covers exactly the published grid (4
+resource-allocation algorithms x 3 horizontal-scaling algorithms x 11
+inter-arrival intervals x 2 reward schemes x 4 public-tier costs = 1056
+cells) and spot-runs a stratified sample of cells to show every parameter
+combination actually executes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    AllocationAlgorithm,
+    RewardScheme,
+    ScalingAlgorithm,
+)
+from repro.sim.report import render_table
+from repro.sim.sweep import TABLE1_FULL, SweepSpec, run_sweep
+
+from .conftest import FIG4_UNIT_GB, bench_config
+
+
+def test_table1_grid_is_exactly_the_paper(print_header, benchmark):
+    benchmark.pedantic(lambda: TABLE1_FULL.size(), rounds=1, iterations=1)
+    print_header("Table I -- variable simulation parameters (the full grid)")
+    rows = [
+        ["Resource allocation algorithm",
+         ", ".join(a.value for a in TABLE1_FULL.allocation)],
+        ["Horizontal scaling algorithm",
+         ", ".join(s.value for s in TABLE1_FULL.scaling)],
+        ["Mean job inter-arrival interval (TUs)",
+         ", ".join(str(i) for i in TABLE1_FULL.mean_interarrival)],
+        ["Task completion reward function",
+         ", ".join(r.value for r in TABLE1_FULL.reward_scheme)],
+        ["Public tier core cost (CUs/TU)",
+         ", ".join(str(int(c)) for c in TABLE1_FULL.public_core_cost)],
+        ["Total cells", str(TABLE1_FULL.size())],
+    ]
+    print(render_table(["parameter", "values"], rows))
+    assert TABLE1_FULL.size() == 1056
+    assert len(TABLE1_FULL.allocation) == 4
+    assert len(TABLE1_FULL.scaling) == 3
+    assert len(TABLE1_FULL.mean_interarrival) == 11
+    assert len(TABLE1_FULL.reward_scheme) == 2
+    assert len(TABLE1_FULL.public_core_cost) == 4
+
+
+def run_stratified_sample():
+    """One cell per allocation algorithm (the paper's four plus the
+    'learned' extension), spanning the other axes."""
+    spec = SweepSpec(
+        allocation=tuple(AllocationAlgorithm),
+        scaling=(ScalingAlgorithm.PREDICTIVE,),
+        mean_interarrival=(2.5,),
+        reward_scheme=(RewardScheme.TIME,),
+        public_core_cost=(50.0,),
+    )
+    base = bench_config(workload={"size_unit_gb": FIG4_UNIT_GB})
+    return run_sweep(base, spec, repetitions=2, base_seed=3000)
+
+
+def test_table1_stratified_sample_runs(print_header, benchmark):
+    rows = benchmark.pedantic(run_stratified_sample, rounds=1, iterations=1)
+
+    print_header(
+        "Table I sample -- one cell per allocation algorithm "
+        "(predictive scaling, interval 2.5, time reward, public cost 50)"
+    )
+    table = [
+        [
+            row.param("allocation"),
+            row["mean_profit_per_run"],
+            row["mean_latency"],
+            row["completed_runs"],
+        ]
+        for row in rows
+    ]
+    print(
+        render_table(
+            ["allocation", "profit/run", "latency", "completed"], table
+        )
+    )
+    assert len(rows) == len(AllocationAlgorithm)
+    for row in rows:
+        assert row["completed_runs"].mean > 0
+
+
+def test_public_cost_axis_changes_outcomes(benchmark):
+    """Sweeping Table I's public-cost axis must move the economics."""
+
+    def run():
+        spec = SweepSpec(
+            scaling=(ScalingAlgorithm.ALWAYS,),
+            mean_interarrival=(2.0,),
+            public_core_cost=(20.0, 110.0),
+        )
+        base = bench_config(workload={"size_unit_gb": FIG4_UNIT_GB})
+        return run_sweep(base, spec, repetitions=2, base_seed=3100)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    cheap, pricey = rows
+    assert cheap.param("public_core_cost") == 20.0
+    # Always-scale at heavy load buys public cores: dearer cores, lower profit.
+    assert (
+        cheap["mean_profit_per_run"].mean > pricey["mean_profit_per_run"].mean
+    )

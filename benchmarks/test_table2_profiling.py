@@ -1,0 +1,67 @@
+"""Table II regeneration: per-stage scalability factors a_i, b_i, c_i.
+
+The paper derived Table II "by linear regression of offline profiling data"
+over inputs of 1-9 GB and a variety of thread counts.  This benchmark
+re-runs that pipeline: simulate the profiling campaign (with measurement
+noise), feed the observations through the knowledge base's regression
+machinery, and print the recovered table next to the published one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.gatk import GATK_STAGES, build_gatk_model
+from repro.desim.rng import RandomStreams
+from repro.knowledge.kb import SCANKnowledgeBase
+from repro.sim.report import render_table
+
+
+def recover_table2(noise_fraction: float = 0.03, seed: int = 0):
+    kb = SCANKnowledgeBase()
+    rng = RandomStreams(seed).stream("profiling-noise")
+    kb.bootstrap_from_model(
+        build_gatk_model(),
+        input_sizes_gb=range(1, 10),  # the paper's 1-9 GByte inputs
+        thread_counts=(1, 2, 4, 8, 16),
+        noise_fraction=noise_fraction,
+        rng=rng,
+    )
+    return kb.fitted_stage_models("gatk")
+
+
+def test_table2_recovered_from_noisy_profiling(print_header, benchmark):
+    fitted = benchmark.pedantic(recover_table2, rounds=1, iterations=1)
+
+    print_header(
+        "Table II -- per-pipeline-stage scalability factors "
+        "(paper vs. re-fit from simulated profiling, 3% noise)"
+    )
+    rows = []
+    for (name, a, b, c, _ram), fit in zip(GATK_STAGES, fitted):
+        rows.append(
+            [fit.index + 1, name, a, round(fit.a, 2), b, round(fit.b, 2),
+             c, round(fit.c, 2)]
+        )
+    print(
+        render_table(
+            ["stage", "tool", "a_i", "a_fit", "b_i", "b_fit", "c_i", "c_fit"],
+            rows,
+            precision=2,
+        )
+    )
+
+    for (name, a, b, c, _ram), fit in zip(GATK_STAGES, fitted):
+        assert fit.a == pytest.approx(a, abs=0.1), name
+        assert fit.b == pytest.approx(b, abs=0.6), name
+        assert fit.c == pytest.approx(c, abs=0.08), name
+
+
+def test_table2_exact_recovery_without_noise(benchmark):
+    fitted = benchmark.pedantic(
+        recover_table2, kwargs={"noise_fraction": 0.0}, rounds=1, iterations=1
+    )
+    for (name, a, b, c, _ram), fit in zip(GATK_STAGES, fitted):
+        assert fit.a == pytest.approx(a, abs=1e-6), name
+        assert fit.b == pytest.approx(b, abs=1e-5), name
+        assert fit.c == pytest.approx(c, abs=1e-3), name

@@ -1,0 +1,51 @@
+"""Table III regeneration: the fixed simulation attributes.
+
+Validates that every library default equals the published constant, prints
+the table, and benchmarks the best-constant offline plan search that those
+constants parameterise.
+"""
+
+from __future__ import annotations
+
+from repro.apps.gatk import build_gatk_model
+from repro.core.config import PlatformConfig
+from repro.scheduler.allocation import find_best_constant_plan
+from repro.scheduler.rewards import TimeReward
+from repro.sim.report import render_table
+
+
+def test_table3_fixed_attributes(print_header, benchmark):
+    config = benchmark.pedantic(
+        PlatformConfig.paper_defaults, rounds=1, iterations=1
+    )
+
+    rows = [
+        ["Simulation time (TUs)", 10_000, config.simulation.duration],
+        ["Private tier core cost (CUs/TU)", 5, config.cloud.private_core_cost],
+        ["Rmax (CUs)", 400, config.reward.rmax],
+        ["Rpenalty (CUs)", 15, config.reward.rpenalty],
+        ["Rscale (CUs/TU)", 15_000, config.reward.rscale],
+        ["Instance sizes (cores)", "1,2,4,8,16",
+         ",".join(str(s) for s in config.cloud.instance_sizes)],
+        ["Mean jobs per arrival event", 3, config.workload.jobs_per_arrival_mean],
+        ["Jobs per arrival variance", 2, config.workload.jobs_per_arrival_var],
+        ["Mean job size (arbitrary units)", 5, config.workload.job_size_mean],
+        ["Job size variance", 1, config.workload.job_size_var],
+        ["Private tier cores (Section IV-A)", 624, config.cloud.private_cores],
+        ["Repetitions per measurement", 10, config.simulation.repetitions],
+    ]
+    print_header("Table III -- fixed simulation attributes (paper vs. defaults)")
+    print(render_table(["parameter", "paper", "library default"], rows))
+
+    for _name, paper, default in rows:
+        assert str(paper) == str(default) or float(paper) == float(default)
+
+
+def test_best_constant_plan_search_speed(benchmark):
+    """The 5^7-plan exhaustive search Table III parameterises."""
+    gatk = build_gatk_model()
+    reward = TimeReward()
+    plan = benchmark(
+        find_best_constant_plan, gatk, reward, 5.0, 5.0
+    )
+    assert len(plan.threads) == 7

@@ -1,0 +1,121 @@
+"""Amdahl's-law threading models.
+
+The paper models multi-threaded stage execution as
+
+    T_i(t, d) = c_i * E_i(d) / t + (1 - c_i) * E_i(d)
+
+where ``c_i`` is the perfectly-parallelisable fraction of the stage and
+``t`` the thread count (Section IV.1).  This module provides the forward
+model, its inverse (fitting ``c`` from measured speedups) and the
+reward-aware choice of thread count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "amdahl_time",
+    "amdahl_speedup",
+    "fit_parallel_fraction",
+    "optimal_threads",
+    "marginal_speedup_gain",
+]
+
+
+def amdahl_time(base_time: float, threads: int, parallel_fraction: float) -> float:
+    """Threaded execution time per the paper's model.
+
+    ``base_time`` is the single-threaded execution time ``E_i(d)``.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError(f"parallel fraction must lie in [0, 1], got {parallel_fraction}")
+    if base_time < 0:
+        raise ValueError(f"negative base time {base_time}")
+    return parallel_fraction * base_time / threads + (1.0 - parallel_fraction) * base_time
+
+
+def amdahl_speedup(threads: int, parallel_fraction: float) -> float:
+    """Speedup ``E / T(t)`` for the paper's threading model."""
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    denom = parallel_fraction / threads + (1.0 - parallel_fraction)
+    return 1.0 / denom
+
+
+def max_speedup(parallel_fraction: float) -> float:
+    """Asymptotic speedup limit ``1 / (1 - c)`` (infinite threads)."""
+    if parallel_fraction >= 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - parallel_fraction)
+
+
+def fit_parallel_fraction(
+    threads: Sequence[int], times: Sequence[float]
+) -> float:
+    """Least-squares estimate of ``c`` from measured (threads, time) pairs.
+
+    Rearranging the model: ``T(t) = E * (1 - c) + (E * c) / t`` is affine in
+    ``1/t``, so an OLS fit of time on ``1/t`` recovers ``E*c`` (slope) and
+    ``E*(1-c)`` (intercept); then ``c = slope / (slope + intercept)``.
+
+    The result is clipped to [0, 1]: measurement noise can push the raw
+    estimate slightly outside the physical range.
+    """
+    t = np.asarray(threads, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if t.shape != y.shape or t.ndim != 1 or t.size < 2:
+        raise ValueError("need matching 1-d arrays with at least 2 points")
+    if np.any(t < 1):
+        raise ValueError("thread counts must be >= 1")
+    if np.all(t == t[0]):
+        raise ValueError("need at least two distinct thread counts")
+    inv_t = 1.0 / t
+    x_mean, y_mean = inv_t.mean(), y.mean()
+    sxx = float(np.sum((inv_t - x_mean) ** 2))
+    sxy = float(np.sum((inv_t - x_mean) * (y - y_mean)))
+    slope = sxy / sxx  # = E * c
+    intercept = y_mean - slope * x_mean  # = E * (1 - c)
+    total = slope + intercept  # = E
+    if total <= 0:
+        return 0.0
+    return float(np.clip(slope / total, 0.0, 1.0))
+
+
+def marginal_speedup_gain(threads: int, parallel_fraction: float) -> float:
+    """Time saved (as a fraction of base time) by going t -> t+1 threads."""
+    t1 = amdahl_time(1.0, threads, parallel_fraction)
+    t2 = amdahl_time(1.0, threads + 1, parallel_fraction)
+    return t1 - t2
+
+
+def optimal_threads(
+    base_time: float,
+    parallel_fraction: float,
+    core_cost_per_tu: float,
+    reward_per_tu_saved: float,
+    allowed: Sequence[int] = (1, 2, 4, 8, 16),
+) -> int:
+    """Pick the thread count maximising (reward for time saved - core cost).
+
+    This is the "parallelism recommendation depending on the reward offered
+    by the user" of Section III-A.1.i: each extra thread costs
+    ``core_cost_per_tu`` for the (shortened) duration of the stage, while
+    each TU of latency saved earns ``reward_per_tu_saved``.
+    """
+    if not allowed:
+        raise ValueError("allowed thread counts must be non-empty")
+    best_t, best_profit = None, None
+    base = amdahl_time(base_time, 1, parallel_fraction)
+    for t in sorted(set(int(x) for x in allowed)):
+        duration = amdahl_time(base_time, t, parallel_fraction)
+        saved = base - duration
+        profit = reward_per_tu_saved * saved - core_cost_per_tu * duration * t
+        if best_profit is None or profit > best_profit + 1e-12:
+            best_t, best_profit = t, profit
+    assert best_t is not None
+    return best_t

@@ -1,0 +1,91 @@
+"""Ordinary least squares fitting for profiling data.
+
+The SCAN knowledge base derives each application stage's execution-time
+model by linear regression over profiled (input size, runtime) observations
+(paper Section III-A.1.i and Section IV: "The values of a_i, b_i and c_i
+were determined for each pipeline stage by linear regression of offline
+profiling data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_linear", "fit_affine_multi"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a one-dimensional affine fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+    residual_std: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Predicted y for x (scalar or array)."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    def __call__(self, x: float) -> float:
+        return float(self.slope * x + self.intercept)
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least-squares affine fit of *y* on *x*.
+
+    Raises ``ValueError`` for fewer than two points or degenerate x.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("x and y must be 1-d arrays of the same length")
+    n = xa.size
+    if n < 2:
+        raise ValueError(f"need at least 2 points, got {n}")
+    x_mean = xa.mean()
+    y_mean = ya.mean()
+    sxx = float(np.sum((xa - x_mean) ** 2))
+    if sxx == 0.0:
+        raise ValueError("all x values are identical; slope is undefined")
+    sxy = float(np.sum((xa - x_mean) * (ya - y_mean)))
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+
+    residuals = ya - (slope * xa + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ya - y_mean) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    dof = max(n - 2, 1)
+    residual_std = float(np.sqrt(ss_res / dof))
+    return LinearFit(
+        slope=slope,
+        intercept=intercept,
+        r_squared=r_squared,
+        n=n,
+        residual_std=residual_std,
+    )
+
+
+def fit_affine_multi(X: np.ndarray, y: Sequence[float]) -> tuple[np.ndarray, float]:
+    """Multi-feature affine fit ``y = X @ coef + intercept``.
+
+    Used when profiling models depend on several covariates (e.g. input size
+    and record count).  Returns ``(coef, intercept)`` via the normal
+    equations solved with :func:`numpy.linalg.lstsq` for numerical safety.
+    """
+    Xa = np.asarray(X, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if Xa.ndim != 2:
+        raise ValueError("X must be 2-d (n_samples, n_features)")
+    if Xa.shape[0] != ya.shape[0]:
+        raise ValueError("X and y disagree on sample count")
+    if Xa.shape[0] <= Xa.shape[1]:
+        raise ValueError("need more samples than features")
+    design = np.hstack([Xa, np.ones((Xa.shape[0], 1))])
+    solution, *_ = np.linalg.lstsq(design, ya, rcond=None)
+    return solution[:-1].copy(), float(solution[-1])

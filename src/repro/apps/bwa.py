@@ -1,0 +1,156 @@
+"""BWA: the gene-alignment application.
+
+Analytical model: "a sequence aligner may process sequence data in FASTQ
+format and may need many CPUs" (paper Section II-A.1) -- a 3-stage,
+CPU-heavy, highly parallel pipeline (index lookup, extension, SAM output).
+Coefficients are plausible values in the same unit system as Table II.
+
+Executable miniature: :class:`SeedAndExtendAligner`, a from-scratch k-mer
+seed-and-extend aligner over the synthetic reference, standing in for the
+real Burrows-Wheeler aligner.  It indexes reference k-mers, seeds each read
+at several offsets (tolerating sequencing errors inside a seed), extends by
+Hamming distance and reports the best hit as a SAM record -- enough fidelity
+for the end-to-end example pipeline to align simulated reads and recover
+spiked mutations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.apps.base import ApplicationModel, StageModel
+from repro.genomics.datasets import DataFormat
+from repro.genomics.formats.fastq import FastqRecord
+from repro.genomics.formats.sam import Cigar, SamFlag, SamHeader, SamRecord
+from repro.genomics.reference import ReferenceGenome
+
+__all__ = ["build_bwa_model", "SeedAndExtendAligner", "AlignerConfig"]
+
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+
+def build_bwa_model() -> ApplicationModel:
+    """A 3-stage aligner model: seed lookup, extension, output."""
+    stages = (
+        StageModel(index=0, name="SeedLookup", a=0.80, b=2.0, c=0.95, ram_gb=6.0),
+        StageModel(index=1, name="Extension", a=1.90, b=1.0, c=0.97, ram_gb=6.0),
+        StageModel(index=2, name="SamOutput", a=0.15, b=0.5, c=0.10, ram_gb=2.0),
+    )
+    return ApplicationModel(
+        name="bwa",
+        stages=stages,
+        input_format=DataFormat.FASTQ,
+        output_format=DataFormat.SAM,
+        worker_class="bwa",
+        description="Burrows-Wheeler-style read aligner: FASTQ in, sorted SAM out.",
+    )
+
+
+@dataclass(frozen=True)
+class AlignerConfig:
+    """Miniature aligner tuning."""
+
+    seed_length: int = 20
+    #: Offsets at which seeds are taken from the read; multiple seeds make
+    #: the aligner robust to an error landing inside one seed.
+    seed_offsets: tuple[int, ...] = (0, 20, 40)
+    max_mismatch_fraction: float = 0.10
+
+
+class SeedAndExtendAligner:
+    """k-mer seed-and-extend alignment against a reference genome."""
+
+    def __init__(self, reference: ReferenceGenome, config: AlignerConfig | None = None):
+        self.reference = reference
+        self.config = config or AlignerConfig()
+        if self.config.seed_length < 8:
+            raise ValueError("seed_length must be >= 8")
+        self._index: dict[str, list[tuple[str, int]]] = defaultdict(list)
+        self._build_index()
+
+    def _build_index(self) -> None:
+        k = self.config.seed_length
+        for chrom in self.reference.chromosomes:
+            seq = chrom.sequence
+            for i in range(len(seq) - k + 1):
+                self._index[seq[i : i + k]].append((chrom.name, i))
+
+    def align_read(self, read: FastqRecord) -> SamRecord:
+        """Align one read; unmapped reads get the UNMAPPED flag."""
+        best = self._best_hit(read.sequence)
+        best_rc = self._best_hit(read.sequence[::-1].translate(_COMPLEMENT))
+        reverse = False
+        if best_rc is not None and (best is None or best_rc[2] < best[2]):
+            best = best_rc
+            reverse = True
+        if best is None:
+            return SamRecord(
+                qname=read.name,
+                flag=int(SamFlag.UNMAPPED),
+                rname="*",
+                pos=0,
+                mapq=0,
+                cigar=Cigar.parse("*"),
+                seq=read.sequence,
+                qual=read.quality,
+            )
+        chrom, pos0, mismatches = best
+        # MAPQ: 60 for clean hits, decaying with mismatch count.
+        mapq = max(60 - 10 * mismatches, 1)
+        seq = read.sequence
+        qual = read.quality
+        if reverse:
+            seq = seq[::-1].translate(_COMPLEMENT)
+            qual = qual[::-1]
+        flag = int(SamFlag.REVERSE) if reverse else 0
+        return SamRecord(
+            qname=read.name,
+            flag=flag,
+            rname=chrom,
+            pos=pos0 + 1,  # SAM is 1-based
+            mapq=mapq,
+            cigar=Cigar.parse(f"{len(seq)}M"),
+            seq=seq,
+            qual=qual,
+            tags=(f"NM:i:{mismatches}",),
+        )
+
+    def _best_hit(self, sequence: str) -> tuple[str, int, int] | None:
+        """Best (chrom, pos0, mismatches) for *sequence*, or None."""
+        cfg = self.config
+        k = cfg.seed_length
+        max_mm = int(len(sequence) * cfg.max_mismatch_fraction)
+        candidates: set[tuple[str, int]] = set()
+        for offset in cfg.seed_offsets:
+            if offset + k > len(sequence):
+                continue
+            seed = sequence[offset : offset + k]
+            for chrom, seed_pos in self._index.get(seed, ()):
+                start = seed_pos - offset
+                if start >= 0:
+                    candidates.add((chrom, start))
+        best: tuple[str, int, int] | None = None
+        for chrom, start in candidates:
+            ref_seq = self.reference[chrom].sequence
+            end = start + len(sequence)
+            if end > len(ref_seq):
+                continue
+            window = ref_seq[start:end]
+            mismatches = sum(1 for a, b in zip(sequence, window) if a != b)
+            if mismatches > max_mm:
+                continue
+            if best is None or mismatches < best[2]:
+                best = (chrom, start, mismatches)
+        return best
+
+    def align(self, reads: list[FastqRecord]) -> tuple[SamHeader, list[SamRecord]]:
+        """Align reads and return a coordinate-sorted SAM dataset."""
+        header = SamHeader(
+            sort_order="coordinate",
+            references=self.reference.contig_table(),
+            programs=["repro-scan-aligner"],
+        )
+        records = [self.align_read(r) for r in reads]
+        records.sort(key=lambda r: (not r.is_mapped, r.rname, r.pos, r.qname))
+        return header, records

@@ -1,0 +1,32 @@
+"""CellProfiler: high-throughput cell-image analysis (analytical model).
+
+Paper Section III lists CellProfiler for "cell image analyses" fed by
+microscopy (Figure 1).  Image data is not meaningfully synthesizable at the
+record level for this reproduction, so CellProfiler is modelled
+analytically only: a 3-stage, embarrassingly-parallel-per-image pipeline
+(illumination correction, segmentation, feature extraction).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ApplicationModel, StageModel
+from repro.genomics.datasets import DataFormat
+
+__all__ = ["build_cellprofiler_model"]
+
+
+def build_cellprofiler_model() -> ApplicationModel:
+    """A 3-stage imaging model: TIFF stacks in, per-cell CSV features out."""
+    stages = (
+        StageModel(index=0, name="IlluminationCorrection", a=0.40, b=1.0, c=0.90, ram_gb=8.0),
+        StageModel(index=1, name="Segmentation", a=2.10, b=4.0, c=0.88, ram_gb=16.0),
+        StageModel(index=2, name="FeatureExtraction", a=0.90, b=2.0, c=0.93, ram_gb=8.0),
+    )
+    return ApplicationModel(
+        name="cellprofiler",
+        stages=stages,
+        input_format=DataFormat.TIFF,
+        output_format=DataFormat.CSV,
+        worker_class="cellprofiler",
+        description="Cell-image analysis: microscopy TIFFs in, phenotype features out.",
+    )

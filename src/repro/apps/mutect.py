@@ -1,0 +1,99 @@
+"""MuTect: somatic (tumour vs. normal) mutation calling.
+
+Paper Figure 2 shows a "Genome MuTect" worker alongside GATK.  The
+analytical model is a 4-stage pipeline; the executable miniature,
+:class:`SomaticCaller`, subtracts a matched-normal pileup from the tumour
+pileup so that germline variants and reference noise are suppressed --
+exactly MuTect's core idea, scaled down to the synthetic substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.apps.base import ApplicationModel, StageModel
+from repro.apps.gatk import CallerConfig, PileupVariantCaller
+from repro.genomics.datasets import DataFormat
+from repro.genomics.formats.sam import SamRecord
+from repro.genomics.formats.vcf import VcfRecord
+from repro.genomics.reference import ReferenceGenome
+
+__all__ = ["build_mutect_model", "SomaticCaller"]
+
+
+def build_mutect_model() -> ApplicationModel:
+    """A 4-stage somatic-calling model (tumour+normal BAM in, VCF out)."""
+    stages = (
+        StageModel(index=0, name="TumourPileup", a=1.20, b=3.0, c=0.85, ram_gb=6.0),
+        StageModel(index=1, name="NormalPileup", a=1.10, b=2.5, c=0.85, ram_gb=6.0),
+        StageModel(index=2, name="SomaticClassification", a=0.60, b=4.0, c=0.55, ram_gb=8.0),
+        StageModel(index=3, name="FilterAndReport", a=0.05, b=1.0, c=0.05, ram_gb=2.0),
+    )
+    return ApplicationModel(
+        name="mutect",
+        stages=stages,
+        input_format=DataFormat.BAM,
+        output_format=DataFormat.VCF,
+        worker_class="mutect",
+        description="Somatic mutation caller: tumour/normal BAM pair in, somatic VCF out.",
+    )
+
+
+class SomaticCaller:
+    """Tumour-vs-normal subtractive variant calling.
+
+    Calls SNVs in the tumour sample, then removes any site where the
+    matched normal also shows the alternate allele above a (lower)
+    threshold -- those are germline, not somatic.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        tumour_config: CallerConfig | None = None,
+        normal_max_alt_fraction: float = 0.05,
+    ) -> None:
+        if not 0.0 <= normal_max_alt_fraction < 1.0:
+            raise ValueError("normal_max_alt_fraction must lie in [0, 1)")
+        self.reference = reference
+        self._tumour_caller = PileupVariantCaller(reference, tumour_config)
+        # The normal screen is deliberately permissive: any alt evidence in
+        # the normal disqualifies the site.
+        self._normal_caller = PileupVariantCaller(
+            reference,
+            CallerConfig(
+                min_depth=2,
+                min_alt_fraction=normal_max_alt_fraction,
+                min_base_quality=10,
+                min_mapq=10,
+            ),
+        )
+
+    def call_somatic(
+        self,
+        tumour_records: Iterable[SamRecord],
+        normal_records: Iterable[SamRecord],
+    ) -> list[VcfRecord]:
+        """Somatic SNVs: present in tumour, absent from the normal."""
+        tumour_calls = self._tumour_caller.call(tumour_records)
+        normal_calls = self._normal_caller.call(normal_records)
+        germline = {(c.chrom, c.pos, c.alt) for c in normal_calls}
+        somatic = []
+        for call in tumour_calls:
+            if (call.chrom, call.pos, call.alt) in germline:
+                continue
+            info = dict(call.info)
+            info["SOMATIC"] = ""
+            somatic.append(
+                VcfRecord(
+                    chrom=call.chrom,
+                    pos=call.pos,
+                    ref=call.ref,
+                    alt=call.alt,
+                    qual=call.qual,
+                    filter=call.filter,
+                    info=info,
+                )
+            )
+        return somatic

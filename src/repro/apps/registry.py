@@ -1,0 +1,74 @@
+"""Application registry: name -> analytical model.
+
+The scheduler and knowledge base look applications up by name; new tools
+register a factory here ("Currently we have implemented GATK, BWA, and
+Maxquant workers for the SCAN platform", Section III-A.3 -- plus the other
+tools of Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.apps.base import ApplicationModel
+from repro.apps.bwa import build_bwa_model
+from repro.apps.cellprofiler import build_cellprofiler_model
+from repro.apps.cytoscape import build_cytoscape_model
+from repro.apps.gatk import build_gatk_model
+from repro.apps.maxquant import build_maxquant_model
+from repro.apps.mutect import build_mutect_model
+
+__all__ = ["ApplicationRegistry", "default_registry"]
+
+
+class ApplicationRegistry:
+    """A mapping of application names to lazily-built models."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], ApplicationModel]] = {}
+        self._cache: dict[str, ApplicationModel] = {}
+
+    def register(self, name: str, factory: Callable[[], ApplicationModel]) -> None:
+        """Register *factory* under *name*; re-registration replaces."""
+        if not name:
+            raise ValueError("application name must be non-empty")
+        self._factories[name] = factory
+        self._cache.pop(name, None)
+
+    def get(self, name: str) -> ApplicationModel:
+        """The model for *name* (built once, then cached)."""
+        model = self._cache.get(name)
+        if model is None:
+            try:
+                factory = self._factories[name]
+            except KeyError:
+                known = ", ".join(sorted(self._factories))
+                raise KeyError(
+                    f"unknown application {name!r}; known: {known}"
+                ) from None
+            model = factory()
+            if model.name != name:
+                raise ValueError(
+                    f"factory for {name!r} built a model named {model.name!r}"
+                )
+            self._cache[name] = model
+        return model
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def names(self) -> Iterator[str]:
+        """Registered application names, sorted."""
+        return iter(sorted(self._factories))
+
+
+def default_registry() -> ApplicationRegistry:
+    """A registry pre-loaded with every tool the paper names."""
+    registry = ApplicationRegistry()
+    registry.register("gatk", build_gatk_model)
+    registry.register("bwa", build_bwa_model)
+    registry.register("mutect", build_mutect_model)
+    registry.register("maxquant", build_maxquant_model)
+    registry.register("cellprofiler", build_cellprofiler_model)
+    registry.register("cytoscape", build_cytoscape_model)
+    return registry

@@ -1,0 +1,110 @@
+"""Shard-output merging.
+
+"On the other hand, the SCAN can merge many small input files into one big
+file, for example, for the GATK task called VariantsToVCF" (paper Section
+III-A.1.iii).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.errors import BrokerError
+from repro.genomics.datasets import DataFormat, DatasetDescriptor
+from repro.genomics.formats.fastq import FastqRecord
+from repro.genomics.formats.sam import SamHeader, SamRecord, sort_coordinate
+from repro.genomics.formats.vcf import VcfRecord, sort_records
+
+__all__ = [
+    "merge_descriptors",
+    "merge_vcf_outputs",
+    "merge_sam_outputs",
+    "concatenate_fastq",
+]
+
+
+def merge_descriptors(
+    shards: Sequence[DatasetDescriptor],
+    name: str = "",
+    format: Optional[DataFormat] = None,
+) -> DatasetDescriptor:
+    """Merge logical shard outputs back into one dataset descriptor.
+
+    All shards must share a format (unless *format* overrides); sizes and
+    record counts add up exactly.
+    """
+    if not shards:
+        raise BrokerError("nothing to merge")
+    fmt = format if format is not None else shards[0].format
+    for shard in shards:
+        if format is None and shard.format is not fmt:
+            raise BrokerError(
+                f"mixed formats in merge: {shard.format.value} vs {fmt.value}"
+            )
+    if not fmt.mergeable:
+        raise BrokerError(f"format {fmt.value} is not mergeable")
+    parent_names = {s.parent for s in shards if s.parent is not None}
+    merged_name = name or (
+        f"{parent_names.pop()}.merged" if len(parent_names) == 1 else "merged"
+    )
+    return DatasetDescriptor(
+        name=merged_name,
+        format=fmt,
+        size_gb=sum(s.size_gb for s in shards),
+        records=sum(s.records for s in shards),
+    )
+
+
+def merge_vcf_outputs(
+    shard_outputs: Iterable[Sequence[VcfRecord]],
+) -> list[VcfRecord]:
+    """Merge per-shard variant calls into one sorted, deduplicated list.
+
+    Shard boundaries can double-call a variant when reads straddle the
+    split; identical (chrom, pos, ref, alt) records collapse to the
+    higher-quality one.
+    """
+    best: dict[tuple[str, int, str, str], VcfRecord] = {}
+    for output in shard_outputs:
+        for record in output:
+            key = (record.chrom, record.pos, record.ref, record.alt)
+            existing = best.get(key)
+            if existing is None or (record.qual or 0.0) > (existing.qual or 0.0):
+                best[key] = record
+    return sort_records(list(best.values()))
+
+
+def merge_sam_outputs(
+    shard_outputs: Iterable[tuple[SamHeader, Sequence[SamRecord]]],
+) -> tuple[SamHeader, list[SamRecord]]:
+    """Merge per-shard alignments: one header, coordinate-sorted records.
+
+    Headers must agree on the reference dictionary (same contigs in the
+    same order) -- disagreement means the shards were aligned against
+    different references, which is a caller bug worth failing loudly on.
+    """
+    outputs = list(shard_outputs)
+    if not outputs:
+        raise BrokerError("nothing to merge")
+    reference_table = outputs[0][0].references
+    records: list[SamRecord] = []
+    for header, shard_records in outputs:
+        if header.references != reference_table:
+            raise BrokerError("shard headers disagree on the reference dictionary")
+        records.extend(shard_records)
+    merged_header = SamHeader(
+        sort_order="coordinate",
+        references=list(reference_table),
+        programs=["repro-scan-merge"],
+    )
+    return merged_header, sort_coordinate(records)
+
+
+def concatenate_fastq(
+    shard_outputs: Iterable[Sequence[FastqRecord]],
+) -> list[FastqRecord]:
+    """Concatenate read shards (order-preserving)."""
+    out: list[FastqRecord] = []
+    for shard in shard_outputs:
+        out.extend(shard)
+    return out

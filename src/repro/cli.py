@@ -1,0 +1,245 @@
+"""``scan-sim``: the command-line interface to the SCAN reproduction.
+
+Subcommands::
+
+    scan-sim run       one simulation session, metrics to stdout
+    scan-sim sweep     a Table-I-style grid sweep
+    scan-sim submit    run one analysis request on the platform facade
+    scan-sim serve     start the HTTP RPC front-end
+    scan-sim table2    print the Table II recovery (profiling regression)
+
+Every subcommand takes ``--seed`` and prints deterministic results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import (
+    AllocationAlgorithm,
+    PlatformConfig,
+    RewardScheme,
+    ScalingAlgorithm,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The scan-sim argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="scan-sim",
+        description="SCAN (ICPP 2015) reproduction: simulate smart "
+        "scheduling of genomic pipelines on a hybrid cloud.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation session")
+    _common_session_args(run)
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sweep = sub.add_parser("sweep", help="sweep intervals x scaling policies")
+    _common_session_args(sweep)
+    sweep.add_argument(
+        "--intervals", default="2.0,2.5,3.0",
+        help="comma-separated mean inter-arrival intervals",
+    )
+    sweep.add_argument("--repetitions", type=int, default=2)
+
+    submit = sub.add_parser(
+        "submit", help="submit one analysis to the platform facade"
+    )
+    submit.add_argument("--size-gb", type=float, default=100.0)
+    submit.add_argument("--format", default="fastq")
+    submit.add_argument("--name", default="cli-sample")
+    submit.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve", help="start the HTTP RPC front-end")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    sub.add_parser("table2", help="recover Table II from simulated profiling")
+
+    return parser
+
+
+def _common_session_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=600.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--interval", type=float, default=2.5)
+    parser.add_argument(
+        "--allocation", default="greedy",
+        choices=[a.value for a in AllocationAlgorithm],
+    )
+    parser.add_argument(
+        "--scaling", default="predictive",
+        choices=[s.value for s in ScalingAlgorithm],
+    )
+    parser.add_argument(
+        "--reward", default="time", choices=[r.value for r in RewardScheme]
+    )
+    parser.add_argument("--public-cost", type=float, default=50.0)
+    parser.add_argument("--size-unit-gb", type=float, default=1.0)
+
+
+def _session_config(args: argparse.Namespace) -> PlatformConfig:
+    return PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": args.duration},
+        workload={
+            "mean_interarrival": args.interval,
+            "size_unit_gb": args.size_unit_gb,
+        },
+        reward={"scheme": RewardScheme(args.reward)},
+        cloud={"public_core_cost": args.public_cost},
+        scheduler={
+            "allocation": AllocationAlgorithm(args.allocation),
+            "scaling": ScalingAlgorithm(args.scaling),
+        },
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one simulation session and print its metrics."""
+    from repro.sim.session import SimulationSession
+
+    result = SimulationSession(_session_config(args)).run(seed=args.seed)
+    if args.json:
+        print(json.dumps(result.as_dict(), default=str, indent=2))
+    else:
+        print(f"completed runs      : {result.completed_runs}/{result.submitted_runs}")
+        print(f"mean profit per run : {result.mean_profit_per_run:.1f} CU")
+        print(f"reward-to-cost      : {result.reward_to_cost:.2f}")
+        print(f"mean latency        : {result.mean_latency:.1f} TU")
+        print(f"private utilization : {result.private_utilization:.2f}")
+        print(f"hires (priv/pub)    : {result.hires_private}/{result.hires_public}")
+        print(f"repools             : {result.repools}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep intervals x scaling policies and print the series."""
+    from repro.sim.report import render_series
+    from repro.sim.session import run_repetitions
+    from repro.analysis.stats import aggregate_runs
+
+    intervals = [float(x) for x in args.intervals.split(",") if x.strip()]
+    if not intervals:
+        print("no intervals given", file=sys.stderr)
+        return 2
+    series = {}
+    for scaling in ScalingAlgorithm:
+        points = []
+        for interval in intervals:
+            config = _session_config(args).with_overrides(
+                workload={"mean_interarrival": interval},
+                scheduler={"scaling": scaling},
+            )
+            results = run_repetitions(
+                config, repetitions=args.repetitions, base_seed=args.seed
+            )
+            stats = aggregate_runs([r.metrics() for r in results])
+            points.append(stats["mean_profit_per_run"])
+        series[scaling.value] = points
+    print(
+        render_series(
+            "interval",
+            [f"{x:.2f}" for x in intervals],
+            series,
+            title="mean profit per run by horizontal-scaling policy",
+            precision=0,
+        )
+    )
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one analysis to the platform facade and run it."""
+    from repro.core.platform import SCANPlatform
+    from repro.genomics.datasets import DataFormat, DatasetDescriptor
+
+    try:
+        fmt = DataFormat(args.format)
+    except ValueError:
+        print(f"unknown format {args.format!r}", file=sys.stderr)
+        return 2
+    platform = SCANPlatform(PlatformConfig.paper_defaults())
+    platform.bootstrap_knowledge()
+    request = platform.submit_analysis(
+        DatasetDescriptor.from_size(args.name, fmt, args.size_gb)
+    )
+    print(f"advice : {request.brokered.advice}")
+    platform.run_until_complete(request)
+    print(f"latency: {request.latency():.1f} TU")
+    print(f"output : {request.merged_output}")
+    for key, value in platform.metrics().items():
+        print(f"  {key:20s} {value:.2f}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the HTTP RPC front-end and block until Ctrl-C."""
+    from repro.core.platform import SCANPlatform
+    from repro.core.rpc import ScanRpcServer
+
+    platform = SCANPlatform(PlatformConfig.paper_defaults())
+    platform.bootstrap_knowledge()
+    server = ScanRpcServer(platform, host=args.host, port=args.port)
+    server.start()
+    print(f"SCAN RPC listening on {server.address} (Ctrl-C to stop)")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_table2(_args: argparse.Namespace) -> int:
+    """Print Table II recovered from simulated profiling."""
+    from repro.apps.gatk import GATK_STAGES, build_gatk_model
+    from repro.knowledge.kb import SCANKnowledgeBase
+    from repro.sim.report import render_table
+
+    kb = SCANKnowledgeBase()
+    kb.bootstrap_from_model(build_gatk_model())
+    rows = [
+        [i + 1, name, a, fit.a, b, fit.b, c, fit.c]
+        for i, ((name, a, b, c, _r), fit) in enumerate(
+            zip(GATK_STAGES, kb.fitted_stage_models("gatk"))
+        )
+    ]
+    print(
+        render_table(
+            ["stage", "tool", "a", "a_fit", "b", "b_fit", "c", "c_fit"],
+            rows,
+            title="Table II recovered by regression over simulated profiling",
+            precision=2,
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "submit": cmd_submit,
+    "serve": cmd_serve,
+    "table2": cmd_table2,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

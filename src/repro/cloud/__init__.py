@@ -1,0 +1,41 @@
+"""Simulated hybrid-cloud substrate.
+
+Models the evaluation's infrastructure (paper Section IV-A): a two-tier
+hybrid cloud -- a bounded private tier (624 cores at 5 CU/TU per core) and
+an effectively unbounded public tier (20-110 CU/TU per core) -- plus the
+pieces the prototype ran on:
+
+- :mod:`repro.cloud.infrastructure` -- tiers, core accounting, cost meters.
+- :mod:`repro.cloud.vm` -- VM lifecycle with the 30-second (0.5 TU) start /
+  restart penalty paid when CELAR resizes a worker's vCPU count.
+- :mod:`repro.cloud.pricing` -- per-core-per-TU cost model and invoices.
+- :mod:`repro.cloud.celar` -- the CELAR elasticity middleware stand-in
+  (Manager + Decision Module).
+- :mod:`repro.cloud.storage` -- shared-filesystem (CIFS stand-in) and
+  replicated key-value store (Cassandra stand-in) models.
+"""
+
+from repro.cloud.infrastructure import CloudTier, Infrastructure, TierName
+from repro.cloud.vm import VirtualMachine, VMState
+from repro.cloud.pricing import PricingModel, CostMeter, Invoice
+from repro.cloud.failures import FailureModel
+from repro.cloud.celar import CelarManager, CelarDecisionModule, ScalingCommand
+from repro.cloud.storage import SharedFilesystem, ReplicatedKVStore, TransferError
+
+__all__ = [
+    "CloudTier",
+    "Infrastructure",
+    "TierName",
+    "VirtualMachine",
+    "VMState",
+    "PricingModel",
+    "CostMeter",
+    "Invoice",
+    "FailureModel",
+    "CelarManager",
+    "CelarDecisionModule",
+    "ScalingCommand",
+    "SharedFilesystem",
+    "ReplicatedKVStore",
+    "TransferError",
+]

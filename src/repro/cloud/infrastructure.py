@@ -1,0 +1,164 @@
+"""Cloud tiers and core accounting.
+
+"We thus setup a hybrid cloud for our evaluation which consist of two
+tiers: a private tier (624 CPU cores ...) and a public tier.  Using cores
+at either tier has a constant cost per core per unit time, with private
+cores being cheaper than public cores" (paper Section IV-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.errors import CloudError
+from repro.desim.engine import Environment
+from repro.desim.monitor import TimeWeightedMonitor
+
+__all__ = ["TierName", "CloudTier", "Infrastructure"]
+
+
+class TierName(str, enum.Enum):
+    """The two tiers of the hybrid cloud (Section IV-A)."""
+    PRIVATE = "private"
+    PUBLIC = "public"
+
+
+class CloudTier:
+    """One tier: bounded core pool with a per-core-per-TU price."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: TierName,
+        capacity_cores: int,
+        core_cost_per_tu: float,
+    ) -> None:
+        if capacity_cores < 0:
+            raise CloudError(f"negative capacity for tier {name}")
+        if core_cost_per_tu < 0:
+            raise CloudError(f"negative core cost for tier {name}")
+        self.env = env
+        self.name = name
+        self.capacity_cores = capacity_cores
+        self.core_cost_per_tu = core_cost_per_tu
+        self._in_use = 0
+        self.usage = TimeWeightedMonitor(
+            f"{name.value}-cores", initial=0.0, start_time=env.now
+        )
+
+    @property
+    def cores_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def cores_free(self) -> int:
+        return self.capacity_cores - self._in_use
+
+    def can_allocate(self, cores: int) -> bool:
+        """Whether *cores* fit in the remaining capacity."""
+        return cores <= self.cores_free
+
+    def allocate(self, cores: int) -> None:
+        """Claim *cores*; raises :class:`CloudError` if the tier is full."""
+        if cores <= 0:
+            raise CloudError(f"core allocation must be positive, got {cores}")
+        if cores > self.cores_free:
+            raise CloudError(
+                f"tier {self.name.value} has {self.cores_free} free cores; "
+                f"{cores} requested"
+            )
+        self._in_use += cores
+        self.usage.set_level(self.env.now, self._in_use)
+
+    def release(self, cores: int) -> None:
+        """Return *cores* to the tier."""
+        if cores <= 0 or cores > self._in_use:
+            raise CloudError(
+                f"invalid release of {cores} cores (in use: {self._in_use})"
+            )
+        self._in_use -= cores
+        self.usage.set_level(self.env.now, self._in_use)
+
+    def utilization(self) -> float:
+        """Time-averaged core utilisation in [0, 1]."""
+        if self.capacity_cores == 0:
+            return 0.0
+        return self.usage.time_average(self.env.now) / self.capacity_cores
+
+    def core_tu_consumed(self) -> float:
+        """Integral of allocated cores over time (for cost accounting)."""
+        return self.usage.integral(self.env.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CloudTier {self.name.value} {self._in_use}/{self.capacity_cores} "
+            f"@{self.core_cost_per_tu} CU/core/TU>"
+        )
+
+
+class Infrastructure:
+    """The two-tier hybrid cloud with private-first placement."""
+
+    def __init__(
+        self,
+        env: Environment,
+        private_cores: int = 624,
+        private_cost: float = 5.0,
+        public_cores: int = 1_000_000,
+        public_cost: float = 50.0,
+    ) -> None:
+        self.env = env
+        self.private = CloudTier(env, TierName.PRIVATE, private_cores, private_cost)
+        self.public = CloudTier(env, TierName.PUBLIC, public_cores, public_cost)
+
+    def tier(self, name: TierName) -> CloudTier:
+        """The tier object for *name*."""
+        return self.private if name is TierName.PRIVATE else self.public
+
+    def place(self, cores: int, allow_public: bool = True) -> Optional[TierName]:
+        """Pick a tier for *cores*: private first, public if allowed.
+
+        Returns the tier name, or None when nothing fits (private full and
+        public disallowed/full).  Does not allocate.
+        """
+        if self.private.can_allocate(cores):
+            return TierName.PRIVATE
+        if allow_public and self.public.can_allocate(cores):
+            return TierName.PUBLIC
+        return None
+
+    def allocate(self, cores: int, tier: TierName) -> None:
+        """Claim *cores* on *tier*."""
+        self.tier(tier).allocate(cores)
+
+    def release(self, cores: int, tier: TierName) -> None:
+        """Return *cores* to *tier*."""
+        self.tier(tier).release(cores)
+
+    @property
+    def private_full(self) -> bool:
+        return self.private.cores_free == 0
+
+    def total_cores_in_use(self) -> int:
+        """Cores currently allocated across both tiers."""
+        return self.private.cores_in_use + self.public.cores_in_use
+
+    def cost_rate(self) -> float:
+        """Current spend rate (CU per TU) across both tiers.
+
+        This is the paper's cost function: "maps the number of machines
+        currently active and their configuration to the cost per unit time
+        of keeping them running".
+        """
+        return (
+            self.private.cores_in_use * self.private.core_cost_per_tu
+            + self.public.cores_in_use * self.public.core_cost_per_tu
+        )
+
+    def accumulated_cost(self) -> float:
+        """Total core-time cost so far (CU)."""
+        return (
+            self.private.core_tu_consumed() * self.private.core_cost_per_tu
+            + self.public.core_tu_consumed() * self.public.core_cost_per_tu
+        )

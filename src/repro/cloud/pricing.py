@@ -1,0 +1,93 @@
+"""Pricing: per-core-per-TU cost model, meters and invoices.
+
+Costs in CU (cost units) exactly as the paper; Table I sweeps the public
+tier price over {20, 50, 80, 110} CU/TU with the private tier fixed at
+5 CU/TU (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cloud.infrastructure import TierName
+from repro.core.errors import CloudError
+
+__all__ = ["PricingModel", "CostMeter", "Invoice"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Per-tier core prices (CU per core per TU)."""
+
+    private_core_cost: float = 5.0
+    public_core_cost: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.private_core_cost < 0 or self.public_core_cost < 0:
+            raise CloudError("core costs must be >= 0")
+
+    def core_cost(self, tier: TierName) -> float:
+        """The tier's price (CU per core per TU)."""
+        return (
+            self.private_core_cost
+            if tier is TierName.PRIVATE
+            else self.public_core_cost
+        )
+
+    def rate(self, cores: int, tier: TierName) -> float:
+        """Spend rate of *cores* on *tier* (CU/TU)."""
+        if cores < 0:
+            raise CloudError("cores must be >= 0")
+        return cores * self.core_cost(tier)
+
+    def charge(self, cores: int, tier: TierName, duration_tu: float) -> float:
+        """Cost of holding *cores* on *tier* for *duration_tu*."""
+        if duration_tu < 0:
+            raise CloudError("duration must be >= 0")
+        return self.rate(cores, tier) * duration_tu
+
+
+@dataclass
+class Invoice:
+    """An itemised record of spend, split by tier."""
+
+    private_cu: float = 0.0
+    public_cu: float = 0.0
+    items: list[tuple[float, TierName, int, float, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def total_cu(self) -> float:
+        return self.private_cu + self.public_cu
+
+    def add(
+        self, time: float, tier: TierName, cores: int, duration: float, cost: float
+    ) -> None:
+        """Append one charge line and update the tier subtotal."""
+        self.items.append((time, tier, cores, duration, cost))
+        if tier is TierName.PRIVATE:
+            self.private_cu += cost
+        else:
+            self.public_cu += cost
+
+
+class CostMeter:
+    """Accumulates spend against a :class:`PricingModel`."""
+
+    def __init__(self, pricing: Optional[PricingModel] = None) -> None:
+        self.pricing = pricing if pricing is not None else PricingModel()
+        self.invoice = Invoice()
+
+    def charge(
+        self, time: float, cores: int, tier: TierName, duration_tu: float
+    ) -> float:
+        """Record a charge; returns the cost in CU."""
+        cost = self.pricing.charge(cores, tier, duration_tu)
+        self.invoice.add(time, tier, cores, duration_tu, cost)
+        return cost
+
+    @property
+    def total_cu(self) -> float:
+        return self.invoice.total_cu

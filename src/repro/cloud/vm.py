@@ -1,0 +1,151 @@
+"""Virtual-machine lifecycle with start/restart penalties.
+
+"We now pay the 30 second startup penalty whenever a worker was previously
+assigned to a pool that uses a different number of threads, as CELAR would
+need to shut it down, adjust the number of VCPUs, and restart it for its
+new role" (paper Section IV-B).  With the paper's TU ~ 1 minute convention
+the penalty defaults to 0.5 TU.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.core.errors import CloudError
+from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.desim.engine import Environment
+
+__all__ = ["VMState", "VirtualMachine"]
+
+_vm_ids = itertools.count(1)
+
+
+class VMState(str, enum.Enum):
+    """VM lifecycle states."""
+    BOOTING = "booting"
+    READY = "ready"
+    BUSY = "busy"
+    TERMINATED = "terminated"
+
+
+class VirtualMachine:
+    """A hired instance: N cores on one tier, costing while it exists.
+
+    Core accounting starts at hire (the provider bills from boot) and stops
+    at termination.  Boot and resize take ``startup_penalty_tu``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        infrastructure: Infrastructure,
+        cores: int,
+        tier: TierName,
+        startup_penalty_tu: float = 0.5,
+    ) -> None:
+        if cores < 1:
+            raise CloudError(f"VM needs at least 1 core, got {cores}")
+        if startup_penalty_tu < 0:
+            raise CloudError("startup penalty must be >= 0")
+        self.env = env
+        self.infrastructure = infrastructure
+        self.uid = next(_vm_ids)
+        self.cores = cores
+        self.tier = tier
+        self.startup_penalty_tu = startup_penalty_tu
+        self.state = VMState.BOOTING
+        self.hired_at = env.now
+        self.terminated_at: Optional[float] = None
+        self.boot_count = 0
+        infrastructure.allocate(cores, tier)
+
+    def boot(self):
+        """Process: pay the startup penalty, then become READY.
+
+        Yields; run it via ``env.process(vm.boot())``.
+        """
+        if self.state is VMState.TERMINATED:
+            raise CloudError(f"VM {self.uid} is terminated")
+        self.state = VMState.BOOTING
+        self.boot_count += 1
+        if self.startup_penalty_tu > 0:
+            yield self.env.timeout(self.startup_penalty_tu)
+        if self.state is not VMState.TERMINATED:
+            self.state = VMState.READY
+        return self
+
+    def reshape(self, new_cores: int) -> None:
+        """Synchronously change the vCPU count (settles core accounting).
+
+        Separate from the reboot so callers can claim capacity at decision
+        time -- between a scheduling decision and the boot process running,
+        other decisions fire, and check-then-allocate must not race.
+        A reboot (:meth:`boot`) must follow before the VM serves work.
+        """
+        if self.state is VMState.TERMINATED:
+            raise CloudError(f"VM {self.uid} is terminated")
+        if new_cores < 1:
+            raise CloudError(f"VM needs at least 1 core, got {new_cores}")
+        if new_cores != self.cores:
+            delta = new_cores - self.cores
+            if delta > 0:
+                self.infrastructure.allocate(delta, self.tier)
+            else:
+                self.infrastructure.release(-delta, self.tier)
+            self.cores = new_cores
+        self.state = VMState.BOOTING
+
+    def resize(self, new_cores: int):
+        """Process: shut down, change vCPU count, restart (CELAR resize)."""
+        self.reshape(new_cores)
+        yield from self.boot()
+        return self
+
+    def mark_busy(self) -> None:
+        """Transition READY -> BUSY (taking a task)."""
+        if self.state is not VMState.READY:
+            raise CloudError(
+                f"VM {self.uid} must be READY to take work (state={self.state.value})"
+            )
+        self.state = VMState.BUSY
+
+    def mark_idle(self) -> None:
+        """Transition BUSY -> READY (task done)."""
+        if self.state is not VMState.BUSY:
+            raise CloudError(
+                f"VM {self.uid} is not BUSY (state={self.state.value})"
+            )
+        self.state = VMState.READY
+
+    def terminate(self) -> None:
+        """Release cores and stop billing.  Idempotent."""
+        if self.state is VMState.TERMINATED:
+            return
+        self.state = VMState.TERMINATED
+        self.terminated_at = self.env.now
+        self.infrastructure.release(self.cores, self.tier)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not VMState.TERMINATED
+
+    @property
+    def core_cost_per_tu(self) -> float:
+        return self.cores * self.infrastructure.tier(self.tier).core_cost_per_tu
+
+    def lifetime(self) -> float:
+        """Time from hire to termination (or to now) in TU."""
+        end = self.terminated_at if self.terminated_at is not None else self.env.now
+        return end - self.hired_at
+
+    def accumulated_cost(self) -> float:
+        """CU spent on this VM so far (uniform shape over its lifetime)."""
+        return self.lifetime() * self.core_cost_per_tu
+
+    def __repr__(self) -> str:
+        return (
+            f"<VM {self.uid} {self.cores}c {self.tier.value} "
+            f"{self.state.value}>"
+        )

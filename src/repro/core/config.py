@@ -1,0 +1,321 @@
+"""Configuration dataclasses encoding the paper's Tables I and III.
+
+Every simulation parameter in the evaluation (Section IV) is represented
+here with its paper default:
+
+- Table I (swept): resource-allocation algorithm, horizontal-scaling
+  algorithm, mean job inter-arrival interval, reward scheme, public-tier
+  core cost.
+- Table III (fixed): simulation length 10 000 TU; private tier core cost
+  5 CU/TU; Rmax 400 CU; Rpenalty 15 CU; Rscale 15 000 CU/TU; instance sizes
+  1/2/4/8/16 cores; mean 3 jobs per arrival event (variance 2); mean job
+  size 5 (variance 1).
+
+Units follow the paper: TU = (abstract) time unit, CU = cost unit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "RewardScheme",
+    "AllocationAlgorithm",
+    "ScalingAlgorithm",
+    "RewardConfig",
+    "CloudConfig",
+    "WorkloadConfig",
+    "SchedulerConfig",
+    "BrokerConfig",
+    "SimulationConfig",
+    "PlatformConfig",
+]
+
+
+class RewardScheme(str, enum.Enum):
+    """Task-completion reward function family (paper Section II-D)."""
+
+    TIME = "time"
+    THROUGHPUT = "throughput"
+
+
+class AllocationAlgorithm(str, enum.Enum):
+    """Resource allocation algorithm (Table I, row 1).
+
+    - GREEDY: each stage independently picks the thread count maximising its
+      own marginal profit at the moment it starts.
+    - LONG_TERM: plans thread counts for the whole pipeline using profiled
+      stage models, once per job at submission.
+    - LONG_TERM_ADAPTIVE: like LONG_TERM but replans at stage boundaries
+      using observed queue states.
+    - BEST_CONSTANT: the best single fixed execution plan found by offline
+      search; every run uses that plan (the paper's baseline).
+    """
+
+    GREEDY = "greedy"
+    LONG_TERM = "long_term"
+    LONG_TERM_ADAPTIVE = "long_term_adaptive"
+    BEST_CONSTANT = "best_constant"
+    #: Extension (paper Section VI future work): online bandit learning of
+    #: per-stage thread profits.  Not part of the Table I grid.
+    LEARNED = "learned"
+
+
+class ScalingAlgorithm(str, enum.Enum):
+    """Horizontal-scaling algorithm (Table I, row 2).
+
+    - ALWAYS: whenever the private tier is full, hire public workers
+      immediately for any queued task.
+    - NEVER: never hire public workers; queue until a private worker frees.
+    - PREDICTIVE: hire public workers only when the delay cost (Eq. 1) of
+      waiting exceeds the hire cost.
+    """
+
+    ALWAYS = "always"
+    NEVER = "never"
+    PREDICTIVE = "predictive"
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Reward-function constants (Table III and Section II-D)."""
+
+    scheme: RewardScheme = RewardScheme.TIME
+    #: Per-record reward ceiling for the time scheme (CU).
+    rmax: float = 400.0
+    #: Per-record, per-TU delay penalty for the time scheme (CU).
+    rpenalty: float = 15.0
+    #: Throughput-scheme scaling factor (CU * TU).
+    rscale: float = 15_000.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.rmax <= 0:
+            raise ConfigurationError(f"rmax must be positive, got {self.rmax}")
+        if self.rpenalty < 0:
+            raise ConfigurationError(f"rpenalty must be >= 0, got {self.rpenalty}")
+        if self.rscale <= 0:
+            raise ConfigurationError(f"rscale must be positive, got {self.rscale}")
+
+
+@dataclass(frozen=True)
+class CloudConfig:
+    """Two-tier hybrid cloud (Section IV-A, Tables I and III)."""
+
+    #: Cores available in the bounded private tier.
+    private_cores: int = 624
+    #: Private-tier cost (CU per core per TU).
+    private_core_cost: float = 5.0
+    #: Public-tier cost (CU per core per TU); Table I sweeps {20, 50, 80, 110}.
+    public_core_cost: float = 50.0
+    #: Public-tier capacity; effectively unbounded in the paper.
+    public_cores: int = 1_000_000
+    #: Hirable instance shapes, in cores (Table III).
+    instance_sizes: tuple[int, ...] = (1, 2, 4, 8, 16)
+    #: VM (re)start penalty in TU.  The paper pays "the 30 second startup
+    #: penalty" whenever a worker is re-pooled to a different thread count;
+    #: with the paper's 1 TU ~ 1 minute convention this is 0.5 TU.
+    startup_penalty_tu: float = 0.5
+    #: RAM per private node (GB), per Section IV-A.
+    node_ram_gb: int = 64
+    #: Mean time between VM failures (TU); None disables failure
+    #: injection (the paper's evaluation assumes reliable workers).
+    vm_mtbf_tu: "float | None" = None
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.vm_mtbf_tu is not None and self.vm_mtbf_tu <= 0:
+            raise ConfigurationError("vm_mtbf_tu must be positive or None")
+        if self.private_cores < 0:
+            raise ConfigurationError("private_cores must be >= 0")
+        if self.public_cores < 0:
+            raise ConfigurationError("public_cores must be >= 0")
+        if self.private_core_cost < 0 or self.public_core_cost < 0:
+            raise ConfigurationError("core costs must be >= 0")
+        if not self.instance_sizes:
+            raise ConfigurationError("instance_sizes must be non-empty")
+        if any(s <= 0 for s in self.instance_sizes):
+            raise ConfigurationError("instance sizes must be positive")
+        if tuple(sorted(self.instance_sizes)) != tuple(self.instance_sizes):
+            raise ConfigurationError("instance_sizes must be sorted ascending")
+        if self.startup_penalty_tu < 0:
+            raise ConfigurationError("startup_penalty_tu must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Batched stochastic workload (Tables I and III).
+
+    Arrival events occur with exponential inter-arrival times; each event
+    carries a batch of jobs whose count and sizes are drawn from truncated
+    normal distributions with the paper's means and variances.
+    """
+
+    #: Mean job inter-arrival interval (TU); Table I sweeps 2.0 .. 3.0.
+    mean_interarrival: float = 2.5
+    #: Mean number of jobs per arrival event.
+    jobs_per_arrival_mean: float = 3.0
+    #: Variance of jobs per arrival event.
+    jobs_per_arrival_var: float = 2.0
+    #: Mean job size (arbitrary units; 1 unit ~ 1 GB of input).
+    job_size_mean: float = 5.0
+    #: Variance of job size.
+    job_size_var: float = 1.0
+    #: GB of pipeline input per job-size unit.  The paper gives job sizes
+    #: in "arbitrary units" and never states the mapping into the E_i(d)
+    #: input-size axis; this knob is that free parameter.  The Figure 4
+    #: benchmark calibrates it so the paper's own workload description
+    #: holds (interval 2.0 = "very busy system where much public resource
+    #: hiring is necessary", 3.0 = private tier "rarely if ever fully
+    #: occupied").
+    size_unit_gb: float = 1.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.size_unit_gb <= 0:
+            raise ConfigurationError("size_unit_gb must be positive")
+        if self.mean_interarrival <= 0:
+            raise ConfigurationError("mean_interarrival must be positive")
+        if self.jobs_per_arrival_mean <= 0:
+            raise ConfigurationError("jobs_per_arrival_mean must be positive")
+        if self.jobs_per_arrival_var < 0 or self.job_size_var < 0:
+            raise ConfigurationError("variances must be >= 0")
+        if self.job_size_mean <= 0:
+            raise ConfigurationError("job_size_mean must be positive")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler policy knobs (Table I rows 1-2 plus estimator internals)."""
+
+    allocation: AllocationAlgorithm = AllocationAlgorithm.GREEDY
+    scaling: ScalingAlgorithm = ScalingAlgorithm.PREDICTIVE
+    #: EWMA smoothing factor for per-stage queue-time estimates (EQT_i).
+    eqt_alpha: float = 0.3
+    #: Look-ahead window used by the predictive scaler when evaluating the
+    #: delay cost of not hiring (TU).
+    predictive_horizon: float = 5.0
+    #: Thread counts considered by allocation algorithms; mirrors the
+    #: hirable instance sizes by default.
+    thread_choices: tuple[int, ...] = (1, 2, 4, 8, 16)
+    #: Idle workers are terminated after this long without work (TU).
+    idle_timeout_tu: float = 2.0
+    #: Whether an idle worker may be re-pooled (resized to a different
+    #: vCPU count, paying the restart penalty) instead of hiring anew.
+    repool_allowed: bool = True
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if not 0.0 < self.eqt_alpha <= 1.0:
+            raise ConfigurationError("eqt_alpha must lie in (0, 1]")
+        if self.predictive_horizon <= 0:
+            raise ConfigurationError("predictive_horizon must be positive")
+        if not self.thread_choices or any(t < 1 for t in self.thread_choices):
+            raise ConfigurationError("thread_choices must be positive ints")
+        if self.idle_timeout_tu < 0:
+            raise ConfigurationError("idle_timeout_tu must be >= 0")
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Data Broker policy (Section III-A.1)."""
+
+    #: Preferred shard size for GATK inputs (GB); "the inputs will be 2GB
+    #: for each task" in the evaluation.
+    default_shard_gb: float = 2.0
+    #: Whether shard size is taken from the knowledge base when profile
+    #: data exists (True) or always the fixed default (False).
+    use_knowledge_base: bool = True
+    #: Smallest shard worth creating (GB); splitting below this wastes more
+    #: in per-task overhead than parallelism recovers.
+    min_shard_gb: float = 0.25
+    #: Largest number of shards a single job may be split into.
+    max_shards_per_job: int = 256
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.default_shard_gb <= 0:
+            raise ConfigurationError("default_shard_gb must be positive")
+        if self.min_shard_gb <= 0 or self.min_shard_gb > self.default_shard_gb:
+            raise ConfigurationError(
+                "min_shard_gb must be in (0, default_shard_gb]"
+            )
+        if self.max_shards_per_job < 1:
+            raise ConfigurationError("max_shards_per_job must be >= 1")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Session-level controls (Table III row 1 plus reproducibility)."""
+
+    #: Simulated duration (TU).
+    duration: float = 10_000.0
+    #: Root seed for all random streams.
+    seed: int = 0
+    #: Independent repetitions per configuration (the paper uses 10).
+    repetitions: int = 10
+    #: Initial transient to exclude from steady-state metrics (TU).
+    warmup: float = 0.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        if not 0.0 <= self.warmup < self.duration:
+            raise ConfigurationError("warmup must lie in [0, duration)")
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Complete SCAN platform configuration."""
+
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    cloud: CloudConfig = field(default_factory=CloudConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    broker: BrokerConfig = field(default_factory=BrokerConfig)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    #: Name of the application pipeline to run (registry key).
+    application: str = "gatk"
+
+    def validate(self) -> "PlatformConfig":
+        """Validate all sections; returns self for chaining."""
+        self.reward.validate()
+        self.cloud.validate()
+        self.workload.validate()
+        self.scheduler.validate()
+        self.broker.validate()
+        self.simulation.validate()
+        if not self.application:
+            raise ConfigurationError("application must be named")
+        return self
+
+    def with_overrides(self, **sections: Mapping[str, Any]) -> "PlatformConfig":
+        """A copy with per-section field overrides.
+
+        Example::
+
+            cfg.with_overrides(workload={"mean_interarrival": 2.0},
+                               scheduler={"scaling": ScalingAlgorithm.ALWAYS})
+        """
+        updates: dict[str, Any] = {}
+        for section, fields in sections.items():
+            current = getattr(self, section, None)
+            if current is None:
+                raise ConfigurationError(f"unknown config section {section!r}")
+            if isinstance(fields, Mapping):
+                updates[section] = replace(current, **fields)
+            else:
+                updates[section] = fields
+        return replace(self, **updates)
+
+    @staticmethod
+    def paper_defaults() -> "PlatformConfig":
+        """The exact fixed configuration of Table III."""
+        return PlatformConfig().validate()

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SCAN platform."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SCANError",
+    "ConfigurationError",
+    "SchedulingError",
+    "BrokerError",
+    "KnowledgeBaseError",
+    "CloudError",
+    "WorkloadError",
+]
+
+
+class SCANError(Exception):
+    """Base class for all SCAN platform errors."""
+
+
+class ConfigurationError(SCANError):
+    """An invalid or inconsistent platform/simulation configuration."""
+
+
+class SchedulingError(SCANError):
+    """Scheduler invariant violation or invalid scheduling request."""
+
+
+class BrokerError(SCANError):
+    """Data Broker failure (unshardale format, bad shard plan, ...)."""
+
+
+class KnowledgeBaseError(SCANError):
+    """Knowledge-base failure (missing profile, malformed query, ...)."""
+
+
+class CloudError(SCANError):
+    """Simulated-cloud failure (tier exhausted, invalid instance size)."""
+
+
+class WorkloadError(SCANError):
+    """Workload generation/trace failure."""

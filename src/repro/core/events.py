@@ -1,0 +1,113 @@
+"""Structured platform events and the event log.
+
+Every significant platform action (job submitted, shard created, task
+queued, worker hired, stage completed, pipeline finished) is appended to an
+:class:`EventLog`.  The log serves two roles from the paper:
+
+1. It is the raw material for knowledge-base expansion: "the SCAN keeps the
+   log information of each task scheduled to run in a cloud.  The log
+   information will be used to further populate the SCAN knowledge-base"
+   (Section III-A.1.i).
+2. It is the measurement channel for the evaluation metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["EventKind", "PlatformEvent", "EventLog"]
+
+
+class EventKind(str, enum.Enum):
+    """Platform event taxonomy."""
+
+    JOB_SUBMITTED = "job_submitted"
+    JOB_COMPLETED = "job_completed"
+    SHARD_CREATED = "shard_created"
+    SHARDS_MERGED = "shards_merged"
+    TASK_QUEUED = "task_queued"
+    TASK_STARTED = "task_started"
+    TASK_COMPLETED = "task_completed"
+    STAGE_COMPLETED = "stage_completed"
+    WORKER_HIRED = "worker_hired"
+    WORKER_RELEASED = "worker_released"
+    WORKER_REPOOLED = "worker_repooled"
+    VM_BOOT_STARTED = "vm_boot_started"
+    VM_READY = "vm_ready"
+    WORKER_FAILED = "worker_failed"
+    TASK_RETRIED = "task_retried"
+    KB_UPDATED = "kb_updated"
+    REWARD_PAID = "reward_paid"
+    COST_INCURRED = "cost_incurred"
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """A single timestamped platform event with free-form detail fields."""
+
+    time: float
+    kind: EventKind
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.detail[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """A detail field, or *default* when absent."""
+        return self.detail.get(key, default)
+
+
+class EventLog:
+    """Append-only, time-ordered log of :class:`PlatformEvent`.
+
+    Supports subscriptions so the knowledge base can ingest task-completion
+    records as they happen rather than post-hoc.
+    """
+
+    def __init__(self, capture: bool = True) -> None:
+        """With ``capture=False`` events are delivered to subscribers but
+        not stored -- long simulations emit hundreds of thousands of events,
+        and sessions that only need live metrics can skip the memory."""
+        self._events: list[PlatformEvent] = []
+        self._subscribers: list[Callable[[PlatformEvent], None]] = []
+        self.capture = capture
+
+    def emit(self, time: float, kind: EventKind, **detail: Any) -> PlatformEvent:
+        """Record an event and notify subscribers."""
+        event = PlatformEvent(time=float(time), kind=kind, detail=detail)
+        if self.capture:
+            if self._events and time < self._events[-1].time - 1e-9:
+                raise ValueError(
+                    f"event at t={time} precedes log head t={self._events[-1].time}"
+                )
+            self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[PlatformEvent], None]) -> None:
+        """Register *callback* to be invoked on every future event."""
+        self._subscribers.append(callback)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[PlatformEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[PlatformEvent]:
+        """All events of the given kind, in time order."""
+        return [e for e in self._events if e.kind is kind]
+
+    def between(self, start: float, end: float) -> list[PlatformEvent]:
+        """Events with start <= time < end."""
+        return [e for e in self._events if start <= e.time < end]
+
+    def counts(self) -> dict[EventKind, int]:
+        """Event counts per kind."""
+        out: dict[EventKind, int] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out

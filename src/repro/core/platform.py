@@ -1,0 +1,276 @@
+"""The SCANPlatform facade: Data Broker + Scheduler + Workers in one box.
+
+This is the integrated platform of the paper's Figure 2: an analysis
+request arrives with a dataset, the Data Broker consults the knowledge
+base and shards the input, the Scheduler runs one pipeline per shard over
+the elastic cloud, task logs flow back into the knowledge base, and the
+shard outputs are merged into the final result.
+
+The facade runs in-process over the simulation kernel (the prototype's
+CherryPy HTTP RPC layer is an interface detail the evaluation never
+exercises); the API surface -- submit / advance / poll / metrics -- mirrors
+the prototype's RPC verbs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.registry import ApplicationRegistry, default_registry
+from repro.broker.broker import BrokeredJob, DataBroker
+from repro.broker.staging import DataStager
+from repro.cloud.celar import CelarManager
+from repro.cloud.infrastructure import Infrastructure
+from repro.cloud.storage import ReplicatedKVStore, SharedFilesystem
+from repro.core.config import AllocationAlgorithm, PlatformConfig
+from repro.core.errors import SCANError
+from repro.core.events import EventLog
+from repro.desim.engine import Environment
+from repro.genomics.datasets import DatasetDescriptor
+from repro.knowledge.kb import SCANKnowledgeBase
+from repro.knowledge.log_ingest import KnowledgeIngestor
+from repro.scheduler.allocation import (
+    find_best_constant_plan,
+    make_allocation_policy,
+)
+from repro.scheduler.rewards import RewardFunction, make_reward
+from repro.scheduler.scaling import make_scaling_policy
+from repro.scheduler.scheduler import SCANScheduler
+from repro.scheduler.tasks import Job
+
+__all__ = ["SCANPlatform", "AnalysisRequest"]
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class AnalysisRequest:
+    """A user's whole-analysis request and its live status."""
+
+    uid: int
+    dataset: DatasetDescriptor
+    brokered: BrokeredJob
+    jobs: list[Job]
+    submit_time: float
+    merged_output: Optional[DatasetDescriptor] = None
+    completed_at: Optional[float] = None
+
+    @property
+    def n_subtasks(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def is_complete(self) -> bool:
+        return all(job.is_complete for job in self.jobs)
+
+    def latency(self) -> float:
+        """Submission to completion of the last shard's last stage."""
+        if self.completed_at is None:
+            raise SCANError(f"request {self.uid} has not completed")
+        return self.completed_at - self.submit_time
+
+
+class SCANPlatform:
+    """An in-process SCAN deployment over the simulated cloud.
+
+    Typical use::
+
+        platform = SCANPlatform(PlatformConfig.paper_defaults())
+        platform.bootstrap_knowledge()          # offline GATK profiling
+        request = platform.submit_analysis(dataset)
+        platform.run(until=200.0)
+        print(request.is_complete, platform.metrics())
+    """
+
+    def __init__(
+        self,
+        config: Optional[PlatformConfig] = None,
+        registry: Optional[ApplicationRegistry] = None,
+        capture_events: bool = True,
+        kb_sample_every: int = 1,
+    ) -> None:
+        self.config = (config or PlatformConfig()).validate()
+        self.registry = registry if registry is not None else default_registry()
+        self.app = self.registry.get(self.config.application)
+
+        self.env = Environment()
+        self.log = EventLog(capture=capture_events)
+        self.infrastructure = Infrastructure(
+            self.env,
+            private_cores=self.config.cloud.private_cores,
+            private_cost=self.config.cloud.private_core_cost,
+            public_cores=self.config.cloud.public_cores,
+            public_cost=self.config.cloud.public_core_cost,
+        )
+        self.celar = CelarManager(
+            self.env,
+            self.infrastructure,
+            startup_penalty_tu=self.config.cloud.startup_penalty_tu,
+            allowed_sizes=self.config.cloud.instance_sizes,
+        )
+        self.filesystem = SharedFilesystem(self.env)
+        self.kv_store = ReplicatedKVStore(self.env)
+        self.stager = DataStager(self.env, self.filesystem)
+
+        self.kb = SCANKnowledgeBase()
+        self.ingestor = KnowledgeIngestor(
+            self.kb, self.log, sample_every=kb_sample_every
+        )
+        self.broker = DataBroker(
+            self.kb,
+            config=self.config.broker,
+            event_log=self.log,
+            clock=lambda: self.env.now,
+        )
+
+        self.reward: RewardFunction = make_reward(self.config.reward)
+        constant_plan = None
+        if self.config.scheduler.allocation is AllocationAlgorithm.BEST_CONSTANT:
+            constant_plan = find_best_constant_plan(
+                self.app,
+                self.reward,
+                core_cost=self.config.cloud.private_core_cost,
+                job_size=self.config.workload.job_size_mean,
+                thread_choices=self.config.scheduler.thread_choices,
+                input_gb=self.config.workload.job_size_mean
+                * self.config.workload.size_unit_gb,
+            )
+        self.scheduler = SCANScheduler(
+            self.env,
+            self.app,
+            self.infrastructure,
+            self.celar,
+            self.reward,
+            make_allocation_policy(
+                self.config.scheduler.allocation, constant_plan=constant_plan
+            ),
+            make_scaling_policy(
+                self.config.scheduler.scaling,
+                horizon_tu=self.config.scheduler.predictive_horizon,
+            ),
+            config=self.config.scheduler,
+            event_log=self.log,
+        )
+        self.scheduler.start()
+        self.requests: list[AnalysisRequest] = []
+        self._job_counter = itertools.count(1)
+
+    # -- knowledge bootstrap -------------------------------------------------
+    def bootstrap_knowledge(self, **kwargs) -> int:
+        """Profile the configured application offline into the KB.
+
+        This is the paper's initial knowledge-base creation (profiling runs
+        of 1-9 GB inputs across thread counts).  Returns the number of
+        observations recorded.
+        """
+        return self.kb.bootstrap_from_model(self.app, **kwargs)
+
+    # -- analysis submission ----------------------------------------------------
+    def submit_analysis(self, dataset: DatasetDescriptor) -> AnalysisRequest:
+        """Broker, shard and schedule one whole-analysis request."""
+        brokered = self.broker.prepare(
+            app=self.app.name,
+            dataset=dataset,
+            parallel_workers=max(
+                self.config.cloud.private_cores
+                // max(self.config.cloud.instance_sizes[0], 1),
+                1,
+            ),
+            core_cost_per_tu=self.config.cloud.private_core_cost,
+            reward_fn=self.reward,
+        )
+        jobs: list[Job] = []
+        for shard in brokered.plan:
+            # Job size stays in reward units; the shard's GB drive the
+            # stage-time models.
+            size_units = max(
+                shard.size_gb / max(self.config.workload.size_unit_gb, 1e-9),
+                1e-6,
+            )
+            job = Job(
+                app=self.app,
+                size=size_units,
+                submit_time=self.env.now,
+                name=f"req{len(self.requests) + 1}-{shard.name}",
+                input_gb=shard.size_gb,
+            )
+            jobs.append(job)
+        request = AnalysisRequest(
+            uid=next(_request_ids),
+            dataset=dataset,
+            brokered=brokered,
+            jobs=jobs,
+            submit_time=self.env.now,
+        )
+        self.requests.append(request)
+        for shard, job in zip(brokered.plan, jobs):
+            self.stager.prefetch(shard)
+            self.scheduler.submit(job)
+        return request
+
+    # -- running ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulated deployment (to *until*, or to quiescence)."""
+        self.env.run(until=until)
+        self._finalize_requests()
+
+    def run_until_complete(self, request: AnalysisRequest, limit: float = 1e7) -> None:
+        """Advance time until *request* completes (bounded by *limit*)."""
+        while not request.is_complete:
+            if self.env.peek() == float("inf") or self.env.now > limit:
+                raise SCANError(
+                    f"request {request.uid} cannot make progress "
+                    f"(now={self.env.now})"
+                )
+            self.env.step()
+        self._finalize_requests()
+
+    def _finalize_requests(self) -> None:
+        for request in self.requests:
+            if request.completed_at is None and request.is_complete:
+                request.completed_at = max(
+                    job.completed_at for job in request.jobs  # type: ignore[arg-type]
+                )
+                outputs = [
+                    shard.derive(self.app.output_format, "out", size_ratio=0.01)
+                    for shard in request.brokered.plan
+                ]
+                if len(outputs) > 1:
+                    request.merged_output = self.broker.merge_outputs(
+                        outputs, name=f"{request.dataset.name}.result"
+                    )
+                else:
+                    request.merged_output = outputs[0]
+
+    # -- reporting ------------------------------------------------------------------
+    def request_reward(self, request: AnalysisRequest) -> float:
+        """Whole-request reward: R(request latency, total input size).
+
+        The paper's users "offer a reward ... for completion of their whole
+        analysis pipeline", so the request level (not the per-shard level)
+        is where the user-visible reward lives.
+        """
+        size_units = request.dataset.size_gb / max(
+            self.config.workload.size_unit_gb, 1e-9
+        )
+        return self.reward(request.latency(), size_units)
+
+    def metrics(self) -> dict[str, float]:
+        """A snapshot of platform-level metrics."""
+        sched = self.scheduler
+        return {
+            "now": self.env.now,
+            "requests": float(len(self.requests)),
+            "requests_complete": float(
+                sum(1 for r in self.requests if r.is_complete)
+            ),
+            "jobs_completed": float(len(sched.completed_jobs)),
+            "total_reward": sched.total_reward,
+            "total_cost": sched.total_cost(),
+            "profit": sched.profit(),
+            "kb_instances": float(self.kb.instance_count()),
+            "private_utilization": self.infrastructure.private.utilization(),
+            "staged_files": float(self.stager.staged_count),
+        }

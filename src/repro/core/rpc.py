@@ -1,0 +1,268 @@
+"""HTTP RPC front-end for the SCAN platform.
+
+The paper's prototype scheduler "is implemented in Python, using the
+CherryPy web framework to process HTTP requests.  Its interface is realized
+using HTTP RPCs" (Section III-B).  This module provides that surface with
+only the standard library: a threaded :mod:`http.server` exposing the
+platform's verbs as JSON-over-HTTP endpoints.
+
+Endpoints
+---------
+``GET  /health``            liveness probe
+``GET  /metrics``           platform metrics snapshot
+``GET  /requests``          all analysis requests (id, status, latency)
+``GET  /requests/<id>``     one request's detail
+``GET  /workers``           worker-pool population
+``POST /submit``            body {"name", "size_gb", "format"} -> request id
+``POST /advance``           body {"until": t} or {} -> run the simulation
+``POST /kb/query``          body {"sparql": "..."} -> result rows
+
+The simulated platform is single-threaded; a lock serialises handler
+access so concurrent HTTP clients cannot interleave simulation steps.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from repro.core.errors import SCANError
+from repro.core.platform import AnalysisRequest, SCANPlatform
+from repro.genomics.datasets import DataFormat, DatasetDescriptor
+from repro.ontology.sparql import SparqlError
+from repro.ontology.triples import IRI
+
+__all__ = ["ScanRpcServer", "RpcError"]
+
+
+class RpcError(SCANError):
+    """An RPC-layer failure (bad route, malformed body)."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce platform values (IRIs, enums) into JSON-encodable ones."""
+    if isinstance(value, IRI):
+        return str(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "value") and not isinstance(value, (int, float)):
+        return value.value  # enums
+    return value
+
+
+class ScanRpcServer:
+    """A threaded HTTP JSON-RPC wrapper around one :class:`SCANPlatform`.
+
+    Usage::
+
+        server = ScanRpcServer(platform, port=0)   # 0 = ephemeral port
+        server.start()
+        ... urllib / curl against http://127.0.0.1:{server.port} ...
+        server.stop()
+    """
+
+    def __init__(self, platform: SCANPlatform, host: str = "127.0.0.1", port: int = 0):
+        self.platform = platform
+        self._lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve requests on a background thread."""
+        if self._thread is not None:
+            raise RpcError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="scan-rpc", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- RPC verbs (called under the lock) -----------------------------------
+    def _rpc_health(self) -> dict:
+        return {"status": "ok", "now": self.platform.env.now}
+
+    def _rpc_metrics(self) -> dict:
+        return _jsonable(self.platform.metrics())
+
+    def _rpc_requests(self) -> list:
+        return [self._request_summary(r) for r in self.platform.requests]
+
+    def _rpc_request_detail(self, uid: int) -> dict:
+        for request in self.platform.requests:
+            if request.uid == uid:
+                detail = self._request_summary(request)
+                detail["shards"] = [
+                    {"name": s.name, "size_gb": s.size_gb, "path": s.path}
+                    for s in request.brokered.plan
+                ]
+                detail["jobs"] = [
+                    {
+                        "name": job.name,
+                        "state": job.state.value,
+                        "stage": job.current_stage,
+                        "n_stages": job.n_stages,
+                    }
+                    for job in request.jobs
+                ]
+                return detail
+        raise RpcError(f"no request with id {uid}")
+
+    def _rpc_workers(self) -> dict:
+        pools = self.platform.scheduler.pools
+        return {
+            "idle": [
+                {"uid": w.uid, "class": w.worker_class, "cores": w.cores,
+                 "tier": w.tier.value}
+                for w in pools.idle_workers
+            ],
+            "busy": [
+                {"uid": w.uid, "class": w.worker_class, "cores": w.cores,
+                 "tier": w.tier.value}
+                for w in sorted(pools.busy_workers, key=lambda w: w.uid)
+            ],
+            "booting": sum(pools.booting_for_stage.values()),
+            "hires": {t.value: n for t, n in pools.hires.items()},
+            "repools": pools.repools,
+        }
+
+    def _rpc_submit(self, body: dict) -> dict:
+        try:
+            name = str(body["name"])
+            size_gb = float(body["size_gb"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RpcError(f"submit requires name and size_gb: {exc}") from exc
+        fmt_text = str(body.get("format", "fastq"))
+        try:
+            fmt = DataFormat(fmt_text)
+        except ValueError:
+            raise RpcError(f"unknown format {fmt_text!r}") from None
+        dataset = DatasetDescriptor.from_size(name, fmt, size_gb)
+        request = self.platform.submit_analysis(dataset)
+        return self._request_summary(request)
+
+    def _rpc_advance(self, body: dict) -> dict:
+        until = body.get("until")
+        if until is not None:
+            until = float(until)
+            if until < self.platform.env.now:
+                raise RpcError(
+                    f"until={until} is in the simulated past "
+                    f"(now={self.platform.env.now})"
+                )
+        self.platform.run(until=until)
+        return {"now": self.platform.env.now}
+
+    def _rpc_kb_query(self, body: dict) -> dict:
+        sparql = body.get("sparql")
+        if not isinstance(sparql, str) or not sparql.strip():
+            raise RpcError("kb/query requires a 'sparql' string")
+        try:
+            rows = self.platform.kb.query(sparql)
+        except SparqlError as exc:
+            raise RpcError(f"bad SPARQL: {exc}") from exc
+        return {"rows": _jsonable(rows)}
+
+    def _request_summary(self, request: AnalysisRequest) -> dict:
+        summary = {
+            "id": request.uid,
+            "dataset": request.dataset.name,
+            "size_gb": request.dataset.size_gb,
+            "n_subtasks": request.n_subtasks,
+            "complete": request.is_complete,
+            "advice": str(request.brokered.advice),
+        }
+        if request.completed_at is not None:
+            summary["latency"] = request.latency()
+        return summary
+
+    # -- HTTP plumbing -----------------------------------------------------------
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Silence per-request stderr logging.
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass
+
+            def _reply(self, status: int, payload: Any) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _dispatch(self, method: str) -> None:
+                path = self.path.rstrip("/")
+                body: dict = {}
+                if method == "POST":
+                    length = int(self.headers.get("Content-Length", 0))
+                    raw = self.rfile.read(length) if length else b"{}"
+                    try:
+                        body = json.loads(raw or b"{}")
+                    except json.JSONDecodeError as exc:
+                        self._reply(400, {"error": f"bad JSON: {exc}"})
+                        return
+                try:
+                    with server._lock:
+                        result = self._route(method, path, body)
+                except RpcError as exc:
+                    self._reply(400, {"error": str(exc)})
+                except Exception as exc:  # surface simulation errors as 500
+                    self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+                else:
+                    self._reply(200, result)
+
+            def _route(self, method: str, path: str, body: dict) -> Any:
+                if method == "GET":
+                    if path == "/health":
+                        return server._rpc_health()
+                    if path == "/metrics":
+                        return server._rpc_metrics()
+                    if path == "/requests":
+                        return server._rpc_requests()
+                    if path.startswith("/requests/"):
+                        tail = path.rsplit("/", 1)[1]
+                        try:
+                            uid = int(tail)
+                        except ValueError:
+                            raise RpcError(f"bad request id {tail!r}") from None
+                        return server._rpc_request_detail(uid)
+                    if path == "/workers":
+                        return server._rpc_workers()
+                if method == "POST":
+                    if path == "/submit":
+                        return server._rpc_submit(body)
+                    if path == "/advance":
+                        return server._rpc_advance(body)
+                    if path == "/kb/query":
+                        return server._rpc_kb_query(body)
+                raise RpcError(f"no route for {method} {path}")
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:  # noqa: N802
+                self._dispatch("POST")
+
+        return Handler

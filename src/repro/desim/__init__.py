@@ -1,0 +1,71 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch, deterministic discrete-event simulation engine in the style
+of SimPy, built as the substrate for the SCAN cloud simulation.  The paper's
+evaluation (Section IV) is a discrete-event simulation of GATK pipelines on
+a hybrid cloud; this package provides:
+
+- :class:`~repro.desim.engine.Environment` -- the event loop and clock.
+- :class:`~repro.desim.engine.Event`, :class:`~repro.desim.engine.Timeout` --
+  primitive schedulable events.
+- :class:`~repro.desim.process.Process` -- generator-based cooperative
+  processes (``yield env.timeout(3)`` style).
+- :mod:`~repro.desim.resources` -- capacity-limited resources, containers and
+  stores used to model worker pools, core pools and task queues.
+- :mod:`~repro.desim.monitor` -- time-series instrumentation.
+- :mod:`~repro.desim.rng` -- deterministic named random streams.
+"""
+
+from repro.desim.engine import (
+    Environment,
+    Event,
+    Timeout,
+    StopSimulation,
+    EmptySchedule,
+    SimulationError,
+)
+from repro.desim.process import (
+    Process,
+    Interrupt,
+    AllOf,
+    AnyOf,
+    ProcessError,
+)
+from repro.desim.resources import (
+    Resource,
+    PriorityResource,
+    PreemptedError,
+    Container,
+    Store,
+    FilterStore,
+    Request,
+    Release,
+)
+from repro.desim.monitor import Monitor, TimeWeightedMonitor, CounterMonitor
+from repro.desim.rng import RandomStreams
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "StopSimulation",
+    "EmptySchedule",
+    "SimulationError",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "ProcessError",
+    "Resource",
+    "PriorityResource",
+    "PreemptedError",
+    "Container",
+    "Store",
+    "FilterStore",
+    "Request",
+    "Release",
+    "Monitor",
+    "TimeWeightedMonitor",
+    "CounterMonitor",
+    "RandomStreams",
+]

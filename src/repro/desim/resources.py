@@ -1,0 +1,341 @@
+"""Capacity-limited resources, containers and stores.
+
+These model the contended entities in the SCAN simulation:
+
+- :class:`Resource` -- N identical slots (e.g. a worker's task slots).
+- :class:`PriorityResource` -- slots granted in priority order (used by the
+  scheduler when reward-ranked tasks compete for workers).
+- :class:`Container` -- a continuous level (e.g. a tier's free core count).
+- :class:`Store` / :class:`FilterStore` -- FIFO object queues (task queues,
+  worker pools keyed by configuration).
+
+Requests are events: ``with resource.request() as req: yield req`` acquires
+a slot and releases it on exit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.desim.engine import Environment, Event, SimulationError
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "PreemptedError",
+    "Container",
+    "Store",
+    "FilterStore",
+    "Request",
+    "Release",
+    "Put",
+    "Get",
+]
+
+
+class PreemptedError(Exception):
+    """Raised into a process whose resource slot was preempted."""
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot (context-manager aware)."""
+
+    __slots__ = ("resource", "priority", "key", "_cancelled")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.key = (priority, next(resource._ticket))
+        self._cancelled = False
+        resource._add_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request (no-op once granted)."""
+        if not self.triggered:
+            self._cancelled = True
+            self.resource._remove_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        if self.triggered and self._ok:
+            self.resource.release(self)
+        else:
+            self.cancel()
+
+
+class Release(Event):
+    """Immediate-success event returned by :meth:`Resource.release`."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots granted FIFO."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        self._ticket = itertools.count()
+        #: Requests currently holding a slot.
+        self.users: list[Request] = []
+        #: Heap of waiting requests keyed by (priority, ticket).
+        self._waiting: list[tuple[tuple[int, int], Request]] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        """Return *request*'s slot and wake the next waiter."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"{request!r} does not hold a slot of this resource"
+            ) from None
+        self._grant_next()
+        rel = Release(self.env)
+        rel.succeed()
+        return rel
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity at runtime (used by elastic scaling).
+
+        Growing wakes waiters immediately; shrinking lets current users
+        drain (no preemption here -- preemption is a policy concern handled
+        by the scheduler).
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._grant_next()
+
+    # -- internal ----------------------------------------------------------
+    def _add_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity and not self._waiting:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            heapq.heappush(self._waiting, (request.key, request))
+
+    def _remove_request(self, request: Request) -> None:
+        # Lazy removal: mark cancelled; skipped when popped.
+        pass
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self.users) < self._capacity:
+            _key, request = heapq.heappop(self._waiting)
+            if request._cancelled or request.triggered:
+                continue
+            self.users.append(request)
+            request.succeed(request)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served in priority order.
+
+    Lower ``priority`` values are served first; ties break FIFO.  The base
+    class already keys its wait-heap on ``(priority, ticket)``, so this
+    subclass only changes the *grant* rule: a new request must queue behind
+    higher-priority waiters even when a slot is free only because waiters
+    exist.
+    """
+
+    def _add_request(self, request: Request) -> None:
+        heapq.heappush(self._waiting, (request.key, request))
+        self._grant_next()
+
+
+class Put(Event):
+    """Pending put into a :class:`Container` or :class:`Store`."""
+
+    __slots__ = ("amount", "item")
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env)
+        self.amount: float = 0.0
+        self.item: Any = None
+
+
+class Get(Event):
+    """Pending get from a :class:`Container` or :class:`Store`."""
+
+    __slots__ = ("amount", "predicate")
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env)
+        self.amount: float = 0.0
+        self.predicate: Optional[Callable[[Any], bool]] = None
+
+
+class Container:
+    """A continuous quantity with optional capacity bound.
+
+    Models, e.g., the pool of free cores in a cloud tier: ``get(n)`` blocks
+    until *n* cores are available, ``put(n)`` returns them.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self._capacity = float(capacity)
+        self._level = float(init)
+        self._puts: list[Put] = []
+        self._gets: list[Get] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, amount: float) -> Put:
+        """Event: add *amount* once capacity allows."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Put(self.env)
+        event.amount = float(amount)
+        self._puts.append(event)
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Get:
+        """Event: take *amount* once the level allows."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Get(self.env)
+        event.amount = float(amount)
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self._level + self._puts[0].amount <= self._capacity:
+                put = self._puts.pop(0)
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._gets and self._level >= self._gets[0].amount:
+                get = self._gets.pop(0)
+                self._level -= get.amount
+                get.succeed()
+                progressed = True
+
+
+class Store:
+    """A FIFO queue of arbitrary items with optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: list[Any] = []
+        self._puts: list[Put] = []
+        self._gets: list[Get] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Put:
+        """Event: append *item* once capacity allows."""
+        event = Put(self.env)
+        event.item = item
+        self._puts.append(event)
+        self._settle()
+        return event
+
+    def get(self) -> Get:
+        """Event: take the oldest item once one exists."""
+        event = Get(self.env)
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def _match(self, get: Get) -> bool:
+        """Pop the first item satisfying *get*; True on success."""
+        if self.items:
+            get.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._puts and len(self.items) < self._capacity:
+                put = self._puts.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            i = 0
+            while i < len(self._gets):
+                get = self._gets[i]
+                if self._match(get):
+                    self._gets.pop(i)
+                    progressed = True
+                else:
+                    i += 1
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose gets may carry a predicate.
+
+    The SCAN scheduler uses this to pull a worker whose configuration
+    (thread count, software stack) matches the task at the head of a queue.
+    """
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Get:
+        """Event: take the first item satisfying *predicate*."""
+        event = Get(self.env)
+        event.predicate = predicate
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def _match(self, get: Get) -> bool:
+        pred = get.predicate
+        for idx, item in enumerate(self.items):
+            if pred is None or pred(item):
+                self.items.pop(idx)
+                get.succeed(item)
+                return True
+        return False

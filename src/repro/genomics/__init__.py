@@ -1,0 +1,66 @@
+"""Genomic (and proteomic) data substrate.
+
+The paper's platform stages, shards and merges concrete bioinformatics file
+formats: FASTQ reads from the sequencer, aligned SAM/BAM, variant-call VCF
+output, proteomics MGF, plus the FASTA reference genome.  Since real NGS
+data (100 MB - 500 GB per sample) is unavailable here, this package builds
+the formats from scratch:
+
+- :mod:`repro.genomics.formats` -- record models, parsers and writers for
+  FASTA, FASTQ, SAM, BAM (a blocked-gzip SAM container), VCF and MGF.
+- :mod:`repro.genomics.reference` -- deterministic synthetic reference
+  genomes.
+- :mod:`repro.genomics.synth` -- synthetic read/dataset generators with a
+  simple error + somatic-mutation model, so a full align -> call -> VCF round
+  trip can be exercised end to end.
+- :mod:`repro.genomics.datasets` -- logical dataset descriptors (format,
+  size, record count) used by the Data Broker and the simulation, where
+  materialising hundreds of gigabytes would be pointless.
+"""
+
+from repro.genomics.datasets import DataFormat, DatasetDescriptor
+from repro.genomics.reference import ReferenceGenome, Chromosome
+from repro.genomics.formats.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.genomics.formats.fastq import FastqRecord, parse_fastq, write_fastq
+from repro.genomics.formats.sam import (
+    SamRecord,
+    SamHeader,
+    SamFlag,
+    parse_sam,
+    write_sam,
+    Cigar,
+)
+from repro.genomics.formats.bam import read_bam, write_bam
+from repro.genomics.formats.vcf import VcfRecord, VcfHeader, parse_vcf, write_vcf
+from repro.genomics.formats.mgf import MgfSpectrum, parse_mgf, write_mgf
+from repro.genomics.synth import ReadSimulator, synthesize_dataset
+
+__all__ = [
+    "DataFormat",
+    "DatasetDescriptor",
+    "ReferenceGenome",
+    "Chromosome",
+    "FastaRecord",
+    "parse_fasta",
+    "write_fasta",
+    "FastqRecord",
+    "parse_fastq",
+    "write_fastq",
+    "SamRecord",
+    "SamHeader",
+    "SamFlag",
+    "parse_sam",
+    "write_sam",
+    "Cigar",
+    "read_bam",
+    "write_bam",
+    "VcfRecord",
+    "VcfHeader",
+    "parse_vcf",
+    "write_vcf",
+    "MgfSpectrum",
+    "parse_mgf",
+    "write_mgf",
+    "ReadSimulator",
+    "synthesize_dataset",
+]

@@ -1,0 +1,44 @@
+"""Record models, parsers and writers for bioinformatics file formats.
+
+Each module is self-contained and dependency-free: FASTA, FASTQ (Sanger
+quality encoding), SAM (with CIGAR algebra and flag helpers), BAM (a
+blocked-gzip SAM container, standing in for real BGZF), VCF 4.x and MGF.
+"""
+
+from repro.genomics.formats.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.genomics.formats.fastq import FastqRecord, parse_fastq, write_fastq
+from repro.genomics.formats.sam import (
+    SamRecord,
+    SamHeader,
+    SamFlag,
+    Cigar,
+    parse_sam,
+    write_sam,
+)
+from repro.genomics.formats.bam import read_bam, write_bam
+from repro.genomics.formats.vcf import VcfRecord, VcfHeader, parse_vcf, write_vcf
+from repro.genomics.formats.mgf import MgfSpectrum, parse_mgf, write_mgf
+
+__all__ = [
+    "FastaRecord",
+    "parse_fasta",
+    "write_fasta",
+    "FastqRecord",
+    "parse_fastq",
+    "write_fastq",
+    "SamRecord",
+    "SamHeader",
+    "SamFlag",
+    "Cigar",
+    "parse_sam",
+    "write_sam",
+    "read_bam",
+    "write_bam",
+    "VcfRecord",
+    "VcfHeader",
+    "parse_vcf",
+    "write_vcf",
+    "MgfSpectrum",
+    "parse_mgf",
+    "write_mgf",
+]

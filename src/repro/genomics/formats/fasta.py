@@ -1,0 +1,101 @@
+"""FASTA format: records, parsing, writing.
+
+FASTA is the reference-genome format consumed by aligners (paper Figure 2
+shows ``/input/fasta/s1.fa`` entries in the Data Broker table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TextIO, Union
+
+__all__ = ["FastaRecord", "parse_fasta", "write_fasta", "FastaParseError"]
+
+_VALID_BASES = frozenset("ACGTNacgtnRYSWKMBDHVryswkmbdhv-")
+
+
+class FastaParseError(ValueError):
+    """Malformed FASTA input."""
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA sequence: ``>name description`` plus sequence lines."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FASTA record requires a non-empty name")
+        bad = set(self.sequence) - _VALID_BASES
+        if bad:
+            raise ValueError(f"invalid bases in {self.name}: {sorted(bad)!r}")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def subsequence(self, start: int, end: int) -> str:
+        """0-based, end-exclusive slice with bounds checking."""
+        if not 0 <= start <= end <= len(self.sequence):
+            raise IndexError(
+                f"[{start}, {end}) outside sequence of length {len(self.sequence)}"
+            )
+        return self.sequence[start:end]
+
+    def gc_content(self) -> float:
+        """Fraction of G/C bases (N and ambiguity codes excluded)."""
+        seq = self.sequence.upper()
+        acgt = sum(seq.count(b) for b in "ACGT")
+        if acgt == 0:
+            return 0.0
+        return (seq.count("G") + seq.count("C")) / acgt
+
+
+def parse_fasta(source: Union[str, TextIO]) -> Iterator[FastaRecord]:
+    """Stream records from FASTA text or a file-like object."""
+    lines = source.splitlines() if isinstance(source, str) else source
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name, "".join(chunks), description)
+            header = line[1:].strip()
+            if not header:
+                raise FastaParseError(f"empty FASTA header at line {line_no}")
+            parts = header.split(None, 1)
+            name = parts[0]
+            description = parts[1] if len(parts) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise FastaParseError(
+                    f"sequence data before any '>' header at line {line_no}"
+                )
+            chunks.append(line.strip())
+    if name is not None:
+        yield FastaRecord(name, "".join(chunks), description)
+
+
+def write_fasta(
+    records: Iterable[FastaRecord], line_width: int = 70
+) -> str:
+    """Render records as FASTA text with wrapped sequence lines."""
+    if line_width < 1:
+        raise ValueError("line_width must be >= 1")
+    out: list[str] = []
+    for rec in records:
+        header = f">{rec.name}"
+        if rec.description:
+            header += f" {rec.description}"
+        out.append(header)
+        seq = rec.sequence
+        for i in range(0, len(seq), line_width):
+            out.append(seq[i : i + line_width])
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,125 @@
+"""FASTQ format with Sanger (Phred+33) quality encoding.
+
+FASTQ is the sequencer output the Data Broker shards: "They can, for
+example, divide a 100GB FASTQ file into 25 4GB files, and create 25 data
+analysis subtasks" (paper Section III-A.1.iii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, TextIO, Union
+
+__all__ = [
+    "FastqRecord",
+    "parse_fastq",
+    "write_fastq",
+    "FastqParseError",
+    "phred_to_qualities",
+    "qualities_to_phred",
+]
+
+_VALID_BASES = frozenset("ACGTNacgtn")
+#: Sanger encoding offsets quality scores by 33; printable range caps at 93.
+_PHRED_OFFSET = 33
+_PHRED_MAX = 93
+
+
+class FastqParseError(ValueError):
+    """Malformed FASTQ input."""
+
+
+def phred_to_qualities(encoded: str) -> tuple[int, ...]:
+    """Decode a Phred+33 quality string into integer scores."""
+    scores = tuple(ord(c) - _PHRED_OFFSET for c in encoded)
+    for s in scores:
+        if not 0 <= s <= _PHRED_MAX:
+            raise ValueError(f"quality character out of Phred+33 range: {s}")
+    return scores
+
+
+def qualities_to_phred(scores: Sequence[int]) -> str:
+    """Encode integer scores as a Phred+33 quality string."""
+    for s in scores:
+        if not 0 <= s <= _PHRED_MAX:
+            raise ValueError(f"quality score out of range [0, {_PHRED_MAX}]: {s}")
+    return "".join(chr(s + _PHRED_OFFSET) for s in scores)
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One read: identifier, bases and per-base Phred+33 qualities."""
+
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FASTQ record requires a non-empty name")
+        if len(self.sequence) != len(self.quality):
+            raise ValueError(
+                f"{self.name}: sequence length {len(self.sequence)} != "
+                f"quality length {len(self.quality)}"
+            )
+        bad = set(self.sequence) - _VALID_BASES
+        if bad:
+            raise ValueError(f"invalid bases in {self.name}: {sorted(bad)!r}")
+        phred_to_qualities(self.quality)  # validates range
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def qualities(self) -> tuple[int, ...]:
+        """Integer Phred scores."""
+        return phred_to_qualities(self.quality)
+
+    def mean_quality(self) -> float:
+        """Mean Phred score over the read."""
+        q = self.qualities
+        return sum(q) / len(q) if q else 0.0
+
+    def trimmed(self, min_quality: int) -> "FastqRecord":
+        """Trim low-quality tail bases (3' end) below *min_quality*."""
+        q = self.qualities
+        end = len(q)
+        while end > 0 and q[end - 1] < min_quality:
+            end -= 1
+        return FastqRecord(self.name, self.sequence[:end], self.quality[:end])
+
+
+def parse_fastq(source: Union[str, TextIO]) -> Iterator[FastqRecord]:
+    """Stream records from FASTQ text or a file-like object."""
+    lines = source.splitlines() if isinstance(source, str) else [
+        ln.rstrip("\n") for ln in source
+    ]
+    clean = [ln for ln in lines if ln.strip()]
+    if len(clean) % 4 != 0:
+        raise FastqParseError(
+            f"FASTQ line count {len(clean)} is not a multiple of 4"
+        )
+    for i in range(0, len(clean), 4):
+        header, seq, plus, qual = clean[i : i + 4]
+        if not header.startswith("@"):
+            raise FastqParseError(f"record {i // 4 + 1}: header must start with '@'")
+        if not plus.startswith("+"):
+            raise FastqParseError(f"record {i // 4 + 1}: separator must start with '+'")
+        name = header[1:].split()[0] if header[1:].strip() else ""
+        if not name:
+            raise FastqParseError(f"record {i // 4 + 1}: empty read name")
+        try:
+            yield FastqRecord(name, seq.strip(), qual.strip())
+        except ValueError as exc:
+            raise FastqParseError(f"record {i // 4 + 1}: {exc}") from exc
+
+
+def write_fastq(records: Iterable[FastqRecord]) -> str:
+    """Render records as FASTQ text."""
+    out: list[str] = []
+    for rec in records:
+        out.append(f"@{rec.name}")
+        out.append(rec.sequence)
+        out.append("+")
+        out.append(rec.quality)
+    return "\n".join(out) + ("\n" if out else "")

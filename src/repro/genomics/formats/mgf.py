@@ -1,0 +1,141 @@
+"""MGF (Mascot Generic Format) for proteomics spectra.
+
+The SCAN data-broker table in paper Figure 2 lists proteomics inputs such
+as ``/input/protein/m1.mgf``; MaxQuant-style workers consume them.  MGF is
+a simple ``BEGIN IONS`` / ``END IONS`` block format of (m/z, intensity)
+peak lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, TextIO, Union
+
+__all__ = ["MgfSpectrum", "parse_mgf", "write_mgf", "MgfParseError"]
+
+
+class MgfParseError(ValueError):
+    """Malformed MGF input."""
+
+
+@dataclass(frozen=True)
+class MgfSpectrum:
+    """One MS/MS spectrum: title, precursor, charge, peaks."""
+
+    title: str
+    pepmass: float
+    charge: int
+    #: (m/z, intensity) pairs, ascending m/z.
+    peaks: tuple[tuple[float, float], ...] = ()
+    retention_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.title:
+            raise ValueError("spectrum requires a title")
+        if self.pepmass <= 0:
+            raise ValueError(f"pepmass must be positive, got {self.pepmass}")
+        if self.charge == 0:
+            raise ValueError("charge must be non-zero")
+        last = -1.0
+        for mz, intensity in self.peaks:
+            if mz <= 0 or intensity < 0:
+                raise ValueError(f"invalid peak ({mz}, {intensity})")
+            if mz < last:
+                raise ValueError("peaks must be sorted by ascending m/z")
+            last = mz
+
+    def __len__(self) -> int:
+        return len(self.peaks)
+
+    def base_peak(self) -> tuple[float, float]:
+        """The most intense peak (m/z, intensity)."""
+        if not self.peaks:
+            raise ValueError("spectrum has no peaks")
+        return max(self.peaks, key=lambda p: p[1])
+
+    def total_ion_current(self) -> float:
+        """Sum of peak intensities."""
+        return sum(intensity for _mz, intensity in self.peaks)
+
+
+def parse_mgf(source: Union[str, TextIO]) -> Iterator[MgfSpectrum]:
+    """Stream spectra from MGF text or a file-like object."""
+    lines = source.splitlines() if isinstance(source, str) else [
+        ln.rstrip("\n") for ln in source
+    ]
+    in_block = False
+    title = ""
+    pepmass = 0.0
+    charge = 1
+    rt: float | None = None
+    peaks: list[tuple[float, float]] = []
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "BEGIN IONS":
+            if in_block:
+                raise MgfParseError(f"nested BEGIN IONS at line {line_no}")
+            in_block = True
+            title, pepmass, charge, rt, peaks = "", 0.0, 1, None, []
+        elif line == "END IONS":
+            if not in_block:
+                raise MgfParseError(f"END IONS without BEGIN at line {line_no}")
+            in_block = False
+            try:
+                yield MgfSpectrum(
+                    title=title,
+                    pepmass=pepmass,
+                    charge=charge,
+                    peaks=tuple(sorted(peaks)),
+                    retention_time=rt,
+                )
+            except ValueError as exc:
+                raise MgfParseError(f"bad spectrum ending line {line_no}: {exc}") from exc
+        elif in_block:
+            if "=" in line:
+                key, value = line.split("=", 1)
+                key = key.upper()
+                if key == "TITLE":
+                    title = value
+                elif key == "PEPMASS":
+                    pepmass = float(value.split()[0])
+                elif key == "CHARGE":
+                    charge = _parse_charge(value)
+                elif key == "RTINSECONDS":
+                    rt = float(value)
+            else:
+                parts = line.split()
+                if len(parts) < 2:
+                    raise MgfParseError(f"bad peak line {line_no}: {line!r}")
+                peaks.append((float(parts[0]), float(parts[1])))
+        else:
+            raise MgfParseError(f"data outside BEGIN/END IONS at line {line_no}")
+    if in_block:
+        raise MgfParseError("unterminated BEGIN IONS block")
+
+
+def _parse_charge(text: str) -> int:
+    text = text.strip()
+    if text.endswith("+"):
+        return int(text[:-1])
+    if text.endswith("-"):
+        return -int(text[:-1])
+    return int(text)
+
+
+def write_mgf(spectra: Iterable[MgfSpectrum]) -> str:
+    """Render spectra as MGF text."""
+    out: list[str] = []
+    for spec in spectra:
+        out.append("BEGIN IONS")
+        out.append(f"TITLE={spec.title}")
+        out.append(f"PEPMASS={spec.pepmass:g}")
+        sign = "+" if spec.charge > 0 else "-"
+        out.append(f"CHARGE={abs(spec.charge)}{sign}")
+        if spec.retention_time is not None:
+            out.append(f"RTINSECONDS={spec.retention_time:g}")
+        for mz, intensity in spec.peaks:
+            out.append(f"{mz:.4f} {intensity:.1f}")
+        out.append("END IONS")
+    return "\n".join(out) + ("\n" if out else "")

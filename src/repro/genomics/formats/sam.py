@@ -1,0 +1,308 @@
+"""SAM format: header model, alignment records, flags and CIGAR algebra.
+
+SAM is the aligner's output and the variant caller's input ("the read
+mapping produces sorted SAM output and the variant caller takes sorted SAM
+input", paper Section II-B).  The subset implemented covers the mandatory
+11 columns, @HD/@SQ/@RG/@PG header lines, bitwise flags and CIGAR strings
+with reference/query length accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, TextIO, Union
+
+__all__ = [
+    "SamFlag",
+    "Cigar",
+    "CigarOp",
+    "SamRecord",
+    "SamHeader",
+    "parse_sam",
+    "write_sam",
+    "SamParseError",
+]
+
+
+class SamParseError(ValueError):
+    """Malformed SAM input."""
+
+
+class SamFlag(enum.IntFlag):
+    """SAM bitwise flags (SAM spec section 1.4)."""
+
+    PAIRED = 0x1
+    PROPER_PAIR = 0x2
+    UNMAPPED = 0x4
+    MATE_UNMAPPED = 0x8
+    REVERSE = 0x10
+    MATE_REVERSE = 0x20
+    FIRST_IN_PAIR = 0x40
+    SECOND_IN_PAIR = 0x80
+    SECONDARY = 0x100
+    QC_FAIL = 0x200
+    DUPLICATE = 0x400
+    SUPPLEMENTARY = 0x800
+
+
+#: CIGAR operations and whether they consume query/reference bases.
+_CIGAR_CONSUMES = {
+    "M": (True, True),
+    "I": (True, False),
+    "D": (False, True),
+    "N": (False, True),
+    "S": (True, False),
+    "H": (False, False),
+    "P": (False, False),
+    "=": (True, True),
+    "X": (True, True),
+}
+
+_CIGAR_RE = re.compile(r"(\d+)([MIDNSHP=X])")
+
+
+@dataclass(frozen=True)
+class CigarOp:
+    """One CIGAR operation: a length and an operation code."""
+
+    length: int
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _CIGAR_CONSUMES:
+            raise ValueError(f"invalid CIGAR op {self.op!r}")
+        if self.length < 1:
+            raise ValueError(f"CIGAR op length must be >= 1, got {self.length}")
+
+    @property
+    def consumes_query(self) -> bool:
+        return _CIGAR_CONSUMES[self.op][0]
+
+    @property
+    def consumes_reference(self) -> bool:
+        return _CIGAR_CONSUMES[self.op][1]
+
+    def __str__(self) -> str:
+        return f"{self.length}{self.op}"
+
+
+class Cigar:
+    """A parsed CIGAR string with length accounting."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Iterable[CigarOp]) -> None:
+        self.ops: tuple[CigarOp, ...] = tuple(ops)
+
+    @classmethod
+    def parse(cls, text: str) -> "Cigar":
+        """Parse e.g. ``"76M2I22M"``; ``"*"`` parses as the empty CIGAR."""
+        if text == "*":
+            return cls(())
+        ops = []
+        consumed = 0
+        for match in _CIGAR_RE.finditer(text):
+            ops.append(CigarOp(int(match.group(1)), match.group(2)))
+            consumed += len(match.group(0))
+        if consumed != len(text) or not ops:
+            raise SamParseError(f"invalid CIGAR string {text!r}")
+        return cls(ops)
+
+    @property
+    def query_length(self) -> int:
+        """Bases of the query consumed (must equal SEQ length when present)."""
+        return sum(o.length for o in self.ops if o.consumes_query)
+
+    @property
+    def reference_length(self) -> int:
+        """Reference span of the alignment."""
+        return sum(o.length for o in self.ops if o.consumes_reference)
+
+    def __str__(self) -> str:
+        return "".join(str(o) for o in self.ops) if self.ops else "*"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Cigar):
+            return self.ops == other.ops
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.ops)
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One SAM alignment line (the 11 mandatory fields + optional tags)."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 1-based leftmost mapping position; 0 = unmapped
+    mapq: int
+    cigar: Cigar
+    rnext: str = "*"
+    pnext: int = 0
+    tlen: int = 0
+    seq: str = "*"
+    qual: str = "*"
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.pos < 0 or self.pnext < 0:
+            raise ValueError("positions must be >= 0")
+        if not 0 <= self.mapq <= 255:
+            raise ValueError(f"MAPQ must lie in [0, 255], got {self.mapq}")
+        if (
+            self.seq != "*"
+            and self.cigar.ops
+            and self.cigar.query_length != len(self.seq)
+        ):
+            raise ValueError(
+                f"{self.qname}: CIGAR consumes {self.cigar.query_length} query "
+                f"bases but SEQ has {len(self.seq)}"
+            )
+
+    @property
+    def is_mapped(self) -> bool:
+        return not (self.flag & SamFlag.UNMAPPED)
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.flag & SamFlag.REVERSE)
+
+    @property
+    def end_pos(self) -> int:
+        """1-based inclusive end of the alignment on the reference."""
+        if not self.is_mapped:
+            return self.pos
+        return self.pos + max(self.cigar.reference_length - 1, 0)
+
+    def to_line(self) -> str:
+        """The record as one tab-separated SAM line."""
+        fields = [
+            self.qname,
+            str(self.flag),
+            self.rname,
+            str(self.pos),
+            str(self.mapq),
+            str(self.cigar),
+            self.rnext,
+            str(self.pnext),
+            str(self.tlen),
+            self.seq,
+            self.qual,
+            *self.tags,
+        ]
+        return "\t".join(fields)
+
+    @classmethod
+    def from_line(cls, line: str) -> "SamRecord":
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) < 11:
+            raise SamParseError(
+                f"SAM line has {len(fields)} fields; 11 required: {line[:80]!r}"
+            )
+        try:
+            return cls(
+                qname=fields[0],
+                flag=int(fields[1]),
+                rname=fields[2],
+                pos=int(fields[3]),
+                mapq=int(fields[4]),
+                cigar=Cigar.parse(fields[5]),
+                rnext=fields[6],
+                pnext=int(fields[7]),
+                tlen=int(fields[8]),
+                seq=fields[9],
+                qual=fields[10],
+                tags=tuple(fields[11:]),
+            )
+        except ValueError as exc:
+            raise SamParseError(f"bad SAM line {line[:80]!r}: {exc}") from exc
+
+
+@dataclass
+class SamHeader:
+    """SAM header: format version, sort order and reference sequences."""
+
+    version: str = "1.6"
+    sort_order: str = "unsorted"  # unsorted | queryname | coordinate
+    #: (sequence name, length) pairs, order-significant.
+    references: list[tuple[str, int]] = field(default_factory=list)
+    read_groups: list[str] = field(default_factory=list)
+    programs: list[str] = field(default_factory=list)
+
+    def to_lines(self) -> list[str]:
+        """The header as @HD/@SQ/@RG/@PG lines."""
+        lines = [f"@HD\tVN:{self.version}\tSO:{self.sort_order}"]
+        for name, length in self.references:
+            lines.append(f"@SQ\tSN:{name}\tLN:{length}")
+        for rg in self.read_groups:
+            lines.append(f"@RG\tID:{rg}")
+        for pg in self.programs:
+            lines.append(f"@PG\tID:{pg}")
+        return lines
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "SamHeader":
+        header = cls()
+        for line in lines:
+            if line.startswith("@HD"):
+                for field_ in line.split("\t")[1:]:
+                    if field_.startswith("VN:"):
+                        header.version = field_[3:]
+                    elif field_.startswith("SO:"):
+                        header.sort_order = field_[3:]
+            elif line.startswith("@SQ"):
+                name, length = "", 0
+                for field_ in line.split("\t")[1:]:
+                    if field_.startswith("SN:"):
+                        name = field_[3:]
+                    elif field_.startswith("LN:"):
+                        length = int(field_[3:])
+                if not name or length <= 0:
+                    raise SamParseError(f"bad @SQ line: {line!r}")
+                header.references.append((name, length))
+            elif line.startswith("@RG"):
+                for field_ in line.split("\t")[1:]:
+                    if field_.startswith("ID:"):
+                        header.read_groups.append(field_[3:])
+            elif line.startswith("@PG"):
+                for field_ in line.split("\t")[1:]:
+                    if field_.startswith("ID:"):
+                        header.programs.append(field_[3:])
+        return header
+
+
+def parse_sam(
+    source: Union[str, TextIO],
+) -> tuple[SamHeader, list[SamRecord]]:
+    """Parse SAM text into (header, records)."""
+    lines = source.splitlines() if isinstance(source, str) else [
+        ln.rstrip("\n") for ln in source
+    ]
+    header_lines = [ln for ln in lines if ln.startswith("@")]
+    record_lines = [ln for ln in lines if ln and not ln.startswith("@")]
+    header = SamHeader.from_lines(header_lines)
+    records = [SamRecord.from_line(ln) for ln in record_lines]
+    return header, records
+
+
+def write_sam(header: SamHeader, records: Iterable[SamRecord]) -> str:
+    """Render (header, records) as SAM text."""
+    lines = header.to_lines()
+    lines.extend(rec.to_line() for rec in records)
+    return "\n".join(lines) + "\n"
+
+
+def sort_coordinate(records: list[SamRecord]) -> list[SamRecord]:
+    """Coordinate-sort records (reference name, then position).
+
+    Unmapped reads sort to the end, matching samtools behaviour.
+    """
+    return sorted(
+        records,
+        key=lambda r: (not r.is_mapped, r.rname, r.pos, r.qname),
+    )

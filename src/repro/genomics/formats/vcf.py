@@ -1,0 +1,214 @@
+"""VCF 4.x format: variant records, header, parsing and writing.
+
+VCF is the pipeline's final product: "at the end of the pipeline [the user]
+receives a list of suspected mutations compared to the reference genome"
+(paper Section IV.1); "the variant caller ... generates a standard VCF
+file" (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, TextIO, Union
+
+__all__ = ["VcfRecord", "VcfHeader", "parse_vcf", "write_vcf", "VcfParseError"]
+
+_VALID_ALLELE = frozenset("ACGTN*.,<>0123456789_")
+
+
+class VcfParseError(ValueError):
+    """Malformed VCF input."""
+
+
+@dataclass(frozen=True)
+class VcfRecord:
+    """One variant line (CHROM POS ID REF ALT QUAL FILTER INFO)."""
+
+    chrom: str
+    pos: int  # 1-based
+    ref: str
+    alt: str
+    id: str = "."
+    qual: Optional[float] = None
+    filter: str = "PASS"
+    info: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pos < 1:
+            raise ValueError(f"POS must be >= 1, got {self.pos}")
+        if not self.ref or set(self.ref.upper()) - _VALID_ALLELE:
+            raise ValueError(f"invalid REF allele {self.ref!r}")
+        if not self.alt or set(self.alt.upper()) - _VALID_ALLELE:
+            raise ValueError(f"invalid ALT allele {self.alt!r}")
+
+    @property
+    def is_snv(self) -> bool:
+        """Single-nucleotide variant: both alleles one base."""
+        return len(self.ref) == 1 and len(self.alt) == 1 and self.alt != "."
+
+    @property
+    def is_indel(self) -> bool:
+        return len(self.ref) != len(self.alt)
+
+    def info_string(self) -> str:
+        """The INFO column text ('.' when empty)."""
+        if not self.info:
+            return "."
+        parts = []
+        for key, value in self.info.items():
+            parts.append(key if value == "" else f"{key}={value}")
+        return ";".join(parts)
+
+    def to_line(self) -> str:
+        # repr() keeps the round-trip lossless; %g would truncate digits.
+        """The record as one tab-separated VCF line."""
+        qual = "." if self.qual is None else repr(float(self.qual))
+        return "\t".join(
+            [
+                self.chrom,
+                str(self.pos),
+                self.id,
+                self.ref,
+                self.alt,
+                qual,
+                self.filter,
+                self.info_string(),
+            ]
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "VcfRecord":
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) < 8:
+            raise VcfParseError(f"VCF line has {len(fields)} fields; 8 required")
+        chrom, pos, id_, ref, alt, qual, filt, info = fields[:8]
+        info_map: dict[str, str] = {}
+        if info != ".":
+            for item in info.split(";"):
+                if "=" in item:
+                    key, value = item.split("=", 1)
+                    info_map[key] = value
+                else:
+                    info_map[item] = ""
+        try:
+            return cls(
+                chrom=chrom,
+                pos=int(pos),
+                id=id_,
+                ref=ref,
+                alt=alt,
+                qual=None if qual == "." else float(qual),
+                filter=filt,
+                info=info_map,
+            )
+        except ValueError as exc:
+            raise VcfParseError(f"bad VCF line {line[:80]!r}: {exc}") from exc
+
+
+@dataclass
+class VcfHeader:
+    """VCF meta-information lines and the #CHROM column header."""
+
+    version: str = "VCFv4.2"
+    source: str = "repro-scan"
+    reference: str = ""
+    contigs: list[tuple[str, int]] = field(default_factory=list)
+    info_fields: list[tuple[str, str, str, str]] = field(
+        default_factory=lambda: [
+            ("DP", "1", "Integer", "Read depth at this position"),
+            ("AF", "A", "Float", "Allele frequency"),
+            ("SOMATIC", "0", "Flag", "Somatic mutation"),
+        ]
+    )
+
+    def to_lines(self) -> list[str]:
+        """Meta-information lines plus the #CHROM header."""
+        lines = [f"##fileformat={self.version}", f"##source={self.source}"]
+        if self.reference:
+            lines.append(f"##reference={self.reference}")
+        for name, length in self.contigs:
+            lines.append(f"##contig=<ID={name},length={length}>")
+        for ident, number, type_, desc in self.info_fields:
+            lines.append(
+                f'##INFO=<ID={ident},Number={number},Type={type_},Description="{desc}">'
+            )
+        lines.append("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO")
+        return lines
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "VcfHeader":
+        header = cls(info_fields=[])
+        for line in lines:
+            if line.startswith("##fileformat="):
+                header.version = line.split("=", 1)[1]
+            elif line.startswith("##source="):
+                header.source = line.split("=", 1)[1]
+            elif line.startswith("##reference="):
+                header.reference = line.split("=", 1)[1]
+            elif line.startswith("##contig=<") and line.endswith(">"):
+                body = line[len("##contig=<") : -1]
+                name, length = "", 0
+                for item in body.split(","):
+                    if item.startswith("ID="):
+                        name = item[3:]
+                    elif item.startswith("length="):
+                        length = int(item[7:])
+                if name:
+                    header.contigs.append((name, length))
+            elif line.startswith("##INFO=<") and line.endswith(">"):
+                body = line[len("##INFO=<") : -1]
+                parts = {"ID": "", "Number": ".", "Type": "String", "Description": ""}
+                for item in _split_meta(body):
+                    if "=" in item:
+                        key, value = item.split("=", 1)
+                        parts[key] = value.strip('"')
+                header.info_fields.append(
+                    (parts["ID"], parts["Number"], parts["Type"], parts["Description"])
+                )
+        return header
+
+
+def _split_meta(body: str) -> list[str]:
+    """Split a meta-line body on commas not inside quotes."""
+    items: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    for char in body:
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+        elif char == "," and not in_quotes:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        items.append("".join(current))
+    return items
+
+
+def parse_vcf(source: Union[str, TextIO]) -> tuple[VcfHeader, list[VcfRecord]]:
+    """Parse VCF text into (header, records)."""
+    lines = source.splitlines() if isinstance(source, str) else [
+        ln.rstrip("\n") for ln in source
+    ]
+    meta = [ln for ln in lines if ln.startswith("##")]
+    records = [
+        VcfRecord.from_line(ln)
+        for ln in lines
+        if ln and not ln.startswith("#")
+    ]
+    header = VcfHeader.from_lines(meta)
+    return header, records
+
+
+def write_vcf(header: VcfHeader, records: Iterable[VcfRecord]) -> str:
+    """Render (header, records) as VCF text."""
+    lines = header.to_lines()
+    lines.extend(rec.to_line() for rec in records)
+    return "\n".join(lines) + "\n"
+
+
+def sort_records(records: list[VcfRecord]) -> list[VcfRecord]:
+    """Sort variants by (chromosome, position, alt)."""
+    return sorted(records, key=lambda r: (r.chrom, r.pos, r.alt))

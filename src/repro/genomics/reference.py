@@ -1,0 +1,125 @@
+"""Deterministic synthetic reference genomes.
+
+Stands in for the human reference the real GATK pipeline maps against.
+Chromosome sequences are generated from a seeded stream with mild GC bias
+so alignment and variant calling have realistic structure to work with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.desim.rng import RandomStreams
+from repro.genomics.formats.fasta import FastaRecord
+
+__all__ = ["Chromosome", "ReferenceGenome"]
+
+_BASES = np.array(list("ACGT"))
+
+
+@dataclass(frozen=True)
+class Chromosome:
+    """One reference contig."""
+
+    name: str
+    sequence: str
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def fetch(self, start: int, end: int) -> str:
+        """0-based, end-exclusive subsequence with bounds checking."""
+        if not 0 <= start <= end <= len(self.sequence):
+            raise IndexError(
+                f"[{start}, {end}) outside {self.name} of length {len(self.sequence)}"
+            )
+        return self.sequence[start:end]
+
+
+class ReferenceGenome:
+    """A set of named contigs with coordinate arithmetic.
+
+    Use :meth:`synthesize` to build one deterministically from a seed.
+    """
+
+    def __init__(self, chromosomes: Iterable[Chromosome]) -> None:
+        self._chromosomes: dict[str, Chromosome] = {}
+        for chrom in chromosomes:
+            if chrom.name in self._chromosomes:
+                raise ValueError(f"duplicate chromosome {chrom.name!r}")
+            self._chromosomes[chrom.name] = chrom
+        if not self._chromosomes:
+            raise ValueError("a reference genome needs at least one chromosome")
+
+    @classmethod
+    def synthesize(
+        cls,
+        seed: int = 0,
+        chromosome_lengths: Sequence[int] = (100_000, 80_000, 60_000),
+        gc_content: float = 0.41,
+    ) -> "ReferenceGenome":
+        """Generate a reference with the given contig lengths.
+
+        ``gc_content`` defaults to the human genome's ~41%.
+        """
+        if not 0.0 < gc_content < 1.0:
+            raise ValueError("gc_content must lie in (0, 1)")
+        streams = RandomStreams(seed)
+        probs = np.array(
+            [
+                (1 - gc_content) / 2,  # A
+                gc_content / 2,  # C
+                gc_content / 2,  # G
+                (1 - gc_content) / 2,  # T
+            ]
+        )
+        chroms = []
+        for i, length in enumerate(chromosome_lengths, start=1):
+            if length < 1:
+                raise ValueError(f"chromosome length must be >= 1, got {length}")
+            rng = streams.stream(f"chrom{i}")
+            idx = rng.choice(4, size=length, p=probs)
+            chroms.append(Chromosome(f"chr{i}", "".join(_BASES[idx])))
+        return cls(chroms)
+
+    # -- access ----------------------------------------------------------------
+    @property
+    def chromosomes(self) -> tuple[Chromosome, ...]:
+        return tuple(self._chromosomes.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._chromosomes
+
+    def __getitem__(self, name: str) -> Chromosome:
+        try:
+            return self._chromosomes[name]
+        except KeyError:
+            raise KeyError(f"no chromosome named {name!r}") from None
+
+    def total_length(self) -> int:
+        """Sum of contig lengths (bp)."""
+        return sum(len(c) for c in self._chromosomes.values())
+
+    def contig_table(self) -> list[tuple[str, int]]:
+        """(name, length) pairs for SAM/VCF headers."""
+        return [(c.name, len(c)) for c in self._chromosomes.values()]
+
+    def fetch(self, chrom: str, start: int, end: int) -> str:
+        """0-based, end-exclusive subsequence of a contig."""
+        return self[chrom].fetch(start, end)
+
+    def to_fasta_records(self) -> list[FastaRecord]:
+        """The genome as FASTA records."""
+        return [
+            FastaRecord(c.name, c.sequence, description="synthetic")
+            for c in self._chromosomes.values()
+        ]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{c.name}:{len(c)}" for c in self._chromosomes.values()
+        )
+        return f"<ReferenceGenome {inner}>"

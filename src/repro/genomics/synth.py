@@ -1,0 +1,228 @@
+"""Synthetic sequencing data: reads with errors and spiked mutations.
+
+This is the substitute for real Illumina HiSeq output (paper Section II-B:
+"SCAN is ... designed to analyse either exome data or Whole Genome
+Sequencing (WGS) data from the Illumina HiSeq platform").  The simulator:
+
+1. optionally spikes somatic SNVs into a copy of the reference (the tumour
+   genome),
+2. samples uniform read start positions at a target coverage,
+3. applies a per-base error model with position-dependent quality decay
+   (3' ends are worse, as on real flow cells),
+
+and remembers ground truth (true positions, true variants), which the
+example pipelines use to score the from-scratch aligner and caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.desim.rng import RandomStreams
+from repro.genomics.datasets import DataFormat, DatasetDescriptor
+from repro.genomics.formats.fastq import FastqRecord, qualities_to_phred
+from repro.genomics.reference import ReferenceGenome
+
+__all__ = [
+    "SpikedVariant",
+    "SimulatedRead",
+    "ReadSimulator",
+    "synthesize_dataset",
+]
+
+_BASES = "ACGT"
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+
+@dataclass(frozen=True)
+class SpikedVariant:
+    """Ground-truth somatic SNV planted in the tumour genome."""
+
+    chrom: str
+    pos: int  # 0-based
+    ref: str
+    alt: str
+    allele_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class SimulatedRead:
+    """A read plus its ground truth origin."""
+
+    record: FastqRecord
+    chrom: str
+    pos: int  # 0-based true start on the reference
+    reverse: bool
+    n_errors: int
+
+
+class ReadSimulator:
+    """Samples error-bearing reads from a (possibly mutated) reference."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        seed: int = 0,
+        read_length: int = 100,
+        base_error_rate: float = 0.002,
+        quality_decay: float = 8.0,
+    ) -> None:
+        if read_length < 20:
+            raise ValueError("read_length must be >= 20")
+        if not 0.0 <= base_error_rate < 0.5:
+            raise ValueError("base_error_rate must lie in [0, 0.5)")
+        self.reference = reference
+        self.read_length = read_length
+        self.base_error_rate = base_error_rate
+        self.quality_decay = quality_decay
+        self._streams = RandomStreams(seed)
+        self._variants: list[SpikedVariant] = []
+        #: Per-chromosome mutated sequences (tumour genome), built lazily.
+        self._tumour: dict[str, str] = {}
+
+    # -- mutation spiking --------------------------------------------------
+    def spike_variants(
+        self, n: int, allele_fraction: float = 0.5
+    ) -> list[SpikedVariant]:
+        """Plant *n* somatic SNVs at random positions; returns ground truth."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rng = self._streams.stream("variants")
+        variants: list[SpikedVariant] = []
+        chroms = self.reference.chromosomes
+        lengths = np.array([len(c) for c in chroms], dtype=float)
+        probs = lengths / lengths.sum()
+        taken: set[tuple[str, int]] = {(v.chrom, v.pos) for v in self._variants}
+        attempts = 0
+        while len(variants) < n:
+            attempts += 1
+            if attempts > 100 * max(n, 1):
+                raise RuntimeError("could not place variants; genome too small?")
+            chrom = chroms[rng.choice(len(chroms), p=probs)]
+            pos = int(rng.integers(0, len(chrom)))
+            if (chrom.name, pos) in taken:
+                continue
+            ref_base = chrom.sequence[pos]
+            if ref_base not in _BASES:
+                continue
+            alt = _BASES[(_BASES.index(ref_base) + int(rng.integers(1, 4))) % 4]
+            variant = SpikedVariant(chrom.name, pos, ref_base, alt, allele_fraction)
+            variants.append(variant)
+            taken.add((chrom.name, pos))
+        self._variants.extend(variants)
+        self._tumour.clear()  # rebuild with new variants
+        return variants
+
+    @property
+    def spiked_variants(self) -> tuple[SpikedVariant, ...]:
+        return tuple(self._variants)
+
+    def _tumour_sequence(self, chrom: str) -> str:
+        seq = self._tumour.get(chrom)
+        if seq is None:
+            base = self.reference[chrom].sequence
+            if any(v.chrom == chrom for v in self._variants):
+                chars = list(base)
+                for v in self._variants:
+                    if v.chrom == chrom:
+                        chars[v.pos] = v.alt
+                seq = "".join(chars)
+            else:
+                seq = base
+            self._tumour[chrom] = seq
+        return seq
+
+    # -- read sampling --------------------------------------------------------
+    def simulate_reads(self, n_reads: int, name_prefix: str = "read") -> list[SimulatedRead]:
+        """Sample *n_reads* reads uniformly over the genome."""
+        if n_reads < 0:
+            raise ValueError("n_reads must be >= 0")
+        rng = self._streams.stream("reads")
+        chroms = self.reference.chromosomes
+        # Weight chromosomes by the number of valid start positions.
+        starts_per_chrom = np.array(
+            [max(len(c) - self.read_length + 1, 0) for c in chroms], dtype=float
+        )
+        if starts_per_chrom.sum() == 0:
+            raise ValueError("read_length exceeds every chromosome length")
+        probs = starts_per_chrom / starts_per_chrom.sum()
+
+        # Precompute position-dependent qualities: Phred ~ 38 at 5' end
+        # decaying toward the 3' end.
+        positions = np.arange(self.read_length)
+        base_quality = 38.0 - self.quality_decay * (positions / self.read_length) ** 2
+
+        reads: list[SimulatedRead] = []
+        for i in range(n_reads):
+            ci = int(rng.choice(len(chroms), p=probs))
+            chrom = chroms[ci]
+            start = int(rng.integers(0, len(chrom) - self.read_length + 1))
+            source = self._tumour_sequence(chrom.name)
+            fragment = source[start : start + self.read_length]
+
+            # Heterozygous variants: with prob (1 - AF) read the normal
+            # allele instead.
+            for v in self._variants:
+                if v.chrom == chrom.name and start <= v.pos < start + self.read_length:
+                    if rng.random() > v.allele_fraction:
+                        offset = v.pos - start
+                        fragment = fragment[:offset] + v.ref + fragment[offset + 1 :]
+
+            reverse = bool(rng.random() < 0.5)
+            if reverse:
+                fragment = fragment[::-1].translate(_COMPLEMENT)
+
+            # Error model: flip bases with base_error_rate; errors lower the
+            # local quality score.
+            bases = list(fragment)
+            qualities = base_quality + rng.normal(0.0, 1.5, size=self.read_length)
+            n_errors = 0
+            error_mask = rng.random(self.read_length) < self.base_error_rate
+            for j in np.flatnonzero(error_mask):
+                original = bases[j]
+                if original in _BASES:
+                    bases[j] = _BASES[(_BASES.index(original) + int(rng.integers(1, 4))) % 4]
+                    qualities[j] -= 15.0
+                    n_errors += 1
+            quality_string = qualities_to_phred(
+                [int(q) for q in np.clip(qualities, 2, 40)]
+            )
+            record = FastqRecord(
+                name=f"{name_prefix}_{i:07d}",
+                sequence="".join(bases),
+                quality=quality_string,
+            )
+            reads.append(
+                SimulatedRead(
+                    record=record,
+                    chrom=chrom.name,
+                    pos=start,
+                    reverse=reverse,
+                    n_errors=n_errors,
+                )
+            )
+        return reads
+
+    def coverage_to_reads(self, coverage: float) -> int:
+        """Read count achieving *coverage* mean depth over the genome."""
+        if coverage <= 0:
+            raise ValueError("coverage must be positive")
+        return int(round(coverage * self.reference.total_length() / self.read_length))
+
+
+def synthesize_dataset(
+    name: str,
+    size_gb: float,
+    format: DataFormat = DataFormat.BAM,
+) -> DatasetDescriptor:
+    """A logical dataset descriptor of the given size.
+
+    The simulation-facing path: no content is materialised, only the
+    size/record bookkeeping the broker and scheduler need.
+    """
+    if size_gb <= 0:
+        raise ValueError("size_gb must be positive")
+    return DatasetDescriptor.from_size(name=name, format=format, size_gb=size_gb)

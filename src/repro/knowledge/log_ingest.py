@@ -1,0 +1,88 @@
+"""Knowledge-base expansion from the platform's task log.
+
+"In order to enrich the knowledge base, the SCAN keeps the log information
+of each task scheduled to run in a cloud.  The log information will be used
+to further populate the SCAN knowledge-base" (paper Section III-A.1.i).
+
+:class:`KnowledgeIngestor` subscribes to the platform
+:class:`~repro.core.events.EventLog` and converts every
+``STAGE_COMPLETED`` event into a :class:`ProfileObservation`, so the KB's
+fits sharpen as the platform runs -- the paper's GATK1 -> GATK2 -> GATK3 ->
+GATK4 expansion happens live.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import EventKind, EventLog, PlatformEvent
+from repro.knowledge.kb import SCANKnowledgeBase
+from repro.knowledge.profiles import ProfileObservation
+
+__all__ = ["KnowledgeIngestor"]
+
+
+class KnowledgeIngestor:
+    """Streams completed-stage events into the knowledge base."""
+
+    #: Event detail keys a STAGE_COMPLETED event must carry to be ingested.
+    REQUIRED_KEYS = ("app", "stage", "input_gb", "threads", "duration")
+
+    def __init__(
+        self,
+        kb: SCANKnowledgeBase,
+        log: Optional[EventLog] = None,
+        sample_every: int = 1,
+    ) -> None:
+        """Create an ingestor; attaches to *log* immediately if given.
+
+        ``sample_every=k`` ingests every k-th eligible event -- useful in
+        long simulations where recording all ~10^5 stage completions as
+        ontology individuals would bloat the store without improving fits.
+        """
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.kb = kb
+        self.sample_every = sample_every
+        self._seen = 0
+        self.ingested = 0
+        self.skipped = 0
+        if log is not None:
+            self.attach(log)
+
+    def attach(self, log: EventLog) -> None:
+        """Subscribe to *log*."""
+        log.subscribe(self._on_event)
+
+    def _on_event(self, event: PlatformEvent) -> None:
+        if event.kind is not EventKind.STAGE_COMPLETED:
+            return
+        if any(key not in event.detail for key in self.REQUIRED_KEYS):
+            self.skipped += 1
+            return
+        self._seen += 1
+        if (self._seen - 1) % self.sample_every != 0:
+            return
+        self.ingest(event)
+
+    def ingest(self, event: PlatformEvent) -> str:
+        """Force-ingest one STAGE_COMPLETED event; returns individual name."""
+        obs = ProfileObservation(
+            app=str(event["app"]),
+            stage=int(event["stage"]),
+            input_gb=float(event["input_gb"]),
+            threads=int(event["threads"]),
+            execution_time=float(event["duration"]),
+            cpu=int(event.get("cpu", event["threads"])),
+            ram_gb=float(event.get("ram_gb", 4.0)),
+        )
+        name = self.kb.record_observation(obs)
+        self.ingested += 1
+        return name
+
+    def replay(self, log: EventLog) -> int:
+        """Ingest all eligible events already in *log*; returns count."""
+        before = self.ingested
+        for event in log:
+            self._on_event(event)
+        return self.ingested - before

@@ -1,0 +1,88 @@
+"""The SCAN Scheduler.
+
+"The SCAN provides a scheduler for deploying batch-oriented workloads, such
+as the GATK pipeline, against an elastic cloud environment.  It provides a
+set of work queues and a worker pool that services each one ... Tasks are
+scheduled by a 'reward' algorithm with the aim to maximise profit" (paper
+Sections III-A and III-A.2).
+
+- :mod:`repro.scheduler.rewards` -- the time-oriented and throughput-oriented
+  reward functions of Section II-D.
+- :mod:`repro.scheduler.costs` -- the tiered cost function.
+- :mod:`repro.scheduler.tasks` -- jobs (pipeline runs) and stage tasks.
+- :mod:`repro.scheduler.queues` -- per-stage FIFO queues with wait tracking.
+- :mod:`repro.scheduler.estimator` -- EET/EQT/ETT estimation (Eq. 2) and the
+  delay cost (Eq. 1).
+- :mod:`repro.scheduler.allocation` -- the four resource-allocation
+  algorithms of Table I (greedy, long-term, long-term adaptive,
+  best-constant).
+- :mod:`repro.scheduler.scaling` -- the three horizontal-scaling algorithms
+  (always, never, predictive).
+- :mod:`repro.scheduler.workers` -- worker pools over CELAR-managed VMs with
+  re-pooling penalties.
+- :mod:`repro.scheduler.scheduler` -- the orchestrating SCANScheduler.
+"""
+
+from repro.scheduler.rewards import (
+    RewardFunction,
+    TimeReward,
+    ThroughputReward,
+    make_reward,
+)
+from repro.scheduler.costs import TieredCostFunction
+from repro.scheduler.tasks import Job, JobState, StageTask, StageRecord
+from repro.scheduler.queues import StageQueue, QueueSet
+from repro.scheduler.estimator import PipelineEstimator, delay_cost
+from repro.scheduler.allocation import (
+    AllocationContext,
+    AllocationPolicy,
+    GreedyAllocation,
+    LongTermAllocation,
+    LongTermAdaptiveAllocation,
+    BestConstantAllocation,
+    find_best_constant_plan,
+    make_allocation_policy,
+)
+from repro.scheduler.scaling import (
+    ScalingContext,
+    ScalingPolicy,
+    AlwaysScale,
+    NeverScale,
+    PredictiveScale,
+    make_scaling_policy,
+)
+from repro.scheduler.workers import Worker, WorkerPools
+from repro.scheduler.scheduler import SCANScheduler
+
+__all__ = [
+    "RewardFunction",
+    "TimeReward",
+    "ThroughputReward",
+    "make_reward",
+    "TieredCostFunction",
+    "Job",
+    "JobState",
+    "StageTask",
+    "StageRecord",
+    "StageQueue",
+    "QueueSet",
+    "PipelineEstimator",
+    "delay_cost",
+    "AllocationContext",
+    "AllocationPolicy",
+    "GreedyAllocation",
+    "LongTermAllocation",
+    "LongTermAdaptiveAllocation",
+    "BestConstantAllocation",
+    "find_best_constant_plan",
+    "make_allocation_policy",
+    "ScalingContext",
+    "ScalingPolicy",
+    "AlwaysScale",
+    "NeverScale",
+    "PredictiveScale",
+    "make_scaling_policy",
+    "Worker",
+    "WorkerPools",
+    "SCANScheduler",
+]

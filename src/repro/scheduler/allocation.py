@@ -1,0 +1,287 @@
+"""Resource-allocation algorithms (Table I, row 1).
+
+These decide the degree of multithreading per pipeline stage -- "ordinarily
+this is manually controlled by the user, but in this paper it will be
+controlled by our resource allocation algorithm" (Section IV.1) -- trading
+the reward for finishing sooner against core-time cost:
+
+- **Greedy**: each stage picks its thread count at the moment it starts,
+  maximising that stage's own marginal profit at the current core price.
+- **Long-term**: a whole-pipeline plan is optimised once, at submission.
+- **Long-term adaptive**: like long-term, but the remaining stages are
+  re-optimised at every stage boundary with fresh queue estimates.
+- **Best-constant**: one fixed plan, found by offline search over the full
+  plan space, used for every run (the paper's baseline: "when every run
+  uses the same execution plan").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+from repro.apps.base import ApplicationModel, ExecutionPlan, StageModel
+from repro.core.config import AllocationAlgorithm
+from repro.core.errors import SchedulingError
+from repro.scheduler.costs import TieredCostFunction
+from repro.scheduler.estimator import PipelineEstimator
+from repro.scheduler.rewards import RewardFunction
+from repro.scheduler.tasks import Job
+
+__all__ = [
+    "AllocationContext",
+    "AllocationPolicy",
+    "GreedyAllocation",
+    "LongTermAllocation",
+    "LongTermAdaptiveAllocation",
+    "BestConstantAllocation",
+    "find_best_constant_plan",
+    "make_allocation_policy",
+]
+
+
+@dataclass
+class AllocationContext:
+    """Everything an allocation decision may consult."""
+
+    estimator: PipelineEstimator
+    reward: RewardFunction
+    costs: TieredCostFunction
+    thread_choices: tuple[int, ...]
+    now: float
+
+
+class AllocationPolicy(Protocol):
+    """Decides thread counts for jobs/stages."""
+
+    def on_submit(self, job: Job, ctx: AllocationContext) -> None:
+        """Called once when *job* is submitted; may set ``job.plan``."""
+        ...
+
+    def threads_for_stage(self, job: Job, stage: int, ctx: AllocationContext) -> int:
+        """Thread count for *stage*, called when the stage is dispatched."""
+        ...
+
+
+def _stage_profit(
+    stage: StageModel,
+    size: float,
+    threads: int,
+    marginal_value: float,
+    core_cost: float,
+) -> float:
+    """Profit contribution of running one stage at *threads* threads.
+
+    Benefit: latency saved vs. single-threaded, valued at the reward
+    function's marginal rate.  Cost: core-time consumed (t cores for the
+    threaded duration).
+    """
+    base = stage.execution_time(size)
+    duration = stage.threaded_time(threads, size)
+    return marginal_value * (base - duration) - core_cost * threads * duration
+
+
+def _best_stage_threads(
+    stage: StageModel,
+    size: float,
+    marginal_value: float,
+    core_cost: float,
+    choices: Sequence[int],
+) -> int:
+    # Hot path (called once per queued-task decision): compute the Amdahl
+    # pieces inline, hoisting the base time out of the choice loop.
+    base = stage.execution_time(size)
+    c = stage.c
+    serial_part = (1.0 - c) * base
+    best_t, best_profit = choices[0], None
+    for t in choices:
+        duration = c * base / t + serial_part
+        profit = marginal_value * (base - duration) - core_cost * t * duration
+        if best_profit is None or profit > best_profit + 1e-12:
+            best_t, best_profit = t, profit
+    return best_t
+
+
+def _optimise_plan(
+    app: ApplicationModel,
+    job: Job,
+    ctx: AllocationContext,
+    from_stage: int,
+    sweeps: int = 2,
+) -> ExecutionPlan:
+    """Coordinate-descent plan optimisation from *from_stage* onward.
+
+    The marginal value of saved time can depend on the plan itself (the
+    throughput scheme values a TU more when the pipeline is fast), so we
+    alternate: evaluate ETT under the current candidate plan, derive the
+    marginal value there, re-pick each stage's threads, repeat.
+    """
+    current = list(
+        job.plan.threads if job.plan is not None else [1] * app.n_stages
+    )
+    core_cost = ctx.costs.marginal_core_cost(1)
+    for _ in range(max(sweeps, 1)):
+        ett = ctx.estimator.ett(job, ctx.now, threads_per_stage=current)
+        value = ctx.reward.marginal_value(max(ett, 0.0), job.records)
+        for stage_idx in range(from_stage, app.n_stages):
+            current[stage_idx] = _best_stage_threads(
+                app.stage(stage_idx),
+                job.input_gb,
+                value,
+                core_cost,
+                ctx.thread_choices,
+            )
+    return ExecutionPlan(tuple(current))
+
+
+class GreedyAllocation:
+    """Decide each stage's threads at dispatch time, myopically."""
+
+    def on_submit(self, job: Job, ctx: AllocationContext) -> None:
+        # No up-front plan; ETT estimation assumes 1 thread until each
+        # stage actually starts.
+        """Greedy plans nothing up front."""
+        job.plan = None
+
+    def threads_for_stage(self, job: Job, stage: int, ctx: AllocationContext) -> int:
+        """Myopic best thread count at dispatch time."""
+        ett = ctx.estimator.ett(job, ctx.now)
+        value = ctx.reward.marginal_value(max(ett, 0.0), job.records)
+        core_cost = ctx.costs.marginal_core_cost(1)
+        return _best_stage_threads(
+            job.app.stage(stage), job.input_gb, value, core_cost, ctx.thread_choices
+        )
+
+
+class LongTermAllocation:
+    """Optimise the whole pipeline's plan once, at submission."""
+
+    def on_submit(self, job: Job, ctx: AllocationContext) -> None:
+        """Optimise and pin the whole-pipeline plan."""
+        job.plan = _optimise_plan(job.app, job, ctx, from_stage=0)
+
+    def threads_for_stage(self, job: Job, stage: int, ctx: AllocationContext) -> int:
+        """The pinned plan's thread count for the stage."""
+        if job.plan is None:
+            raise SchedulingError(f"{job.name} reached dispatch without a plan")
+        return job.plan.threads[stage]
+
+
+class LongTermAdaptiveAllocation(LongTermAllocation):
+    """Long-term planning, re-optimised at every stage boundary."""
+
+    def threads_for_stage(self, job: Job, stage: int, ctx: AllocationContext) -> int:
+        # Replan the remaining stages with current queue estimates; stages
+        # already executed keep their historical values (they are sunk).
+        """Re-optimise remaining stages, then answer."""
+        job.plan = _optimise_plan(job.app, job, ctx, from_stage=stage)
+        return job.plan.threads[stage]
+
+
+class BestConstantAllocation:
+    """Every job uses the same fixed plan (the paper's baseline)."""
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+
+    def on_submit(self, job: Job, ctx: AllocationContext) -> None:
+        """Attach the fixed offline plan to the job."""
+        if len(self.plan.threads) != job.n_stages:
+            raise SchedulingError(
+                f"constant plan has {len(self.plan.threads)} stages; "
+                f"{job.name} has {job.n_stages}"
+            )
+        job.plan = self.plan
+
+    def threads_for_stage(self, job: Job, stage: int, ctx: AllocationContext) -> int:
+        """The constant plan's thread count."""
+        return self.plan.threads[stage]
+
+
+def find_best_constant_plan(
+    app: ApplicationModel,
+    reward: RewardFunction,
+    core_cost: float,
+    job_size: float,
+    thread_choices: Sequence[int] = (1, 2, 4, 8, 16),
+    max_exhaustive: int = 1_000_000,
+    input_gb: Optional[float] = None,
+) -> ExecutionPlan:
+    """Offline search for the profit-maximising constant plan.
+
+    Evaluates plans analytically at the mean job size with no queueing:
+    profit(plan) = R(sum_i T_i(t_i), d) - sum_i core_cost * t_i * T_i(t_i).
+    Exhaustive over ``choices^stages`` when that is affordable (5^7 for
+    GATK), falling back to coordinate descent otherwise.
+
+    ``input_gb`` is the stage-model input size when it differs from the
+    reward-side job size (see ``WorkloadConfig.size_unit_gb``).
+    """
+    choices = tuple(sorted(set(int(t) for t in thread_choices)))
+    n = app.n_stages
+    space = len(choices) ** n
+    d_gb = input_gb if input_gb is not None else job_size
+
+    def profit(threads: Sequence[int]) -> float:
+        latency = 0.0
+        cost = 0.0
+        for stage, t in zip(app.stages, threads):
+            duration = stage.threaded_time(t, d_gb)
+            latency += duration
+            cost += core_cost * t * duration
+        return reward(latency, job_size) - cost
+
+    if space <= max_exhaustive:
+        best: Optional[tuple[int, ...]] = None
+        best_profit = float("-inf")
+        for combo in itertools.product(choices, repeat=n):
+            p = profit(combo)
+            if p > best_profit:
+                best, best_profit = combo, p
+        assert best is not None
+        return ExecutionPlan(best)
+
+    # Coordinate descent fallback for very deep pipelines.
+    current = [choices[0]] * n
+    improved = True
+    while improved:
+        improved = False
+        for i in range(n):
+            best_t, best_p = current[i], profit(current)
+            for t in choices:
+                if t == current[i]:
+                    continue
+                candidate = list(current)
+                candidate[i] = t
+                p = profit(candidate)
+                if p > best_p + 1e-12:
+                    best_t, best_p = t, p
+                    improved = True
+            current[i] = best_t
+    return ExecutionPlan(tuple(current))
+
+
+def make_allocation_policy(
+    algorithm: AllocationAlgorithm,
+    constant_plan: Optional[ExecutionPlan] = None,
+) -> AllocationPolicy:
+    """Instantiate the policy named by *algorithm*."""
+    if algorithm is AllocationAlgorithm.GREEDY:
+        return GreedyAllocation()
+    if algorithm is AllocationAlgorithm.LONG_TERM:
+        return LongTermAllocation()
+    if algorithm is AllocationAlgorithm.LONG_TERM_ADAPTIVE:
+        return LongTermAdaptiveAllocation()
+    if algorithm is AllocationAlgorithm.BEST_CONSTANT:
+        if constant_plan is None:
+            raise SchedulingError(
+                "best-constant allocation requires a plan; use "
+                "find_best_constant_plan() first"
+            )
+        return BestConstantAllocation(constant_plan)
+    if algorithm is AllocationAlgorithm.LEARNED:
+        from repro.scheduler.learning import LearnedAllocation
+
+        return LearnedAllocation()
+    raise SchedulingError(f"unknown allocation algorithm {algorithm!r}")

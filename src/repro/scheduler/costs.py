@@ -1,0 +1,81 @@
+"""The tiered cost function (paper Section III-A.2).
+
+"The cost function consists of tiers, representing a class of resources
+that can be hired at a given price.  For example ... their institution's
+private cloud as a tier of resources at negligible cost, their University's
+private cloud as a tier with higher cost with availability bounded by the
+available physical [machines]."
+"""
+
+from __future__ import annotations
+
+from repro.cloud.infrastructure import Infrastructure, TierName
+
+__all__ = ["TieredCostFunction"]
+
+
+class TieredCostFunction:
+    """Cost queries over the hybrid infrastructure.
+
+    Wraps the live :class:`Infrastructure` so scheduling decisions see the
+    *current* marginal price: private-tier cores while they last, the
+    public premium after that.
+    """
+
+    def __init__(self, infrastructure: Infrastructure) -> None:
+        self.infrastructure = infrastructure
+
+    @property
+    def private_core_cost(self) -> float:
+        return self.infrastructure.private.core_cost_per_tu
+
+    @property
+    def public_core_cost(self) -> float:
+        return self.infrastructure.public.core_cost_per_tu
+
+    def current_rate(self) -> float:
+        """Spend rate of everything currently hired (CU/TU)."""
+        return self.infrastructure.cost_rate()
+
+    def marginal_core_cost(self, cores: int) -> float:
+        """Per-core price of the cheapest tier that can fit *cores* now."""
+        tier = self.infrastructure.place(cores, allow_public=True)
+        if tier is None:
+            # Both tiers exhausted; quote public (the elastic tier's price
+            # is the scheduling-relevant signal even when momentarily full).
+            return self.public_core_cost
+        return self.infrastructure.tier(tier).core_cost_per_tu
+
+    def hire_cost(
+        self,
+        cores: int,
+        duration_tu: float,
+        tier: TierName,
+        startup_penalty_tu: float = 0.0,
+    ) -> float:
+        """Cost of hiring *cores* on *tier* for a task of *duration_tu*.
+
+        The startup penalty bills at the same rate -- the VM exists (and is
+        charged for) while it boots.
+        """
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        if duration_tu < 0 or startup_penalty_tu < 0:
+            raise ValueError("durations must be >= 0")
+        rate = self.infrastructure.tier(tier).core_cost_per_tu
+        return cores * rate * (duration_tu + startup_penalty_tu)
+
+    def public_premium(
+        self, cores: int, duration_tu: float, startup_penalty_tu: float = 0.0
+    ) -> float:
+        """Extra cost of public over private for the same work.
+
+        This is what predictive scaling weighs against the delay cost: the
+        work will be done either way; hiring public *now* rather than
+        waiting for a private core costs the price difference (plus the
+        boot overhead of the new instance).
+        """
+        diff = self.public_core_cost - self.private_core_cost
+        return cores * (
+            diff * duration_tu + self.public_core_cost * startup_penalty_tu
+        )

@@ -1,0 +1,117 @@
+"""ETT / EET / EQT estimation (Eq. 2) and the delay cost (Eq. 1).
+
+From the paper (Section III-A.2)::
+
+    ETT(j) = elapsed_j + sum_{i = S_j ..} ( EQT_i + EET_i(j) )        (2)
+
+    DC(delay) = sum_{j in Q} R(ETT(j), recs_j)
+                           - R(ETT(j) + delay, recs_j)                (1)
+
+"We estimate execution time for pipeline stage i, denoted EET_i, using a
+linear function of the number of job input records derived from profiling
+data.  We also estimate the time we expect a general job to spend in the
+queue for stage i, EQT_i."
+
+EET comes from the application's stage models (which the knowledge base
+recovered by regression); EQT is an exponentially-weighted moving average
+of observed queue waits, updated every time a task leaves a queue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.apps.base import ApplicationModel
+from repro.core.errors import SchedulingError
+from repro.scheduler.rewards import RewardFunction
+from repro.scheduler.tasks import Job, StageTask
+
+__all__ = ["PipelineEstimator", "delay_cost"]
+
+
+class PipelineEstimator:
+    """Per-application time estimation for scheduling decisions."""
+
+    def __init__(self, app: ApplicationModel, eqt_alpha: float = 0.3) -> None:
+        if not 0.0 < eqt_alpha <= 1.0:
+            raise SchedulingError("eqt_alpha must lie in (0, 1]")
+        self.app = app
+        self.eqt_alpha = eqt_alpha
+        self._eqt = [0.0] * app.n_stages
+        self._eqt_seen = [0] * app.n_stages
+
+    # -- EQT ----------------------------------------------------------------
+    def observe_queue_wait(self, stage: int, wait: float) -> None:
+        """Fold one observed queue wait into EQT_stage (EWMA)."""
+        if wait < 0:
+            raise SchedulingError(f"negative queue wait {wait}")
+        if self._eqt_seen[stage] == 0:
+            self._eqt[stage] = wait
+        else:
+            a = self.eqt_alpha
+            self._eqt[stage] = a * wait + (1 - a) * self._eqt[stage]
+        self._eqt_seen[stage] += 1
+
+    def eqt(self, stage: int) -> float:
+        """Estimated queue time for *stage* (0 until first observation)."""
+        return self._eqt[stage]
+
+    # -- EET ----------------------------------------------------------------
+    def eet(self, stage: int, size: float, threads: int = 1) -> float:
+        """Estimated execution time of *stage* for a job of *size*."""
+        return self.app.stage(stage).threaded_time(threads, size)
+
+    # -- ETT (Eq. 2) ----------------------------------------------------------
+    def ett(
+        self,
+        job: Job,
+        now: float,
+        threads_per_stage: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Estimated total time for *job*: elapsed + remaining stages.
+
+        ``threads_per_stage`` overrides the job's plan for the remaining
+        stages (used when evaluating candidate plans); otherwise the job's
+        plan (or single-threaded) is assumed.
+        """
+        total = job.elapsed(now)
+        for stage in range(job.current_stage, job.n_stages):
+            if threads_per_stage is not None:
+                threads = threads_per_stage[stage]
+            else:
+                threads = job.planned_threads(stage)
+            total += self.eqt(stage) + self.eet(stage, job.input_gb, threads)
+        return total
+
+    def remaining_time(
+        self, job: Job, now: float, threads_per_stage: Optional[Sequence[int]] = None
+    ) -> float:
+        """ETT minus elapsed: the forward-looking part only."""
+        return self.ett(job, now, threads_per_stage) - job.elapsed(now)
+
+
+def delay_cost(
+    queue_tasks: Iterable[StageTask],
+    estimator: PipelineEstimator,
+    reward: RewardFunction,
+    delay: float,
+    now: float,
+) -> float:
+    """Eq. 1: reward lost if every job in the queue slips by *delay* TUs.
+
+    Positive values mean delaying is expensive; the time scheme gives
+    ``delay * sum(d_j * Rpenalty)`` exactly, while the throughput scheme is
+    convex (delaying an already-late job costs little).
+    """
+    if delay < 0:
+        raise SchedulingError(f"negative delay {delay}")
+    if delay == 0:
+        return 0.0
+    total = 0.0
+    for task in queue_tasks:
+        job = task.job
+        ett_now = estimator.ett(job, now)
+        total += reward(max(ett_now, 0.0), job.records) - reward(
+            max(ett_now + delay, 0.0), job.records
+        )
+    return total

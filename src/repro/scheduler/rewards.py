@@ -1,0 +1,111 @@
+"""Reward functions (paper Section II-D).
+
+Two schemes, quoted from the paper:
+
+Time-oriented:
+    "users offer a reward proportional to input data size for completion of
+    their whole analysis pipeline, with a constant penalty per unit time the
+    work is delayed":  R(d, t) = d * (Rmax - t * Rpenalty).
+
+Throughput-oriented:
+    "users offer a reward ... inversely proportional to the duration of the
+    complete pipeline execution":  R(d, t) = d * Rscale / t.
+
+Both take the pipeline *latency* t (queue entry of the first stage ->
+completion of the last) and the job size d (records / GB-units).  The
+time-oriented reward may go negative for very late work -- Figure 4's y-axis
+indeed shows negative mean profits under heavy load.
+
+``marginal_value`` is the scheduling signal: the reward gained per TU of
+latency removed, used by allocation (how many threads is a TU worth?) and
+predictive scaling (what does delaying this queue cost?).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.config import RewardConfig, RewardScheme
+
+__all__ = ["RewardFunction", "TimeReward", "ThroughputReward", "make_reward"]
+
+
+class RewardFunction(Protocol):
+    """Maps (latency, records) to CU, plus the latency sensitivity."""
+
+    def __call__(self, latency: float, records: float) -> float:
+        """Reward for completing *records* of work in *latency* TUs."""
+        ...
+
+    def marginal_value(self, latency: float, records: float) -> float:
+        """-dR/dlatency at the given point: CU gained per TU saved."""
+        ...
+
+
+class TimeReward:
+    """R(d, t) = d (Rmax - t Rpenalty)."""
+
+    def __init__(self, rmax: float = 400.0, rpenalty: float = 15.0) -> None:
+        if rmax <= 0:
+            raise ValueError(f"rmax must be positive, got {rmax}")
+        if rpenalty < 0:
+            raise ValueError(f"rpenalty must be >= 0, got {rpenalty}")
+        self.rmax = rmax
+        self.rpenalty = rpenalty
+
+    def __call__(self, latency: float, records: float) -> float:
+        if latency < 0 or records < 0:
+            raise ValueError("latency and records must be >= 0")
+        return records * (self.rmax - latency * self.rpenalty)
+
+    def marginal_value(self, latency: float, records: float) -> float:
+        # Linear scheme: every TU saved is worth the same.
+        """CU gained per TU saved: d * Rpenalty (constant)."""
+        return records * self.rpenalty
+
+    def breakeven_latency(self) -> float:
+        """Latency at which the reward crosses zero."""
+        if self.rpenalty == 0:
+            return float("inf")
+        return self.rmax / self.rpenalty
+
+    def __repr__(self) -> str:
+        return f"TimeReward(rmax={self.rmax}, rpenalty={self.rpenalty})"
+
+
+class ThroughputReward:
+    """R(d, t) = d Rscale / t."""
+
+    #: Latencies below this are clamped: the physical pipeline can never be
+    #: instantaneous, and 1/t explodes at 0.
+    MIN_LATENCY = 1e-6
+
+    def __init__(self, rscale: float = 15_000.0) -> None:
+        if rscale <= 0:
+            raise ValueError(f"rscale must be positive, got {rscale}")
+        self.rscale = rscale
+
+    def __call__(self, latency: float, records: float) -> float:
+        if latency < 0 or records < 0:
+            raise ValueError("latency and records must be >= 0")
+        return records * self.rscale / max(latency, self.MIN_LATENCY)
+
+    def marginal_value(self, latency: float, records: float) -> float:
+        # dR/dt = -d Rscale / t^2; the scheme "rewards according to the
+        # proportion of runtime that was eliminated", so saving a TU is
+        # worth more when the pipeline is already fast.
+        """CU gained per TU saved: d * Rscale / t^2."""
+        t = max(latency, self.MIN_LATENCY)
+        return records * self.rscale / (t * t)
+
+    def __repr__(self) -> str:
+        return f"ThroughputReward(rscale={self.rscale})"
+
+
+def make_reward(config: RewardConfig) -> RewardFunction:
+    """Build the reward function described by *config*."""
+    if config.scheme is RewardScheme.TIME:
+        return TimeReward(rmax=config.rmax, rpenalty=config.rpenalty)
+    if config.scheme is RewardScheme.THROUGHPUT:
+        return ThroughputReward(rscale=config.rscale)
+    raise ValueError(f"unknown reward scheme {config.scheme!r}")

@@ -1,0 +1,167 @@
+"""Horizontal-scaling algorithms (Table I, row 2).
+
+The scheduler's hire-or-wait decision: "For each work item reaching the
+front of a task queue ... should a worker (or workers ...) be hired from
+the elastic cloud to run it immediately, or should it be delayed until an
+existing worker becomes available?" (Section III-A.2).
+
+All three policies hire from the *private* tier whenever it has room --
+private cores are strictly cheaper.  They differ "when private resources
+are fully occupied" (Section IV-B):
+
+- **Always-scale**: hire a public worker immediately.
+- **Never-scale**: wait for a private worker to free up.
+- **Predictive**: hire a public worker only when the delay cost (Eq. 1) of
+  waiting out the estimated queue time exceeds the public-tier premium for
+  the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.core.config import ScalingAlgorithm
+from repro.core.errors import SchedulingError
+from repro.scheduler.costs import TieredCostFunction
+from repro.scheduler.estimator import PipelineEstimator, delay_cost
+from repro.scheduler.queues import StageQueue
+from repro.scheduler.rewards import RewardFunction
+from repro.scheduler.tasks import StageTask
+
+__all__ = [
+    "ScalingContext",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "AlwaysScale",
+    "NeverScale",
+    "PredictiveScale",
+    "make_scaling_policy",
+]
+
+
+@dataclass
+class ScalingContext:
+    """Inputs to one hire-or-wait decision."""
+
+    infrastructure: Infrastructure
+    costs: TieredCostFunction
+    estimator: PipelineEstimator
+    reward: RewardFunction
+    queue: StageQueue
+    now: float
+    startup_penalty_tu: float
+    #: Expected wait if we do not hire (estimated time until a suitable
+    #: worker frees up); the scheduler supplies its best estimate.
+    expected_wait: float
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Outcome: hire on some tier, or wait."""
+
+    hire: bool
+    tier: Optional[TierName] = None
+
+    @staticmethod
+    def wait() -> "ScalingDecision":
+        return ScalingDecision(hire=False, tier=None)
+
+    @staticmethod
+    def on(tier: TierName) -> "ScalingDecision":
+        return ScalingDecision(hire=True, tier=tier)
+
+
+class ScalingPolicy(Protocol):
+    """Protocol: the hire-or-wait decision interface."""
+    def decide(self, task: StageTask, cores: int, ctx: ScalingContext) -> ScalingDecision:
+        """Hire-or-wait for *task* needing *cores* cores."""
+        ...
+
+
+def _private_first(cores: int, ctx: ScalingContext) -> Optional[ScalingDecision]:
+    """Common fast path: private capacity available -> hire private."""
+    if ctx.infrastructure.private.can_allocate(cores):
+        return ScalingDecision.on(TierName.PRIVATE)
+    return None
+
+
+class AlwaysScale:
+    """Private if possible, otherwise public, immediately."""
+
+    def decide(self, task: StageTask, cores: int, ctx: ScalingContext) -> ScalingDecision:
+        """Hire private if possible, else public, immediately."""
+        decision = _private_first(cores, ctx)
+        if decision is not None:
+            return decision
+        if ctx.infrastructure.public.can_allocate(cores):
+            return ScalingDecision.on(TierName.PUBLIC)
+        return ScalingDecision.wait()
+
+
+class NeverScale:
+    """Private if possible, otherwise wait -- never pay public prices."""
+
+    def decide(self, task: StageTask, cores: int, ctx: ScalingContext) -> ScalingDecision:
+        """Hire private if possible, otherwise wait."""
+        decision = _private_first(cores, ctx)
+        if decision is not None:
+            return decision
+        return ScalingDecision.wait()
+
+
+class PredictiveScale:
+    """Hire public only when delaying the queue costs more than the premium.
+
+    The comparison (both sides in CU):
+
+    - delay cost: Eq. 1 evaluated over the stage's queue at the expected
+      wait (capped at the configured horizon so a single pathological
+      estimate cannot force unbounded hiring);
+    - hire premium: the public-over-private price difference for this
+      task's core-time, plus the public price of the boot penalty.
+    """
+
+    def __init__(self, horizon_tu: float = 5.0) -> None:
+        if horizon_tu <= 0:
+            raise SchedulingError("horizon must be positive")
+        self.horizon_tu = horizon_tu
+
+    def decide(self, task: StageTask, cores: int, ctx: ScalingContext) -> ScalingDecision:
+        """Hire public only when delay cost exceeds the premium."""
+        decision = _private_first(cores, ctx)
+        if decision is not None:
+            return decision
+        if not ctx.infrastructure.public.can_allocate(cores):
+            return ScalingDecision.wait()
+
+        wait = min(max(ctx.expected_wait, 0.0), self.horizon_tu)
+        if wait <= 0.0:
+            # A worker is (expected) free immediately; no reason to pay.
+            return ScalingDecision.wait()
+
+        threads = task.threads if task.threads is not None else cores
+        duration = task.execution_time(max(threads, 1))
+        premium = ctx.costs.public_premium(
+            cores, duration, startup_penalty_tu=ctx.startup_penalty_tu
+        )
+        # Eq. 1 over the tasks currently waiting in this stage's queue; the
+        # candidate task is included (it is at the front of the queue).
+        dc = delay_cost(ctx.queue, ctx.estimator, ctx.reward, wait, ctx.now)
+        if dc > premium:
+            return ScalingDecision.on(TierName.PUBLIC)
+        return ScalingDecision.wait()
+
+
+def make_scaling_policy(
+    algorithm: ScalingAlgorithm, horizon_tu: float = 5.0
+) -> ScalingPolicy:
+    """Instantiate the policy named by *algorithm*."""
+    if algorithm is ScalingAlgorithm.ALWAYS:
+        return AlwaysScale()
+    if algorithm is ScalingAlgorithm.NEVER:
+        return NeverScale()
+    if algorithm is ScalingAlgorithm.PREDICTIVE:
+        return PredictiveScale(horizon_tu=horizon_tu)
+    raise SchedulingError(f"unknown scaling algorithm {algorithm!r}")

@@ -1,0 +1,421 @@
+"""The SCAN Scheduler: queues, pools, rewards, hire-or-wait orchestration.
+
+"The scheduler keeps track of available workers and pending tasks, and
+assigns tasks to the workers ... Tasks are scheduled by a 'reward'
+algorithm with the aim to maximise profit (the difference between resource
+costs and user reward for work completion)" (paper Sections III-A and
+III-A.2).
+
+Dispatch rules for the task at the front of each stage queue:
+
+1. An idle worker that fits runs it immediately (smallest adequate shape).
+2. If a worker is already booting/resizing for this stage, wait for it.
+3. If the private tier can fit a fresh instance, hire privately -- private
+   cores are strictly cheaper, so every policy does this.
+4. Private tier full: re-pool an idle worker to the needed shape if
+   allowed/feasible (pays the restart penalty, needs no new capacity).
+5. Otherwise consult the horizontal-scaling policy: hire public now, or
+   wait for a busy worker to free up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import ApplicationModel
+from repro.cloud.celar import CelarManager
+from repro.cloud.failures import FailureModel
+from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.desim.process import Interrupt
+from repro.core.config import SchedulerConfig
+from repro.core.errors import SchedulingError
+from repro.core.events import EventKind, EventLog
+from repro.desim.engine import Environment
+from repro.scheduler.allocation import AllocationContext, AllocationPolicy
+from repro.scheduler.costs import TieredCostFunction
+from repro.scheduler.estimator import PipelineEstimator
+from repro.scheduler.queues import QueueSet
+from repro.scheduler.rewards import RewardFunction
+from repro.scheduler.scaling import ScalingContext, ScalingPolicy
+from repro.scheduler.tasks import Job, JobState, StageRecord, StageTask
+from repro.scheduler.workers import Worker, WorkerPools
+
+__all__ = ["SCANScheduler"]
+
+#: How long a queued task's thread-count decision stays valid (TU).
+#: Dispatch is retried on every worker release; re-running the allocation
+#: policy each time is pure overhead when the queue state has barely
+#: moved.  0.25 TU staleness is negligible against 5-20 TU stage times.
+DECISION_TTL = 0.25
+
+
+class SCANScheduler:
+    """Reward-driven scheduler for one application's pipeline runs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        app: ApplicationModel,
+        infrastructure: Infrastructure,
+        celar: CelarManager,
+        reward: RewardFunction,
+        allocation: AllocationPolicy,
+        scaling: ScalingPolicy,
+        config: Optional[SchedulerConfig] = None,
+        event_log: Optional[EventLog] = None,
+        actual_app: Optional[ApplicationModel] = None,
+        failure_model: Optional[FailureModel] = None,
+    ) -> None:
+        self.env = env
+        self.app = app
+        #: The model EXECUTION follows.  Defaults to ``app`` (the believed
+        #: model is also reality, the paper's setting).  Supplying a
+        #: different model simulates profiling drift: planning decisions
+        #: use ``app`` while task durations come from ``actual_app`` --
+        #: the scenario the learning allocator (Section VI future work)
+        #: and robustness tests exercise.
+        self.actual_app = actual_app if actual_app is not None else app
+        if self.actual_app.n_stages != app.n_stages:
+            raise SchedulingError(
+                "actual_app must have the same stage count as app"
+            )
+        self.infrastructure = infrastructure
+        self.celar = celar
+        self.reward = reward
+        self.allocation = allocation
+        self.scaling = scaling
+        self.config = config if config is not None else SchedulerConfig()
+        self.log = event_log if event_log is not None else EventLog()
+
+        self.queues = QueueSet(app.n_stages, start_time=env.now)
+        self.estimator = PipelineEstimator(app, eqt_alpha=self.config.eqt_alpha)
+        self.costs = TieredCostFunction(infrastructure)
+        self.pools = WorkerPools(
+            env,
+            celar,
+            idle_timeout_tu=self.config.idle_timeout_tu,
+            failure_model=failure_model,
+        )
+        self.pools.on_available = self._on_worker_available
+        self.pools.on_worker_failed = self._on_worker_failed
+        self._executing: dict[Worker, object] = {}
+        self.task_retries = 0
+
+        self.submitted_jobs: list[Job] = []
+        self.completed_jobs: list[Job] = []
+        self.total_reward = 0.0
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> None:
+        """Launch background processes (the idle-worker reaper)."""
+        if self._started:
+            raise SchedulingError("scheduler already started")
+        self._started = True
+        self.env.process(self.pools.start_reaper())
+
+    # -- submission ----------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Accept a pipeline run and enqueue its first stage."""
+        if job.app is not self.app:
+            raise SchedulingError(
+                f"{job.name} targets {job.app.name!r}; this scheduler runs "
+                f"{self.app.name!r}"
+            )
+        job.state = JobState.RUNNING
+        self.submitted_jobs.append(job)
+        self.allocation.on_submit(job, self._alloc_ctx())
+        self.log.emit(
+            self.env.now,
+            EventKind.JOB_SUBMITTED,
+            job=job.name,
+            size=job.size,
+            plan=tuple(job.plan.threads) if job.plan is not None else None,
+        )
+        self._enqueue(job, 0)
+        return job
+
+    # -- internals --------------------------------------------------------------
+    def _alloc_ctx(self) -> AllocationContext:
+        return AllocationContext(
+            estimator=self.estimator,
+            reward=self.reward,
+            costs=self.costs,
+            thread_choices=self.config.thread_choices,
+            now=self.env.now,
+        )
+
+    def _enqueue(self, job: Job, stage: int) -> None:
+        task = StageTask(job=job, stage=stage, enqueued_at=self.env.now)
+        self.queues[stage].push(task, self.env.now)
+        self.log.emit(
+            self.env.now,
+            EventKind.TASK_QUEUED,
+            job=job.name,
+            stage=stage,
+        )
+        self._dispatch(stage)
+
+    def _on_worker_available(self) -> None:
+        for stage in range(self.app.n_stages):
+            self._dispatch(stage)
+
+    def _on_worker_failed(self, worker: Worker) -> None:
+        """A busy worker's VM died: interrupt its task for retry."""
+        self.log.emit(
+            self.env.now,
+            EventKind.WORKER_FAILED,
+            worker=worker.uid,
+            tier=worker.tier.value,
+            cores=worker.cores,
+        )
+        process = self._executing.pop(worker, None)
+        if process is not None and getattr(process, "is_alive", False):
+            process.interrupt("vm-failure")
+
+    def _dispatch(self, stage: int) -> None:
+        """Serve the front of one stage queue as far as resources allow."""
+        queue = self.queues[stage]
+        while not queue.empty:
+            task = queue.peek()
+            assert task is not None
+            if (
+                task.threads is None
+                or self.env.now - task.decided_at > DECISION_TTL
+            ):
+                task.threads = self.allocation.threads_for_stage(
+                    task.job, stage, self._alloc_ctx()
+                )
+                task.decided_at = self.env.now
+            threads = task.threads
+            # Instance sizing honours the stage's memory footprint too: a
+            # 8 GB stage cannot run on a 1-core/4 GB instance even
+            # single-threaded.
+            cores = self.celar.fit_size(
+                threads, ram_gb=self.app.stage(stage).ram_gb
+            )
+
+            worker = self.pools.acquire(self.app.worker_class, cores)
+            if worker is not None:
+                queue.pop(self.env.now)
+                self.env.process(self._execute(task, worker))
+                continue
+
+            # A worker is already on its way for this stage's front task.
+            if self.pools.booting_for_stage.get(stage, 0) > 0:
+                return
+
+            # Private capacity available: every policy hires there.
+            if self.infrastructure.private.can_allocate(cores):
+                self.pools.hire(
+                    self.app.worker_class, cores, TierName.PRIVATE, stage
+                )
+                self.log.emit(
+                    self.env.now,
+                    EventKind.WORKER_HIRED,
+                    tier=TierName.PRIVATE.value,
+                    cores=cores,
+                    stage=stage,
+                )
+                return
+
+            # Private full: a re-pooled idle worker needs no new capacity.
+            if self.config.repool_allowed:
+                candidate = self.pools.repool_candidate(
+                    self.app.worker_class, cores
+                )
+                if candidate is not None:
+                    self.pools.repool(candidate, cores, stage)
+                    self.log.emit(
+                        self.env.now,
+                        EventKind.WORKER_REPOOLED,
+                        worker=candidate.uid,
+                        cores=cores,
+                        stage=stage,
+                    )
+                    return
+
+            # Hire-or-wait: the horizontal-scaling policy's call.
+            expected_wait = self.pools.estimate_wait(
+                self.app.worker_class,
+                cores,
+                penalty_tu=self.celar.startup_penalty_tu,
+            )
+            decision = self.scaling.decide(
+                task,
+                cores,
+                ScalingContext(
+                    infrastructure=self.infrastructure,
+                    costs=self.costs,
+                    estimator=self.estimator,
+                    reward=self.reward,
+                    queue=queue,
+                    now=self.env.now,
+                    startup_penalty_tu=self.celar.startup_penalty_tu,
+                    expected_wait=expected_wait,
+                ),
+            )
+            if decision.hire:
+                assert decision.tier is not None
+                self.pools.hire(
+                    self.app.worker_class, cores, decision.tier, stage
+                )
+                self.log.emit(
+                    self.env.now,
+                    EventKind.WORKER_HIRED,
+                    tier=decision.tier.value,
+                    cores=cores,
+                    stage=stage,
+                )
+                return
+
+            # Waiting -- but guard against a stall where nothing will ever
+            # free up by itself (no busy workers, nothing booting).
+            if not self.pools.busy_workers and self.pools.booting_total() == 0:
+                if self.pools.force_free_private(cores):
+                    self.pools.hire(
+                        self.app.worker_class, cores, TierName.PRIVATE, stage
+                    )
+                    return
+            return
+
+    def _execute(self, task: StageTask, worker: Worker):
+        """Process: run one stage task to completion on *worker*."""
+        job, stage = task.job, task.stage
+        started_at = self.env.now
+        if task.threads is None:
+            raise SchedulingError(f"{task!r} dispatched without a thread count")
+        threads = min(task.threads, worker.cores)
+
+        wait = started_at - task.enqueued_at
+        self.estimator.observe_queue_wait(stage, wait)
+
+        worker.vm.mark_busy()
+        # Reality may diverge from the believed model (actual_app).
+        duration = self.actual_app.stage(stage).threaded_time(
+            threads, job.input_gb
+        )
+        worker.busy_until = started_at + duration
+        self.log.emit(
+            started_at,
+            EventKind.TASK_STARTED,
+            job=job.name,
+            stage=stage,
+            threads=threads,
+            worker=worker.uid,
+            tier=worker.tier.value,
+            wait=wait,
+        )
+
+        self._executing[worker] = self.env.active_process
+        try:
+            yield self.env.timeout(duration)
+        except Interrupt:
+            # The worker's VM died mid-task (failure injection): nothing
+            # was produced, so the stage goes back to its queue for retry.
+            self.task_retries += 1
+            retry = StageTask(job=job, stage=stage, enqueued_at=self.env.now)
+            self.queues[stage].push(retry, self.env.now)
+            self.log.emit(
+                self.env.now,
+                EventKind.TASK_RETRIED,
+                job=job.name,
+                stage=stage,
+                worker=worker.uid,
+            )
+            self._dispatch(stage)
+            return
+        finally:
+            self._executing.pop(worker, None)
+
+        finished_at = self.env.now
+        worker.tasks_executed += 1
+        job.record_stage(
+            StageRecord(
+                stage=stage,
+                queued_at=task.enqueued_at,
+                started_at=started_at,
+                finished_at=finished_at,
+                threads=threads,
+                tier=worker.tier,
+            )
+        )
+        self.log.emit(
+            finished_at,
+            EventKind.STAGE_COMPLETED,
+            job=job.name,
+            app=self.app.name,
+            stage=stage,
+            input_gb=job.size,
+            threads=threads,
+            duration=duration,
+            tier=worker.tier.value,
+        )
+
+        # Learning-guided policies (paper Section VI future work) get the
+        # realised duration as their reward signal.
+        observe = getattr(self.allocation, "observe_completion", None)
+        if observe is not None:
+            observe(job, stage, threads, duration)
+
+        self.pools.release(worker)
+
+        if job.current_stage >= job.n_stages:
+            latency = finished_at - job.submit_time
+            paid = self.reward(latency, job.records)
+            job.complete(finished_at, paid)
+            self.completed_jobs.append(job)
+            self.total_reward += paid
+            self.log.emit(
+                finished_at,
+                EventKind.JOB_COMPLETED,
+                job=job.name,
+                latency=latency,
+                size=job.size,
+            )
+            self.log.emit(
+                finished_at,
+                EventKind.REWARD_PAID,
+                job=job.name,
+                reward=paid,
+            )
+        else:
+            self._enqueue(job, job.current_stage)
+
+    # -- reporting ---------------------------------------------------------------
+    def total_cost(self) -> float:
+        """Core-time spend so far (CU), from the infrastructure meters."""
+        return self.infrastructure.accumulated_cost()
+
+    def profit(self) -> float:
+        """Total reward minus total cost so far (CU)."""
+        return self.total_reward - self.total_cost()
+
+    def mean_profit_per_run(self) -> float:
+        """Figure 4's y-axis: (reward - cost) / completed pipeline runs."""
+        if not self.completed_jobs:
+            return 0.0
+        return self.profit() / len(self.completed_jobs)
+
+    def reward_to_cost_ratio(self) -> float:
+        """Figure 5's y-axis."""
+        cost = self.total_cost()
+        if cost <= 0:
+            return 0.0
+        return self.total_reward / cost
+
+    def mean_core_stages_per_run(self) -> float:
+        """Figure 5's x-axis: mean total cores-across-stages per run."""
+        if not self.completed_jobs:
+            return 0.0
+        return sum(j.core_stages() for j in self.completed_jobs) / len(
+            self.completed_jobs
+        )
+
+    def mean_latency(self) -> float:
+        """Mean pipeline latency over completed jobs (TU)."""
+        if not self.completed_jobs:
+            return float("nan")
+        return sum(j.latency() for j in self.completed_jobs) / len(
+            self.completed_jobs
+        )

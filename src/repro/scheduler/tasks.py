@@ -1,0 +1,181 @@
+"""Jobs (pipeline runs) and per-stage tasks.
+
+A :class:`Job` is one user request: run the whole application pipeline over
+an input of size ``d``.  "latency measures the time from a task entering
+the queue for the first analysis stage to completing the last stage"; "the
+task's size ... generally reflects the number of records of input data
+supplied" (paper Section III-A.2).  We use the job size (GB-units) as the
+record count, as the paper's own model does (E_i is linear in d).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.base import ApplicationModel, ExecutionPlan
+from repro.cloud.infrastructure import TierName
+from repro.core.errors import SchedulingError
+
+__all__ = ["JobState", "StageRecord", "Job", "StageTask"]
+
+_job_ids = itertools.count(1)
+_task_ids = itertools.count(1)
+
+
+class JobState(str, enum.Enum):
+    """Job lifecycle states."""
+    SUBMITTED = "submitted"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """What happened when one stage of a job ran."""
+
+    stage: int
+    queued_at: float
+    started_at: float
+    finished_at: float
+    threads: int
+    tier: TierName
+
+    @property
+    def queue_wait(self) -> float:
+        return self.started_at - self.queued_at
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class Job:
+    """One pipeline run through every stage of an application."""
+
+    def __init__(
+        self,
+        app: ApplicationModel,
+        size: float,
+        submit_time: float,
+        name: str = "",
+        input_gb: Optional[float] = None,
+    ) -> None:
+        if size <= 0:
+            raise SchedulingError(f"job size must be positive, got {size}")
+        if input_gb is not None and input_gb <= 0:
+            raise SchedulingError(f"input_gb must be positive, got {input_gb}")
+        self.uid = next(_job_ids)
+        self.name = name or f"job{self.uid}"
+        self.app = app
+        #: Job size d in the paper's arbitrary units; the record count for
+        #: rewards.
+        self.size = float(size)
+        #: Input size on the E_i(d) axis (GB); defaults to ``size`` under
+        #: the 1-unit-=-1-GB mapping.
+        self.input_gb = float(input_gb) if input_gb is not None else float(size)
+        self.submit_time = float(submit_time)
+        self.state = JobState.SUBMITTED
+        #: Thread counts per stage; set by the allocation policy.  May be
+        #: revised for *future* stages by adaptive policies.
+        self.plan: Optional[ExecutionPlan] = None
+        self.current_stage = 0
+        self.history: list[StageRecord] = []
+        self.completed_at: Optional[float] = None
+        self.reward_paid: Optional[float] = None
+
+    @property
+    def records(self) -> float:
+        """recs_j in the paper's equations."""
+        return self.size
+
+    @property
+    def n_stages(self) -> int:
+        return self.app.n_stages
+
+    @property
+    def is_complete(self) -> bool:
+        return self.state is JobState.COMPLETED
+
+    def elapsed(self, now: float) -> float:
+        """Time since the job entered the first queue (elapsed_j in Eq. 2)."""
+        return now - self.submit_time
+
+    def latency(self) -> float:
+        """Total pipeline latency; only valid once complete."""
+        if self.completed_at is None:
+            raise SchedulingError(f"{self.name} has not completed")
+        return self.completed_at - self.submit_time
+
+    def planned_threads(self, stage: int) -> int:
+        """The planned thread count for *stage* (1 when unplanned)."""
+        if self.plan is None or stage >= len(self.plan.threads):
+            return 1
+        return self.plan.threads[stage]
+
+    def record_stage(self, record: StageRecord) -> None:
+        """Append a stage record (must arrive in order)."""
+        if record.stage != self.current_stage:
+            raise SchedulingError(
+                f"{self.name}: stage {record.stage} completed out of order "
+                f"(expected {self.current_stage})"
+            )
+        self.history.append(record)
+        self.current_stage += 1
+
+    def complete(self, now: float, reward: float) -> None:
+        """Mark the job finished and store its paid reward."""
+        if self.current_stage != self.n_stages:
+            raise SchedulingError(
+                f"{self.name}: completing with {self.current_stage}/"
+                f"{self.n_stages} stages done"
+            )
+        self.state = JobState.COMPLETED
+        self.completed_at = now
+        self.reward_paid = reward
+
+    def core_stages(self) -> int:
+        """Total cores across executed stages (Figure 5's x-axis)."""
+        return sum(r.threads for r in self.history)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job {self.name} d={self.size:.2f} stage={self.current_stage}"
+            f"/{self.n_stages} {self.state.value}>"
+        )
+
+
+@dataclass
+class StageTask:
+    """One stage of one job, waiting in (or leaving) a stage queue."""
+
+    job: Job
+    stage: int
+    enqueued_at: float
+    uid: int = field(default_factory=lambda: next(_task_ids))
+    #: Thread count, fixed when the task starts executing.
+    threads: Optional[int] = None
+    #: When the current ``threads`` decision was made (scheduler memo; a
+    #: stale decision is re-taken after DECISION_TTL).
+    decided_at: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.stage < self.job.n_stages:
+            raise SchedulingError(
+                f"stage {self.stage} out of range for {self.job.name}"
+            )
+
+    @property
+    def size(self) -> float:
+        return self.job.size
+
+    def execution_time(self, threads: int) -> float:
+        """Model-predicted runtime of this task at *threads* threads."""
+        return self.job.app.stage(self.stage).threaded_time(
+            threads, self.job.input_gb
+        )
+
+    def __repr__(self) -> str:
+        return f"<StageTask {self.job.name}/s{self.stage}>"

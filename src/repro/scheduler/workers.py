@@ -1,0 +1,300 @@
+"""SCAN Workers and worker pools.
+
+"SCAN Workers are responsible for executing tasks as instructed by the
+scheduler.  The workers are very simple entities: they are assigned SCAN
+tasks, which they run until completion, and provide feedback concerning
+their resource utilization to the scheduler.  Each worker has a software
+stack suitable for a particular application and a certain hardware
+configuration" (paper Section III-A.3).
+
+A :class:`Worker` wraps a CELAR-managed VM; :class:`WorkerPools` tracks the
+idle/busy/booting population, matches tasks to workers (smallest adequate
+instance first), re-pools idle workers to new vCPU shapes (paying the
+restart penalty), and reaps workers that have idled past their timeout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.cloud.celar import CelarManager
+from repro.cloud.failures import FailureModel
+from repro.cloud.infrastructure import TierName
+from repro.cloud.vm import VirtualMachine
+from repro.core.errors import SchedulingError
+from repro.desim.engine import Environment
+
+__all__ = ["Worker", "WorkerPools"]
+
+_worker_ids = itertools.count(1)
+
+
+class Worker:
+    """A VM labelled with an application software stack."""
+
+    def __init__(self, vm: VirtualMachine, worker_class: str) -> None:
+        self.uid = next(_worker_ids)
+        self.vm = vm
+        self.worker_class = worker_class
+        self.idle_since: Optional[float] = None
+        #: Whether a failure doom-timer is already armed for this worker.
+        self.doom_armed = False
+        #: Predicted completion time of the current task (for wait
+        #: estimation); None while idle.
+        self.busy_until: Optional[float] = None
+        self.tasks_executed = 0
+
+    @property
+    def cores(self) -> int:
+        return self.vm.cores
+
+    @property
+    def tier(self) -> TierName:
+        return self.vm.tier
+
+    @property
+    def alive(self) -> bool:
+        return self.vm.alive
+
+    def __repr__(self) -> str:
+        return (
+            f"<Worker {self.uid} {self.worker_class} {self.cores}c "
+            f"{self.tier.value} {self.vm.state.value}>"
+        )
+
+
+class WorkerPools:
+    """The scheduler's live worker population."""
+
+    def __init__(
+        self,
+        env: Environment,
+        celar: CelarManager,
+        idle_timeout_tu: float = 2.0,
+        reap_interval_tu: float = 1.0,
+        failure_model: Optional[FailureModel] = None,
+    ) -> None:
+        if idle_timeout_tu < 0 or reap_interval_tu <= 0:
+            raise SchedulingError("invalid reaper configuration")
+        self.env = env
+        self.celar = celar
+        self.idle_timeout_tu = idle_timeout_tu
+        self.reap_interval_tu = reap_interval_tu
+        self.failure_model = failure_model
+        self._idle: list[Worker] = []
+        self._busy: set[Worker] = set()
+        #: Workers currently booting/resizing, per stage that requested them.
+        self.booting_for_stage: dict[int, int] = {}
+        #: Invoked (with no args) whenever a worker becomes available.
+        self.on_available: Optional[Callable[[], None]] = None
+        #: Invoked with the victim when a BUSY worker's VM fails; the
+        #: scheduler uses it to interrupt and retry the running task.
+        self.on_worker_failed: Optional[Callable[[Worker], None]] = None
+        self.hires = {TierName.PRIVATE: 0, TierName.PUBLIC: 0}
+        self.repools = 0
+        self.reaped = 0
+        self.failed = 0
+        self._reaper_started = False
+
+    # -- population views ------------------------------------------------------
+    @property
+    def idle_workers(self) -> tuple[Worker, ...]:
+        return tuple(self._idle)
+
+    @property
+    def busy_workers(self) -> frozenset[Worker]:
+        return frozenset(self._busy)
+
+    def total_alive(self) -> int:
+        """Idle + busy workers."""
+        return len(self._idle) + len(self._busy)
+
+    def booting_total(self) -> int:
+        """Workers currently booting/resizing."""
+        return sum(self.booting_for_stage.values())
+
+    # -- matching ---------------------------------------------------------------
+    def acquire(self, worker_class: str, cores: int) -> Optional[Worker]:
+        """Take an idle worker of exactly *cores* cores (and class).
+
+        Matching is exact-shape: workers belong to pools keyed by their
+        vCPU count ("a worker ... assigned to a pool that uses a different
+        number of threads" must be re-pooled through a restart, paper
+        Section IV-B).  Class must match too -- workers carry
+        per-application software stacks.
+        """
+        for idx, worker in enumerate(self._idle):
+            if worker.worker_class == worker_class and worker.cores == cores:
+                self._idle.pop(idx)
+                worker.idle_since = None
+                self._busy.add(worker)
+                return worker
+        return None
+
+    def repool_candidate(self, worker_class: str, cores: int) -> Optional[Worker]:
+        """An idle worker that could be resized to *cores*.
+
+        Prefers shrink/same-size resizes (they never need new tier
+        capacity); a growing resize is offered only if its tier can absorb
+        the extra cores.
+        """
+        candidates = [w for w in self._idle if w.worker_class == worker_class]
+        candidates.sort(key=lambda w: (w.cores < cores, abs(w.cores - cores)))
+        for worker in candidates:
+            if worker.cores == cores:
+                # Same shape, different pool semantics: still needs the
+                # restart (thread-count change is a VCPU reconfiguration in
+                # the paper's CELAR flow), but always feasible.
+                return worker
+            delta = cores - worker.cores
+            if delta < 0:
+                return worker
+            tier = worker.vm.infrastructure.tier(worker.tier)
+            if tier.can_allocate(delta):
+                return worker
+        return None
+
+    def repool(self, worker: Worker, cores: int, stage: int) -> Worker:
+        """Resize an idle worker for a new role (restart penalty).
+
+        The reshape (and its core-delta accounting) happens synchronously;
+        the reboot runs as a background process and the worker re-enters
+        the idle pool when READY.
+        """
+        if worker not in self._idle:
+            raise SchedulingError(f"{worker!r} is not idle; cannot repool")
+        self._idle.remove(worker)
+        worker.idle_since = None
+        self.celar.begin_resize(worker.vm, cores)
+        self.booting_for_stage[stage] = self.booting_for_stage.get(stage, 0) + 1
+        self.repools += 1
+        self.env.process(self._boot_and_attach(worker, stage))
+        return worker
+
+    def hire(self, worker_class: str, cores: int, tier: TierName, stage: int) -> Worker:
+        """Deploy a fresh worker for *stage*: cores claimed now, boot async."""
+        vm = self.celar.deploy(cores, tier)
+        worker = Worker(vm, worker_class)
+        self.booting_for_stage[stage] = self.booting_for_stage.get(stage, 0) + 1
+        self.hires[tier] += 1
+        self.env.process(self._boot_and_attach(worker, stage))
+        return worker
+
+    def _boot_and_attach(self, worker: Worker, stage: int):
+        """Process: boot a claimed worker, then offer it to the pool."""
+        try:
+            yield from worker.vm.boot()
+        finally:
+            self.booting_for_stage[stage] -= 1
+        if worker.vm.alive:
+            if self.failure_model is not None and not worker.doom_armed:
+                worker.doom_armed = True
+                self.env.process(self._doom(worker))
+            self._make_available(worker)
+
+    def _doom(self, worker: Worker):
+        """Process: kill the worker's VM after its drawn lifetime.
+
+        Exponential lifetimes are memoryless, so one timer per worker is
+        the exact model regardless of repools/reboots in between.
+        """
+        assert self.failure_model is not None
+        lifetime = self.failure_model.draw_lifetime(worker.tier)
+        yield self.env.timeout(lifetime)
+        if not worker.vm.alive:
+            return  # already reaped/terminated: nothing to kill
+        self.failed += 1
+        was_busy = worker in self._busy
+        if worker in self._idle:
+            self._idle.remove(worker)
+        self._busy.discard(worker)
+        self.celar.terminate(worker.vm)
+        if was_busy and self.on_worker_failed is not None:
+            self.on_worker_failed(worker)
+        # Freed capacity (and a possibly-lost worker) can change dispatch
+        # decisions either way.
+        if self.on_available is not None:
+            self.on_available()
+
+    def _make_available(self, worker: Worker) -> None:
+        worker.idle_since = self.env.now
+        worker.busy_until = None
+        self._idle.append(worker)
+        if self.on_available is not None:
+            self.on_available()
+
+    def release(self, worker: Worker) -> None:
+        """Return a worker to the idle pool after a task."""
+        if worker not in self._busy:
+            raise SchedulingError(f"{worker!r} was not busy")
+        self._busy.remove(worker)
+        worker.vm.mark_idle()
+        self._make_available(worker)
+
+    # -- wait estimation ----------------------------------------------------------
+    def estimate_wait(self, worker_class: str, cores: int, penalty_tu: float) -> float:
+        """Expected time until a suitable worker frees up.
+
+        Minimum over busy workers of their predicted remaining time; a
+        worker whose shape does not match exactly adds the re-pool
+        (restart) penalty.  Returns ``inf`` when nothing is busy (nothing
+        will ever free by itself).
+        """
+        best = float("inf")
+        now = self.env.now
+        for worker in self._busy:
+            if worker.busy_until is None:
+                continue
+            remaining = max(worker.busy_until - now, 0.0)
+            if worker.worker_class != worker_class or worker.cores != cores:
+                remaining += penalty_tu
+            best = min(best, remaining)
+        return best
+
+    # -- reaping ---------------------------------------------------------------
+    def start_reaper(self):
+        """Process: periodically terminate workers idle past the timeout."""
+        if self._reaper_started:
+            raise SchedulingError("reaper already running")
+        self._reaper_started = True
+        while True:
+            yield self.env.timeout(self.reap_interval_tu)
+            self.reap(self.env.now)
+
+    def reap(self, now: float) -> int:
+        """Terminate idle-expired workers; returns how many died."""
+        survivors: list[Worker] = []
+        dead = 0
+        for worker in self._idle:
+            if (
+                worker.idle_since is not None
+                and now - worker.idle_since >= self.idle_timeout_tu
+            ):
+                self.celar.terminate(worker.vm)
+                dead += 1
+            else:
+                survivors.append(worker)
+        self._idle = survivors
+        self.reaped += dead
+        if dead and self.on_available is not None:
+            # Freed tier capacity may unblock a waiting hire decision.
+            self.on_available()
+        return dead
+
+    def force_free_private(self, cores: int) -> bool:
+        """Terminate idle private workers until *cores* fit; True on success.
+
+        Used to break the never-scale stall where the private tier is full
+        of idle-but-wrong-shape workers.
+        """
+        private = [w for w in self._idle if w.tier is TierName.PRIVATE]
+        private.sort(key=lambda w: -w.cores)
+        tier = self.celar.infrastructure.private
+        for worker in private:
+            if tier.can_allocate(cores):
+                break
+            self._idle.remove(worker)
+            self.celar.terminate(worker.vm)
+            self.reaped += 1
+        return tier.can_allocate(cores)

@@ -1,0 +1,28 @@
+"""The evaluation harness.
+
+Everything Section IV needs: single simulation sessions, repeated runs
+with the paper's mean +/- 1 sigma convention, the Table I parameter sweep,
+and plain-text reporters that regenerate each table/figure's rows.
+
+- :mod:`repro.sim.session` -- build-and-run one simulated SCAN deployment.
+- :mod:`repro.sim.metrics` -- the per-session result record.
+- :mod:`repro.sim.sweep` -- parameter grids and repetition aggregation.
+- :mod:`repro.sim.report` -- ASCII table/series rendering.
+"""
+
+from repro.sim.metrics import SessionResult
+from repro.sim.session import SimulationSession, run_repetitions
+from repro.sim.sweep import SweepSpec, SweepRow, run_sweep
+from repro.sim.report import render_table, render_series, format_summary
+
+__all__ = [
+    "SessionResult",
+    "SimulationSession",
+    "run_repetitions",
+    "SweepSpec",
+    "SweepRow",
+    "run_sweep",
+    "render_table",
+    "render_series",
+    "format_summary",
+]

@@ -1,0 +1,84 @@
+"""Per-session result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any
+
+__all__ = ["SessionResult"]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Everything one simulation session reports.
+
+    The headline metrics map straight onto the paper's figures:
+
+    - ``mean_profit_per_run`` -- Figure 4's y-axis;
+    - ``reward_to_cost`` -- Figure 5's y-axis;
+    - ``mean_core_stages`` -- Figure 5's x-axis.
+    """
+
+    seed: int
+    duration: float
+    submitted_runs: int
+    completed_runs: int
+    total_reward: float
+    total_cost: float
+    mean_latency: float
+    mean_core_stages: float
+    private_core_tu: float
+    public_core_tu: float
+    private_utilization: float
+    hires_private: int
+    hires_public: int
+    repools: int
+    reaped: int
+    final_queue_depth: int
+    worker_failures: int = 0
+    task_retries: int = 0
+
+    @property
+    def profit(self) -> float:
+        return self.total_reward - self.total_cost
+
+    @property
+    def mean_profit_per_run(self) -> float:
+        if self.completed_runs == 0:
+            return 0.0
+        return self.profit / self.completed_runs
+
+    @property
+    def reward_to_cost(self) -> float:
+        if self.total_cost <= 0:
+            return 0.0
+        return self.total_reward / self.total_cost
+
+    @property
+    def completion_fraction(self) -> float:
+        if self.submitted_runs == 0:
+            return 1.0
+        return self.completed_runs / self.submitted_runs
+
+    def metrics(self) -> dict[str, float]:
+        """The numeric metrics used by repetition aggregation."""
+        return {
+            "completed_runs": float(self.completed_runs),
+            "total_reward": self.total_reward,
+            "total_cost": self.total_cost,
+            "profit": self.profit,
+            "mean_profit_per_run": self.mean_profit_per_run,
+            "reward_to_cost": self.reward_to_cost,
+            "mean_latency": self.mean_latency,
+            "mean_core_stages": self.mean_core_stages,
+            "private_utilization": self.private_utilization,
+            "public_core_tu": self.public_core_tu,
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """All fields plus derived metrics, JSON-friendly."""
+        out = asdict(self)
+        out["profit"] = self.profit
+        out["mean_profit_per_run"] = self.mean_profit_per_run
+        out["reward_to_cost"] = self.reward_to_cost
+        return out

@@ -1,0 +1,87 @@
+"""Plain-text table and series rendering for the evaluation outputs.
+
+Every benchmark prints through these helpers so the regenerated tables and
+figure series share one format: fixed-width columns, ``mean +/- std`` cells
+for repeated measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.analysis.stats import SummaryStats
+
+__all__ = ["render_table", "render_series", "format_summary"]
+
+
+def format_summary(stats: SummaryStats, precision: int = 1) -> str:
+    """``mean +/- std`` with the paper's one-sigma error bars."""
+    return f"{stats.mean:.{precision}f} +/- {stats.std:.{precision}f}"
+
+
+def _cell_text(value: Any, precision: int) -> str:
+    if isinstance(value, SummaryStats):
+        return format_summary(value, precision)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    if hasattr(value, "value"):  # enums
+        return str(value.value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    precision: int = 1,
+) -> str:
+    """A fixed-width ASCII table."""
+    text_rows = [
+        [_cell_text(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    title: str = "",
+    precision: int = 1,
+) -> str:
+    """A figure as a table: one x column, one column per series.
+
+    ``series`` maps a series name (e.g. a scaling function) to its y values
+    (floats or :class:`SummaryStats`), aligned with *x_values*.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[Any] = [x]
+        for name, values in series.items():
+            if len(values) != len(x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points for "
+                    f"{len(x_values)} x values"
+                )
+            row.append(values[i])
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,258 @@
+"""Build-and-run one simulated SCAN deployment.
+
+A session assembles the whole stack for one configuration -- simulated
+cloud, CELAR, reward function, allocation + scaling policies, scheduler,
+workload -- runs it for the configured duration and reports a
+:class:`~repro.sim.metrics.SessionResult`.
+
+Best-constant allocation computes its offline plan here (once per session)
+via :func:`~repro.scheduler.allocation.find_best_constant_plan`, exactly
+the "best single execution plan" baseline the paper compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.apps.base import ApplicationModel
+from repro.apps.registry import ApplicationRegistry, default_registry
+from repro.cloud.celar import CelarManager
+from repro.cloud.failures import FailureModel
+from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.core.config import AllocationAlgorithm, PlatformConfig
+from repro.core.events import EventLog
+from repro.desim.engine import Environment
+from repro.desim.rng import RandomStreams
+from repro.scheduler.allocation import (
+    find_best_constant_plan,
+    make_allocation_policy,
+)
+from repro.scheduler.rewards import make_reward
+from repro.scheduler.scaling import make_scaling_policy
+from repro.scheduler.scheduler import SCANScheduler
+from repro.sim.metrics import SessionResult
+from repro.workload.arrivals import ArrivalBatch, BatchArrivalProcess
+from repro.workload.jobs import JobFactory
+from repro.workload.traces import ArrivalTrace, replay_trace
+
+__all__ = ["SimulationSession", "run_repetitions"]
+
+
+class SimulationSession:
+    """One configured deployment, runnable against a seed or a trace."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        registry: Optional[ApplicationRegistry] = None,
+        capture_events: bool = False,
+        on_build: Optional[Callable[["SimulationSession"], None]] = None,
+        actual_app: Optional[ApplicationModel] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.registry = registry if registry is not None else default_registry()
+        self.capture_events = capture_events
+        self.on_build = on_build
+        self.app: ApplicationModel = self.registry.get(config.application)
+        #: Optional divergent execution model (profiling drift): planning
+        #: uses ``app``, execution uses this (see SCANScheduler.actual_app).
+        self.actual_app = actual_app
+        # The offline best-constant plan depends only on the configuration,
+        # so compute it once per session object.
+        self._constant_plan = None
+        if config.scheduler.allocation is AllocationAlgorithm.BEST_CONSTANT:
+            self._constant_plan = find_best_constant_plan(
+                self.app,
+                make_reward(config.reward),
+                core_cost=config.cloud.private_core_cost,
+                job_size=config.workload.job_size_mean,
+                thread_choices=config.scheduler.thread_choices,
+                input_gb=config.workload.job_size_mean
+                * config.workload.size_unit_gb,
+            )
+        # Populated by run(): the live scheduler of the most recent run.
+        self.scheduler: Optional[SCANScheduler] = None
+        self.event_log: Optional[EventLog] = None
+
+    # -- assembly ---------------------------------------------------------------
+    def _build(self, env: Environment, streams: RandomStreams) -> SCANScheduler:
+        cfg = self.config
+        infrastructure = Infrastructure(
+            env,
+            private_cores=cfg.cloud.private_cores,
+            private_cost=cfg.cloud.private_core_cost,
+            public_cores=cfg.cloud.public_cores,
+            public_cost=cfg.cloud.public_core_cost,
+        )
+        celar = CelarManager(
+            env,
+            infrastructure,
+            startup_penalty_tu=cfg.cloud.startup_penalty_tu,
+            allowed_sizes=cfg.cloud.instance_sizes,
+        )
+        reward = make_reward(cfg.reward)
+        allocation = make_allocation_policy(
+            cfg.scheduler.allocation, constant_plan=self._constant_plan
+        )
+        scaling = make_scaling_policy(
+            cfg.scheduler.scaling, horizon_tu=cfg.scheduler.predictive_horizon
+        )
+        failure_model = None
+        if cfg.cloud.vm_mtbf_tu is not None:
+            failure_model = FailureModel(
+                cfg.cloud.vm_mtbf_tu, streams.stream("failures")
+            )
+        self.event_log = EventLog(capture=self.capture_events)
+        scheduler = SCANScheduler(
+            env,
+            self.app,
+            infrastructure,
+            celar,
+            reward,
+            allocation,
+            scaling,
+            config=cfg.scheduler,
+            event_log=self.event_log,
+            actual_app=self.actual_app,
+            failure_model=failure_model,
+        )
+        scheduler.start()
+        self.scheduler = scheduler
+        if self.on_build is not None:
+            self.on_build(self)
+        return scheduler
+
+    # -- running -------------------------------------------------------------------
+    def run(self, seed: Optional[int] = None) -> SessionResult:
+        """Run one session with stochastic arrivals; returns its result."""
+        cfg = self.config
+        actual_seed = cfg.simulation.seed if seed is None else seed
+        streams = RandomStreams(actual_seed)
+        env = Environment()
+        scheduler = self._build(env, streams)
+
+        factory = JobFactory(self.app, size_unit_gb=cfg.workload.size_unit_gb)
+        arrivals = BatchArrivalProcess(cfg.workload, streams.stream("arrivals"))
+
+        def on_batch(batch: ArrivalBatch) -> None:
+            for job in factory.from_batch(batch):
+                scheduler.submit(job)
+
+        env.process(
+            arrivals.run(env, on_batch, until=cfg.simulation.duration)
+        )
+        snapshot = self._arm_warmup(env, scheduler)
+        env.run(until=cfg.simulation.duration)
+        return self._collect(scheduler, actual_seed, snapshot)
+
+    def run_trace(self, trace: ArrivalTrace, seed: int = 0) -> SessionResult:
+        """Run one session against a recorded trace (paired comparisons)."""
+        env = Environment()
+        scheduler = self._build(env, RandomStreams(seed))
+        factory = JobFactory(
+            self.app, size_unit_gb=self.config.workload.size_unit_gb
+        )
+
+        def on_batch(batch: ArrivalBatch) -> None:
+            for job in factory.from_batch(batch):
+                scheduler.submit(job)
+
+        env.process(replay_trace(env, trace, on_batch))
+        snapshot = self._arm_warmup(env, scheduler)
+        env.run(until=self.config.simulation.duration)
+        return self._collect(scheduler, seed, snapshot)
+
+    def _arm_warmup(self, env: Environment, scheduler: SCANScheduler):
+        """Schedule a state snapshot at the warmup boundary.
+
+        Steady-state metrics (``SimulationConfig.warmup > 0``) report the
+        post-warmup *delta*: reward, cost and completions accumulated
+        during the transient are excluded.
+        """
+        warmup = self.config.simulation.warmup
+        if warmup <= 0:
+            return None
+        snapshot: dict = {}
+
+        def take(_event) -> None:
+            infra = scheduler.infrastructure
+            snapshot.update(
+                reward=scheduler.total_reward,
+                cost=scheduler.total_cost(),
+                completed=len(scheduler.completed_jobs),
+                submitted=len(scheduler.submitted_jobs),
+                private_core_tu=infra.private.core_tu_consumed(),
+                public_core_tu=infra.public.core_tu_consumed(),
+            )
+
+        timer = env.timeout(warmup)
+        timer.callbacks.append(take)
+        return snapshot
+
+    def _collect(
+        self,
+        scheduler: SCANScheduler,
+        seed: int,
+        snapshot: "dict | None" = None,
+    ) -> SessionResult:
+        infra = scheduler.infrastructure
+        pools = scheduler.pools
+        duration = self.config.simulation.duration
+        base = snapshot or {}
+        reward0 = base.get("reward", 0.0)
+        cost0 = base.get("cost", 0.0)
+        completed0 = base.get("completed", 0)
+        submitted0 = base.get("submitted", 0)
+        warm_jobs = scheduler.completed_jobs[completed0:]
+        if warm_jobs:
+            mean_latency = sum(j.latency() for j in warm_jobs) / len(warm_jobs)
+            mean_core_stages = sum(j.core_stages() for j in warm_jobs) / len(
+                warm_jobs
+            )
+        else:
+            mean_latency = float("nan")
+            mean_core_stages = 0.0
+        return SessionResult(
+            seed=seed,
+            duration=duration,
+            submitted_runs=len(scheduler.submitted_jobs) - submitted0,
+            completed_runs=len(scheduler.completed_jobs) - completed0,
+            total_reward=scheduler.total_reward - reward0,
+            total_cost=scheduler.total_cost() - cost0,
+            mean_latency=mean_latency,
+            mean_core_stages=mean_core_stages,
+            private_core_tu=infra.private.core_tu_consumed()
+            - base.get("private_core_tu", 0.0),
+            public_core_tu=infra.public.core_tu_consumed()
+            - base.get("public_core_tu", 0.0),
+            private_utilization=infra.private.utilization(),
+            hires_private=pools.hires[TierName.PRIVATE],
+            hires_public=pools.hires[TierName.PUBLIC],
+            repools=pools.repools,
+            reaped=pools.reaped,
+            final_queue_depth=scheduler.queues.total_waiting(),
+            worker_failures=pools.failed,
+            task_retries=scheduler.task_retries,
+        )
+
+
+def run_repetitions(
+    config: PlatformConfig,
+    repetitions: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    registry: Optional[ApplicationRegistry] = None,
+) -> list[SessionResult]:
+    """Run the paper's repeated measurements (default: config's 10 reps).
+
+    Repetition *k* uses seed ``base_seed + k``, so two configurations run
+    with the same base seed see identical arrival processes per repetition
+    (common random numbers).
+    """
+    config.validate()
+    n = config.simulation.repetitions if repetitions is None else repetitions
+    if n < 1:
+        raise ValueError("repetitions must be >= 1")
+    seed0 = config.simulation.seed if base_seed is None else base_seed
+    session = SimulationSession(config, registry=registry)
+    return [session.run(seed=seed0 + k) for k in range(n)]

@@ -1,0 +1,156 @@
+"""Parameter sweeps over the Table I grid.
+
+"We ran a number of simulation sessions, varying the parameters shown in
+Table I ... We explored all permutations of resource allocation algorithm,
+horizontal scaling algorithm, reward scheme and workload" (Section IV).
+
+:func:`run_sweep` executes a :class:`SweepSpec` -- any subset of the Table I
+axes -- with N repetitions per cell, aggregating each metric into the
+paper's mean +/- 1 sigma form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.analysis.stats import SummaryStats, aggregate_runs
+from repro.apps.registry import ApplicationRegistry
+from repro.core.config import (
+    AllocationAlgorithm,
+    PlatformConfig,
+    RewardScheme,
+    ScalingAlgorithm,
+)
+from repro.sim.session import run_repetitions
+
+__all__ = ["SweepSpec", "SweepRow", "run_sweep", "TABLE1_FULL"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The axes to sweep; each defaults to a single (paper-default) value."""
+
+    allocation: tuple[AllocationAlgorithm, ...] = (AllocationAlgorithm.GREEDY,)
+    scaling: tuple[ScalingAlgorithm, ...] = (ScalingAlgorithm.PREDICTIVE,)
+    mean_interarrival: tuple[float, ...] = (2.5,)
+    reward_scheme: tuple[RewardScheme, ...] = (RewardScheme.TIME,)
+    public_core_cost: tuple[float, ...] = (50.0,)
+
+    def cells(self) -> Iterator[dict[str, Any]]:
+        """All grid cells as parameter dicts."""
+        for alloc, scale, interval, scheme, cost in itertools.product(
+            self.allocation,
+            self.scaling,
+            self.mean_interarrival,
+            self.reward_scheme,
+            self.public_core_cost,
+        ):
+            yield {
+                "allocation": alloc,
+                "scaling": scale,
+                "mean_interarrival": interval,
+                "reward_scheme": scheme,
+                "public_core_cost": cost,
+            }
+
+    def size(self) -> int:
+        """Number of grid cells."""
+        return (
+            len(self.allocation)
+            * len(self.scaling)
+            * len(self.mean_interarrival)
+            * len(self.reward_scheme)
+            * len(self.public_core_cost)
+        )
+
+
+#: The complete Table I grid, exactly as printed.
+TABLE1_FULL = SweepSpec(
+    allocation=(
+        AllocationAlgorithm.GREEDY,
+        AllocationAlgorithm.LONG_TERM,
+        AllocationAlgorithm.LONG_TERM_ADAPTIVE,
+        AllocationAlgorithm.BEST_CONSTANT,
+    ),
+    scaling=(
+        ScalingAlgorithm.ALWAYS,
+        ScalingAlgorithm.NEVER,
+        ScalingAlgorithm.PREDICTIVE,
+    ),
+    mean_interarrival=tuple(round(2.0 + 0.1 * i, 1) for i in range(11)),
+    reward_scheme=(RewardScheme.TIME, RewardScheme.THROUGHPUT),
+    public_core_cost=(20.0, 50.0, 80.0, 110.0),
+)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid cell's parameters and aggregated metrics."""
+
+    params: dict[str, Any]
+    metrics: dict[str, SummaryStats]
+    repetitions: int
+
+    def __getitem__(self, metric: str) -> SummaryStats:
+        return self.metrics[metric]
+
+    def param(self, name: str) -> Any:
+        """One of the cell's swept parameter values."""
+        return self.params[name]
+
+    def as_flat_dict(self) -> dict[str, Any]:
+        """Parameters plus mean/std per metric, flat."""
+        out: dict[str, Any] = {
+            k: getattr(v, "value", v) for k, v in self.params.items()
+        }
+        for name, stats in self.metrics.items():
+            out[f"{name}_mean"] = stats.mean
+            out[f"{name}_std"] = stats.std
+        return out
+
+
+def apply_cell(base: PlatformConfig, cell: dict[str, Any]) -> PlatformConfig:
+    """Overlay one grid cell's parameters onto *base*."""
+    return base.with_overrides(
+        scheduler={
+            "allocation": cell["allocation"],
+            "scaling": cell["scaling"],
+        },
+        workload={"mean_interarrival": cell["mean_interarrival"]},
+        reward={"scheme": cell["reward_scheme"]},
+        cloud={"public_core_cost": cell["public_core_cost"]},
+    )
+
+
+def run_sweep(
+    base: PlatformConfig,
+    spec: SweepSpec,
+    repetitions: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    registry: Optional[ApplicationRegistry] = None,
+    progress: Optional[Any] = None,
+) -> list[SweepRow]:
+    """Run every cell of *spec*; returns one aggregated row per cell.
+
+    ``progress``, if given, is called with ``(done, total, cell)`` after
+    each cell -- handy for long sweeps.
+    """
+    rows: list[SweepRow] = []
+    total = spec.size()
+    for done, cell in enumerate(spec.cells(), start=1):
+        config = apply_cell(base, cell)
+        results = run_repetitions(
+            config,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            registry=registry,
+        )
+        metrics = aggregate_runs([r.metrics() for r in results])
+        rows.append(
+            SweepRow(params=dict(cell), metrics=metrics, repetitions=len(results))
+        )
+        if progress is not None:
+            progress(done, total, cell)
+    return rows

@@ -1,0 +1,37 @@
+"""Multi-application analysis workflows (the paper's Figure 1).
+
+"Genome analysis normally encompasses a chain of various biological
+applications" (Section I); SCAN is "an integrative application platform
+which supports four types of data processes" (Section III) whose data flow
+(Figure 1) fans NGS, proteomics and imaging branches into an integrative
+network analysis.
+
+- :mod:`repro.workflows.spec` -- workflow DAGs over registered
+  applications, with format-compatibility and acyclicity validation.
+- :mod:`repro.workflows.engine` -- executes a workflow on the simulated
+  cloud: one SCAN scheduler per application class, all sharing the
+  infrastructure; a step is submitted the moment its upstream outputs
+  exist.
+- :mod:`repro.workflows.library` -- ready-made workflows: the Figure 1
+  integrative flow, variant-detection and miRNA-fusion chains (the
+  ontology's workflow individuals, made executable).
+"""
+
+from repro.workflows.spec import WorkflowSpec, WorkflowStep, WorkflowError
+from repro.workflows.engine import WorkflowEngine, WorkflowRun
+from repro.workflows.library import (
+    variation_detection_workflow,
+    mirna_fusion_workflow,
+    integrative_figure1_workflow,
+)
+
+__all__ = [
+    "WorkflowSpec",
+    "WorkflowStep",
+    "WorkflowError",
+    "WorkflowEngine",
+    "WorkflowRun",
+    "variation_detection_workflow",
+    "mirna_fusion_workflow",
+    "integrative_figure1_workflow",
+]

@@ -1,0 +1,93 @@
+"""Ready-made workflows matching the paper's named analyses.
+
+The SCAN ontology declares "over 10 different genome analysis workflows";
+this module makes the headline ones executable:
+
+- :func:`variation_detection_workflow` -- the paper's main chain:
+  BWA alignment then the 7-stage GATK variant discovery (Figure 1's
+  "Gene alignment -> Gene variation detection").
+- :func:`mirna_fusion_workflow` -- alignment, somatic calling against a
+  matched normal, integrative interpretation.
+- :func:`integrative_figure1_workflow` -- the full Figure 1 fan-in: the
+  NGS branch (BWA -> GATK), the proteomics branch (MaxQuant) and the
+  imaging branch (CellProfiler) converging on Cytoscape
+  ("Genotype2phenotype").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.registry import ApplicationRegistry
+from repro.workflows.spec import WorkflowSpec, WorkflowStep
+
+__all__ = [
+    "variation_detection_workflow",
+    "mirna_fusion_workflow",
+    "integrative_figure1_workflow",
+]
+
+
+def variation_detection_workflow(
+    registry: Optional[ApplicationRegistry] = None,
+) -> WorkflowSpec:
+    """FASTQ reads -> aligned BAM -> VCF of suspected mutations."""
+    return WorkflowSpec(
+        name="VariationDetection",
+        steps=[
+            # Alignment roughly preserves data volume (SAM ~ FASTQ); the
+            # caller reduces it drastically.
+            WorkflowStep("align", "bwa", output_ratio=1.0),
+            WorkflowStep("call", "gatk", output_ratio=0.01),
+        ],
+        edges=[("align", "call")],
+        registry=registry,
+    )
+
+
+def mirna_fusion_workflow(
+    registry: Optional[ApplicationRegistry] = None,
+) -> WorkflowSpec:
+    """Tumour/normal fusion detection: align both, somatic call, integrate."""
+    return WorkflowSpec(
+        name="MiRNAFusionDetection",
+        steps=[
+            WorkflowStep("align_tumour", "bwa", output_ratio=1.0),
+            WorkflowStep("align_normal", "bwa", output_ratio=1.0),
+            WorkflowStep("somatic", "mutect", output_ratio=0.005),
+            WorkflowStep("interpret", "cytoscape", output_ratio=0.5),
+        ],
+        edges=[
+            ("align_tumour", "somatic"),
+            ("align_normal", "somatic"),
+            ("somatic", "interpret"),
+        ],
+        registry=registry,
+    )
+
+
+def integrative_figure1_workflow(
+    registry: Optional[ApplicationRegistry] = None,
+) -> WorkflowSpec:
+    """The full Figure 1 data flow: three omics branches -> integration.
+
+    NGS (Illumina HiSeq) -> BWA -> GATK; mass spectrometry -> MaxQuant;
+    microscopy -> CellProfiler; everything -> Cytoscape.
+    """
+    return WorkflowSpec(
+        name="IntegrativeNetworkAnalysis",
+        steps=[
+            WorkflowStep("align", "bwa", output_ratio=1.0),
+            WorkflowStep("variants", "gatk", output_ratio=0.01),
+            WorkflowStep("peptides", "maxquant", output_ratio=0.05),
+            WorkflowStep("phenotypes", "cellprofiler", output_ratio=0.002),
+            WorkflowStep("integrate", "cytoscape", output_ratio=0.1),
+        ],
+        edges=[
+            ("align", "variants"),
+            ("variants", "integrate"),
+            ("peptides", "integrate"),
+            ("phenotypes", "integrate"),
+        ],
+        registry=registry,
+    )

@@ -1,0 +1,53 @@
+"""Job construction for arrival batches."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.apps.base import ApplicationModel
+from repro.scheduler.tasks import Job
+from repro.workload.arrivals import ArrivalBatch
+
+__all__ = ["JobFactory"]
+
+
+class JobFactory:
+    """Builds :class:`~repro.scheduler.tasks.Job` objects for one app."""
+
+    def __init__(
+        self,
+        app: ApplicationModel,
+        name_prefix: str = "",
+        size_unit_gb: float = 1.0,
+    ) -> None:
+        if size_unit_gb <= 0:
+            raise ValueError("size_unit_gb must be positive")
+        self.app = app
+        self.name_prefix = name_prefix or app.name
+        self.size_unit_gb = size_unit_gb
+        self._counter = 0
+
+    @property
+    def created(self) -> int:
+        return self._counter
+
+    def make_job(self, size: float, submit_time: float) -> Job:
+        """One job of *size* units submitted at *submit_time*."""
+        self._counter += 1
+        return Job(
+            app=self.app,
+            size=size,
+            submit_time=submit_time,
+            name=f"{self.name_prefix}-{self._counter:05d}",
+            input_gb=size * self.size_unit_gb,
+        )
+
+    def from_batch(self, batch: ArrivalBatch) -> list[Job]:
+        """One job per size in the batch, submitted at the batch time."""
+        return [self.make_job(size, batch.time) for size in batch.sizes]
+
+    def from_sizes(
+        self, sizes: Iterable[float], submit_time: float
+    ) -> list[Job]:
+        """One job per size, all at *submit_time*."""
+        return [self.make_job(s, submit_time) for s in sizes]

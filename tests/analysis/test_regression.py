@@ -1,0 +1,73 @@
+"""Tests for OLS fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regression import fit_affine_multi, fit_linear
+
+
+class TestFitLinear:
+    def test_exact_line_recovered(self):
+        fit = fit_linear([1, 2, 3, 4], [5, 7, 9, 11])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.residual_std == pytest.approx(0.0, abs=1e-9)
+
+    def test_table2_stage_recovered_from_samples(self):
+        # Stage 4 of Table II: a=3.35, b=0.53.
+        x = np.arange(1.0, 10.0)
+        y = 3.35 * x + 0.53
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(3.35)
+        assert fit.intercept == pytest.approx(0.53)
+
+    def test_noisy_fit_close_and_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(1, 9, 40)
+        y = 2.0 * x + 1.0 + rng.normal(0, 0.1, size=40)
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(2.0, abs=0.05)
+        assert fit.intercept == pytest.approx(1.0, abs=0.3)
+        assert 0.99 < fit.r_squared < 1.0
+        assert fit.residual_std == pytest.approx(0.1, abs=0.05)
+
+    def test_predict_and_call(self):
+        fit = fit_linear([0, 1], [1, 3])
+        assert fit(2.0) == pytest.approx(5.0)
+        assert np.allclose(fit.predict(np.array([0.0, 2.0])), [1.0, 5.0])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([2, 2, 2], [1, 2, 3])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2, 3], [1, 2])
+
+    def test_constant_y_gives_unit_r2(self):
+        fit = fit_linear([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0
+
+
+class TestFitAffineMulti:
+    def test_two_feature_plane_recovered(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 10, size=(50, 2))
+        y = 1.5 * X[:, 0] - 0.5 * X[:, 1] + 4.0
+        coef, intercept = fit_affine_multi(X, y)
+        assert np.allclose(coef, [1.5, -0.5])
+        assert intercept == pytest.approx(4.0)
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            fit_affine_multi(np.ones((2, 2)), [1.0, 2.0])
+
+    def test_wrong_dims_rejected(self):
+        with pytest.raises(ValueError):
+            fit_affine_multi(np.ones(5), [1] * 5)

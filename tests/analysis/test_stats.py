@@ -1,0 +1,131 @@
+"""Tests for summary statistics and cross-run aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    RunningStats,
+    aggregate_runs,
+    confidence_interval,
+    mean_std,
+    summarize,
+    welford,
+    _normal_quantile,
+)
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.n == 3
+        assert s.minimum == 2.0 and s.maximum == 6.0
+
+    def test_error_bars_are_one_sigma(self):
+        s = summarize([1.0, 3.0])
+        assert s.lower == pytest.approx(s.mean - s.std)
+        assert s.upper == pytest.approx(s.mean + s.std)
+
+    def test_single_value_has_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+    def test_mean_std_convenience(self):
+        mean, std = mean_std([10.0, 20.0, 30.0])
+        assert mean == pytest.approx(20.0)
+        assert std == pytest.approx(10.0)
+
+
+class TestAggregateRuns:
+    def test_paper_convention_ten_repetitions(self):
+        runs = [{"profit": float(i)} for i in range(10)]
+        agg = aggregate_runs(runs)
+        assert agg["profit"].n == 10
+        assert agg["profit"].mean == pytest.approx(4.5)
+
+    def test_multiple_metrics(self):
+        runs = [
+            {"profit": 1.0, "latency": 10.0},
+            {"profit": 3.0, "latency": 30.0},
+        ]
+        agg = aggregate_runs(runs)
+        assert set(agg) == {"profit", "latency"}
+        assert agg["latency"].mean == 20.0
+
+    def test_mismatched_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([{"a": 1.0}, {"b": 2.0}])
+
+    def test_no_runs_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_mean(self):
+        lo, hi = confidence_interval([1.0, 2.0, 3.0, 4.0], level=0.95)
+        assert lo < 2.5 < hi
+
+    def test_single_point_degenerate(self):
+        assert confidence_interval([7.0]) == (7.0, 7.0)
+
+    def test_higher_level_wider(self):
+        data = list(range(20))
+        lo90, hi90 = confidence_interval(data, 0.90)
+        lo99, hi99 = confidence_interval(data, 0.99)
+        assert hi99 - lo99 > hi90 - lo90
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=1.5)
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should cover the true mean."""
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=30)
+            lo, hi = confidence_interval(sample.tolist(), 0.95)
+            if lo <= 10.0 <= hi:
+                hits += 1
+        assert hits / trials > 0.88
+
+
+class TestRunningStats:
+    def test_matches_batch_statistics(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(5.0, 3.0, size=500)
+        rs = welford()
+        for x in data:
+            rs.push(float(x))
+        assert rs.n == 500
+        assert rs.mean == pytest.approx(float(np.mean(data)))
+        assert rs.std == pytest.approx(float(np.std(data, ddof=1)), rel=1e-9)
+
+    def test_empty_stats(self):
+        rs = RunningStats()
+        assert math.isnan(rs.mean)
+        assert rs.variance == 0.0
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "p,z", [(0.5, 0.0), (0.975, 1.959964), (0.025, -1.959964), (0.999, 3.090232)]
+    )
+    def test_known_quantiles(self, p, z):
+        assert _normal_quantile(p) == pytest.approx(z, abs=1e-5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)

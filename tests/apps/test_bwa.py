@@ -1,0 +1,99 @@
+"""Tests for the miniature seed-and-extend aligner."""
+
+import pytest
+
+from repro.apps.bwa import AlignerConfig, SeedAndExtendAligner, build_bwa_model
+from repro.genomics.formats.fastq import FastqRecord
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.synth import ReadSimulator
+
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return ReferenceGenome.synthesize(seed=31, chromosome_lengths=(4000, 2000))
+
+
+@pytest.fixture(scope="module")
+def aligner(ref):
+    return SeedAndExtendAligner(ref)
+
+
+def read_from(ref, chrom, pos, length=80, name="q"):
+    seq = ref.fetch(chrom, pos, pos + length)
+    return FastqRecord(name, seq, "I" * length)
+
+
+class TestModel:
+    def test_three_stages_fastq_to_sam(self):
+        model = build_bwa_model()
+        assert model.n_stages == 3
+        assert model.input_format.value == "fastq"
+        assert model.output_format.value == "sam"
+        # Alignment proper is highly parallel.
+        assert model.stage(1).c > 0.9
+
+
+class TestAlignment:
+    def test_exact_read_maps_to_origin(self, ref, aligner):
+        rec = aligner.align_read(read_from(ref, "chr1", 1234))
+        assert rec.is_mapped
+        assert rec.rname == "chr1"
+        assert rec.pos == 1235  # SAM 1-based
+        assert rec.mapq == 60
+        assert str(rec.cigar) == "80M"
+
+    def test_read_with_mismatches_still_maps(self, ref, aligner):
+        seq = ref.fetch("chr1", 500, 580)
+        mutated = "T" + seq[1:40] + ("A" if seq[40] != "A" else "C") + seq[41:]
+        assert len(mutated) == 80
+        rec = aligner.align_read(FastqRecord("q", mutated, "I" * 80))
+        assert rec.is_mapped
+        assert rec.pos == 501
+        assert rec.mapq < 60  # mismatches lower confidence
+
+    def test_reverse_complement_read_maps(self, ref, aligner):
+        seq = ref.fetch("chr2", 300, 380)
+        rc = seq[::-1].translate(_COMPLEMENT)
+        rec = aligner.align_read(FastqRecord("q", rc, "I" * 80))
+        assert rec.is_mapped
+        assert rec.rname == "chr2"
+        assert rec.pos == 301
+        assert rec.is_reverse
+
+    def test_random_garbage_is_unmapped(self, aligner):
+        rec = aligner.align_read(FastqRecord("junk", "ACGT" * 20, "I" * 80))
+        # Either unmapped or (rarely) coincidentally matched; require flag
+        # consistency rather than unmappedness.
+        if not rec.is_mapped:
+            assert rec.rname == "*" and rec.pos == 0
+
+    def test_nm_tag_reports_mismatches(self, ref, aligner):
+        seq = ref.fetch("chr1", 100, 180)
+        mutated = seq[:50] + ("G" if seq[50] != "G" else "T") + seq[51:]
+        rec = aligner.align_read(FastqRecord("q", mutated, "I" * 80))
+        assert "NM:i:1" in rec.tags
+
+    def test_align_batch_coordinate_sorted(self, ref, aligner):
+        reads = [read_from(ref, "chr1", p, name=f"q{p}") for p in (900, 10, 400)]
+        header, records = aligner.align(reads)
+        assert header.sort_order == "coordinate"
+        positions = [r.pos for r in records if r.is_mapped]
+        assert positions == sorted(positions)
+        assert header.references == ref.contig_table()
+
+    def test_simulated_reads_mostly_map_to_truth(self, ref):
+        sim = ReadSimulator(ref, seed=32, read_length=80, base_error_rate=0.002)
+        reads = sim.simulate_reads(150)
+        aligner = SeedAndExtendAligner(ref)
+        correct = 0
+        for read in reads:
+            rec = aligner.align_read(read.record)
+            if rec.is_mapped and rec.rname == read.chrom and rec.pos == read.pos + 1:
+                correct += 1
+        assert correct / len(reads) > 0.95
+
+    def test_seed_length_validated(self, ref):
+        with pytest.raises(ValueError):
+            SeedAndExtendAligner(ref, AlignerConfig(seed_length=4))

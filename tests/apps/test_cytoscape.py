@@ -1,0 +1,90 @@
+"""Tests for the network integrator."""
+
+import pytest
+
+from repro.apps.cytoscape import NetworkIntegrator, build_cytoscape_model
+
+
+@pytest.fixture
+def integrator():
+    edges = [
+        ("TP53", "MDM2"),
+        ("TP53", "ATM"),
+        ("MDM2", "AKT1"),
+        ("BRCA1", "ATM"),
+    ]
+    return NetworkIntegrator(edges, damping=0.5)
+
+
+class TestGraph:
+    def test_adjacency_undirected(self, integrator):
+        assert "TP53" in integrator.neighbors("MDM2")
+        assert "MDM2" in integrator.neighbors("TP53")
+
+    def test_self_loops_dropped(self):
+        ni = NetworkIntegrator([("A", "A"), ("A", "B")])
+        assert ni.neighbors("A") == {"B"}
+
+    def test_genes_set(self, integrator):
+        assert integrator.genes == {"TP53", "MDM2", "ATM", "AKT1", "BRCA1"}
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkIntegrator([], damping=2.0)
+
+
+class TestEvidence:
+    def test_own_score_sums_channels(self, integrator):
+        integrator.add_evidence("mutations", {"TP53": 3.0})
+        integrator.add_evidence("expression", {"TP53": 1.5})
+        assert integrator.own_score("TP53") == pytest.approx(4.5)
+
+    def test_same_channel_accumulates(self, integrator):
+        integrator.add_evidence("mutations", {"TP53": 1.0})
+        integrator.add_evidence("mutations", {"TP53": 2.0})
+        assert integrator.own_score("TP53") == pytest.approx(3.0)
+
+    def test_negative_evidence_rejected(self, integrator):
+        with pytest.raises(ValueError):
+            integrator.add_evidence("x", {"TP53": -1.0})
+
+    def test_neighbour_smoothing(self, integrator):
+        integrator.add_evidence("mutations", {"TP53": 4.0})
+        scores = {g.gene: g.score for g in integrator.integrated_scores()}
+        # TP53 itself: 4.0; neighbours MDM2/ATM get damped 2.0.
+        assert scores["TP53"] == pytest.approx(4.0)
+        assert scores["MDM2"] == pytest.approx(2.0)
+        assert scores["ATM"] == pytest.approx(2.0)
+        assert scores["AKT1"] == pytest.approx(0.0)
+
+    def test_ranking_deterministic_ties_by_name(self, integrator):
+        integrator.add_evidence("m", {"TP53": 1.0})
+        ranked = integrator.integrated_scores()
+        # MDM2 and ATM tie at 0.5: alphabetical order breaks the tie.
+        tied = [g.gene for g in ranked if g.score == pytest.approx(0.5)]
+        assert tied == sorted(tied)
+
+    def test_top_module(self, integrator):
+        integrator.add_evidence("m", {"TP53": 5.0, "BRCA1": 1.0})
+        module = integrator.top_module(2)
+        assert module[0].gene == "TP53"
+        assert len(module) == 2
+        with pytest.raises(ValueError):
+            integrator.top_module(0)
+
+    def test_evidence_for_gene_off_graph_kept(self, integrator):
+        integrator.add_evidence("m", {"NOVEL": 2.0})
+        scores = {g.gene: g.score for g in integrator.integrated_scores()}
+        assert scores["NOVEL"] == pytest.approx(2.0)
+
+    def test_sources_recorded(self, integrator):
+        integrator.add_evidence("mutations", {"TP53": 1.0})
+        integrator.add_evidence("expression", {"TP53": 1.0})
+        (top,) = integrator.top_module(1)
+        assert top.sources == ("expression", "mutations")
+
+
+def test_model_shape():
+    model = build_cytoscape_model()
+    assert model.n_stages == 2
+    assert model.name == "cytoscape"

@@ -1,0 +1,79 @@
+"""Tests for the somatic (tumour vs. normal) caller."""
+
+import pytest
+
+from repro.apps.mutect import SomaticCaller, build_mutect_model
+from repro.genomics.formats.sam import Cigar, SamRecord
+from repro.genomics.reference import ReferenceGenome
+
+
+@pytest.fixture
+def ref():
+    return ReferenceGenome.synthesize(seed=41, chromosome_lengths=(600,))
+
+
+def pileup_reads(ref, center, mutate=False, n=10, length=50):
+    reads = []
+    for i, start in enumerate(range(center - 45, center - 5, 4)):
+        seq = ref.fetch("chr1", start, start + length)
+        if mutate:
+            offset = center - start
+            original = seq[offset]
+            alt = "T" if original != "T" else "G"
+            seq = seq[:offset] + alt + seq[offset + 1 :]
+        reads.append(
+            SamRecord(
+                qname=f"r{center}-{i}",
+                flag=0,
+                rname="chr1",
+                pos=start + 1,
+                mapq=60,
+                cigar=Cigar.parse(f"{length}M"),
+                seq=seq,
+                qual="I" * length,
+            )
+        )
+    return reads
+
+
+class TestModel:
+    def test_four_stages(self):
+        model = build_mutect_model()
+        assert model.n_stages == 4
+        assert model.worker_class == "mutect"
+
+
+class TestSomaticCalling:
+    def test_tumour_only_variant_is_somatic(self, ref):
+        tumour = pileup_reads(ref, 200, mutate=True)
+        normal = pileup_reads(ref, 200, mutate=False)
+        calls = SomaticCaller(ref).call_somatic(tumour, normal)
+        assert len(calls) == 1
+        assert calls[0].pos == 201
+        assert "SOMATIC" in calls[0].info
+
+    def test_germline_variant_suppressed(self, ref):
+        # Variant present in BOTH tumour and normal: germline, not somatic.
+        tumour = pileup_reads(ref, 200, mutate=True)
+        normal = pileup_reads(ref, 200, mutate=True)
+        calls = SomaticCaller(ref).call_somatic(tumour, normal)
+        assert calls == []
+
+    def test_clean_sample_no_calls(self, ref):
+        tumour = pileup_reads(ref, 200, mutate=False)
+        normal = pileup_reads(ref, 200, mutate=False)
+        assert SomaticCaller(ref).call_somatic(tumour, normal) == []
+
+    def test_multiple_sites_mixed(self, ref):
+        tumour = pileup_reads(ref, 150, mutate=True) + pileup_reads(
+            ref, 400, mutate=True
+        )
+        normal = pileup_reads(ref, 150, mutate=True) + pileup_reads(
+            ref, 400, mutate=False
+        )
+        calls = SomaticCaller(ref).call_somatic(tumour, normal)
+        assert [c.pos for c in calls] == [401]
+
+    def test_bad_threshold_rejected(self, ref):
+        with pytest.raises(ValueError):
+            SomaticCaller(ref, normal_max_alt_fraction=1.0)

@@ -1,0 +1,57 @@
+"""Tests for the application registry."""
+
+import pytest
+
+from repro.apps.base import ApplicationModel, StageModel
+from repro.apps.registry import ApplicationRegistry, default_registry
+from repro.genomics.datasets import DataFormat
+
+
+class TestDefaultRegistry:
+    def test_all_paper_tools_registered(self, registry):
+        expected = {"gatk", "bwa", "mutect", "maxquant", "cellprofiler", "cytoscape"}
+        assert set(registry.names()) == expected
+
+    def test_get_returns_cached_instance(self, registry):
+        assert registry.get("gatk") is registry.get("gatk")
+
+    def test_contains(self, registry):
+        assert "gatk" in registry
+        assert "nonexistent" not in registry
+
+    def test_unknown_app_error_lists_known(self, registry):
+        with pytest.raises(KeyError, match="gatk"):
+            registry.get("nope")
+
+
+class TestCustomRegistration:
+    def make_model(self, name):
+        return ApplicationModel(
+            name=name,
+            stages=(StageModel(0, "only", 1.0, 0.0, 0.5),),
+            input_format=DataFormat.CSV,
+            output_format=DataFormat.CSV,
+        )
+
+    def test_register_and_get(self):
+        reg = ApplicationRegistry()
+        reg.register("custom", lambda: self.make_model("custom"))
+        assert reg.get("custom").n_stages == 1
+
+    def test_reregistration_invalidates_cache(self):
+        reg = ApplicationRegistry()
+        reg.register("x", lambda: self.make_model("x"))
+        first = reg.get("x")
+        reg.register("x", lambda: self.make_model("x"))
+        assert reg.get("x") is not first
+
+    def test_name_mismatch_rejected(self):
+        reg = ApplicationRegistry()
+        reg.register("alias", lambda: self.make_model("other"))
+        with pytest.raises(ValueError):
+            reg.get("alias")
+
+    def test_empty_name_rejected(self):
+        reg = ApplicationRegistry()
+        with pytest.raises(ValueError):
+            reg.register("", lambda: self.make_model("x"))

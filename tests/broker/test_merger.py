@@ -1,0 +1,107 @@
+"""Tests for shard-output merging."""
+
+import pytest
+
+from repro.broker.merger import (
+    concatenate_fastq,
+    merge_descriptors,
+    merge_sam_outputs,
+    merge_vcf_outputs,
+)
+from repro.broker.sharders import shard_descriptor
+from repro.core.errors import BrokerError
+from repro.genomics.datasets import DataFormat, DatasetDescriptor
+from repro.genomics.formats.fastq import FastqRecord
+from repro.genomics.formats.sam import Cigar, SamHeader, SamRecord
+from repro.genomics.formats.vcf import VcfRecord
+
+
+class TestMergeDescriptors:
+    def test_shard_then_merge_conserves(self):
+        dataset = DatasetDescriptor.from_size("s", DataFormat.VCF, 12.0)
+        plan = shard_descriptor(dataset, 2.0)
+        merged = merge_descriptors(list(plan))
+        assert merged.size_gb == pytest.approx(12.0)
+        assert merged.records == dataset.records
+        assert merged.name == "s.merged"
+
+    def test_mixed_formats_rejected(self):
+        a = DatasetDescriptor.from_size("a", DataFormat.VCF, 1.0)
+        b = DatasetDescriptor.from_size("b", DataFormat.BAM, 1.0)
+        with pytest.raises(BrokerError):
+            merge_descriptors([a, b])
+
+    def test_explicit_format_override(self):
+        a = DatasetDescriptor.from_size("a", DataFormat.VCF, 1.0)
+        b = DatasetDescriptor.from_size("b", DataFormat.BAM, 1.0)
+        merged = merge_descriptors([a, b], name="out", format=DataFormat.VCF)
+        assert merged.format is DataFormat.VCF
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(BrokerError):
+            merge_descriptors([])
+
+    def test_unmergeable_format_rejected(self):
+        img = DatasetDescriptor.from_size("i", DataFormat.TIFF, 1.0)
+        with pytest.raises(BrokerError):
+            merge_descriptors([img])
+
+
+class TestMergeVcf:
+    def test_sorted_output(self):
+        out1 = [VcfRecord("chr2", 5, "A", "T"), VcfRecord("chr1", 9, "G", "C")]
+        out2 = [VcfRecord("chr1", 2, "A", "G")]
+        merged = merge_vcf_outputs([out1, out2])
+        assert [(r.chrom, r.pos) for r in merged] == [
+            ("chr1", 2), ("chr1", 9), ("chr2", 5),
+        ]
+
+    def test_duplicates_collapse_to_best_quality(self):
+        low = VcfRecord("chr1", 5, "A", "T", qual=10.0)
+        high = VcfRecord("chr1", 5, "A", "T", qual=90.0)
+        merged = merge_vcf_outputs([[low], [high]])
+        assert len(merged) == 1
+        assert merged[0].qual == 90.0
+
+    def test_distinct_alts_both_kept(self):
+        a = VcfRecord("chr1", 5, "A", "T")
+        b = VcfRecord("chr1", 5, "A", "G")
+        assert len(merge_vcf_outputs([[a], [b]])) == 2
+
+
+class TestMergeSam:
+    def make_output(self, positions, reference=("chr1", 1000)):
+        header = SamHeader(references=[reference])
+        records = [
+            SamRecord(
+                qname=f"r{p}", flag=0, rname=reference[0], pos=p, mapq=60,
+                cigar=Cigar.parse("2M"), seq="AC", qual="II",
+            )
+            for p in positions
+        ]
+        return header, records
+
+    def test_merge_coordinate_sorts(self):
+        out1 = self.make_output([500, 100])
+        out2 = self.make_output([300])
+        header, records = merge_sam_outputs([out1, out2])
+        assert [r.pos for r in records] == [100, 300, 500]
+        assert header.sort_order == "coordinate"
+
+    def test_reference_disagreement_rejected(self):
+        out1 = self.make_output([1])
+        out2 = self.make_output([1], reference=("chrX", 5))
+        with pytest.raises(BrokerError):
+            merge_sam_outputs([out1, out2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(BrokerError):
+            merge_sam_outputs([])
+
+
+class TestConcatenateFastq:
+    def test_order_preserved(self):
+        s1 = [FastqRecord("a", "AC", "II")]
+        s2 = [FastqRecord("b", "GT", "II"), FastqRecord("c", "AA", "II")]
+        merged = concatenate_fastq([s1, s2])
+        assert [r.name for r in merged] == ["a", "b", "c"]

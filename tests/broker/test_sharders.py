@@ -1,0 +1,161 @@
+"""Tests for the data sharders."""
+
+import pytest
+
+from repro.broker.sharders import (
+    shard_bam_bytes,
+    shard_descriptor,
+    shard_fastq_records,
+    shard_mgf_spectra,
+    shard_sam_records,
+    shard_vcf_records,
+    split_counts,
+)
+from repro.core.errors import BrokerError
+from repro.genomics.datasets import DataFormat, DatasetDescriptor
+from repro.genomics.formats.bam import read_bam, write_bam
+from repro.genomics.formats.fastq import FastqRecord
+from repro.genomics.formats.mgf import MgfSpectrum
+from repro.genomics.formats.sam import Cigar, SamHeader, SamRecord
+from repro.genomics.formats.vcf import VcfRecord
+
+
+class TestSplitCounts:
+    def test_even_split(self):
+        assert split_counts(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_goes_to_front(self):
+        assert split_counts(10, 3) == [4, 3, 3]
+
+    def test_all_shards_nonempty(self):
+        assert split_counts(5, 5) == [1, 1, 1, 1, 1]
+        with pytest.raises(BrokerError):
+            split_counts(3, 5)
+
+    def test_conservation(self):
+        for total, parts in [(97, 8), (1000, 7), (13, 13)]:
+            assert sum(split_counts(total, parts)) == total
+
+
+class TestShardDescriptor:
+    def test_paper_example_100gb_into_25(self):
+        """'divide a 100GB FASTQ file into 25 4GB files, and create 25
+        data analysis subtasks' (Section III-A.1.iii)."""
+        dataset = DatasetDescriptor.from_size("wgs", DataFormat.FASTQ, 100.0)
+        plan = shard_descriptor(dataset, shard_gb=4.0)
+        assert plan.n_shards == 25
+        for shard in plan:
+            assert shard.size_gb == pytest.approx(4.0, rel=0.01)
+            assert shard.parent == "wgs"
+
+    def test_sizes_and_records_conserved(self):
+        dataset = DatasetDescriptor.from_size("s", DataFormat.BAM, 17.3)
+        plan = shard_descriptor(dataset, shard_gb=2.0)
+        assert plan.total_size_gb() == pytest.approx(17.3)
+        assert plan.total_records() == dataset.records
+
+    def test_shard_indices_sequential(self):
+        dataset = DatasetDescriptor.from_size("s", DataFormat.BAM, 10.0)
+        plan = shard_descriptor(dataset, shard_gb=2.0)
+        assert [s.shard_index for s in plan] == list(range(plan.n_shards))
+
+    def test_small_dataset_single_shard(self):
+        dataset = DatasetDescriptor.from_size("tiny", DataFormat.BAM, 1.0)
+        plan = shard_descriptor(dataset, shard_gb=4.0)
+        assert plan.n_shards == 1
+        assert plan.shards[0].size_gb == pytest.approx(1.0)
+
+    def test_unshardable_format_rejected(self):
+        ref = DatasetDescriptor.from_size("ref", DataFormat.FASTA, 3.0)
+        with pytest.raises(BrokerError):
+            shard_descriptor(ref, 1.0)
+
+    def test_sharding_a_shard_rejected(self):
+        dataset = DatasetDescriptor.from_size("s", DataFormat.BAM, 10.0)
+        shard = next(iter(shard_descriptor(dataset, 2.0)))
+        with pytest.raises(BrokerError):
+            shard_descriptor(shard, 1.0)
+
+    def test_max_shards_enforced(self):
+        dataset = DatasetDescriptor.from_size("s", DataFormat.BAM, 100.0)
+        with pytest.raises(BrokerError):
+            shard_descriptor(dataset, 0.1, max_shards=100)
+
+    def test_bad_shard_size_rejected(self):
+        dataset = DatasetDescriptor.from_size("s", DataFormat.BAM, 10.0)
+        with pytest.raises(BrokerError):
+            shard_descriptor(dataset, 0.0)
+
+
+class TestRecordSharders:
+    def test_fastq_partition(self):
+        reads = [FastqRecord(f"r{i}", "ACGT", "IIII") for i in range(10)]
+        shards = shard_fastq_records(reads, 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        flattened = [r for shard in shards for r in shard]
+        assert flattened == reads
+
+    def test_sam_shards_carry_header(self):
+        header = SamHeader(references=[("chr1", 100)])
+        records = [
+            SamRecord(
+                qname=f"r{i}", flag=0, rname="chr1", pos=i + 1, mapq=60,
+                cigar=Cigar.parse("2M"), seq="AC", qual="II",
+            )
+            for i in range(6)
+        ]
+        shards = shard_sam_records(header, records, 2)
+        assert len(shards) == 2
+        for shard_header, shard_records in shards:
+            assert shard_header.references == header.references
+            assert len(shard_records) == 3
+
+    def test_vcf_and_mgf_partition(self):
+        vcfs = [VcfRecord("chr1", i + 1, "A", "T") for i in range(5)]
+        assert sum(len(s) for s in shard_vcf_records(vcfs, 2)) == 5
+        spectra = [
+            MgfSpectrum(title=f"s{i}", pepmass=100.0, charge=2)
+            for i in range(4)
+        ]
+        assert len(shard_mgf_spectra(spectra, 4)) == 4
+
+
+class TestBamSharder:
+    def make_bam(self, n_records=100, block_records=10):
+        header = SamHeader(references=[("chr1", 100_000)])
+        records = [
+            SamRecord(
+                qname=f"r{i}", flag=0, rname="chr1", pos=i + 1, mapq=60,
+                cigar=Cigar.parse("4M"), seq="ACGT", qual="IIII",
+            )
+            for i in range(n_records)
+        ]
+        return write_bam(header, records, block_records=block_records), records
+
+    def test_shards_partition_records(self):
+        blob, records = self.make_bam()
+        shards = shard_bam_bytes(blob, 4)
+        assert len(shards) == 4
+        recovered = []
+        for shard in shards:
+            _h, shard_records = read_bam(shard)
+            recovered.extend(shard_records)
+        assert recovered == records
+
+    def test_shard_at_block_granularity(self):
+        blob, _ = self.make_bam(n_records=100, block_records=10)
+        shards = shard_bam_bytes(blob, 3)
+        counts = [len(read_bam(s)[1]) for s in shards]
+        # 10 blocks split 4/3/3 -> 40/30/30 records.
+        assert counts == [40, 30, 30]
+
+    def test_more_shards_than_blocks_rejected(self):
+        blob, _ = self.make_bam(n_records=10, block_records=10)  # one block
+        with pytest.raises(BrokerError):
+            shard_bam_bytes(blob, 2)
+
+    def test_headers_propagate(self):
+        blob, _ = self.make_bam()
+        for shard in shard_bam_bytes(blob, 2):
+            header, _records = read_bam(shard)
+            assert header.references == [("chr1", 100_000)]

@@ -1,0 +1,49 @@
+"""Shared fixtures for the SCAN reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.gatk import build_gatk_model
+from repro.apps.registry import default_registry
+from repro.core.config import PlatformConfig
+from repro.desim.engine import Environment
+from repro.desim.rng import RandomStreams
+from repro.genomics.reference import ReferenceGenome
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams rooted at a fixed seed."""
+    return RandomStreams(12345)
+
+
+@pytest.fixture(scope="session")
+def gatk_model():
+    """The Table II GATK pipeline model (immutable; session-scoped)."""
+    return build_gatk_model()
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def paper_config() -> PlatformConfig:
+    """The exact Table III configuration."""
+    return PlatformConfig.paper_defaults()
+
+
+@pytest.fixture(scope="session")
+def small_reference() -> ReferenceGenome:
+    """A small deterministic reference genome for format/aligner tests."""
+    return ReferenceGenome.synthesize(
+        seed=7, chromosome_lengths=(6000, 4000)
+    )

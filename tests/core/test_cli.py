@@ -1,0 +1,91 @@
+"""Tests for the scan-sim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("run", "sweep", "submit", "serve", "table2"):
+            args = parser.parse_args(
+                [command] if command in ("table2",) else [command]
+            )
+            assert args.command == command
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.duration == 600.0
+        assert args.allocation == "greedy"
+        assert args.scaling == "predictive"
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--allocation", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def test_human_output(self, capsys):
+        code = main(["run", "--duration", "100", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed runs" in out
+        assert "mean profit per run" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main(["run", "--duration", "100", "--seed", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed_runs"] > 0
+        assert "mean_profit_per_run" in payload
+
+    def test_deterministic_across_invocations(self, capsys):
+        main(["run", "--duration", "100", "--seed", "5", "--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(["run", "--duration", "100", "--seed", "5", "--json"])
+        second = json.loads(capsys.readouterr().out)
+        assert first["total_reward"] == second["total_reward"]
+
+
+class TestSweep:
+    def test_sweep_prints_series(self, capsys):
+        code = main(
+            [
+                "sweep", "--duration", "80", "--repetitions", "1",
+                "--intervals", "2.2,2.8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "always" in out and "never" in out and "predictive" in out
+        assert "2.20" in out and "2.80" in out
+
+    def test_empty_intervals_error(self, capsys):
+        assert main(["sweep", "--intervals", ""]) == 2
+
+
+class TestSubmit:
+    def test_submit_small_analysis(self, capsys):
+        code = main(["submit", "--size-gb", "4", "--name", "cli-test"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "advice" in out
+        assert "latency" in out
+
+    def test_bad_format_error(self, capsys):
+        assert main(["submit", "--format", "weird"]) == 2
+
+
+class TestTable2:
+    def test_table2_prints_coefficients(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "HaplotypeCaller" in out
+        assert "17.86" in out  # stage 5's b_i

@@ -1,0 +1,145 @@
+"""Tests for the configuration dataclasses (Tables I and III)."""
+
+import pytest
+
+from repro.core.config import (
+    AllocationAlgorithm,
+    BrokerConfig,
+    CloudConfig,
+    PlatformConfig,
+    RewardConfig,
+    RewardScheme,
+    ScalingAlgorithm,
+    SchedulerConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestTable3Defaults:
+    """Every Table III constant must be the library default."""
+
+    def test_simulation_duration(self):
+        assert SimulationConfig().duration == 10_000.0
+
+    def test_private_tier(self):
+        cloud = CloudConfig()
+        assert cloud.private_core_cost == 5.0
+        assert cloud.private_cores == 624  # Section IV-A
+
+    def test_reward_constants(self):
+        reward = RewardConfig()
+        assert reward.rmax == 400.0
+        assert reward.rpenalty == 15.0
+        assert reward.rscale == 15_000.0
+
+    def test_instance_sizes(self):
+        assert CloudConfig().instance_sizes == (1, 2, 4, 8, 16)
+
+    def test_workload_moments(self):
+        w = WorkloadConfig()
+        assert w.jobs_per_arrival_mean == 3.0
+        assert w.jobs_per_arrival_var == 2.0
+        assert w.job_size_mean == 5.0
+        assert w.job_size_var == 1.0
+
+    def test_repetitions_default_ten(self):
+        assert SimulationConfig().repetitions == 10
+
+    def test_paper_defaults_validate(self):
+        PlatformConfig.paper_defaults()
+
+
+class TestValidation:
+    def test_bad_reward(self):
+        with pytest.raises(ConfigurationError):
+            RewardConfig(rmax=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            RewardConfig(rpenalty=-1.0).validate()
+
+    def test_bad_cloud(self):
+        with pytest.raises(ConfigurationError):
+            CloudConfig(private_cores=-1).validate()
+        with pytest.raises(ConfigurationError):
+            CloudConfig(instance_sizes=()).validate()
+        with pytest.raises(ConfigurationError):
+            CloudConfig(instance_sizes=(4, 2, 1)).validate()
+        with pytest.raises(ConfigurationError):
+            CloudConfig(startup_penalty_tu=-0.5).validate()
+
+    def test_bad_workload(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(mean_interarrival=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(size_unit_gb=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(job_size_var=-1.0).validate()
+
+    def test_bad_scheduler(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(eqt_alpha=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(predictive_horizon=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(thread_choices=(0,)).validate()
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(idle_timeout_tu=-1.0).validate()
+
+    def test_bad_broker(self):
+        with pytest.raises(ConfigurationError):
+            BrokerConfig(default_shard_gb=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            BrokerConfig(min_shard_gb=5.0, default_shard_gb=2.0).validate()
+
+    def test_bad_simulation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(duration=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(warmup=20_000.0).validate()
+
+    def test_platform_validates_recursively(self):
+        config = PlatformConfig(reward=RewardConfig(rmax=-1.0))
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(application="").validate()
+
+
+class TestOverrides:
+    def test_with_overrides_section_fields(self):
+        base = PlatformConfig.paper_defaults()
+        updated = base.with_overrides(
+            workload={"mean_interarrival": 2.0},
+            scheduler={"scaling": ScalingAlgorithm.ALWAYS},
+        )
+        assert updated.workload.mean_interarrival == 2.0
+        assert updated.scheduler.scaling is ScalingAlgorithm.ALWAYS
+        # Original untouched; unrelated fields preserved.
+        assert base.workload.mean_interarrival == 2.5
+        assert updated.workload.job_size_mean == 5.0
+
+    def test_with_overrides_whole_section(self):
+        base = PlatformConfig.paper_defaults()
+        updated = base.with_overrides(reward=RewardConfig(scheme=RewardScheme.THROUGHPUT))
+        assert updated.reward.scheme is RewardScheme.THROUGHPUT
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig().with_overrides(bogus={"x": 1})
+
+
+class TestEnums:
+    def test_table1_enumerations_complete(self):
+        # The four Table I algorithms plus the 'learned' extension
+        # (paper Section VI future work).
+        assert {a.value for a in AllocationAlgorithm} == {
+            "greedy", "long_term", "long_term_adaptive", "best_constant",
+            "learned",
+        }
+        assert {s.value for s in ScalingAlgorithm} == {
+            "always", "never", "predictive",
+        }
+        assert {r.value for r in RewardScheme} == {"time", "throughput"}

@@ -1,0 +1,81 @@
+"""Tests for the platform event log."""
+
+import pytest
+
+from repro.core.events import EventKind, EventLog, PlatformEvent
+
+
+class TestEmit:
+    def test_events_stored_in_order(self):
+        log = EventLog()
+        log.emit(1.0, EventKind.JOB_SUBMITTED, job="a")
+        log.emit(2.0, EventKind.JOB_COMPLETED, job="a")
+        assert len(log) == 2
+        assert [e.kind for e in log] == [
+            EventKind.JOB_SUBMITTED, EventKind.JOB_COMPLETED,
+        ]
+
+    def test_time_regression_rejected(self):
+        log = EventLog()
+        log.emit(5.0, EventKind.TASK_QUEUED)
+        with pytest.raises(ValueError):
+            log.emit(4.0, EventKind.TASK_QUEUED)
+
+    def test_detail_access(self):
+        log = EventLog()
+        event = log.emit(0.0, EventKind.TASK_STARTED, job="j", threads=4)
+        assert event["threads"] == 4
+        assert event.get("missing", -1) == -1
+
+    def test_no_capture_mode_still_notifies(self):
+        log = EventLog(capture=False)
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(0.0, EventKind.TASK_QUEUED)
+        assert len(log) == 0
+        assert len(seen) == 1
+
+    def test_no_capture_allows_out_of_order(self):
+        log = EventLog(capture=False)
+        log.emit(5.0, EventKind.TASK_QUEUED)
+        log.emit(1.0, EventKind.TASK_QUEUED)  # fine: nothing stored
+
+
+class TestQueries:
+    @pytest.fixture
+    def log(self):
+        log = EventLog()
+        log.emit(0.0, EventKind.JOB_SUBMITTED, job="a")
+        log.emit(1.0, EventKind.TASK_QUEUED, job="a", stage=0)
+        log.emit(2.0, EventKind.TASK_QUEUED, job="a", stage=1)
+        log.emit(3.0, EventKind.JOB_COMPLETED, job="a")
+        return log
+
+    def test_of_kind(self, log):
+        assert len(log.of_kind(EventKind.TASK_QUEUED)) == 2
+
+    def test_between_halfopen(self, log):
+        assert len(log.between(1.0, 3.0)) == 2
+
+    def test_counts(self, log):
+        counts = log.counts()
+        assert counts[EventKind.TASK_QUEUED] == 2
+        assert counts[EventKind.JOB_SUBMITTED] == 1
+
+
+class TestSubscription:
+    def test_subscribers_see_every_event(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(lambda e: seen.append(e.kind))
+        log.emit(0.0, EventKind.WORKER_HIRED)
+        log.emit(1.0, EventKind.WORKER_RELEASED)
+        assert seen == [EventKind.WORKER_HIRED, EventKind.WORKER_RELEASED]
+
+    def test_multiple_subscribers(self):
+        log = EventLog()
+        a, b = [], []
+        log.subscribe(a.append)
+        log.subscribe(b.append)
+        log.emit(0.0, EventKind.KB_UPDATED)
+        assert len(a) == 1 and len(b) == 1

@@ -1,0 +1,144 @@
+"""Tests for the HTTP RPC front-end (live server, stdlib client)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.platform import SCANPlatform
+from repro.core.rpc import ScanRpcServer
+from repro.ontology.scan_ontology import SCAN
+
+
+@pytest.fixture
+def server():
+    platform = SCANPlatform(PlatformConfig.paper_defaults())
+    platform.bootstrap_knowledge()
+    rpc = ScanRpcServer(platform, port=0)
+    rpc.start()
+    yield rpc
+    rpc.stop()
+
+
+def get(server, path):
+    with urllib.request.urlopen(f"{server.address}{path}", timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post(server, path, payload):
+    data = json.dumps(payload).encode()
+    req = urllib.request.Request(
+        f"{server.address}{path}", data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestBasics:
+    def test_health(self, server):
+        status, body = get(server, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["now"] == 0.0
+
+    def test_metrics(self, server):
+        _status, body = get(server, "/metrics")
+        assert body["requests"] == 0.0
+        assert body["kb_instances"] > 0
+
+    def test_unknown_route_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/nope")
+        assert err.value.code == 400
+
+    def test_bad_json_400(self, server):
+        req = urllib.request.Request(
+            f"{server.address}/submit", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_double_start_rejected(self, server):
+        with pytest.raises(Exception):
+            server.start()
+
+
+class TestAnalysisWorkflow:
+    def test_submit_advance_poll(self, server):
+        _s, submitted = post(
+            server, "/submit",
+            {"name": "rpc-sample", "size_gb": 8.0, "format": "fastq"},
+        )
+        assert submitted["n_subtasks"] >= 1
+        assert not submitted["complete"]
+        uid = submitted["id"]
+
+        _s, clock = post(server, "/advance", {"until": 500.0})
+        assert clock["now"] == 500.0
+
+        _s, detail = get(server, f"/requests/{uid}")
+        assert detail["complete"]
+        assert detail["latency"] > 0
+        assert len(detail["shards"]) == submitted["n_subtasks"]
+        assert all(j["state"] == "completed" for j in detail["jobs"])
+
+        _s, listing = get(server, "/requests")
+        assert len(listing) == 1
+
+    def test_submit_validation(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/submit", {"name": "x"})  # missing size_gb
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/submit", {"name": "x", "size_gb": 1, "format": "weird"})
+        assert err.value.code == 400
+
+    def test_advance_into_past_rejected(self, server):
+        post(server, "/advance", {"until": 100.0})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/advance", {"until": 50.0})
+        assert err.value.code == 400
+
+    def test_missing_request_detail(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/requests/999")
+        assert err.value.code == 400
+
+    def test_workers_endpoint(self, server):
+        post(server, "/submit", {"name": "w", "size_gb": 4.0, "format": "fastq"})
+        post(server, "/advance", {"until": 10.0})
+        _s, workers = get(server, "/workers")
+        assert "idle" in workers and "busy" in workers
+        assert workers["hires"]["private"] >= 1
+
+
+class TestKbQuery:
+    def test_sparql_over_http(self, server):
+        _s, body = post(
+            server, "/kb/query",
+            {
+                "sparql": f"""
+                PREFIX scan: <{SCAN.base}>
+                SELECT ?size WHERE {{
+                    ?i rdf:type scan:Application .
+                    ?i scan:inputFileSize ?size .
+                }} ORDER BY DESC(?size) LIMIT 1
+                """
+            },
+        )
+        assert body["rows"] == [{"size": 9.0}]  # largest bootstrap input
+
+    def test_bad_sparql_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/kb/query", {"sparql": "SELECT WHERE {"})
+        assert err.value.code == 400
+
+    def test_missing_sparql_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/kb/query", {})
+        assert err.value.code == 400

@@ -1,0 +1,161 @@
+"""Tests for the event loop and primitive events."""
+
+import pytest
+
+from repro.desim.engine import (
+    EmptySchedule,
+    Environment,
+    Event,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_succeed_carries_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError("late"))
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        env.run()
+        assert seen == ["payload"]
+        assert event.processed
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_fires_at_scheduled_time(self, env):
+        fired = []
+        t = env.timeout(5.5, value="done")
+        t.callbacks.append(lambda e: fired.append((env.now, e.value)))
+        env.run()
+        assert fired == [(5.5, "done")]
+
+    def test_zero_delay_fires_now(self, env):
+        fired = []
+        env.timeout(0).callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [0.0]
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_run_until_number_stops_clock_exactly(self, env):
+        env.timeout(10)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(1)
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=2)
+
+    def test_events_fire_in_time_order(self, env):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            env.timeout(delay, value=delay).callbacks.append(
+                lambda e: order.append(e.value)
+            )
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_events_fire_fifo(self, env):
+        order = []
+        for tag in "abc":
+            env.timeout(1.0, value=tag).callbacks.append(
+                lambda e: order.append(e.value)
+            )
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_peek_reports_next_event_time(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(7.0)
+        assert env.peek() == 7.0
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, env):
+        def proc(env):
+            yield env.timeout(2)
+            return "result"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "result"
+        assert env.now == 2.0
+
+    def test_run_until_already_processed_event(self, env):
+        event = env.event()
+        event.succeed("early")
+        env.run()
+        assert env.run(until=event) == "early"
+
+    def test_starved_until_event_raises(self, env):
+        event = env.event()  # never triggered
+        env.timeout(1)
+        with pytest.raises(SimulationError):
+            env.run(until=event)
+
+
+class TestFailurePropagation:
+    def test_unhandled_failure_crashes_loop(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        event.defuse()
+        env.run()  # must not raise
+
+    def test_trigger_adopts_other_events_outcome(self, env):
+        source = env.event()
+        sink = env.event()
+        source.callbacks.append(sink.trigger)
+        source.succeed(7)
+        env.run()
+        assert sink.value == 7

@@ -1,0 +1,206 @@
+"""Tests for generator-based processes and composite events."""
+
+import pytest
+
+from repro.desim.engine import Environment
+from repro.desim.process import AllOf, AnyOf, Interrupt, Process, ProcessError
+
+
+class TestProcessBasics:
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(ProcessError):
+            Process(env, lambda: None)  # type: ignore[arg-type]
+
+    def test_process_value_is_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 99
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 99
+
+    def test_timeout_value_delivered_via_send(self, env):
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1, value="hello")
+            got.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["hello"]
+
+    def test_sequential_timeouts_accumulate(self, env):
+        times = []
+
+        def proc(env):
+            for _ in range(3):
+                yield env.timeout(2)
+                times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc(env):
+            yield 42  # not an event
+
+        p = env.process(proc(env))
+        with pytest.raises(ProcessError):
+            env.run()
+        assert not p.ok
+
+    def test_process_body_not_run_until_loop_turns(self, env):
+        ran = []
+
+        def proc(env):
+            ran.append(env.now)
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        assert ran == []  # lazy start
+        env.run()
+        assert ran == [0.0]
+
+    def test_waiting_on_another_process(self, env):
+        def inner(env):
+            yield env.timeout(3)
+            return "inner-done"
+
+        def outer(env):
+            result = yield env.process(inner(env))
+            return (env.now, result)
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == (3.0, "inner-done")
+
+    def test_exception_in_process_propagates(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise ValueError("inside")
+
+        env.process(proc(env))
+        with pytest.raises(ValueError, match="inside"):
+            env.run()
+
+    def test_is_alive_tracks_lifetime(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                causes.append((env.now, exc.cause))
+
+        def killer(env, victim):
+            yield env.timeout(4)
+            victim.interrupt("shutdown")
+
+        victim = env.process(sleeper(env))
+        env.process(killer(env, victim))
+        env.run()
+        assert causes == [(4.0, "shutdown")]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def worker(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append("interrupted")
+            yield env.timeout(1)
+            log.append(env.now)
+
+        def killer(env, victim):
+            yield env.timeout(2)
+            victim.interrupt()
+
+        victim = env.process(worker(env))
+        env.process(killer(env, victim))
+        env.run()
+        assert log == ["interrupted", 3.0]
+
+    def test_interrupting_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        def late_killer(env, victim):
+            yield env.timeout(5)
+            victim.interrupt()
+
+        victim = env.process(quick(env))
+        env.process(late_killer(env, victim))
+        with pytest.raises(ProcessError):
+            env.run()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc(env):
+            env.active_process.interrupt()
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        with pytest.raises(ProcessError):
+            env.run()
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(3, value="b")
+            results = yield AllOf(env, [t1, t2])
+            return (env.now, sorted(results.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (3.0, ["a", "b"])
+
+    def test_any_of_fires_on_first(self, env):
+        def proc(env):
+            slow = env.timeout(10, value="slow")
+            fast = env.timeout(2, value="fast")
+            results = yield AnyOf(env, [slow, fast])
+            return (env.now, list(results.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (2.0, ["fast"])
+
+    def test_all_of_empty_fires_immediately(self, env):
+        def proc(env):
+            yield AllOf(env, [])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_all_of_fails_fast_on_failure(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise RuntimeError("sub-process died")
+
+        def proc(env):
+            try:
+                yield AllOf(env, [env.process(failer(env)), env.timeout(50)])
+            except RuntimeError as exc:
+                return f"caught: {exc}"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "caught: sub-process died"

@@ -1,0 +1,270 @@
+"""Tests for resources, containers and stores."""
+
+import pytest
+
+from repro.desim.engine import Environment, SimulationError
+from repro.desim.resources import (
+    Container,
+    FilterStore,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity_immediately(self, env):
+        res = Resource(env, capacity=2)
+        grants = []
+
+        def user(env, res, name):
+            with res.request() as req:
+                yield req
+                grants.append((env.now, name))
+                yield env.timeout(10)
+
+        for name in ("a", "b", "c"):
+            env.process(user(env, res, name))
+        env.run(until=5)
+        assert grants == [(0.0, "a"), (0.0, "b")]
+        assert res.count == 2
+        assert res.queue_length == 1
+
+    def test_fifo_handoff_on_release(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, res, name, hold):
+            with res.request() as req:
+                yield req
+                order.append((env.now, name))
+                yield env.timeout(hold)
+
+        env.process(user(env, res, "first", 4))
+        env.process(user(env, res, "second", 1))
+        env.process(user(env, res, "third", 1))
+        env.run()
+        assert order == [(0.0, "first"), (4.0, "second"), (5.0, "third")]
+
+    def test_release_of_non_holder_raises(self, env):
+        res = Resource(env, capacity=1)
+        req = res.request()
+        env.run()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_waiting_request(self, env):
+        res = Resource(env, capacity=1)
+        held = res.request()
+        waiting = res.request()
+        waiting.cancel()
+        res.release(held)
+        env.run()
+        assert not waiting.triggered
+        assert res.count == 0
+
+    def test_context_manager_releases_on_exit(self, env):
+        res = Resource(env, capacity=1)
+
+        def user(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1)
+
+        env.process(user(env, res))
+        env.run()
+        assert res.count == 0
+
+    def test_resize_up_wakes_waiters(self, env):
+        res = Resource(env, capacity=1)
+        grants = []
+
+        def user(env, res, name):
+            with res.request() as req:
+                yield req
+                grants.append((env.now, name))
+                yield env.timeout(100)
+
+        env.process(user(env, res, "a"))
+        env.process(user(env, res, "b"))
+
+        def grower(env, res):
+            yield env.timeout(3)
+            res.resize(2)
+
+        env.process(grower(env, res))
+        env.run(until=10)
+        assert grants == [(0.0, "a"), (3.0, "b")]
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, res, name, priority):
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        def submit_all(env):
+            with res.request(priority=0) as req:  # occupy the slot
+                yield req
+                env.process(user(env, res, "low", 5))
+                env.process(user(env, res, "high", 1))
+                env.process(user(env, res, "mid", 3))
+                yield env.timeout(2)
+
+        env.process(submit_all(env))
+        env.run()
+        assert order == ["high", "mid", "low"]
+
+
+class TestContainer:
+    def test_init_bounds_checked(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=11)
+
+    def test_get_blocks_until_level_sufficient(self, env):
+        tank = Container(env, capacity=100, init=0)
+        got = []
+
+        def consumer(env, tank):
+            yield tank.get(30)
+            got.append(env.now)
+
+        def producer(env, tank):
+            for _ in range(3):
+                yield env.timeout(5)
+                yield tank.put(10)
+
+        env.process(consumer(env, tank))
+        env.process(producer(env, tank))
+        env.run()
+        assert got == [15.0]
+        assert tank.level == 0.0
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=10, init=10)
+        done = []
+
+        def producer(env, tank):
+            yield tank.put(5)
+            done.append(env.now)
+
+        def consumer(env, tank):
+            yield env.timeout(4)
+            yield tank.get(5)
+
+        env.process(producer(env, tank))
+        env.process(consumer(env, tank))
+        env.run()
+        assert done == [4.0]
+
+    def test_non_positive_amounts_rejected(self, env):
+        tank = Container(env, capacity=10, init=5)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+
+
+class TestStore:
+    def test_fifo_order(self, env):
+        store = Store(env)
+        received = []
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        def producer(env, store):
+            for item in ("x", "y", "z"):
+                yield env.timeout(1)
+                yield store.put(item)
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert received == ["x", "y", "z"]
+
+    def test_capacity_blocks_puts(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("a")
+            log.append(("a-in", env.now))
+            yield store.put("b")
+            log.append(("b-in", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert log == [("a-in", 0.0), ("b-in", 5.0)]
+
+    def test_get_before_put_blocks(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env, store):
+            yield env.timeout(7)
+            yield store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [(7.0, "late")]
+
+
+class TestFilterStore:
+    def test_predicate_selects_matching_item(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get(lambda x: x % 2 == 0)
+            got.append(item)
+
+        def producer(env, store):
+            for item in (1, 3, 4, 5):
+                yield store.put(item)
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [4]
+        assert store.items == [1, 3, 5]
+
+    def test_unmatched_get_waits_for_matching_put(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get(lambda x: x == "special")
+            got.append((env.now, item))
+
+        def producer(env, store):
+            yield store.put("ordinary")
+            yield env.timeout(3)
+            yield store.put("special")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [(3.0, "special")]

@@ -1,0 +1,97 @@
+"""Tests for the blocked-gzip BAM container."""
+
+import pytest
+
+from repro.genomics.formats.bam import (
+    BamFormatError,
+    MAGIC,
+    assemble_bam,
+    read_bam,
+    read_bam_blocks,
+    write_bam,
+)
+from repro.genomics.formats.sam import Cigar, SamHeader, SamRecord
+
+
+def make_records(n):
+    return [
+        SamRecord(
+            qname=f"r{i}",
+            flag=0,
+            rname="chr1",
+            pos=i + 1,
+            mapq=60,
+            cigar=Cigar.parse("4M"),
+            seq="ACGT",
+            qual="IIII",
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def header():
+    return SamHeader(references=[("chr1", 100_000)])
+
+
+class TestRoundtrip:
+    def test_small_roundtrip(self, header):
+        records = make_records(10)
+        blob = write_bam(header, records)
+        header2, records2 = read_bam(blob)
+        assert header2.references == header.references
+        assert records2 == records
+
+    def test_multi_block_roundtrip(self, header):
+        records = make_records(1000)
+        blob = write_bam(header, records, block_records=128)
+        _h, blocks = read_bam_blocks(blob)
+        assert len(blocks) == 8  # ceil(1000/128)
+        assert sum(n for _b, n in blocks) == 1000
+        _h2, records2 = read_bam(blob)
+        assert records2 == records
+
+    def test_empty_container(self, header):
+        blob = write_bam(header, [])
+        h2, records = read_bam(blob)
+        assert records == []
+        assert h2.references == header.references
+
+    def test_magic_prefix(self, header):
+        assert write_bam(header, []).startswith(MAGIC)
+
+    def test_compression_effective(self, header):
+        records = make_records(2000)
+        blob = write_bam(header, records)
+        text_size = sum(len(r.to_line()) for r in records)
+        assert len(blob) < text_size / 2
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BamFormatError, match="magic"):
+            read_bam(b"NOTBAM00" + b"\x00" * 20)
+
+    def test_truncated_data_rejected(self, header):
+        blob = write_bam(header, make_records(100))
+        with pytest.raises(BamFormatError):
+            read_bam(blob[:-10])
+
+    def test_trailing_garbage_rejected(self, header):
+        blob = write_bam(header, make_records(10))
+        with pytest.raises(BamFormatError, match="trailing"):
+            read_bam(blob + b"junk")
+
+    def test_bad_block_records_rejected(self, header):
+        with pytest.raises(ValueError):
+            write_bam(header, [], block_records=0)
+
+
+class TestAssemble:
+    def test_reassembled_subset_is_valid(self, header):
+        blob = write_bam(header, make_records(100), block_records=10)
+        _h, blocks = read_bam_blocks(blob)
+        child = assemble_bam(header, blocks[:3])
+        _h2, records = read_bam(child)
+        assert len(records) == 30
+        assert records[0].qname == "r0"

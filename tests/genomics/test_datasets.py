@@ -1,0 +1,80 @@
+"""Tests for logical dataset descriptors."""
+
+import pytest
+
+from repro.genomics.datasets import DataFormat, DatasetDescriptor
+
+
+class TestDataFormat:
+    def test_shardable_formats(self):
+        assert DataFormat.FASTQ.shardable
+        assert DataFormat.BAM.shardable
+        assert not DataFormat.FASTA.shardable  # reference: never sharded
+        assert not DataFormat.TIFF.shardable
+
+    def test_mergeable_mirrors_shardable(self):
+        for fmt in DataFormat:
+            assert fmt.mergeable == fmt.shardable
+
+    def test_bytes_per_record_positive(self):
+        for fmt in DataFormat:
+            assert fmt.bytes_per_record > 0
+
+
+class TestDescriptor:
+    def test_default_path_derived(self):
+        ds = DatasetDescriptor("s1", DataFormat.FASTQ, 1.0, 100)
+        assert ds.path == "/input/fastq/s1.fastq"
+
+    def test_figure2_style_path_accepted(self):
+        ds = DatasetDescriptor(
+            "s1", DataFormat.FASTA, 1.0, 100, path="/input/fasta/s1.fa"
+        )
+        assert ds.path == "/input/fasta/s1.fa"
+
+    def test_from_size_derives_records(self):
+        ds = DatasetDescriptor.from_size("x", DataFormat.BAM, 2.0)
+        assert ds.records == round(2e9 / 110.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetDescriptor("x", DataFormat.BAM, -1.0, 10)
+        with pytest.raises(ValueError):
+            DatasetDescriptor("x", DataFormat.BAM, 1.0, -10)
+
+    def test_shard_lineage(self):
+        parent = DatasetDescriptor("big", DataFormat.FASTQ, 100.0, 1000)
+        shard = parent.shard(3, size_gb=4.0, records=40)
+        assert shard.is_shard
+        assert shard.parent == "big"
+        assert shard.shard_index == 3
+        assert "shard0003" in shard.path
+        assert not parent.is_shard
+
+    def test_shard_of_shard_rejected(self):
+        parent = DatasetDescriptor("big", DataFormat.FASTQ, 100.0, 1000)
+        shard = parent.shard(0, 4.0, 40)
+        with pytest.raises(ValueError):
+            shard.shard(0, 1.0, 10)
+
+    def test_derive_downstream_dataset(self):
+        bam = DatasetDescriptor("sample", DataFormat.BAM, 10.0, 100)
+        vcf = bam.derive(DataFormat.VCF, "calls", size_ratio=0.01)
+        assert vcf.format is DataFormat.VCF
+        assert vcf.size_gb == pytest.approx(0.1)
+        assert vcf.name == "sample.calls"
+
+    def test_derive_bad_ratio(self):
+        ds = DatasetDescriptor("x", DataFormat.BAM, 1.0, 10)
+        with pytest.raises(ValueError):
+            ds.derive(DataFormat.VCF, "y", size_ratio=0.0)
+
+    def test_uids_unique(self):
+        a = DatasetDescriptor("a", DataFormat.BAM, 1.0, 1)
+        b = DatasetDescriptor("b", DataFormat.BAM, 1.0, 1)
+        assert a.uid != b.uid
+
+    def test_str_contains_path_and_size(self):
+        ds = DatasetDescriptor("x", DataFormat.VCF, 1.5, 3)
+        assert "/input/vcf/x.vcf" in str(ds)
+        assert "1.50 GB" in str(ds)

@@ -1,0 +1,95 @@
+"""Tests for the FASTA format."""
+
+import pytest
+
+from repro.genomics.formats.fasta import (
+    FastaParseError,
+    FastaRecord,
+    parse_fasta,
+    write_fasta,
+)
+
+
+class TestFastaRecord:
+    def test_length_and_subsequence(self):
+        rec = FastaRecord("chr1", "ACGTACGT")
+        assert len(rec) == 8
+        assert rec.subsequence(2, 5) == "GTA"
+
+    def test_subsequence_bounds_checked(self):
+        rec = FastaRecord("chr1", "ACGT")
+        with pytest.raises(IndexError):
+            rec.subsequence(2, 9)
+        with pytest.raises(IndexError):
+            rec.subsequence(-1, 2)
+
+    def test_invalid_bases_rejected(self):
+        with pytest.raises(ValueError):
+            FastaRecord("x", "ACGTZ")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            FastaRecord("", "ACGT")
+
+    def test_gc_content(self):
+        assert FastaRecord("x", "GGCC").gc_content() == 1.0
+        assert FastaRecord("x", "AATT").gc_content() == 0.0
+        assert FastaRecord("x", "ACGT").gc_content() == 0.5
+        assert FastaRecord("x", "NNNN").gc_content() == 0.0
+
+    def test_ambiguity_codes_allowed(self):
+        FastaRecord("x", "ACGTNRYK")  # must not raise
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        records = [
+            FastaRecord("chr1", "ACGT" * 30, "first chromosome"),
+            FastaRecord("chr2", "GGCC" * 10),
+        ]
+        text = write_fasta(records)
+        back = list(parse_fasta(text))
+        assert back == records
+
+    def test_multiline_sequences_joined(self):
+        text = ">seq1\nACGT\nACGT\nACGT\n"
+        (rec,) = parse_fasta(text)
+        assert rec.sequence == "ACGT" * 3
+
+    def test_description_split_from_name(self):
+        text = ">seq1 homo sapiens chr 1\nACGT\n"
+        (rec,) = parse_fasta(text)
+        assert rec.name == "seq1"
+        assert rec.description == "homo sapiens chr 1"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaParseError):
+            list(parse_fasta("ACGT\n>seq\nACGT"))
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaParseError):
+            list(parse_fasta(">\nACGT"))
+
+    def test_empty_input_yields_nothing(self):
+        assert list(parse_fasta("")) == []
+
+    def test_blank_lines_skipped(self):
+        text = ">a\nAC\n\nGT\n\n>b\nTT\n"
+        records = list(parse_fasta(text))
+        assert [r.sequence for r in records] == ["ACGT", "TT"]
+
+
+class TestWriting:
+    def test_line_wrapping(self):
+        rec = FastaRecord("x", "A" * 150)
+        text = write_fasta([rec], line_width=70)
+        lines = text.strip().split("\n")
+        assert lines[0] == ">x"
+        assert [len(l) for l in lines[1:]] == [70, 70, 10]
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            write_fasta([], line_width=0)
+
+    def test_empty_list_gives_empty_string(self):
+        assert write_fasta([]) == ""

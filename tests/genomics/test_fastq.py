@@ -1,0 +1,94 @@
+"""Tests for the FASTQ format and Phred encoding."""
+
+import pytest
+
+from repro.genomics.formats.fastq import (
+    FastqParseError,
+    FastqRecord,
+    parse_fastq,
+    phred_to_qualities,
+    qualities_to_phred,
+    write_fastq,
+)
+
+
+class TestPhredEncoding:
+    def test_roundtrip(self):
+        scores = (0, 10, 20, 40, 93)
+        assert phred_to_qualities(qualities_to_phred(scores)) == scores
+
+    def test_known_characters(self):
+        assert qualities_to_phred([0]) == "!"
+        assert qualities_to_phred([40]) == "I"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            qualities_to_phred([94])
+        with pytest.raises(ValueError):
+            qualities_to_phred([-1])
+        with pytest.raises(ValueError):
+            phred_to_qualities(chr(32))  # below '!'
+
+
+class TestFastqRecord:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r1", "ACGT", "III")
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r1", "ACGX", "IIII")
+
+    def test_mean_quality(self):
+        rec = FastqRecord("r1", "ACGT", qualities_to_phred([10, 20, 30, 40]))
+        assert rec.mean_quality() == pytest.approx(25.0)
+
+    def test_trimmed_removes_low_quality_tail(self):
+        qual = qualities_to_phred([40, 40, 5, 5])
+        rec = FastqRecord("r1", "ACGT", qual)
+        trimmed = rec.trimmed(min_quality=20)
+        assert trimmed.sequence == "AC"
+        assert len(trimmed.quality) == 2
+
+    def test_trim_keeps_interior_low_quality(self):
+        qual = qualities_to_phred([40, 5, 40, 40])
+        rec = FastqRecord("r1", "ACGT", qual)
+        assert rec.trimmed(20).sequence == "ACGT"
+
+    def test_trim_can_empty_record(self):
+        rec = FastqRecord("r1", "AC", qualities_to_phred([2, 2]))
+        assert rec.trimmed(10).sequence == ""
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        records = [
+            FastqRecord("read1", "ACGTACGT", "IIIIIIII"),
+            FastqRecord("read2", "GGGG", "!!!!"),
+        ]
+        assert list(parse_fastq(write_fastq(records))) == records
+
+    def test_header_must_start_with_at(self):
+        with pytest.raises(FastqParseError):
+            list(parse_fastq("read1\nACGT\n+\nIIII\n"))
+
+    def test_separator_must_start_with_plus(self):
+        with pytest.raises(FastqParseError):
+            list(parse_fastq("@read1\nACGT\n-\nIIII\n"))
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(FastqParseError):
+            list(parse_fastq("@read1\nACGT\n+\n"))
+
+    def test_name_taken_up_to_whitespace(self):
+        text = "@read1 extra metadata\nAC\n+\nII\n"
+        (rec,) = parse_fastq(text)
+        assert rec.name == "read1"
+
+    def test_empty_input(self):
+        assert list(parse_fastq("")) == []
+
+    def test_record_index_in_error_message(self):
+        text = "@r1\nAC\n+\nII\n@r2\nACGT\n+\nII\n"  # r2 is bad
+        with pytest.raises(FastqParseError, match="record 2"):
+            list(parse_fastq(text))

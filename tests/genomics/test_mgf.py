@@ -1,0 +1,100 @@
+"""Tests for the MGF proteomics format."""
+
+import pytest
+
+from repro.genomics.formats.mgf import (
+    MgfParseError,
+    MgfSpectrum,
+    parse_mgf,
+    write_mgf,
+)
+
+
+def spectrum(**kwargs):
+    defaults = dict(
+        title="scan=1",
+        pepmass=512.25,
+        charge=2,
+        peaks=((100.1, 40.0), (250.7, 120.0), (300.0, 10.0)),
+        retention_time=63.2,
+    )
+    defaults.update(kwargs)
+    return MgfSpectrum(**defaults)
+
+
+class TestSpectrum:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spectrum(title="")
+        with pytest.raises(ValueError):
+            spectrum(pepmass=0.0)
+        with pytest.raises(ValueError):
+            spectrum(charge=0)
+        with pytest.raises(ValueError):
+            spectrum(peaks=((5.0, -1.0),))
+
+    def test_peaks_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            spectrum(peaks=((300.0, 1.0), (100.0, 2.0)))
+
+    def test_base_peak(self):
+        assert spectrum().base_peak() == (250.7, 120.0)
+        with pytest.raises(ValueError):
+            spectrum(peaks=()).base_peak()
+
+    def test_total_ion_current(self):
+        assert spectrum().total_ion_current() == pytest.approx(170.0)
+
+    def test_len_is_peak_count(self):
+        assert len(spectrum()) == 3
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        spectra = [spectrum(), spectrum(title="scan=2", charge=-3)]
+        assert list(parse_mgf(write_mgf(spectra))) == spectra
+
+    def test_charge_sign_parsing(self):
+        text = write_mgf([spectrum(charge=-2)])
+        (back,) = parse_mgf(text)
+        assert back.charge == -2
+
+    def test_missing_end_ions_rejected(self):
+        with pytest.raises(MgfParseError, match="unterminated"):
+            list(parse_mgf("BEGIN IONS\nTITLE=x\nPEPMASS=100\n"))
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(MgfParseError):
+            list(parse_mgf("END IONS\n"))
+
+    def test_nested_begin_rejected(self):
+        with pytest.raises(MgfParseError, match="nested"):
+            list(parse_mgf("BEGIN IONS\nBEGIN IONS\n"))
+
+    def test_data_outside_block_rejected(self):
+        with pytest.raises(MgfParseError):
+            list(parse_mgf("100.0 5.0\n"))
+
+    def test_comments_and_blanks_skipped(self):
+        text = (
+            "# a comment\n\nBEGIN IONS\nTITLE=t\nPEPMASS=200\nCHARGE=2+\n"
+            "100.0 5.0\nEND IONS\n"
+        )
+        (spec,) = parse_mgf(text)
+        assert spec.pepmass == 200.0
+
+    def test_pepmass_with_intensity_suffix(self):
+        text = (
+            "BEGIN IONS\nTITLE=t\nPEPMASS=200.5 999\nCHARGE=1+\n"
+            "100.0 5.0\nEND IONS\n"
+        )
+        (spec,) = parse_mgf(text)
+        assert spec.pepmass == 200.5
+
+    def test_unsorted_peaks_are_sorted_on_parse(self):
+        text = (
+            "BEGIN IONS\nTITLE=t\nPEPMASS=200\nCHARGE=1+\n"
+            "300.0 1.0\n100.0 2.0\nEND IONS\n"
+        )
+        (spec,) = parse_mgf(text)
+        assert spec.peaks[0][0] == 100.0

@@ -1,0 +1,71 @@
+"""Tests for synthetic reference genomes."""
+
+import pytest
+
+from repro.genomics.reference import Chromosome, ReferenceGenome
+
+
+class TestChromosome:
+    def test_fetch_bounds(self):
+        chrom = Chromosome("chr1", "ACGTACGT")
+        assert chrom.fetch(0, 4) == "ACGT"
+        with pytest.raises(IndexError):
+            chrom.fetch(5, 100)
+
+
+class TestReferenceGenome:
+    def test_synthesis_deterministic(self):
+        a = ReferenceGenome.synthesize(seed=1, chromosome_lengths=(1000,))
+        b = ReferenceGenome.synthesize(seed=1, chromosome_lengths=(1000,))
+        assert a["chr1"].sequence == b["chr1"].sequence
+
+    def test_different_seeds_differ(self):
+        a = ReferenceGenome.synthesize(seed=1, chromosome_lengths=(1000,))
+        b = ReferenceGenome.synthesize(seed=2, chromosome_lengths=(1000,))
+        assert a["chr1"].sequence != b["chr1"].sequence
+
+    def test_gc_content_respected(self):
+        ref = ReferenceGenome.synthesize(
+            seed=3, chromosome_lengths=(50_000,), gc_content=0.41
+        )
+        seq = ref["chr1"].sequence
+        gc = (seq.count("G") + seq.count("C")) / len(seq)
+        assert gc == pytest.approx(0.41, abs=0.02)
+
+    def test_total_length_and_table(self):
+        ref = ReferenceGenome.synthesize(
+            seed=1, chromosome_lengths=(300, 200, 100)
+        )
+        assert ref.total_length() == 600
+        assert ref.contig_table() == [
+            ("chr1", 300), ("chr2", 200), ("chr3", 100),
+        ]
+
+    def test_contains_and_getitem(self):
+        ref = ReferenceGenome.synthesize(seed=1, chromosome_lengths=(100,))
+        assert "chr1" in ref
+        assert "chrX" not in ref
+        with pytest.raises(KeyError):
+            ref["chrX"]
+
+    def test_duplicate_chromosomes_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceGenome([Chromosome("c", "A"), Chromosome("c", "T")])
+
+    def test_empty_genome_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceGenome([])
+
+    def test_fasta_export(self):
+        ref = ReferenceGenome.synthesize(seed=1, chromosome_lengths=(50,))
+        (record,) = ref.to_fasta_records()
+        assert record.name == "chr1"
+        assert len(record.sequence) == 50
+
+    def test_bad_gc_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceGenome.synthesize(gc_content=1.0)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceGenome.synthesize(chromosome_lengths=(0,))

@@ -1,0 +1,150 @@
+"""Tests for the SAM format, CIGAR algebra and flags."""
+
+import pytest
+
+from repro.genomics.formats.sam import (
+    Cigar,
+    CigarOp,
+    SamFlag,
+    SamHeader,
+    SamParseError,
+    SamRecord,
+    parse_sam,
+    sort_coordinate,
+    write_sam,
+)
+
+
+class TestCigar:
+    def test_parse_simple(self):
+        cigar = Cigar.parse("76M")
+        assert cigar.query_length == 76
+        assert cigar.reference_length == 76
+
+    def test_parse_complex(self):
+        cigar = Cigar.parse("5S70M2I3D10M")
+        # query: 5 + 70 + 2 + 10 = 87; reference: 70 + 3 + 10 = 83.
+        assert cigar.query_length == 87
+        assert cigar.reference_length == 83
+
+    def test_star_is_empty(self):
+        cigar = Cigar.parse("*")
+        assert cigar.ops == ()
+        assert str(cigar) == "*"
+
+    def test_roundtrip_string(self):
+        for text in ("100M", "10S90M", "50M1000N50M", "10=2X10="):
+            assert str(Cigar.parse(text)) == text
+
+    def test_invalid_strings_rejected(self):
+        for bad in ("", "M", "10", "10Q", "10M5"):
+            with pytest.raises(SamParseError):
+                Cigar.parse(bad)
+
+    def test_op_validation(self):
+        with pytest.raises(ValueError):
+            CigarOp(0, "M")
+        with pytest.raises(ValueError):
+            CigarOp(5, "Z")
+
+    def test_consumes_table(self):
+        assert CigarOp(1, "I").consumes_query and not CigarOp(1, "I").consumes_reference
+        assert CigarOp(1, "D").consumes_reference and not CigarOp(1, "D").consumes_query
+        assert not CigarOp(1, "H").consumes_query
+
+
+class TestSamRecord:
+    def make(self, **kwargs):
+        defaults = dict(
+            qname="r1",
+            flag=0,
+            rname="chr1",
+            pos=100,
+            mapq=60,
+            cigar=Cigar.parse("4M"),
+            seq="ACGT",
+            qual="IIII",
+        )
+        defaults.update(kwargs)
+        return SamRecord(**defaults)
+
+    def test_cigar_seq_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            self.make(cigar=Cigar.parse("10M"))
+
+    def test_mapq_range(self):
+        with pytest.raises(ValueError):
+            self.make(mapq=256)
+
+    def test_flags(self):
+        rec = self.make(flag=int(SamFlag.UNMAPPED))
+        assert not rec.is_mapped
+        rec = self.make(flag=int(SamFlag.REVERSE))
+        assert rec.is_reverse and rec.is_mapped
+
+    def test_end_pos(self):
+        rec = self.make(pos=100, cigar=Cigar.parse("4M"), seq="ACGT")
+        assert rec.end_pos == 103
+
+    def test_line_roundtrip(self):
+        rec = self.make(tags=("NM:i:2", "AS:i:50"))
+        assert SamRecord.from_line(rec.to_line()) == rec
+
+    def test_too_few_fields_rejected(self):
+        with pytest.raises(SamParseError):
+            SamRecord.from_line("a\tb\tc")
+
+
+class TestSamHeader:
+    def test_lines_roundtrip(self):
+        header = SamHeader(
+            version="1.6",
+            sort_order="coordinate",
+            references=[("chr1", 1000), ("chr2", 500)],
+            read_groups=["rg1"],
+            programs=["bwa"],
+        )
+        back = SamHeader.from_lines(header.to_lines())
+        assert back == header
+
+    def test_bad_sq_line_rejected(self):
+        with pytest.raises(SamParseError):
+            SamHeader.from_lines(["@SQ\tSN:chr1"])  # missing LN
+
+
+class TestSamDocument:
+    def test_full_roundtrip(self):
+        header = SamHeader(references=[("chr1", 10_000)])
+        records = [
+            SamRecord(
+                qname=f"r{i}",
+                flag=0,
+                rname="chr1",
+                pos=i * 10 + 1,
+                mapq=60,
+                cigar=Cigar.parse("4M"),
+                seq="ACGT",
+                qual="IIII",
+            )
+            for i in range(5)
+        ]
+        text = write_sam(header, records)
+        header2, records2 = parse_sam(text)
+        assert header2.references == header.references
+        assert records2 == records
+
+    def test_sort_coordinate_unmapped_last(self):
+        mapped = SamRecord(
+            qname="m", flag=0, rname="chr1", pos=500, mapq=60,
+            cigar=Cigar.parse("2M"), seq="AC", qual="II",
+        )
+        unmapped = SamRecord(
+            qname="u", flag=int(SamFlag.UNMAPPED), rname="*", pos=0,
+            mapq=0, cigar=Cigar.parse("*"), seq="AC", qual="II",
+        )
+        early = SamRecord(
+            qname="e", flag=0, rname="chr1", pos=10, mapq=60,
+            cigar=Cigar.parse("2M"), seq="AC", qual="II",
+        )
+        ordered = sort_coordinate([unmapped, mapped, early])
+        assert [r.qname for r in ordered] == ["e", "m", "u"]

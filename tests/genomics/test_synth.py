@@ -1,0 +1,123 @@
+"""Tests for the read simulator and dataset synthesis."""
+
+import pytest
+
+from repro.genomics.datasets import DataFormat
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.synth import ReadSimulator, synthesize_dataset
+
+
+@pytest.fixture
+def ref():
+    return ReferenceGenome.synthesize(seed=11, chromosome_lengths=(3000, 2000))
+
+
+class TestReadSimulator:
+    def test_reads_deterministic(self, ref):
+        a = ReadSimulator(ref, seed=1, read_length=50).simulate_reads(20)
+        b = ReadSimulator(ref, seed=1, read_length=50).simulate_reads(20)
+        assert [r.record.sequence for r in a] == [r.record.sequence for r in b]
+
+    def test_read_properties(self, ref):
+        sim = ReadSimulator(ref, seed=2, read_length=60)
+        reads = sim.simulate_reads(50)
+        assert len(reads) == 50
+        for read in reads:
+            assert len(read.record) == 60
+            assert read.chrom in ("chr1", "chr2")
+            assert 0 <= read.pos <= len(ref[read.chrom]) - 60
+
+    def test_forward_reads_match_reference_without_errors(self, ref):
+        sim = ReadSimulator(ref, seed=3, read_length=50, base_error_rate=0.0)
+        for read in sim.simulate_reads(30):
+            if not read.reverse:
+                expected = ref.fetch(read.chrom, read.pos, read.pos + 50)
+                assert read.record.sequence == expected
+            assert read.n_errors == 0
+
+    def test_error_rate_roughly_respected(self, ref):
+        sim = ReadSimulator(ref, seed=4, read_length=100, base_error_rate=0.01)
+        reads = sim.simulate_reads(200)
+        total_errors = sum(r.n_errors for r in reads)
+        # 200 reads x 100 bp x 1% = ~200 errors expected.
+        assert 100 < total_errors < 350
+
+    def test_reverse_reads_happen(self, ref):
+        sim = ReadSimulator(ref, seed=5, read_length=50)
+        reads = sim.simulate_reads(100)
+        n_rev = sum(1 for r in reads if r.reverse)
+        assert 20 < n_rev < 80
+
+    def test_coverage_to_reads(self, ref):
+        sim = ReadSimulator(ref, seed=6, read_length=100)
+        n = sim.coverage_to_reads(10.0)
+        assert n == round(10.0 * 5000 / 100)
+
+    def test_bad_parameters_rejected(self, ref):
+        with pytest.raises(ValueError):
+            ReadSimulator(ref, read_length=5)
+        with pytest.raises(ValueError):
+            ReadSimulator(ref, base_error_rate=0.9)
+        sim = ReadSimulator(ref)
+        with pytest.raises(ValueError):
+            sim.simulate_reads(-1)
+        with pytest.raises(ValueError):
+            sim.coverage_to_reads(0)
+
+
+class TestVariantSpiking:
+    def test_spiked_positions_mutated_in_reads(self, ref):
+        sim = ReadSimulator(ref, seed=7, read_length=80, base_error_rate=0.0)
+        variants = sim.spike_variants(4, allele_fraction=1.0)
+        assert len(variants) == 4
+        for v in variants:
+            assert v.ref != v.alt
+            assert ref[v.chrom].sequence[v.pos] == v.ref
+
+        # Reads covering a variant position must carry the alt allele
+        # (AF=1.0, no errors).
+        reads = sim.simulate_reads(600)
+        checked = 0
+        for read in reads:
+            if read.reverse:
+                continue
+            for v in variants:
+                if v.chrom == read.chrom and read.pos <= v.pos < read.pos + 80:
+                    offset = v.pos - read.pos
+                    assert read.record.sequence[offset] == v.alt
+                    checked += 1
+        assert checked > 0
+
+    def test_allele_fraction_half_mixes_alleles(self, ref):
+        sim = ReadSimulator(ref, seed=8, read_length=80, base_error_rate=0.0)
+        (variant,) = sim.spike_variants(1, allele_fraction=0.5)
+        reads = sim.simulate_reads(2000)
+        alt = ref_count = 0
+        for read in reads:
+            if read.reverse or read.chrom != variant.chrom:
+                continue
+            if read.pos <= variant.pos < read.pos + 80:
+                base = read.record.sequence[variant.pos - read.pos]
+                if base == variant.alt:
+                    alt += 1
+                elif base == variant.ref:
+                    ref_count += 1
+        assert alt > 0 and ref_count > 0
+
+    def test_no_duplicate_variant_positions(self, ref):
+        sim = ReadSimulator(ref, seed=9)
+        variants = sim.spike_variants(30)
+        positions = {(v.chrom, v.pos) for v in variants}
+        assert len(positions) == 30
+
+
+class TestSynthesizeDataset:
+    def test_descriptor_fields(self):
+        ds = synthesize_dataset("sample", 4.0, DataFormat.FASTQ)
+        assert ds.size_gb == 4.0
+        assert ds.records == round(4e9 / 250.0)
+        assert ds.format is DataFormat.FASTQ
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_dataset("x", 0.0)

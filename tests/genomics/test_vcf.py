@@ -1,0 +1,98 @@
+"""Tests for the VCF format."""
+
+import pytest
+
+from repro.genomics.formats.vcf import (
+    VcfHeader,
+    VcfParseError,
+    VcfRecord,
+    parse_vcf,
+    sort_records,
+    write_vcf,
+)
+
+
+class TestVcfRecord:
+    def test_snv_classification(self):
+        assert VcfRecord("chr1", 100, "A", "T").is_snv
+        assert not VcfRecord("chr1", 100, "A", "AT").is_snv
+        assert VcfRecord("chr1", 100, "A", "AT").is_indel
+
+    def test_position_one_based(self):
+        with pytest.raises(ValueError):
+            VcfRecord("chr1", 0, "A", "T")
+
+    def test_invalid_alleles_rejected(self):
+        with pytest.raises(ValueError):
+            VcfRecord("chr1", 1, "", "T")
+        with pytest.raises(ValueError):
+            VcfRecord("chr1", 1, "A", "J")
+
+    def test_line_roundtrip_with_info(self):
+        rec = VcfRecord(
+            "chr2", 555, "G", "C", id="rs99", qual=91.5,
+            filter="PASS", info={"DP": "44", "AF": "0.31", "SOMATIC": ""},
+        )
+        back = VcfRecord.from_line(rec.to_line())
+        assert back.chrom == "chr2" and back.pos == 555
+        assert back.qual == pytest.approx(91.5)
+        assert back.info == {"DP": "44", "AF": "0.31", "SOMATIC": ""}
+
+    def test_missing_qual_dot(self):
+        rec = VcfRecord("chr1", 1, "A", "T", qual=None)
+        assert "\t.\t" in rec.to_line()
+        assert VcfRecord.from_line(rec.to_line()).qual is None
+
+    def test_info_string_empty_is_dot(self):
+        assert VcfRecord("chr1", 1, "A", "T").info_string() == "."
+
+    def test_short_line_rejected(self):
+        with pytest.raises(VcfParseError):
+            VcfRecord.from_line("chr1\t100\t.\tA")
+
+
+class TestVcfHeader:
+    def test_roundtrip(self):
+        header = VcfHeader(
+            reference="synthetic-ref",
+            contigs=[("chr1", 100_000), ("chr2", 50_000)],
+        )
+        back = VcfHeader.from_lines(header.to_lines())
+        assert back.reference == "synthetic-ref"
+        assert back.contigs == header.contigs
+        assert back.info_fields == header.info_fields
+
+    def test_info_description_with_comma_preserved(self):
+        header = VcfHeader(
+            info_fields=[("XX", "1", "String", "contains, a comma")]
+        )
+        back = VcfHeader.from_lines(header.to_lines())
+        assert back.info_fields[0][3] == "contains, a comma"
+
+
+class TestVcfDocument:
+    def test_full_roundtrip(self):
+        header = VcfHeader(contigs=[("chr1", 1000)])
+        records = [
+            VcfRecord("chr1", 10, "A", "G", info={"DP": "20"}),
+            VcfRecord("chr1", 99, "C", "T", qual=50.0),
+        ]
+        header2, records2 = parse_vcf(write_vcf(header, records))
+        assert records2 == records
+        assert header2.contigs == header.contigs
+
+    def test_sort_records(self):
+        records = [
+            VcfRecord("chr2", 5, "A", "T"),
+            VcfRecord("chr1", 99, "C", "T"),
+            VcfRecord("chr1", 5, "G", "A"),
+        ]
+        ordered = sort_records(records)
+        assert [(r.chrom, r.pos) for r in ordered] == [
+            ("chr1", 5), ("chr1", 99), ("chr2", 5),
+        ]
+
+    def test_chrom_header_line_skipped(self):
+        text = "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\nchr1\t1\t.\tA\tT\t.\tPASS\t.\n"
+        _h, records = parse_vcf(text)
+        assert len(records) == 1

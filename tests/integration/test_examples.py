@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs and prints what it promises.
+
+The figure-regeneration examples are exercised indirectly by the benchmark
+suite (same code paths) and skipped here for time; the rest run end to end
+as subprocesses, exactly as a user would invoke them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "broker advice" in out
+        assert "analysis complete" in out
+        assert "platform metrics:" in out
+
+    def test_knowledge_base_tour(self):
+        out = run_example("knowledge_base_tour.py")
+        assert "owl:NamedIndividual" in out
+        assert "GATK1" in out
+        assert "Shard advice" in out
+        # Table II recovery printed paper-vs-fit pairs.
+        assert "HaplotypeCaller" in out
+
+    def test_data_broker_sharding(self):
+        out = run_example("data_broker_sharding.py")
+        assert "25 shards" in out
+        assert "whole blocks moved" in out
+        assert "duplicate collapsed" in out
+
+    def test_cancer_pipeline(self):
+        out = run_example("cancer_pipeline.py", timeout=600.0)
+        assert "true mutations recovered" in out
+        assert "somatic calls survive" in out
+        assert "##fileformat=VCF" in out
+        assert "integrated score" in out
+
+    def test_integrative_workflow(self):
+        out = run_example("integrative_workflow.py")
+        assert "workflow complete" in out
+        assert "bwa, cellprofiler, cytoscape, gatk, maxquant" in out
+        assert "shards=" in out
+
+    def test_examples_all_covered(self):
+        """Every example file is either tested here or a figure/sweep
+        regenerator covered by the benchmark suite."""
+        here = {
+            "quickstart.py", "knowledge_base_tour.py",
+            "data_broker_sharding.py", "cancer_pipeline.py",
+            "integrative_workflow.py",
+        }
+        bench_covered = {
+            "figure4_scaling.py", "figure5_corestages.py", "full_sweep.py",
+        }
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == here | bench_covered

@@ -1,0 +1,148 @@
+"""The full miniature bioinformatics pipeline, end to end.
+
+Simulate reads -> shard FASTQ -> align each shard -> merge SAM -> call
+variants -> compare against spiked ground truth -> integrate on a network.
+This exercises every executable miniature the paper's tool chest names.
+"""
+
+import pytest
+
+from repro.apps.bwa import SeedAndExtendAligner
+from repro.apps.cytoscape import NetworkIntegrator
+from repro.apps.gatk import PileupVariantCaller
+from repro.apps.mutect import SomaticCaller
+from repro.broker.merger import merge_sam_outputs, merge_vcf_outputs
+from repro.broker.sharders import shard_fastq_records
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.synth import ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return ReferenceGenome.synthesize(seed=101, chromosome_lengths=(6000, 4000))
+
+
+@pytest.fixture(scope="module")
+def pipeline_outputs(ref):
+    """Run the whole miniature pipeline once; share across tests."""
+    simulator = ReadSimulator(ref, seed=102, read_length=80, base_error_rate=0.002)
+    truth = simulator.spike_variants(8, allele_fraction=1.0)
+    reads = simulator.simulate_reads(simulator.coverage_to_reads(18))
+
+    # Data Broker: shard the reads for parallel alignment.
+    shards = shard_fastq_records([r.record for r in reads], n_shards=4)
+
+    # BWA miniature per shard, merged back.
+    aligner = SeedAndExtendAligner(ref)
+    shard_outputs = [aligner.align(shard) for shard in shards]
+    header, merged_sam = merge_sam_outputs(shard_outputs)
+
+    # GATK miniature: pileup calling over the merged alignment.
+    caller = PileupVariantCaller(ref)
+    calls = caller.call(merged_sam)
+
+    return {
+        "truth": truth,
+        "reads": reads,
+        "header": header,
+        "sam": merged_sam,
+        "calls": calls,
+        "simulator": simulator,
+    }
+
+
+class TestShardedAlignment:
+    def test_sharded_equals_unsharded_alignment(self, ref, pipeline_outputs):
+        reads = [r.record for r in pipeline_outputs["reads"]]
+        aligner = SeedAndExtendAligner(ref)
+        _h, direct = aligner.align(reads)
+        assert pipeline_outputs["sam"] == direct
+
+    def test_high_mapping_rate(self, pipeline_outputs):
+        sam = pipeline_outputs["sam"]
+        mapped = sum(1 for r in sam if r.is_mapped)
+        assert mapped / len(sam) > 0.98
+
+
+class TestVariantRecovery:
+    def test_most_spiked_variants_recovered(self, pipeline_outputs):
+        truth_keys = {
+            (v.chrom, v.pos + 1, v.alt) for v in pipeline_outputs["truth"]
+        }
+        call_keys = {
+            (c.chrom, c.pos, c.alt) for c in pipeline_outputs["calls"]
+        }
+        recovered = truth_keys & call_keys
+        assert len(recovered) >= 0.75 * len(truth_keys)
+
+    def test_low_false_positive_rate(self, pipeline_outputs):
+        truth_keys = {
+            (v.chrom, v.pos + 1, v.alt) for v in pipeline_outputs["truth"]
+        }
+        false_calls = [
+            c
+            for c in pipeline_outputs["calls"]
+            if (c.chrom, c.pos, c.alt) not in truth_keys
+        ]
+        # Error rate 0.2% at depth ~18 should produce very few FPs.
+        assert len(false_calls) <= 3
+
+    def test_shardwise_calling_merges_to_same_sites(self, ref, pipeline_outputs):
+        """Calling per alignment shard then merging finds the same strong
+        sites as calling on the merged BAM (modulo depth-split edge sites).
+        """
+        reads = [r.record for r in pipeline_outputs["reads"]]
+        aligner = SeedAndExtendAligner(ref)
+        caller = PileupVariantCaller(ref)
+        whole_calls = {
+            (c.chrom, c.pos, c.alt) for c in pipeline_outputs["calls"]
+        }
+        # Shard by genome region instead of read set: split merged SAM by
+        # chromosome, call each, merge.
+        by_chrom: dict[str, list] = {}
+        for rec in pipeline_outputs["sam"]:
+            if rec.is_mapped:
+                by_chrom.setdefault(rec.rname, []).append(rec)
+        merged = merge_vcf_outputs(
+            [caller.call(records) for records in by_chrom.values()]
+        )
+        assert {(c.chrom, c.pos, c.alt) for c in merged} == whole_calls
+
+
+class TestSomaticWorkflow:
+    def test_tumour_normal_subtraction(self, ref):
+        # Tumour carries spiked variants; normal is clean.
+        tumour_sim = ReadSimulator(ref, seed=103, read_length=80, base_error_rate=0.0)
+        truth = tumour_sim.spike_variants(5, allele_fraction=1.0)
+        tumour_reads = tumour_sim.simulate_reads(tumour_sim.coverage_to_reads(15))
+
+        normal_sim = ReadSimulator(ref, seed=104, read_length=80, base_error_rate=0.0)
+        normal_reads = normal_sim.simulate_reads(normal_sim.coverage_to_reads(15))
+
+        aligner = SeedAndExtendAligner(ref)
+        _h1, tumour_sam = aligner.align([r.record for r in tumour_reads])
+        _h2, normal_sam = aligner.align([r.record for r in normal_reads])
+
+        somatic = SomaticCaller(ref).call_somatic(tumour_sam, normal_sam)
+        truth_keys = {(v.chrom, v.pos + 1, v.alt) for v in truth}
+        somatic_keys = {(c.chrom, c.pos, c.alt) for c in somatic}
+        assert len(truth_keys & somatic_keys) >= 0.6 * len(truth_keys)
+        for call in somatic:
+            assert "SOMATIC" in call.info
+
+
+class TestIntegrativeAnalysis:
+    def test_variant_burden_drives_network_ranking(self, pipeline_outputs):
+        """Figure 1's integrative step: mutation evidence over a gene
+        network ranks the mutated 'genes' first."""
+        # Treat each chromosome as a 'gene'; burden = calls per chromosome.
+        burden: dict[str, float] = {}
+        for call in pipeline_outputs["calls"]:
+            burden[call.chrom] = burden.get(call.chrom, 0.0) + 1.0
+        integrator = NetworkIntegrator(
+            [("chr1", "chr2"), ("chr2", "chrX")], damping=0.3
+        )
+        integrator.add_evidence("mutations", burden)
+        ranking = integrator.integrated_scores()
+        top = ranking[0]
+        assert top.gene == max(burden, key=lambda g: burden[g])

@@ -1,0 +1,87 @@
+"""Tests for knowledge-base expansion from the task log."""
+
+import pytest
+
+from repro.core.events import EventKind, EventLog
+from repro.knowledge.kb import SCANKnowledgeBase
+from repro.knowledge.log_ingest import KnowledgeIngestor
+
+
+def stage_completed(log, time=1.0, **overrides):
+    detail = dict(
+        app="gatk", stage=0, input_gb=5.0, threads=4, duration=12.5,
+    )
+    detail.update(overrides)
+    return log.emit(time, EventKind.STAGE_COMPLETED, **detail)
+
+
+class TestIngestion:
+    def test_stage_completed_creates_individual(self):
+        kb = SCANKnowledgeBase()
+        log = EventLog()
+        ingestor = KnowledgeIngestor(kb, log)
+        stage_completed(log)
+        assert ingestor.ingested == 1
+        assert kb.instance_count("gatk") == 1
+        ind = kb.ontology.domain.get_individual("GATK1")
+        assert ind.get("eTime") == 12.5
+        assert ind.get("threads") == 4
+
+    def test_other_events_ignored(self):
+        kb = SCANKnowledgeBase()
+        log = EventLog()
+        ingestor = KnowledgeIngestor(kb, log)
+        log.emit(0.0, EventKind.JOB_SUBMITTED, job="j1")
+        log.emit(1.0, EventKind.WORKER_HIRED, tier="private")
+        assert ingestor.ingested == 0
+
+    def test_incomplete_detail_skipped(self):
+        kb = SCANKnowledgeBase()
+        log = EventLog()
+        ingestor = KnowledgeIngestor(kb, log)
+        log.emit(0.0, EventKind.STAGE_COMPLETED, app="gatk")  # missing keys
+        assert ingestor.ingested == 0
+        assert ingestor.skipped == 1
+
+    def test_sampling_every_k(self):
+        kb = SCANKnowledgeBase()
+        log = EventLog()
+        ingestor = KnowledgeIngestor(kb, log, sample_every=3)
+        for i in range(9):
+            stage_completed(log, time=float(i))
+        assert ingestor.ingested == 3
+
+    def test_bad_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeIngestor(SCANKnowledgeBase(), sample_every=0)
+
+    def test_replay_over_existing_log(self):
+        log = EventLog()
+        for i in range(4):
+            stage_completed(log, time=float(i))
+        kb = SCANKnowledgeBase()
+        ingestor = KnowledgeIngestor(kb)  # not attached
+        assert ingestor.replay(log) == 4
+        assert kb.instance_count("gatk") == 4
+
+    def test_profile_grows_with_ingestion(self):
+        """The paper's GATK1->GATK4 expansion sharpens the fits."""
+        kb = SCANKnowledgeBase()
+        log = EventLog()
+        KnowledgeIngestor(kb, log)
+        # eTime linear in input: 2 GB -> 20, 4 GB -> 40, 8 GB -> 80.
+        for i, (size, time) in enumerate([(2.0, 20.0), (4.0, 40.0), (8.0, 80.0)]):
+            stage_completed(log, time=float(i), input_gb=size, threads=1,
+                            duration=time)
+        fit = kb.profile("gatk").stage(0).linear_fit
+        assert fit.slope == pytest.approx(10.0)
+        assert fit.intercept == pytest.approx(0.0, abs=1e-9)
+
+    def test_ingests_from_non_capturing_log(self):
+        """Subscribers fire even when the log does not store events."""
+        kb = SCANKnowledgeBase()
+        log = EventLog(capture=False)
+        ingestor = KnowledgeIngestor(kb, log)
+        stage_completed(log)
+        assert len(log) == 0
+        assert ingestor.ingested == 1

@@ -1,0 +1,135 @@
+"""Tests for the SCAN semantic model and the GO slice."""
+
+import pytest
+
+from repro.ontology.gene_ontology import GO, GO_TERMS, load_gene_ontology, term_by_label
+from repro.ontology.scan_ontology import (
+    DEFAULT_WORKFLOWS,
+    SCAN,
+    add_application_instance,
+    add_workflow_instance,
+    build_scan_ontology,
+)
+from repro.ontology.sparql import execute_query
+
+
+@pytest.fixture(scope="module")
+def onto():
+    return build_scan_ontology()
+
+
+class TestGeneOntology:
+    def test_roots_present(self):
+        go = load_gene_ontology()
+        for root in ("0008150", "0003674", "0005575"):
+            assert go.get_class(root) is not None
+
+    def test_is_a_transitivity(self):
+        go = load_gene_ontology()
+        dna_repair = go.get_class("0006281")
+        assert dna_repair is not None
+        supers = dna_repair.superclasses()
+        assert go.ns["0008150"] in supers  # biological_process root
+
+    def test_every_parent_exists(self):
+        accessions = {t.accession for t in GO_TERMS}
+        for term in GO_TERMS:
+            for parent in term.parents:
+                assert parent in accessions
+
+    def test_lookup_by_label(self):
+        go = load_gene_ontology()
+        cls = term_by_label(go, "DNA repair")
+        assert cls is not None and cls.iri == GO["0006281"]
+
+
+class TestScanOntology:
+    def test_three_ontologies_share_store(self, onto):
+        assert onto.domain.store is onto.cloud.store
+        assert onto.linker.store is onto.cloud.store
+
+    def test_more_than_ten_workflows(self, onto):
+        """The paper: 'we have defined over 10 different genome analysis
+        workflows (as instances of the class GenomeAnalysis)'."""
+        genome_cls = onto.domain.get_class("GenomeAnalysis")
+        assert genome_cls is not None
+        assert len(genome_cls.individuals()) >= 10
+
+    def test_tier_individuals(self, onto):
+        private = onto.cloud.get_individual("PrivateTier")
+        assert private is not None
+        assert private.get("corePrice") == 5.0
+        assert private.get("coreCount") == 624
+
+    def test_aligned_genomic_data_class(self, onto):
+        aligned = onto.domain.get_class("AlignedGenomicData")
+        bam = onto.domain.get_class("BAMData")
+        assert aligned is not None and bam is not None
+        assert aligned.iri in bam.superclasses()
+
+    def test_linker_properties_declared(self, onto):
+        for prop in ("requiredBy", "requiresResource", "consumesFormat", "runsOn"):
+            assert onto.linker.get_property(prop) is not None
+
+
+class TestApplicationInstances:
+    def test_paper_listing_roundtrip(self):
+        onto = build_scan_ontology(include_gene_ontology=False)
+        # The exact GATK1 individual from the paper's OWL listing.
+        ind = add_application_instance(
+            onto, "GATK1", app_name="gatk", input_file_size=10,
+            e_time=180, cpu=8, ram=4, steps=1,
+        )
+        assert ind.get("inputFileSize") == 10.0
+        assert ind.get("eTime") == 180.0
+        assert ind.get("CPU") == 8
+        assert ind.get("RAM") == 4.0
+        assert ind.get("steps") == 1
+
+    def test_kb_expansion_all_four_gatk_instances(self):
+        onto = build_scan_ontology(include_gene_ontology=False)
+        rows = [
+            ("GATK1", 10, 180), ("GATK2", 5, 200),
+            ("GATK3", 20, 280), ("GATK4", 4, 80),
+        ]
+        for name, size, etime in rows:
+            add_application_instance(
+                onto, name, app_name="gatk", input_file_size=size,
+                e_time=etime, cpu=8, ram=4,
+            )
+        assert len(onto.application_instances("gatk")) == 4
+
+        # The paper's broker ranking: by execution time.
+        results = execute_query(
+            onto.store,
+            f"""
+            PREFIX scan: <{SCAN.base}>
+            SELECT ?i ?t WHERE {{
+                ?i a scan:Application . ?i scan:eTime ?t .
+            }} ORDER BY ASC(?t)
+            """,
+        )
+        assert [r["i"].local_name for r in results] == [
+            "GATK4", "GATK1", "GATK2", "GATK3",
+        ]
+
+    def test_extra_properties(self):
+        onto = build_scan_ontology(include_gene_ontology=False)
+        ind = add_application_instance(
+            onto, "X1", app_name="x", input_file_size=1, e_time=1,
+            cpu=1, ram=1, performance="good", extra={"note": "hello"},
+        )
+        assert ind.get("performance") == "good"
+        assert ind.get("note") == "hello"
+
+    def test_add_workflow_instance(self):
+        onto = build_scan_ontology(include_gene_ontology=False)
+        ind = add_workflow_instance(onto, "CustomFlow")
+        cls = onto.domain.get_class("GenomeAnalysis")
+        assert ind.is_a(cls)
+        with pytest.raises(ValueError):
+            add_workflow_instance(onto, "Y", analysis_type="NoSuch")
+
+    def test_default_workflows_unique(self):
+        names = [w for w, _ in DEFAULT_WORKFLOWS]
+        assert len(names) == len(set(names))

@@ -1,0 +1,82 @@
+"""Tests for Turtle/RDF-XML serialization."""
+
+import pytest
+
+from repro.ontology.serializer import to_rdfxml, to_turtle
+from repro.ontology.scan_ontology import (
+    add_application_instance,
+    build_scan_ontology,
+)
+from repro.ontology.triples import Namespace, OWL, RDF, TripleStore
+
+EX = Namespace("http://example.org/#")
+
+
+@pytest.fixture
+def scan_with_gatk():
+    onto = build_scan_ontology(include_gene_ontology=False)
+    add_application_instance(
+        onto, "GATK1", app_name="gatk", input_file_size=10,
+        e_time=180, cpu=8, ram=4, steps=1,
+    )
+    return onto
+
+
+class TestTurtle:
+    def test_prefixes_emitted(self, scan_with_gatk):
+        text = to_turtle(scan_with_gatk.store)
+        assert "@prefix scan:" in text or "@prefix scan-ontology:" in text
+
+    def test_rdf_type_shortened_to_a(self):
+        store = TripleStore()
+        store.add(EX.x, RDF.type, OWL.Class)
+        text = to_turtle(store)
+        assert " a " in text
+
+    def test_literals_rendered(self):
+        store = TripleStore()
+        store.add(EX.x, EX.count, 5)
+        store.add(EX.x, EX.rate, 2.5)
+        store.add(EX.x, EX.flag, True)
+        store.add(EX.x, EX.label, 'say "hi"')
+        text = to_turtle(store)
+        assert "5" in text and "2.5" in text and "true" in text
+        assert '\\"hi\\"' in text
+
+    def test_grouped_by_subject(self):
+        store = TripleStore()
+        store.add(EX.x, EX.p1, 1)
+        store.add(EX.x, EX.p2, 2)
+        text = to_turtle(store)
+        # One subject block: the subject IRI appears once.
+        assert text.count(str(EX.x)) == 1
+
+
+class TestRdfXml:
+    def test_paper_style_individual_block(self, scan_with_gatk):
+        xml = to_rdfxml(scan_with_gatk.store)
+        assert '<owl:NamedIndividual rdf:about=' in xml
+        assert "GATK1" in xml
+        # Datatype properties as element text, as in the paper's listing.
+        assert ">10.0<" in xml or ">10<" in xml
+        assert "inputFileSize" in xml
+        assert "eTime" in xml
+
+    def test_rdf_type_resource_attribute(self, scan_with_gatk):
+        xml = to_rdfxml(scan_with_gatk.store)
+        assert '<rdf:type rdf:resource=' in xml
+        assert "Application" in xml
+
+    def test_well_formed_xml(self, scan_with_gatk):
+        import xml.dom.minidom
+
+        xml.dom.minidom.parseString(to_rdfxml(scan_with_gatk.store))
+
+    def test_only_named_individuals_emitted(self):
+        store = TripleStore()
+        store.add(EX.cls, RDF.type, OWL.Class)  # a class, not an individual
+        xml = to_rdfxml(store)
+        assert "NamedIndividual" not in xml.replace(
+            "xmlns", ""
+        ).split(">", 1)[1] if ">" in xml else True
+        assert str(EX.cls) not in xml

@@ -1,0 +1,123 @@
+"""Tests for the Turtle parser (the subset to_turtle emits)."""
+
+import pytest
+
+from repro.ontology.serializer import TurtleParseError, parse_turtle, to_turtle
+from repro.ontology.triples import (
+    BlankNode,
+    IRI,
+    Literal,
+    Namespace,
+    RDF,
+    TripleStore,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def roundtrip(store: TripleStore) -> TripleStore:
+    return parse_turtle(to_turtle(store))
+
+
+def as_set(store: TripleStore):
+    return {(t.subject, t.predicate, t.object) for t in store}
+
+
+class TestRoundtrip:
+    def test_simple_triples(self):
+        store = TripleStore()
+        store.bind_prefix("ex", EX.base)
+        store.add(EX.a, EX.p, EX.b)
+        store.add(EX.a, EX.q, 5)
+        store.add(EX.a, EX.r, 2.5)
+        store.add(EX.a, EX.s, True)
+        store.add(EX.a, EX.t, "text value")
+        assert as_set(roundtrip(store)) == as_set(store)
+
+    def test_rdf_type_a_shorthand(self):
+        store = TripleStore()
+        store.add(EX.a, RDF.type, EX.Thing)
+        back = roundtrip(store)
+        assert (EX.a, RDF.type, EX.Thing) in as_set(back)
+
+    def test_full_iris_without_prefix(self):
+        store = TripleStore()
+        store.add(
+            IRI("urn:custom:subject"), IRI("urn:custom:pred"), IRI("urn:custom:obj")
+        )
+        assert as_set(roundtrip(store)) == as_set(store)
+
+    def test_escaped_string_literals(self):
+        store = TripleStore()
+        store.add(EX.a, EX.p, 'say "hello" \\ world')
+        back = roundtrip(store)
+        (triple,) = list(back)
+        assert triple.object == Literal('say "hello" \\ world')
+
+    def test_blank_nodes(self):
+        store = TripleStore()
+        store.add(BlankNode("x1"), EX.p, EX.b)
+        back = roundtrip(store)
+        (triple,) = list(back)
+        assert triple.subject == BlankNode("x1")
+
+    def test_scan_ontology_full_roundtrip(self):
+        from repro.ontology.scan_ontology import (
+            add_application_instance,
+            build_scan_ontology,
+        )
+
+        onto = build_scan_ontology()
+        add_application_instance(
+            onto, "GATK1", app_name="gatk", input_file_size=10,
+            e_time=180, cpu=8, ram=4, performance="good",
+        )
+        back = roundtrip(onto.store)
+        assert len(back) == len(onto.store)
+        assert as_set(back) == as_set(onto.store)
+
+
+class TestDirectParsing:
+    def test_semicolon_lists(self):
+        back = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:s ex:p 1 ;\n    ex:q 2 .\n"
+        )
+        assert len(back) == 2
+
+    def test_comma_object_lists(self):
+        back = parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:s ex:p 1, 2, 3 .\n"
+        )
+        assert len(back) == 3
+
+    def test_comments_ignored(self):
+        back = parse_turtle(
+            "# a comment\n@prefix ex: <http://example.org/> .\n"
+            "ex:s ex:p 1 . # trailing\n"
+        )
+        assert len(back) == 1
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(TurtleParseError, match="unknown prefix"):
+            parse_turtle("nope:s nope:p 1 .")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('"literal" <http://e.org/p> 1 .')
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("@prefix ex: <http://example.org/> .\nex:s ex:p 1")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("@@@")
+
+    def test_parse_into_existing_store(self):
+        store = TripleStore()
+        store.add(EX.existing, EX.p, 1)
+        parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:new ex:p 2 .\n", store
+        )
+        assert len(store) == 2

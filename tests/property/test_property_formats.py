@@ -1,0 +1,139 @@
+"""Property-based round-trip tests on the genomic formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.formats.bam import read_bam, write_bam
+from repro.genomics.formats.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.genomics.formats.fastq import (
+    FastqRecord,
+    parse_fastq,
+    phred_to_qualities,
+    qualities_to_phred,
+    write_fastq,
+)
+from repro.genomics.formats.sam import Cigar, SamHeader, SamRecord, parse_sam, write_sam
+from repro.genomics.formats.vcf import VcfHeader, VcfRecord, parse_vcf, write_vcf
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+_sequences = st.text(alphabet="ACGTN", min_size=1, max_size=200)
+
+
+@st.composite
+def fastq_records(draw):
+    seq = draw(_sequences)
+    scores = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=93),
+            min_size=len(seq),
+            max_size=len(seq),
+        )
+    )
+    return FastqRecord(draw(_names), seq, qualities_to_phred(scores))
+
+
+@given(st.lists(fastq_records(), max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_fastq_roundtrip(records):
+    assert list(parse_fastq(write_fastq(records))) == records
+
+
+@given(st.lists(st.integers(min_value=0, max_value=93), max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_phred_roundtrip(scores):
+    assert list(phred_to_qualities(qualities_to_phred(scores))) == scores
+
+
+@given(
+    st.lists(
+        st.builds(
+            FastaRecord,
+            name=_names,
+            sequence=_sequences,
+            description=st.sampled_from(["", "desc one", "x"]),
+        ),
+        max_size=10,
+    ),
+    st.integers(min_value=1, max_value=120),
+)
+@settings(max_examples=50, deadline=None)
+def test_fasta_roundtrip_any_wrap_width(records, width):
+    assert list(parse_fasta(write_fasta(records, line_width=width))) == records
+
+
+@st.composite
+def sam_records(draw):
+    seq = draw(_sequences)
+    return SamRecord(
+        qname=draw(_names),
+        flag=draw(st.integers(min_value=0, max_value=2047)) & ~0x4,
+        rname="chr1",
+        pos=draw(st.integers(min_value=1, max_value=10_000)),
+        mapq=draw(st.integers(min_value=0, max_value=255)),
+        cigar=Cigar.parse(f"{len(seq)}M"),
+        seq=seq,
+        qual="I" * len(seq),
+    )
+
+
+@given(st.lists(sam_records(), max_size=15))
+@settings(max_examples=50, deadline=None)
+def test_sam_roundtrip(records):
+    header = SamHeader(references=[("chr1", 100_000)])
+    header2, records2 = parse_sam(write_sam(header, records))
+    assert records2 == records
+    assert header2.references == header.references
+
+
+@given(
+    st.lists(sam_records(), max_size=40),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=30, deadline=None)
+def test_bam_roundtrip_any_block_size(records, block_records):
+    header = SamHeader(references=[("chr1", 100_000)])
+    blob = write_bam(header, records, block_records=block_records)
+    _h, back = read_bam(blob)
+    assert back == records
+
+
+@st.composite
+def vcf_records(draw):
+    return VcfRecord(
+        chrom=draw(st.sampled_from(["chr1", "chr2", "chrX"])),
+        pos=draw(st.integers(min_value=1, max_value=1_000_000)),
+        ref=draw(st.text(alphabet="ACGT", min_size=1, max_size=5)),
+        alt=draw(st.text(alphabet="ACGT", min_size=1, max_size=5)),
+        qual=draw(st.one_of(st.none(), st.floats(min_value=0, max_value=1000))),
+        info=draw(
+            st.dictionaries(
+                st.sampled_from(["DP", "AF", "MQ"]),
+                st.sampled_from(["1", "0.5", "60"]),
+                max_size=3,
+            )
+        ),
+    )
+
+
+@given(st.lists(vcf_records(), max_size=15))
+@settings(max_examples=50, deadline=None)
+def test_vcf_roundtrip(records):
+    header = VcfHeader(contigs=[("chr1", 10), ("chr2", 10), ("chrX", 10)])
+    _h, back = parse_vcf(write_vcf(header, records))
+    assert back == records
+
+
+@given(st.lists(st.integers(min_value=0, max_value=93), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_fastq_trim_never_lengthens(scores):
+    seq = "A" * len(scores)
+    rec = FastqRecord("r", seq, qualities_to_phred(scores))
+    trimmed = rec.trimmed(min_quality=20)
+    assert len(trimmed) <= len(rec)
+    # Remaining tail base (if any) is above threshold.
+    if len(trimmed) > 0:
+        assert trimmed.qualities[-1] >= 20

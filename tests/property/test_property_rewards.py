@@ -1,0 +1,93 @@
+"""Property-based tests on reward functions and the Amdahl model."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.amdahl import amdahl_time, fit_parallel_fraction
+from repro.scheduler.rewards import ThroughputReward, TimeReward
+
+_latencies = st.floats(min_value=0.0, max_value=10_000.0)
+_sizes = st.floats(min_value=0.01, max_value=100.0)
+
+
+class TestTimeRewardProperties:
+    @given(t=_latencies, d=_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_linear_in_size(self, t, d):
+        r = TimeReward()
+        assert r(t, 2 * d) == pytest.approx(2 * r(t, d), rel=1e-9, abs=1e-9)
+
+    @given(t1=_latencies, t2=_latencies, d=_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_decreasing_in_latency(self, t1, t2, d):
+        assume(t1 < t2)
+        r = TimeReward()
+        assert r(t1, d) >= r(t2, d)
+
+    @given(t=_latencies, d=_sizes, delta=st.floats(min_value=0.001, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_marginal_value_consistent_with_differences(self, t, d, delta):
+        r = TimeReward()
+        drop = r(t, d) - r(t + delta, d)
+        assert drop == pytest.approx(r.marginal_value(t, d) * delta, rel=1e-6)
+
+
+class TestThroughputRewardProperties:
+    @given(t=st.floats(min_value=0.001, max_value=10_000.0), d=_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_always_positive(self, t, d):
+        assert ThroughputReward()(t, d) > 0
+
+    @given(
+        t1=st.floats(min_value=0.01, max_value=1000.0),
+        t2=st.floats(min_value=0.01, max_value=1000.0),
+        d=_sizes,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_strictly_decreasing(self, t1, t2, d):
+        assume(abs(t1 - t2) > 1e-6)
+        r = ThroughputReward()
+        early, late = min(t1, t2), max(t1, t2)
+        assert r(early, d) > r(late, d)
+
+    @given(t=st.floats(min_value=0.1, max_value=100.0), d=_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_halving_latency_doubles_reward(self, t, d):
+        r = ThroughputReward()
+        assert r(t / 2, d) == pytest.approx(2 * r(t, d), rel=1e-9)
+
+
+class TestAmdahlProperties:
+    @given(
+        base=st.floats(min_value=0.1, max_value=1000.0),
+        c=st.floats(min_value=0.0, max_value=1.0),
+        t1=st.integers(min_value=1, max_value=64),
+        t2=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_threads(self, base, c, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert amdahl_time(base, hi, c) <= amdahl_time(base, lo, c) + 1e-12
+
+    @given(
+        base=st.floats(min_value=0.1, max_value=1000.0),
+        c=st.floats(min_value=0.0, max_value=1.0),
+        t=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_by_serial_and_ideal(self, base, c, t):
+        time = amdahl_time(base, t, c)
+        assert base / t - 1e-9 <= time <= base + 1e-9
+
+    @given(
+        base=st.floats(min_value=1.0, max_value=500.0),
+        c=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fit_inverts_forward_model(self, base, c):
+        threads = [1, 2, 4, 8, 16]
+        times = [amdahl_time(base, t, c) for t in threads]
+        assert fit_parallel_fraction(threads, times) == pytest.approx(
+            c, abs=1e-6
+        )

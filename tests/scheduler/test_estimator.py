@@ -1,0 +1,148 @@
+"""Tests for ETT/EET/EQT estimation (Eq. 2) and the delay cost (Eq. 1)."""
+
+import pytest
+
+from repro.scheduler.estimator import PipelineEstimator, delay_cost
+from repro.scheduler.queues import StageQueue
+from repro.scheduler.rewards import ThroughputReward, TimeReward
+from repro.scheduler.tasks import Job, StageTask
+from repro.apps.base import ExecutionPlan
+
+
+@pytest.fixture
+def estimator(gatk_model):
+    return PipelineEstimator(gatk_model, eqt_alpha=0.5)
+
+
+def make_job(gatk_model, size=5.0, submit=0.0):
+    return Job(app=gatk_model, size=size, submit_time=submit)
+
+
+class TestEQT:
+    def test_first_observation_sets_value(self, estimator):
+        estimator.observe_queue_wait(0, 4.0)
+        assert estimator.eqt(0) == 4.0
+
+    def test_ewma_smoothing(self, estimator):
+        estimator.observe_queue_wait(0, 4.0)
+        estimator.observe_queue_wait(0, 8.0)
+        assert estimator.eqt(0) == pytest.approx(0.5 * 8.0 + 0.5 * 4.0)
+
+    def test_stages_independent(self, estimator):
+        estimator.observe_queue_wait(0, 10.0)
+        assert estimator.eqt(1) == 0.0
+
+    def test_negative_wait_rejected(self, estimator):
+        with pytest.raises(Exception):
+            estimator.observe_queue_wait(0, -1.0)
+
+
+class TestEET:
+    def test_matches_stage_model(self, estimator, gatk_model):
+        assert estimator.eet(4, 5.0, threads=8) == pytest.approx(
+            gatk_model.stage(4).threaded_time(8, 5.0)
+        )
+
+
+class TestETT:
+    def test_fresh_job_sums_all_stages(self, estimator, gatk_model):
+        job = make_job(gatk_model)
+        expected = sum(
+            gatk_model.stage(i).execution_time(5.0) for i in range(7)
+        )
+        assert estimator.ett(job, now=0.0) == pytest.approx(expected)
+
+    def test_elapsed_time_included(self, estimator, gatk_model):
+        job = make_job(gatk_model, submit=0.0)
+        base = estimator.ett(job, now=0.0)
+        assert estimator.ett(job, now=10.0) == pytest.approx(base + 10.0)
+
+    def test_completed_stages_drop_out(self, estimator, gatk_model):
+        from repro.cloud.infrastructure import TierName
+        from repro.scheduler.tasks import StageRecord
+
+        job = make_job(gatk_model)
+        full = estimator.ett(job, now=0.0)
+        job.record_stage(
+            StageRecord(0, 0.0, 0.0, 1.0, threads=1, tier=TierName.PRIVATE)
+        )
+        # Now stage 0's EET no longer appears (but elapsed does).
+        reduced = estimator.ett(job, now=0.0)
+        assert reduced == pytest.approx(
+            full - gatk_model.stage(0).execution_time(5.0)
+        )
+
+    def test_queue_estimates_added_per_stage(self, estimator, gatk_model):
+        job = make_job(gatk_model)
+        base = estimator.ett(job, now=0.0)
+        estimator.observe_queue_wait(2, 6.0)
+        estimator.observe_queue_wait(5, 4.0)
+        assert estimator.ett(job, now=0.0) == pytest.approx(base + 10.0)
+
+    def test_plan_threads_used(self, estimator, gatk_model):
+        job = make_job(gatk_model)
+        serial = estimator.ett(job, now=0.0)
+        job.plan = ExecutionPlan.uniform(7, 16)
+        assert estimator.ett(job, now=0.0) < serial
+
+    def test_threads_override(self, estimator, gatk_model):
+        job = make_job(gatk_model)
+        overridden = estimator.ett(job, 0.0, threads_per_stage=[16] * 7)
+        job.plan = ExecutionPlan.uniform(7, 16)
+        assert overridden == pytest.approx(estimator.ett(job, 0.0))
+
+    def test_remaining_time_excludes_elapsed(self, estimator, gatk_model):
+        job = make_job(gatk_model, submit=0.0)
+        r0 = estimator.remaining_time(job, now=0.0)
+        r10 = estimator.remaining_time(job, now=10.0)
+        assert r0 == pytest.approx(r10)
+
+    def test_ett_uses_input_gb(self, estimator, gatk_model):
+        small = Job(app=gatk_model, size=5.0, submit_time=0.0, input_gb=1.0)
+        big = Job(app=gatk_model, size=5.0, submit_time=0.0, input_gb=20.0)
+        assert estimator.ett(big, 0.0) > estimator.ett(small, 0.0)
+
+
+class TestDelayCost:
+    def make_queue(self, gatk_model, sizes):
+        q = StageQueue(0)
+        for size in sizes:
+            job = make_job(gatk_model, size=size)
+            q.push(StageTask(job=job, stage=0, enqueued_at=0.0), now=0.0)
+        return q
+
+    def test_zero_delay_zero_cost(self, estimator, gatk_model):
+        q = self.make_queue(gatk_model, [5.0])
+        assert delay_cost(q, estimator, TimeReward(), 0.0, now=0.0) == 0.0
+
+    def test_time_reward_linear_in_delay(self, estimator, gatk_model):
+        """For the time scheme Eq. 1 reduces to delay * sum(d_j Rpenalty)."""
+        q = self.make_queue(gatk_model, [5.0, 3.0])
+        reward = TimeReward(rmax=400.0, rpenalty=15.0)
+        dc = delay_cost(q, estimator, reward, 2.0, now=0.0)
+        assert dc == pytest.approx(2.0 * (5.0 + 3.0) * 15.0)
+
+    def test_empty_queue_costs_nothing(self, estimator, gatk_model):
+        q = StageQueue(0)
+        assert delay_cost(q, estimator, TimeReward(), 5.0, now=0.0) == 0.0
+
+    def test_throughput_cost_convex(self, estimator, gatk_model):
+        """Delaying an already-slow job costs less under 1/t rewards."""
+        q = self.make_queue(gatk_model, [5.0])
+        reward = ThroughputReward()
+        early = delay_cost(q, estimator, reward, 1.0, now=0.0)
+        late = delay_cost(q, estimator, reward, 1.0, now=500.0)
+        assert early > late > 0.0
+
+    def test_negative_delay_rejected(self, estimator, gatk_model):
+        q = self.make_queue(gatk_model, [5.0])
+        with pytest.raises(Exception):
+            delay_cost(q, estimator, TimeReward(), -1.0, now=0.0)
+
+    def test_more_queued_jobs_cost_more(self, estimator, gatk_model):
+        reward = TimeReward()
+        q1 = self.make_queue(gatk_model, [5.0])
+        q3 = self.make_queue(gatk_model, [5.0, 5.0, 5.0])
+        assert delay_cost(q3, estimator, reward, 1.0, 0.0) == pytest.approx(
+            3 * delay_cost(q1, estimator, reward, 1.0, 0.0)
+        )

@@ -1,0 +1,161 @@
+"""Tests for the three horizontal-scaling algorithms."""
+
+import pytest
+
+from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.core.config import ScalingAlgorithm
+from repro.scheduler.costs import TieredCostFunction
+from repro.scheduler.estimator import PipelineEstimator
+from repro.scheduler.queues import StageQueue
+from repro.scheduler.rewards import TimeReward
+from repro.scheduler.scaling import (
+    AlwaysScale,
+    NeverScale,
+    PredictiveScale,
+    ScalingContext,
+    make_scaling_policy,
+)
+from repro.scheduler.tasks import Job, StageTask
+
+
+def make_ctx(
+    env,
+    gatk_model,
+    private_cores=16,
+    private_used=0,
+    public_cost=50.0,
+    expected_wait=2.0,
+    queue_sizes=(5.0,),
+):
+    infra = Infrastructure(
+        env, private_cores=private_cores, private_cost=5.0,
+        public_cores=10_000, public_cost=public_cost,
+    )
+    if private_used:
+        infra.allocate(private_used, TierName.PRIVATE)
+    estimator = PipelineEstimator(gatk_model)
+    queue = StageQueue(0)
+    for size in queue_sizes:
+        job = Job(app=gatk_model, size=size, submit_time=0.0)
+        queue.push(StageTask(job=job, stage=0, enqueued_at=0.0), now=0.0)
+    return ScalingContext(
+        infrastructure=infra,
+        costs=TieredCostFunction(infra),
+        estimator=estimator,
+        reward=TimeReward(),
+        queue=queue,
+        now=0.0,
+        startup_penalty_tu=0.5,
+        expected_wait=expected_wait,
+    )
+
+
+def front_task(ctx):
+    task = ctx.queue.peek()
+    task.threads = 4
+    return task
+
+
+class TestAlwaysScale:
+    def test_private_preferred(self, env, gatk_model):
+        ctx = make_ctx(env, gatk_model)
+        decision = AlwaysScale().decide(front_task(ctx), 4, ctx)
+        assert decision.hire and decision.tier is TierName.PRIVATE
+
+    def test_public_when_private_full(self, env, gatk_model):
+        ctx = make_ctx(env, gatk_model, private_cores=4, private_used=4)
+        decision = AlwaysScale().decide(front_task(ctx), 4, ctx)
+        assert decision.hire and decision.tier is TierName.PUBLIC
+
+    def test_waits_only_when_both_tiers_full(self, env, gatk_model):
+        ctx = make_ctx(env, gatk_model, private_cores=4, private_used=4)
+        ctx.infrastructure.public.allocate(10_000)
+        decision = AlwaysScale().decide(front_task(ctx), 4, ctx)
+        assert not decision.hire
+
+
+class TestNeverScale:
+    def test_private_still_used(self, env, gatk_model):
+        ctx = make_ctx(env, gatk_model)
+        decision = NeverScale().decide(front_task(ctx), 4, ctx)
+        assert decision.hire and decision.tier is TierName.PRIVATE
+
+    def test_waits_when_private_full(self, env, gatk_model):
+        ctx = make_ctx(env, gatk_model, private_cores=4, private_used=4)
+        decision = NeverScale().decide(front_task(ctx), 4, ctx)
+        assert not decision.hire
+
+
+class TestPredictiveScale:
+    def test_private_fast_path(self, env, gatk_model):
+        ctx = make_ctx(env, gatk_model)
+        decision = PredictiveScale().decide(front_task(ctx), 4, ctx)
+        assert decision.hire and decision.tier is TierName.PRIVATE
+
+    def test_hires_public_when_delay_cost_exceeds_premium(self, env, gatk_model):
+        # A big queue of big jobs makes waiting expensive.
+        ctx = make_ctx(
+            env, gatk_model, private_cores=4, private_used=4,
+            public_cost=6.0,  # barely above private: tiny premium
+            expected_wait=4.0,
+            queue_sizes=(9.0,) * 30,
+        )
+        decision = PredictiveScale(horizon_tu=5.0).decide(front_task(ctx), 4, ctx)
+        assert decision.hire and decision.tier is TierName.PUBLIC
+
+    def test_waits_when_premium_exceeds_delay_cost(self, env, gatk_model):
+        # One small job, expensive public tier, short wait.
+        ctx = make_ctx(
+            env, gatk_model, private_cores=4, private_used=4,
+            public_cost=110.0,
+            expected_wait=0.5,
+            queue_sizes=(1.0,),
+        )
+        decision = PredictiveScale().decide(front_task(ctx), 4, ctx)
+        assert not decision.hire
+
+    def test_zero_expected_wait_never_hires(self, env, gatk_model):
+        ctx = make_ctx(
+            env, gatk_model, private_cores=4, private_used=4,
+            expected_wait=0.0, queue_sizes=(9.0,) * 50,
+        )
+        decision = PredictiveScale().decide(front_task(ctx), 4, ctx)
+        assert not decision.hire
+
+    def test_horizon_caps_pathological_waits(self, env, gatk_model):
+        ctx_inf = make_ctx(
+            env, gatk_model, private_cores=4, private_used=4,
+            public_cost=50.0, expected_wait=float("inf"),
+            queue_sizes=(5.0,) * 10,
+        )
+        ctx_hor = make_ctx(
+            env, gatk_model, private_cores=4, private_used=4,
+            public_cost=50.0, expected_wait=5.0,
+            queue_sizes=(5.0,) * 10,
+        )
+        p = PredictiveScale(horizon_tu=5.0)
+        assert (
+            p.decide(front_task(ctx_inf), 4, ctx_inf).hire
+            == p.decide(front_task(ctx_hor), 4, ctx_hor).hire
+        )
+
+    def test_waits_when_public_exhausted(self, env, gatk_model):
+        ctx = make_ctx(env, gatk_model, private_cores=4, private_used=4)
+        ctx.infrastructure.public.allocate(10_000)
+        decision = PredictiveScale().decide(front_task(ctx), 4, ctx)
+        assert not decision.hire
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(Exception):
+            PredictiveScale(horizon_tu=0.0)
+
+
+class TestFactory:
+    def test_all_constructible(self):
+        assert isinstance(make_scaling_policy(ScalingAlgorithm.ALWAYS), AlwaysScale)
+        assert isinstance(make_scaling_policy(ScalingAlgorithm.NEVER), NeverScale)
+        predictive = make_scaling_policy(
+            ScalingAlgorithm.PREDICTIVE, horizon_tu=7.0
+        )
+        assert isinstance(predictive, PredictiveScale)
+        assert predictive.horizon_tu == 7.0

@@ -1,0 +1,202 @@
+"""Tests for worker pools: matching, hiring, re-pooling, reaping."""
+
+import pytest
+
+from repro.cloud.celar import CelarManager
+from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.core.errors import SchedulingError
+from repro.scheduler.workers import Worker, WorkerPools
+
+
+@pytest.fixture
+def setup(env):
+    infra = Infrastructure(env, private_cores=64, public_cores=1000)
+    celar = CelarManager(env, infra, startup_penalty_tu=0.5)
+    pools = WorkerPools(env, celar, idle_timeout_tu=2.0)
+    return env, infra, celar, pools
+
+
+def ready_worker(env, pools, cores=4, tier=TierName.PRIVATE, cls="gatk"):
+    """Hire and boot a worker to the idle pool."""
+    pools.hire(cls, cores, tier, stage=0)
+    env.run(until=env.now + 0.6)
+    (worker,) = [w for w in pools.idle_workers if w.cores == cores or True][-1:]
+    return worker
+
+
+class TestHire:
+    def test_hire_claims_cores_synchronously(self, setup):
+        env, infra, _celar, pools = setup
+        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        assert infra.private.cores_in_use == 8
+        assert pools.booting_for_stage[0] == 1
+        assert pools.idle_workers == ()
+
+    def test_worker_idle_after_boot(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        assert pools.booting_for_stage[0] == 0
+        assert len(pools.idle_workers) == 1
+        assert pools.hires[TierName.PRIVATE] == 1
+
+    def test_on_available_fires_when_ready(self, setup):
+        env, _infra, _celar, pools = setup
+        calls = []
+        pools.on_available = lambda: calls.append(env.now)
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=2)
+        env.run(until=1.0)
+        assert calls == [0.5]
+
+
+class TestAcquire:
+    def test_exact_match_taken(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        worker = pools.acquire("gatk", 4)
+        assert worker is not None
+        assert worker.cores == 4
+        assert worker in pools.busy_workers
+
+    def test_matching_is_exact_shape(self, setup):
+        """Workers belong to vCPU-count pools: an 8-core request must not
+        take a 16-core worker (that worker would need a re-pool restart)."""
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        worker = pools.acquire("gatk", 8)
+        assert worker.cores == 8
+        assert pools.acquire("gatk", 4) is None  # no 4-core pool member
+
+    def test_too_small_workers_skipped(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 2, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        assert pools.acquire("gatk", 4) is None
+
+    def test_class_must_match(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("bwa", 8, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        assert pools.acquire("gatk", 4) is None
+
+    def test_release_returns_to_idle(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        worker = pools.acquire("gatk", 4)
+        worker.vm.mark_busy()
+        pools.release(worker)
+        assert worker in pools.idle_workers
+        assert worker.idle_since == env.now
+
+    def test_release_of_non_busy_rejected(self, setup):
+        env, _infra, celar, pools = setup
+        vm = celar.deploy(4, TierName.PRIVATE)
+        stray = Worker(vm, "gatk")
+        with pytest.raises(SchedulingError):
+            pools.release(stray)
+
+
+class TestRepool:
+    def test_repool_changes_shape_with_penalty(self, setup):
+        env, infra, _celar, pools = setup
+        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        candidate = pools.repool_candidate("gatk", 4)
+        assert candidate is not None
+        pools.repool(candidate, 4, stage=3)
+        assert infra.private.cores_in_use == 4  # shrunk immediately
+        assert pools.booting_for_stage[3] == 1
+        env.run(until=2.0)
+        assert candidate.cores == 4
+        assert pools.repools == 1
+        assert candidate in pools.idle_workers
+
+    def test_candidate_prefers_shrink_over_grow(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 2, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        candidate = pools.repool_candidate("gatk", 8)
+        assert candidate.cores == 16  # shrink 16->8 beats grow 2->8
+
+    def test_grow_requires_tier_capacity(self, env):
+        infra = Infrastructure(env, private_cores=4, public_cores=4)
+        celar = CelarManager(env, infra)
+        pools = WorkerPools(env, celar)
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        # Growing 4 -> 8 needs 4 more private cores; tier is full.
+        assert pools.repool_candidate("gatk", 8) is None
+
+    def test_repool_requires_idle(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        worker = pools.acquire("gatk", 4)
+        with pytest.raises(SchedulingError):
+            pools.repool(worker, 8, stage=0)
+
+
+class TestWaitEstimation:
+    def test_no_busy_workers_infinite(self, setup):
+        _env, _infra, _celar, pools = setup
+        assert pools.estimate_wait("gatk", 4, penalty_tu=0.5) == float("inf")
+
+    def test_matching_busy_worker_remaining_time(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        worker = pools.acquire("gatk", 4)
+        worker.busy_until = env.now + 3.0
+        assert pools.estimate_wait("gatk", 4, 0.5) == pytest.approx(3.0)
+
+    def test_mismatched_worker_adds_penalty(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 2, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        worker = pools.acquire("gatk", 2)
+        worker.busy_until = env.now + 3.0
+        # Needs 8 threads: the 2-core worker must be reshaped after freeing.
+        assert pools.estimate_wait("gatk", 8, 0.5) == pytest.approx(3.5)
+
+
+class TestReaper:
+    def test_idle_workers_reaped_after_timeout(self, setup):
+        env, infra, _celar, pools = setup
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        env.process(pools.start_reaper())
+        env.run(until=5.0)
+        assert pools.reaped == 1
+        assert infra.private.cores_in_use == 0
+
+    def test_busy_workers_never_reaped(self, setup):
+        env, _infra, _celar, pools = setup
+        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        worker = pools.acquire("gatk", 4)
+        env.process(pools.start_reaper())
+        env.run(until=10.0)
+        assert pools.reaped == 0
+        assert worker in pools.busy_workers
+
+    def test_force_free_private(self, env):
+        infra = Infrastructure(env, private_cores=16, public_cores=10)
+        celar = CelarManager(env, infra)
+        pools = WorkerPools(env, celar)
+        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
+        env.run(until=1.0)
+        assert not infra.private.can_allocate(8)
+        assert pools.force_free_private(8)
+        assert infra.private.can_allocate(8)
+        assert pools.reaped == 1
+
+    def test_double_reaper_rejected(self, setup):
+        env, _infra, _celar, pools = setup
+        env.process(pools.start_reaper())
+        env.run(until=0.1)
+        with pytest.raises(Exception):
+            env.run(until=env.process(pools.start_reaper()))

@@ -1,0 +1,62 @@
+"""Tests for the session result record."""
+
+import pytest
+
+from repro.sim.metrics import SessionResult
+
+
+def result(**overrides):
+    defaults = dict(
+        seed=1,
+        duration=1000.0,
+        submitted_runs=100,
+        completed_runs=90,
+        total_reward=9000.0,
+        total_cost=4500.0,
+        mean_latency=30.0,
+        mean_core_stages=12.0,
+        private_core_tu=800.0,
+        public_core_tu=100.0,
+        private_utilization=0.7,
+        hires_private=50,
+        hires_public=5,
+        repools=3,
+        reaped=40,
+        final_queue_depth=2,
+    )
+    defaults.update(overrides)
+    return SessionResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_profit(self):
+        assert result().profit == pytest.approx(4500.0)
+
+    def test_mean_profit_per_run(self):
+        assert result().mean_profit_per_run == pytest.approx(50.0)
+
+    def test_zero_completions_zero_profit_per_run(self):
+        assert result(completed_runs=0).mean_profit_per_run == 0.0
+
+    def test_reward_to_cost(self):
+        assert result().reward_to_cost == pytest.approx(2.0)
+
+    def test_zero_cost_ratio_zero(self):
+        assert result(total_cost=0.0).reward_to_cost == 0.0
+
+    def test_completion_fraction(self):
+        assert result().completion_fraction == pytest.approx(0.9)
+        assert result(submitted_runs=0, completed_runs=0).completion_fraction == 1.0
+
+    def test_metrics_dict_keys(self):
+        m = result().metrics()
+        for key in (
+            "mean_profit_per_run", "reward_to_cost", "mean_latency",
+            "mean_core_stages", "total_reward", "total_cost",
+        ):
+            assert key in m
+
+    def test_as_dict_includes_derived(self):
+        d = result().as_dict()
+        assert d["profit"] == pytest.approx(4500.0)
+        assert d["seed"] == 1

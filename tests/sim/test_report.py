@@ -1,0 +1,65 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.sim.report import format_summary, render_series, render_table
+
+
+class TestFormatSummary:
+    def test_mean_plus_minus_std(self):
+        stats = summarize([1.0, 3.0])
+        assert format_summary(stats) == "2.0 +/- 1.4"
+
+    def test_precision(self):
+        stats = summarize([1.0, 2.0])
+        assert format_summary(stats, precision=3) == "1.500 +/- 0.707"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["stage", "a_i", "b_i"],
+            [[1, 0.35, 5.38], [2, 2.70, -0.53]],
+            title="Table II",
+            precision=2,
+        )
+        lines = text.split("\n")
+        assert lines[0] == "Table II"
+        assert "stage" in lines[1]
+        assert all(len(l) == len(lines[1]) for l in lines[2:])
+        assert "0.35" in text and "-0.53" in text
+
+    def test_summary_cells(self):
+        stats = summarize([10.0, 20.0])
+        text = render_table(["metric"], [[stats]])
+        assert "15.0 +/- 7.1" in text
+
+    def test_enum_cells_rendered_by_value(self):
+        from repro.core.config import ScalingAlgorithm
+
+        text = render_table(["policy"], [[ScalingAlgorithm.PREDICTIVE]])
+        assert "predictive" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_one_column_per_series(self):
+        text = render_series(
+            "interval",
+            [2.0, 2.5, 3.0],
+            {
+                "always": [1.0, 2.0, 3.0],
+                "never": [4.0, 5.0, 6.0],
+            },
+        )
+        header = text.split("\n")[0]
+        assert "interval" in header and "always" in header and "never" in header
+        assert "2.5" in text and "5.0" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"s": [1.0]})

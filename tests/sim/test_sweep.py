@@ -1,0 +1,87 @@
+"""Tests for the Table I sweep engine."""
+
+import pytest
+
+from repro.core.config import (
+    AllocationAlgorithm,
+    PlatformConfig,
+    RewardScheme,
+    ScalingAlgorithm,
+)
+from repro.sim.sweep import TABLE1_FULL, SweepSpec, apply_cell, run_sweep
+
+
+def tiny_base():
+    return PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": 80.0, "repetitions": 2}
+    )
+
+
+class TestSweepSpec:
+    def test_default_is_single_cell(self):
+        assert SweepSpec().size() == 1
+
+    def test_size_is_product(self):
+        spec = SweepSpec(
+            scaling=(ScalingAlgorithm.ALWAYS, ScalingAlgorithm.NEVER),
+            mean_interarrival=(2.0, 2.5, 3.0),
+        )
+        assert spec.size() == 6
+        assert len(list(spec.cells())) == 6
+
+    def test_table1_full_grid_size(self):
+        """Table I: 4 allocators x 3 scalers x 11 intervals x 2 rewards x
+        4 public costs."""
+        assert TABLE1_FULL.size() == 4 * 3 * 11 * 2 * 4
+
+    def test_table1_values_exact(self):
+        assert TABLE1_FULL.mean_interarrival == (
+            2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6, 2.7, 2.8, 2.9, 3.0,
+        )
+        assert TABLE1_FULL.public_core_cost == (20.0, 50.0, 80.0, 110.0)
+
+
+class TestApplyCell:
+    def test_cell_overlays_config(self):
+        cell = {
+            "allocation": AllocationAlgorithm.LONG_TERM,
+            "scaling": ScalingAlgorithm.NEVER,
+            "mean_interarrival": 2.2,
+            "reward_scheme": RewardScheme.THROUGHPUT,
+            "public_core_cost": 80.0,
+        }
+        config = apply_cell(tiny_base(), cell)
+        assert config.scheduler.allocation is AllocationAlgorithm.LONG_TERM
+        assert config.scheduler.scaling is ScalingAlgorithm.NEVER
+        assert config.workload.mean_interarrival == 2.2
+        assert config.reward.scheme is RewardScheme.THROUGHPUT
+        assert config.cloud.public_core_cost == 80.0
+
+
+class TestRunSweep:
+    def test_rows_and_aggregation(self):
+        spec = SweepSpec(mean_interarrival=(2.2, 2.8))
+        rows = run_sweep(tiny_base(), spec, repetitions=2, base_seed=5)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.repetitions == 2
+            stats = row["mean_profit_per_run"]
+            assert stats.n == 2
+            assert row.param("mean_interarrival") in (2.2, 2.8)
+
+    def test_progress_callback(self):
+        seen = []
+        spec = SweepSpec(mean_interarrival=(2.5,))
+        run_sweep(
+            tiny_base(), spec, repetitions=1,
+            progress=lambda done, total, cell: seen.append((done, total)),
+        )
+        assert seen == [(1, 1)]
+
+    def test_flat_dict_export(self):
+        spec = SweepSpec()
+        (row,) = run_sweep(tiny_base(), spec, repetitions=1)
+        flat = row.as_flat_dict()
+        assert flat["scaling"] == "predictive"
+        assert "mean_profit_per_run_mean" in flat
+        assert "mean_profit_per_run_std" in flat

@@ -1,0 +1,211 @@
+"""Tests for the workflow execution engine."""
+
+import pytest
+
+from repro.cloud.celar import CelarManager
+from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.core.config import SchedulerConfig, AllocationAlgorithm
+from repro.core.errors import SCANError
+from repro.desim.engine import Environment
+from repro.scheduler.rewards import ThroughputReward
+from repro.workflows.engine import WorkflowEngine
+from repro.workflows.library import (
+    integrative_figure1_workflow,
+    mirna_fusion_workflow,
+    variation_detection_workflow,
+)
+from repro.workflows.spec import WorkflowError
+
+
+@pytest.fixture
+def engine():
+    env = Environment()
+    infra = Infrastructure(env)
+    celar = CelarManager(env, infra)
+    return WorkflowEngine(env, infra, celar, ThroughputReward())
+
+
+class TestSubmission:
+    def test_missing_entry_size_rejected(self, engine):
+        with pytest.raises(WorkflowError, match="missing"):
+            engine.submit(variation_detection_workflow(), {})
+
+    def test_unknown_step_size_rejected(self, engine):
+        with pytest.raises(WorkflowError, match="unknown"):
+            engine.submit(
+                variation_detection_workflow(),
+                {"align": 1.0, "ghost": 2.0},
+            )
+
+    def test_size_for_non_entry_rejected(self, engine):
+        with pytest.raises(WorkflowError, match="not an entry"):
+            engine.submit(
+                variation_detection_workflow(),
+                {"align": 1.0, "call": 2.0},
+            )
+
+    def test_nonpositive_size_rejected(self, engine):
+        with pytest.raises(WorkflowError, match="positive"):
+            engine.submit(variation_detection_workflow(), {"align": 0.0})
+
+
+class TestExecution:
+    def test_linear_chain_runs_in_order(self, engine):
+        spec = variation_detection_workflow()
+        run = engine.submit(spec, {"align": 5.0})
+        engine.env.run(until=2000.0)
+        assert run.is_complete
+        align, call = run.jobs["align"][0], run.jobs["call"][0]
+        # The GATK step cannot start before the alignment finished.
+        assert call.submit_time >= align.completed_at
+        assert run.latency() > 0
+
+    def test_fan_in_waits_for_all_parents(self, engine):
+        spec = mirna_fusion_workflow()
+        run = engine.submit(spec, {"align_tumour": 8.0, "align_normal": 2.0})
+        engine.env.run(until=3000.0)
+        assert run.is_complete
+        somatic = run.jobs["somatic"][0]
+        for parent in ("align_tumour", "align_normal"):
+            assert somatic.submit_time >= run.step_completed_at(parent)
+        # Fan-in input size: sum of both alignments' outputs.
+        assert somatic.input_gb == pytest.approx(10.0)
+
+    def test_figure1_full_dag(self, engine):
+        spec = integrative_figure1_workflow()
+        run = engine.submit(
+            spec, {"align": 10.0, "peptides": 3.0, "phenotypes": 8.0}
+        )
+        engine.env.run(until=3000.0)
+        assert run.is_complete
+        assert run.step_state() == {
+            name: "completed" for name in spec.topological_order
+        }
+        # One scheduler per application, all sharing the infrastructure.
+        assert set(engine.schedulers) == {
+            "bwa", "gatk", "maxquant", "cellprofiler", "cytoscape",
+        }
+
+    def test_branches_run_concurrently(self, engine):
+        """Independent branches must overlap in time."""
+        spec = integrative_figure1_workflow()
+        run = engine.submit(
+            spec, {"align": 10.0, "peptides": 10.0, "phenotypes": 10.0}
+        )
+        engine.env.run(until=3000.0)
+        align = run.jobs["align"][0]
+        peptides = run.jobs["peptides"][0]
+        # Both entry jobs started at t=0-ish and overlapped.
+        assert align.history[0].started_at < peptides.completed_at
+        assert peptides.history[0].started_at < align.completed_at
+
+    def test_step_state_progression(self, engine):
+        spec = variation_detection_workflow()
+        run = engine.submit(spec, {"align": 5.0})
+        assert run.step_state()["align"] == "running"
+        assert run.step_state()["call"] == "pending"
+        engine.env.run(until=2000.0)
+        assert run.step_state()["call"] == "completed"
+
+    def test_latency_before_completion_raises(self, engine):
+        run = engine.submit(variation_detection_workflow(), {"align": 5.0})
+        with pytest.raises(SCANError):
+            run.latency()
+
+
+class TestSharedResources:
+    def test_all_fleets_bill_one_infrastructure(self, engine):
+        spec = integrative_figure1_workflow()
+        engine.submit(spec, {"align": 10.0, "peptides": 3.0, "phenotypes": 8.0})
+        engine.env.run(until=3000.0)
+        total = engine.total_cost()
+        assert total > 0
+        # Cost equals the infrastructure integral, not a per-scheduler sum.
+        assert total == pytest.approx(
+            engine.infrastructure.accumulated_cost()
+        )
+
+    def test_workflow_reward_uses_total_input(self, engine):
+        spec = variation_detection_workflow()
+        run = engine.submit(spec, {"align": 5.0})
+        engine.env.run(until=2000.0)
+        expected = ThroughputReward()(run.latency(), 5.0)
+        assert engine.workflow_reward(run) == pytest.approx(expected)
+
+    def test_best_constant_config_supported(self):
+        env = Environment()
+        infra = Infrastructure(env)
+        celar = CelarManager(env, infra)
+        engine = WorkflowEngine(
+            env, infra, celar, ThroughputReward(),
+            scheduler_config=SchedulerConfig(
+                allocation=AllocationAlgorithm.BEST_CONSTANT
+            ),
+        )
+        run = engine.submit(variation_detection_workflow(), {"align": 5.0})
+        env.run(until=2000.0)
+        assert run.is_complete
+
+    def test_multiple_runs_share_schedulers(self, engine):
+        spec = variation_detection_workflow()
+        r1 = engine.submit(spec, {"align": 4.0})
+        r2 = engine.submit(spec, {"align": 6.0})
+        engine.env.run(until=3000.0)
+        assert r1.is_complete and r2.is_complete
+        assert len(engine.schedulers) == 2  # bwa + gatk, not 4
+        gatk = engine.schedulers["gatk"]
+        assert len(gatk.completed_jobs) == 2
+
+
+class TestStepSharding:
+    def make_sharded_engine(self, shard_gb):
+        env = Environment()
+        infra = Infrastructure(env)
+        celar = CelarManager(env, infra)
+        return WorkflowEngine(
+            env, infra, celar, ThroughputReward(), shard_gb=shard_gb
+        )
+
+    def test_large_step_split_into_shards(self):
+        engine = self.make_sharded_engine(shard_gb=2.0)
+        spec = variation_detection_workflow()
+        run = engine.submit(spec, {"align": 10.0})
+        engine.env.run(until=3000.0)
+        assert run.is_complete
+        align_jobs = run.step_jobs("align")
+        assert len(align_jobs) == 5
+        assert sum(j.input_gb for j in align_jobs) == pytest.approx(10.0)
+        # The downstream GATK step still sees the FULL upstream output.
+        call_jobs = run.step_jobs("call")
+        assert sum(j.input_gb for j in call_jobs) == pytest.approx(10.0)
+
+    def test_sharding_reduces_step_latency(self):
+        whole = self.make_sharded_engine(shard_gb=None)
+        spec = variation_detection_workflow()
+        run_whole = whole.submit(spec, {"align": 20.0})
+        whole.env.run(until=5000.0)
+
+        sharded = self.make_sharded_engine(shard_gb=2.0)
+        run_sharded = sharded.submit(spec, {"align": 20.0})
+        sharded.env.run(until=5000.0)
+
+        assert run_whole.is_complete and run_sharded.is_complete
+        assert run_sharded.latency() < 0.6 * run_whole.latency()
+
+    def test_small_input_not_sharded(self):
+        engine = self.make_sharded_engine(shard_gb=8.0)
+        run = engine.submit(variation_detection_workflow(), {"align": 3.0})
+        engine.env.run(until=2000.0)
+        assert len(run.step_jobs("align")) == 1
+
+    def test_downstream_waits_for_every_shard(self):
+        engine = self.make_sharded_engine(shard_gb=1.0)
+        spec = variation_detection_workflow()
+        run = engine.submit(spec, {"align": 4.0})
+        engine.env.run(until=3000.0)
+        call_submit = min(j.submit_time for j in run.step_jobs("call"))
+        assert call_submit >= run.step_completed_at("align")
+
+    def test_bad_shard_gb_rejected(self):
+        with pytest.raises(WorkflowError):
+            self.make_sharded_engine(shard_gb=0.0)

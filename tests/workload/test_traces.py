@@ -1,0 +1,80 @@
+"""Tests for arrival-trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import WorkloadConfig
+from repro.core.errors import WorkloadError
+from repro.desim.engine import Environment
+from repro.workload.arrivals import ArrivalBatch, BatchArrivalProcess
+from repro.workload.traces import ArrivalTrace, record_trace, replay_trace
+
+
+def make_trace():
+    proc = BatchArrivalProcess(WorkloadConfig(), np.random.default_rng(9))
+    return record_trace(proc, duration=100.0)
+
+
+class TestTrace:
+    def test_record_freezes_batches(self):
+        trace = make_trace()
+        assert len(trace) > 0
+        assert trace.n_jobs >= len(trace)
+        assert trace.duration < 100.0
+
+    def test_unordered_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            ArrivalTrace(
+                (
+                    ArrivalBatch(time=5.0, sizes=(1.0,)),
+                    ArrivalBatch(time=3.0, sizes=(1.0,)),
+                )
+            )
+
+    def test_dict_roundtrip(self):
+        trace = make_trace()
+        back = ArrivalTrace.from_dicts(trace.to_dicts())
+        assert back == trace
+
+    def test_empty_trace(self):
+        trace = ArrivalTrace(())
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+
+class TestReplay:
+    def test_replay_preserves_timestamps(self):
+        trace = make_trace()
+        env = Environment()
+        seen = []
+        env.process(replay_trace(env, trace, lambda b: seen.append((env.now, b))))
+        env.run()
+        assert len(seen) == len(trace)
+        for (now, batch), original in zip(seen, trace):
+            assert now == pytest.approx(original.time)
+            assert batch is original
+
+    def test_replay_twice_identical(self):
+        """The paired-comparison property: two replays see the same load."""
+        trace = make_trace()
+        results = []
+        for _ in range(2):
+            env = Environment()
+            seen = []
+            env.process(replay_trace(env, trace, lambda b: seen.append(b.time)))
+            env.run()
+            results.append(seen)
+        assert results[0] == results[1]
+
+    def test_past_batch_rejected(self):
+        env = Environment()
+        env.timeout(10)
+        env.run(until=10.0)
+        trace = ArrivalTrace((ArrivalBatch(time=5.0, sizes=(1.0,)),))
+
+        def run():
+            env.process(replay_trace(env, trace, lambda b: None))
+            env.run()
+
+        with pytest.raises(WorkloadError):
+            run()
