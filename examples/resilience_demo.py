@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Chaos vs resilience: the same hostile cloud, with and without the net.
+
+The chaos layer injects four fault classes on top of the seed's VM
+crashes: transient CELAR deploy bounces, boot failures, heavy-tailed
+stragglers and stage corruption.  The resilience suite answers with retry
+budgets + exponential backoff, a dead-letter queue, speculative
+re-execution of stragglers, and a public-tier circuit breaker.
+
+This demo runs one hostile session three ways:
+
+1. fault-free (the paper's setting -- every resilience mechanism inert);
+2. chaotic, resilience suite ON (retries/speculation absorb the damage);
+3. chaotic, resilience suite OFF (first failure dead-letters the job).
+
+Run:  python examples/resilience_demo.py
+"""
+
+from repro.core.config import PlatformConfig
+from repro.sim.report import render_resilience_summary, render_table
+from repro.sim.session import SimulationSession
+
+#: A hostile-but-survivable fault mix: VM crashes every ~50 TU, one deploy
+#: in five bounces, one task in ten straggles.
+CHAOS = {"mtbf_tu": 50.0, "p_deploy_fail": 0.2, "p_straggler": 0.1}
+DURATION = 300.0
+SEED = 3
+
+
+def run(faults, resilience_enabled, max_attempts=5):
+    config = PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": DURATION},
+        faults=faults,
+        resilience={"enabled": resilience_enabled, "max_attempts": max_attempts},
+    )
+    return SimulationSession(config).run(seed=SEED)
+
+
+def main() -> None:
+    print(f"running three {DURATION:.0f} TU sessions (seed {SEED}) ...\n")
+    clean = run({}, resilience_enabled=True)
+    resilient = run(CHAOS, resilience_enabled=True)
+    exposed = run(CHAOS, resilience_enabled=False)
+
+    rows = [
+        ["fault-free", f"{clean.completion_fraction:.3f}",
+         clean.failed_runs, f"{clean.mean_latency:.1f}",
+         f"{clean.mean_profit_per_run:.0f}"],
+        ["chaos + resilience", f"{resilient.completion_fraction:.3f}",
+         resilient.failed_runs, f"{resilient.mean_latency:.1f}",
+         f"{resilient.mean_profit_per_run:.0f}"],
+        ["chaos, no safety net", f"{exposed.completion_fraction:.3f}",
+         exposed.failed_runs, f"{exposed.mean_latency:.1f}",
+         f"{exposed.mean_profit_per_run:.0f}"],
+    ]
+    print(
+        render_table(
+            ["scenario", "completion", "failed", "latency", "profit/run"],
+            rows,
+            title="chaos ablation (MTBF 50 TU, 20% deploy bounce, "
+            "10% stragglers)",
+        )
+    )
+    print()
+    print(render_resilience_summary(resilient, title="resilience ON"))
+    print()
+    print(render_resilience_summary(exposed, title="resilience OFF"))
+    print()
+    kept = resilient.completion_fraction - exposed.completion_fraction
+    print(
+        f"the resilience suite kept {kept:+.1%} of the workload alive that "
+        "the unprotected scheduler dead-lettered on first failure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -83,6 +83,35 @@ def _common_session_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--public-cost", type=float, default=50.0)
     parser.add_argument("--size-unit-gb", type=float, default=1.0)
+    chaos = parser.add_argument_group("chaos / resilience")
+    chaos.add_argument(
+        "--mtbf", type=float, default=None,
+        help="mean time between VM crashes (TU); default: no crashes",
+    )
+    chaos.add_argument(
+        "--p-boot-fail", type=float, default=0.0,
+        help="probability a deployed VM dies during boot",
+    )
+    chaos.add_argument(
+        "--p-deploy-fail", type=float, default=0.0,
+        help="probability a CELAR deploy bounces transiently",
+    )
+    chaos.add_argument(
+        "--p-straggler", type=float, default=0.0,
+        help="probability a task execution straggles (heavy-tailed slowdown)",
+    )
+    chaos.add_argument(
+        "--p-corrupt", type=float, default=0.0,
+        help="probability a completed stage is retroactively corrupt",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=0,
+        help="retry budget per stage task (0 = retry forever)",
+    )
+    chaos.add_argument(
+        "--no-resilience", action="store_true",
+        help="disable retries/speculation/breaker (chaos ablation baseline)",
+    )
 
 
 def _session_config(args: argparse.Namespace) -> PlatformConfig:
@@ -97,6 +126,17 @@ def _session_config(args: argparse.Namespace) -> PlatformConfig:
         scheduler={
             "allocation": AllocationAlgorithm(args.allocation),
             "scaling": ScalingAlgorithm(args.scaling),
+        },
+        faults={
+            "mtbf_tu": args.mtbf,
+            "p_boot_fail": args.p_boot_fail,
+            "p_deploy_fail": args.p_deploy_fail,
+            "p_straggler": args.p_straggler,
+            "p_corrupt": args.p_corrupt,
+        },
+        resilience={
+            "enabled": not args.no_resilience,
+            "max_attempts": args.max_attempts,
         },
     )
 
@@ -116,6 +156,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"private utilization : {result.private_utilization:.2f}")
         print(f"hires (priv/pub)    : {result.hires_private}/{result.hires_public}")
         print(f"repools             : {result.repools}")
+        if any(result.resilience_counters().values()):
+            from repro.sim.report import render_resilience_summary
+
+            print(render_resilience_summary(result, title="chaos / resilience"))
     return 0
 
 

@@ -19,6 +19,7 @@ from repro.cloud.infrastructure import CloudTier, Infrastructure, TierName
 from repro.cloud.vm import VirtualMachine, VMState
 from repro.cloud.pricing import PricingModel, CostMeter, Invoice
 from repro.cloud.failures import FailureModel
+from repro.cloud.faults import FaultPlan, FaultInjector
 from repro.cloud.celar import CelarManager, CelarDecisionModule, ScalingCommand
 from repro.cloud.storage import SharedFilesystem, ReplicatedKVStore, TransferError
 
@@ -32,6 +33,8 @@ __all__ = [
     "CostMeter",
     "Invoice",
     "FailureModel",
+    "FaultPlan",
+    "FaultInjector",
     "CelarManager",
     "CelarDecisionModule",
     "ScalingCommand",

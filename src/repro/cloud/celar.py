@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cloud.infrastructure import Infrastructure, TierName
 from repro.cloud.vm import VirtualMachine, VMState
-from repro.core.errors import CloudError
+from repro.core.errors import CloudError, TransientDeployError
 from repro.desim.engine import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.cloud.faults import FaultInjector
 
 __all__ = ["CelarManager", "CelarDecisionModule", "ScalingCommand", "ScalingRule"]
 
@@ -47,6 +50,7 @@ class CelarManager:
         startup_penalty_tu: float = 0.5,
         allowed_sizes: tuple[int, ...] = (1, 2, 4, 8, 16),
         ram_per_core_gb: float = 4.0,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         """``ram_per_core_gb``: instance memory scales with vCPUs (the
         paper's private nodes carry 64 GB across 16 cores -> 4 GB/core), so
@@ -62,9 +66,12 @@ class CelarManager:
         self.startup_penalty_tu = startup_penalty_tu
         self.allowed_sizes = tuple(sorted(allowed_sizes))
         self.ram_per_core_gb = ram_per_core_gb
+        #: Optional chaos layer; when set, deploys may bounce transiently.
+        self.injector = injector
         self.vms: list[VirtualMachine] = []
         self.deploy_count = 0
         self.resize_count = 0
+        self.deploy_failures = 0
 
     def instance_ram_gb(self, cores: int) -> float:
         """Memory of a *cores*-vCPU instance."""
@@ -94,6 +101,14 @@ class CelarManager:
         if cores not in self.allowed_sizes:
             raise CloudError(
                 f"{cores} is not an allowed instance size {self.allowed_sizes}"
+            )
+        if self.injector is not None and self.injector.deploy_fails(tier):
+            # Fails before any capacity is claimed, so there is nothing to
+            # roll back -- the request simply bounced.
+            self.deploy_failures += 1
+            raise TransientDeployError(
+                f"transient provisioning error on {tier.value} tier "
+                f"({cores} cores)"
             )
         vm = VirtualMachine(
             self.env,

@@ -13,6 +13,8 @@ from repro.core.config import (
     WorkloadConfig,
     SchedulerConfig,
     BrokerConfig,
+    FaultConfig,
+    ResilienceConfig,
     RewardScheme,
     AllocationAlgorithm,
     ScalingAlgorithm,
@@ -23,6 +25,7 @@ from repro.core.errors import (
     SchedulingError,
     BrokerError,
     KnowledgeBaseError,
+    TransientDeployError,
 )
 from repro.core.events import PlatformEvent, EventKind, EventLog
 
@@ -34,6 +37,8 @@ __all__ = [
     "WorkloadConfig",
     "SchedulerConfig",
     "BrokerConfig",
+    "FaultConfig",
+    "ResilienceConfig",
     "RewardScheme",
     "AllocationAlgorithm",
     "ScalingAlgorithm",
@@ -42,6 +47,7 @@ __all__ = [
     "SchedulingError",
     "BrokerError",
     "KnowledgeBaseError",
+    "TransientDeployError",
     "PlatformEvent",
     "EventKind",
     "EventLog",

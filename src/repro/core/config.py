@@ -31,6 +31,8 @@ __all__ = [
     "WorkloadConfig",
     "SchedulerConfig",
     "BrokerConfig",
+    "FaultConfig",
+    "ResilienceConfig",
     "SimulationConfig",
     "PlatformConfig",
 ]
@@ -249,6 +251,118 @@ class BrokerConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Chaos-layer fault streams (all disabled by default).
+
+    Each stream draws from its own named RNG stream, so enabling one fault
+    class never perturbs the draws of another (or of the workload): a run
+    with every probability at zero is bit-identical to a run without the
+    fault layer at all.
+    """
+
+    #: Mean time between VM crashes (TU).  ``None`` falls back to the
+    #: legacy ``CloudConfig.vm_mtbf_tu`` knob; both ``None`` disables
+    #: crash injection.
+    mtbf_tu: "float | None" = None
+    #: Public-tier crash MTBF (TU); defaults to ``mtbf_tu`` (spot-market
+    #: instances often die sooner, so the knob is separate).
+    public_mtbf_tu: "float | None" = None
+    #: Probability a deployed VM dies during its boot sequence.
+    p_boot_fail: float = 0.0
+    #: Probability a CELAR deploy request fails transiently (private tier,
+    #: and public tier unless overridden below).
+    p_deploy_fail: float = 0.0
+    #: Public-tier deploy failure probability; defaults to ``p_deploy_fail``.
+    p_deploy_fail_public: "float | None" = None
+    #: Probability a task's execution straggles (heavy-tailed slowdown).
+    p_straggler: float = 0.0
+    #: Pareto tail index of the straggler multiplier (smaller = heavier).
+    straggler_alpha: float = 1.5
+    #: Minimum slowdown factor of a straggling task.
+    straggler_min_factor: float = 2.0
+    #: Probability a completed stage is retroactively invalid (staging /
+    #: shard corruption) and must re-execute.
+    p_corrupt: float = 0.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.mtbf_tu is not None and self.mtbf_tu <= 0:
+            raise ConfigurationError("mtbf_tu must be positive or None")
+        if self.public_mtbf_tu is not None and self.public_mtbf_tu <= 0:
+            raise ConfigurationError("public_mtbf_tu must be positive or None")
+        for name in ("p_boot_fail", "p_deploy_fail", "p_straggler", "p_corrupt"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {p}")
+        if self.p_deploy_fail_public is not None and not (
+            0.0 <= self.p_deploy_fail_public <= 1.0
+        ):
+            raise ConfigurationError("p_deploy_fail_public must lie in [0, 1]")
+        if self.straggler_alpha <= 1.0:
+            raise ConfigurationError(
+                "straggler_alpha must exceed 1 (finite mean slowdown)"
+            )
+        if self.straggler_min_factor < 1.0:
+            raise ConfigurationError("straggler_min_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Scheduler resilience mechanisms (retry budgets, backoff, dead-letter
+    quarantine, speculative re-execution, public-tier circuit breaker).
+
+    Enabled by default; with no faults injected the mechanisms are inert,
+    so a fault-free session is bit-identical to one without them.
+    """
+
+    #: Master switch.  Disabled = chaos with no safety net: a failed
+    #: execution immediately dead-letters its job (no retries), no
+    #: speculation, no circuit breaker, no deploy re-arming -- the
+    #: ablation baseline the chaos benchmark compares against.
+    enabled: bool = True
+    #: Executions a stage task may consume before it is dead-lettered and
+    #: its job fails.  0 retries forever (the seed's legacy behaviour).
+    max_attempts: int = 0
+    #: First retry is delayed this long (TU); doubles per attempt.
+    retry_base_delay_tu: float = 0.25
+    #: Multiplier applied to the retry delay per additional attempt.
+    retry_backoff_factor: float = 2.0
+    #: Ceiling on the per-retry delay (TU).
+    retry_max_delay_tu: float = 8.0
+    #: Re-dispatch delay after a transient deploy failure (TU).
+    deploy_retry_delay_tu: float = 0.5
+    #: Whether the straggler watchdog may launch speculative duplicates.
+    speculation_enabled: bool = True
+    #: A running task is a suspected straggler once it exceeds this factor
+    #: times the estimator's predicted duration.
+    straggler_factor: float = 3.0
+    #: Whether repeated public-tier deploy failures trip a circuit breaker.
+    breaker_enabled: bool = True
+    #: Consecutive public deploy failures that open the breaker.
+    breaker_threshold: int = 3
+    #: How long an open breaker rejects public hires before one half-open
+    #: probe is allowed (TU).
+    breaker_cooldown_tu: float = 20.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.max_attempts < 0:
+            raise ConfigurationError("max_attempts must be >= 0 (0 = unbounded)")
+        if self.retry_base_delay_tu < 0 or self.retry_max_delay_tu < 0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigurationError("retry_backoff_factor must be >= 1")
+        if self.deploy_retry_delay_tu <= 0:
+            raise ConfigurationError("deploy_retry_delay_tu must be positive")
+        if self.straggler_factor <= 1.0:
+            raise ConfigurationError("straggler_factor must exceed 1")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_tu <= 0:
+            raise ConfigurationError("breaker_cooldown_tu must be positive")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Session-level controls (Table III row 1 plus reproducibility)."""
 
@@ -280,6 +394,8 @@ class PlatformConfig:
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     broker: BrokerConfig = field(default_factory=BrokerConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     #: Name of the application pipeline to run (registry key).
     application: str = "gatk"
@@ -291,6 +407,8 @@ class PlatformConfig:
         self.workload.validate()
         self.scheduler.validate()
         self.broker.validate()
+        self.faults.validate()
+        self.resilience.validate()
         self.simulation.validate()
         if not self.application:
             raise ConfigurationError("application must be named")

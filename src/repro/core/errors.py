@@ -9,6 +9,7 @@ __all__ = [
     "BrokerError",
     "KnowledgeBaseError",
     "CloudError",
+    "TransientDeployError",
     "WorkloadError",
 ]
 
@@ -35,6 +36,15 @@ class KnowledgeBaseError(SCANError):
 
 class CloudError(SCANError):
     """Simulated-cloud failure (tier exhausted, invalid instance size)."""
+
+
+class TransientDeployError(CloudError):
+    """A CELAR deploy request failed transiently (provisioning error).
+
+    Retryable: the capacity check passed but the provider bounced the
+    request; the scheduler re-dispatches after a short delay instead of
+    treating it as a scheduling invariant violation.
+    """
 
 
 class WorkloadError(SCANError):

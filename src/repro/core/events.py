@@ -38,6 +38,17 @@ class EventKind(str, enum.Enum):
     VM_READY = "vm_ready"
     WORKER_FAILED = "worker_failed"
     TASK_RETRIED = "task_retried"
+    TASK_RETRY_SCHEDULED = "task_retry_scheduled"
+    TASK_DEAD_LETTERED = "task_dead_lettered"
+    JOB_FAILED = "job_failed"
+    SPECULATIVE_LAUNCHED = "speculative_launched"
+    SPECULATIVE_WON = "speculative_won"
+    SPECULATIVE_LOST = "speculative_lost"
+    DEPLOY_FAILED = "deploy_failed"
+    BOOT_FAILED = "boot_failed"
+    STAGE_CORRUPTED = "stage_corrupted"
+    BREAKER_OPEN = "breaker_open"
+    BREAKER_CLOSED = "breaker_closed"
     KB_UPDATED = "kb_updated"
     REWARD_PAID = "reward_paid"
     COST_INCURRED = "cost_incurred"

@@ -22,12 +22,14 @@ from repro.apps.registry import ApplicationRegistry, default_registry
 from repro.broker.broker import BrokeredJob, DataBroker
 from repro.broker.staging import DataStager
 from repro.cloud.celar import CelarManager
+from repro.cloud.faults import FaultInjector, FaultPlan
 from repro.cloud.infrastructure import Infrastructure
 from repro.cloud.storage import ReplicatedKVStore, SharedFilesystem
 from repro.core.config import AllocationAlgorithm, PlatformConfig
 from repro.core.errors import SCANError
 from repro.core.events import EventLog
 from repro.desim.engine import Environment
+from repro.desim.rng import RandomStreams
 from repro.genomics.datasets import DatasetDescriptor
 from repro.knowledge.kb import SCANKnowledgeBase
 from repro.knowledge.log_ingest import KnowledgeIngestor
@@ -104,11 +106,19 @@ class SCANPlatform:
             public_cores=self.config.cloud.public_cores,
             public_cost=self.config.cloud.public_core_cost,
         )
+        # The chaos layer, seeded from the platform's configured seed.
+        plan = FaultPlan.from_config(self.config.faults, self.config.cloud)
+        self.injector: Optional[FaultInjector] = None
+        if plan.any_active:
+            self.injector = FaultInjector(
+                plan, RandomStreams(self.config.simulation.seed)
+            )
         self.celar = CelarManager(
             self.env,
             self.infrastructure,
             startup_penalty_tu=self.config.cloud.startup_penalty_tu,
             allowed_sizes=self.config.cloud.instance_sizes,
+            injector=self.injector,
         )
         self.filesystem = SharedFilesystem(self.env)
         self.kv_store = ReplicatedKVStore(self.env)
@@ -152,6 +162,8 @@ class SCANPlatform:
             ),
             config=self.config.scheduler,
             event_log=self.log,
+            faults=self.injector,
+            resilience=self.config.resilience,
         )
         self.scheduler.start()
         self.requests: list[AnalysisRequest] = []

@@ -52,6 +52,14 @@ from repro.scheduler.scaling import (
     make_scaling_policy,
 )
 from repro.scheduler.workers import Worker, WorkerPools
+from repro.scheduler.resilience import (
+    RetryPolicy,
+    DeadLetter,
+    DeadLetterQueue,
+    BreakerState,
+    CircuitBreaker,
+    SpeculativeExecutor,
+)
 from repro.scheduler.scheduler import SCANScheduler
 
 __all__ = [
@@ -84,5 +92,11 @@ __all__ = [
     "make_scaling_policy",
     "Worker",
     "WorkerPools",
+    "RetryPolicy",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "BreakerState",
+    "CircuitBreaker",
+    "SpeculativeExecutor",
     "SCANScheduler",
 ]

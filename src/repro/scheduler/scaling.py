@@ -55,6 +55,9 @@ class ScalingContext:
     #: Expected wait if we do not hire (estimated time until a suitable
     #: worker frees up); the scheduler supplies its best estimate.
     expected_wait: float
+    #: False while the public-tier circuit breaker is open: repeated
+    #: deploy failures make public hires pointless until the cooldown.
+    public_available: bool = True
 
 
 @dataclass(frozen=True)
@@ -95,7 +98,7 @@ class AlwaysScale:
         decision = _private_first(cores, ctx)
         if decision is not None:
             return decision
-        if ctx.infrastructure.public.can_allocate(cores):
+        if ctx.public_available and ctx.infrastructure.public.can_allocate(cores):
             return ScalingDecision.on(TierName.PUBLIC)
         return ScalingDecision.wait()
 
@@ -133,6 +136,9 @@ class PredictiveScale:
         decision = _private_first(cores, ctx)
         if decision is not None:
             return decision
+        if not ctx.public_available:
+            # Breaker open: public deploys are bouncing, don't bother.
+            return ScalingDecision.wait()
         if not ctx.infrastructure.public.can_allocate(cores):
             return ScalingDecision.wait()
 

@@ -16,6 +16,17 @@ Dispatch rules for the task at the front of each stage queue:
    allowed/feasible (pays the restart penalty, needs no new capacity).
 5. Otherwise consult the horizontal-scaling policy: hire public now, or
    wait for a busy worker to free up.
+
+Resilience (this module's failure-handling half) layers on top:
+
+- A failed execution re-enters its queue after capped exponential backoff
+  and with its attempt counter advanced; a task that exhausts its retry
+  budget is dead-lettered and its job fails (reward forfeited).
+- A straggling execution gets one speculative duplicate; the first
+  finisher wins and the loser is interrupted.
+- Transient deploy errors re-arm dispatch after a short delay; repeated
+  public-tier bounces trip a circuit breaker that hides the public tier
+  from the scaling policy until a half-open probe succeeds.
 """
 
 from __future__ import annotations
@@ -25,16 +36,23 @@ from typing import Optional
 from repro.apps.base import ApplicationModel
 from repro.cloud.celar import CelarManager
 from repro.cloud.failures import FailureModel
+from repro.cloud.faults import FaultInjector
 from repro.cloud.infrastructure import Infrastructure, TierName
 from repro.desim.process import Interrupt
-from repro.core.config import SchedulerConfig
-from repro.core.errors import SchedulingError
+from repro.core.config import ResilienceConfig, SchedulerConfig
+from repro.core.errors import SchedulingError, TransientDeployError
 from repro.core.events import EventKind, EventLog
 from repro.desim.engine import Environment
 from repro.scheduler.allocation import AllocationContext, AllocationPolicy
 from repro.scheduler.costs import TieredCostFunction
 from repro.scheduler.estimator import PipelineEstimator
 from repro.scheduler.queues import QueueSet
+from repro.scheduler.resilience import (
+    CircuitBreaker,
+    DeadLetterQueue,
+    RetryPolicy,
+    SpeculativeExecutor,
+)
 from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.scaling import ScalingContext, ScalingPolicy
 from repro.scheduler.tasks import Job, JobState, StageRecord, StageTask
@@ -47,6 +65,10 @@ __all__ = ["SCANScheduler"]
 #: policy each time is pure overhead when the queue state has barely
 #: moved.  0.25 TU staleness is negligible against 5-20 TU stage times.
 DECISION_TTL = 0.25
+
+#: Interrupt cause for a twin that lost the speculative race (the worker
+#: survives); any other cause means the worker's VM died under the task.
+_SPECULATIVE_LOSS = "speculative-loss"
 
 
 class SCANScheduler:
@@ -65,6 +87,8 @@ class SCANScheduler:
         event_log: Optional[EventLog] = None,
         actual_app: Optional[ApplicationModel] = None,
         failure_model: Optional[FailureModel] = None,
+        faults: Optional[FaultInjector] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.env = env
         self.app = app
@@ -87,6 +111,31 @@ class SCANScheduler:
         self.config = config if config is not None else SchedulerConfig()
         self.log = event_log if event_log is not None else EventLog()
 
+        if faults is None and failure_model is not None:
+            # Legacy crash-only construction path.
+            faults = FaultInjector.from_failure_model(failure_model)
+        #: The chaos layer (None = fault-free run).
+        self.faults = faults
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        self.retry_policy = RetryPolicy.from_config(self.resilience)
+        self.dead_letters = DeadLetterQueue()
+        self.failed_jobs: list[Job] = []
+        self.breaker: Optional[CircuitBreaker] = None
+        if self.resilience.enabled and self.resilience.breaker_enabled:
+            self.breaker = CircuitBreaker(
+                threshold=self.resilience.breaker_threshold,
+                cooldown_tu=self.resilience.breaker_cooldown_tu,
+            )
+        self.speculation = SpeculativeExecutor(
+            enabled=(
+                self.resilience.enabled and self.resilience.speculation_enabled
+            ),
+            straggler_factor=self.resilience.straggler_factor,
+            on_launch=self._launch_speculative,
+        )
+
         self.queues = QueueSet(app.n_stages, start_time=env.now)
         self.estimator = PipelineEstimator(app, eqt_alpha=self.config.eqt_alpha)
         self.costs = TieredCostFunction(infrastructure)
@@ -94,12 +143,14 @@ class SCANScheduler:
             env,
             celar,
             idle_timeout_tu=self.config.idle_timeout_tu,
-            failure_model=failure_model,
+            injector=faults,
         )
         self.pools.on_available = self._on_worker_available
         self.pools.on_worker_failed = self._on_worker_failed
+        self.pools.on_boot_failed = self._on_boot_failed
         self._executing: dict[Worker, object] = {}
         self.task_retries = 0
+        self.deploy_failures = 0
 
         self.submitted_jobs: list[Job] = []
         self.completed_jobs: list[Job] = []
@@ -156,6 +207,18 @@ class SCANScheduler:
         )
         self._dispatch(stage)
 
+    def _launch_speculative(self, task: StageTask) -> None:
+        """The straggler watchdog hands us a duplicate to enqueue."""
+        self.queues[task.stage].push(task, self.env.now)
+        self.log.emit(
+            self.env.now,
+            EventKind.SPECULATIVE_LAUNCHED,
+            job=task.job.name,
+            stage=task.stage,
+            attempt=task.attempt,
+        )
+        self._dispatch(task.stage)
+
     def _on_worker_available(self) -> None:
         for stage in range(self.app.n_stages):
             self._dispatch(stage)
@@ -173,12 +236,96 @@ class SCANScheduler:
         if process is not None and getattr(process, "is_alive", False):
             process.interrupt("vm-failure")
 
+    def _on_boot_failed(self, worker: Worker, stage: int) -> None:
+        """An injected boot failure killed a worker before READY."""
+        self.log.emit(
+            self.env.now,
+            EventKind.BOOT_FAILED,
+            worker=worker.uid,
+            tier=worker.tier.value,
+            cores=worker.cores,
+            stage=stage,
+        )
+
+    def _try_hire(self, cores: int, tier: TierName, stage: int) -> bool:
+        """Hire a worker, absorbing transient deploy bounces.
+
+        On a bounce: record it, feed the circuit breaker (public tier),
+        and re-arm dispatch for *stage* after the deploy retry delay so
+        the queue is not stranded waiting for a boot that never began.
+        """
+        try:
+            self.pools.hire(self.app.worker_class, cores, tier, stage)
+        except TransientDeployError as exc:
+            now = self.env.now
+            self.deploy_failures += 1
+            self.log.emit(
+                now,
+                EventKind.DEPLOY_FAILED,
+                tier=tier.value,
+                cores=cores,
+                stage=stage,
+                error=str(exc),
+            )
+            if tier is TierName.PUBLIC and self.breaker is not None:
+                if self.breaker.record_failure(now):
+                    self.log.emit(
+                        now,
+                        EventKind.BREAKER_OPEN,
+                        tier=tier.value,
+                        cooldown=self.breaker.cooldown_tu,
+                    )
+                    # Once the cooldown elapses a half-open probe is
+                    # allowed; wake every queue to take it.
+                    self._schedule_redispatch_all(self.breaker.cooldown_tu)
+            if self.resilience.enabled:
+                self._schedule_redispatch(
+                    stage, self.resilience.deploy_retry_delay_tu
+                )
+            # With resilience disabled nothing re-arms this queue: it sits
+            # until an unrelated worker event (or arrival) pokes dispatch
+            # again -- the wedge the retry delay exists to prevent.
+            return False
+        self.log.emit(
+            self.env.now,
+            EventKind.WORKER_HIRED,
+            tier=tier.value,
+            cores=cores,
+            stage=stage,
+        )
+        if tier is TierName.PUBLIC and self.breaker is not None:
+            if self.breaker.record_success(self.env.now):
+                self.log.emit(
+                    self.env.now, EventKind.BREAKER_CLOSED, tier=tier.value
+                )
+        return True
+
+    def _schedule_redispatch(self, stage: int, delay: float) -> None:
+        def waker():
+            yield self.env.timeout(max(delay, 0.0))
+            self._dispatch(stage)
+
+        self.env.process(waker())
+
+    def _schedule_redispatch_all(self, delay: float) -> None:
+        def waker():
+            yield self.env.timeout(max(delay, 0.0))
+            for stage in range(self.app.n_stages):
+                self._dispatch(stage)
+
+        self.env.process(waker())
+
     def _dispatch(self, stage: int) -> None:
         """Serve the front of one stage queue as far as resources allow."""
         queue = self.queues[stage]
         while not queue.empty:
             task = queue.peek()
             assert task is not None
+            # Cancelled speculative twins and stages of dead-lettered jobs
+            # are dropped, never run.
+            if task.cancelled or task.job.is_failed:
+                queue.pop(self.env.now)
+                continue
             if (
                 task.threads is None
                 or self.env.now - task.decided_at > DECISION_TTL
@@ -207,16 +354,7 @@ class SCANScheduler:
 
             # Private capacity available: every policy hires there.
             if self.infrastructure.private.can_allocate(cores):
-                self.pools.hire(
-                    self.app.worker_class, cores, TierName.PRIVATE, stage
-                )
-                self.log.emit(
-                    self.env.now,
-                    EventKind.WORKER_HIRED,
-                    tier=TierName.PRIVATE.value,
-                    cores=cores,
-                    stage=stage,
-                )
+                self._try_hire(cores, TierName.PRIVATE, stage)
                 return
 
             # Private full: a re-pooled idle worker needs no new capacity.
@@ -253,48 +391,63 @@ class SCANScheduler:
                     now=self.env.now,
                     startup_penalty_tu=self.celar.startup_penalty_tu,
                     expected_wait=expected_wait,
+                    public_available=(
+                        self.breaker.allow(self.env.now)
+                        if self.breaker is not None
+                        else True
+                    ),
                 ),
             )
             if decision.hire:
                 assert decision.tier is not None
-                self.pools.hire(
-                    self.app.worker_class, cores, decision.tier, stage
-                )
-                self.log.emit(
-                    self.env.now,
-                    EventKind.WORKER_HIRED,
-                    tier=decision.tier.value,
-                    cores=cores,
-                    stage=stage,
-                )
+                self._try_hire(cores, decision.tier, stage)
                 return
 
             # Waiting -- but guard against a stall where nothing will ever
             # free up by itself (no busy workers, nothing booting).
             if not self.pools.busy_workers and self.pools.booting_total() == 0:
                 if self.pools.force_free_private(cores):
-                    self.pools.hire(
-                        self.app.worker_class, cores, TierName.PRIVATE, stage
-                    )
+                    self._try_hire(cores, TierName.PRIVATE, stage)
                     return
             return
 
     def _execute(self, task: StageTask, worker: Worker):
         """Process: run one stage task to completion on *worker*."""
         job, stage = task.job, task.stage
+        # The race window between dispatch and process start: a twin may
+        # have resolved the stage (or dead-lettered the job) meanwhile.
+        if task.cancelled or job.is_failed:
+            self.pools.release_unstarted(worker)
+            return
+        group = self.speculation.register(
+            task, worker, self.env.active_process
+        )
+        if task.speculative and group is None:
+            # Stale duplicate: the primary finished before we started.
+            self.pools.release_unstarted(worker)
+            return
+
         started_at = self.env.now
         if task.threads is None:
             raise SchedulingError(f"{task!r} dispatched without a thread count")
         threads = min(task.threads, worker.cores)
 
         wait = started_at - task.enqueued_at
-        self.estimator.observe_queue_wait(stage, wait)
+        if not task.speculative:
+            # Duplicates would double-count the stage's queue-wait signal.
+            self.estimator.observe_queue_wait(stage, wait)
 
         worker.vm.mark_busy()
         # Reality may diverge from the believed model (actual_app).
         duration = self.actual_app.stage(stage).threaded_time(
             threads, job.input_gb
         )
+        straggled = False
+        if self.faults is not None and self.faults.stragglers_enabled:
+            multiplier = self.faults.straggler_multiplier()
+            if multiplier > 1.0:
+                straggled = True
+                duration *= multiplier
         worker.busy_until = started_at + duration
         self.log.emit(
             started_at,
@@ -305,39 +458,112 @@ class SCANScheduler:
             worker=worker.uid,
             tier=worker.tier.value,
             wait=wait,
+            attempt=task.attempt,
+            speculative=task.speculative,
+            straggled=straggled,
         )
+
+        # Arm the straggler watchdog for primaries when stragglers can
+        # occur; it launches at most one speculative duplicate.
+        if (
+            group is not None
+            and not task.speculative
+            and self.speculation.enabled
+            and self.faults is not None
+            and self.faults.stragglers_enabled
+        ):
+            predicted = self.estimator.eet(stage, job.input_gb, threads)
+            self.env.process(
+                self.speculation.watchdog(self.env, group, predicted)
+            )
 
         self._executing[worker] = self.env.active_process
         try:
             yield self.env.timeout(duration)
-        except Interrupt:
+        except Interrupt as intr:
+            if intr.cause == _SPECULATIVE_LOSS:
+                # The twin finished first; this worker is fine -- free it.
+                self.speculation.lost += 1
+                self.log.emit(
+                    self.env.now,
+                    EventKind.SPECULATIVE_LOST,
+                    job=job.name,
+                    stage=stage,
+                    worker=worker.uid,
+                )
+                self.pools.release(worker)
+                return
             # The worker's VM died mid-task (failure injection): nothing
-            # was produced, so the stage goes back to its queue for retry.
-            self.task_retries += 1
-            retry = StageTask(job=job, stage=stage, enqueued_at=self.env.now)
-            self.queues[stage].push(retry, self.env.now)
-            self.log.emit(
-                self.env.now,
-                EventKind.TASK_RETRIED,
-                job=job.name,
-                stage=stage,
-                worker=worker.uid,
-            )
-            self._dispatch(stage)
+            # was produced.  If a twin is still running the stage survives
+            # on it; otherwise the attempt failed and the retry/dead-letter
+            # machinery takes over.
+            if group is not None and self.speculation.twin_survives(
+                group, task
+            ):
+                return
+            self._handle_failed_attempt(task, reason="vm-failure")
             return
         finally:
             self._executing.pop(worker, None)
 
         finished_at = self.env.now
+        if group is not None and group.resolved:
+            # The twin finished at this exact timestamp and won the race.
+            self.speculation.lost += 1
+            self.log.emit(
+                finished_at,
+                EventKind.SPECULATIVE_LOST,
+                job=job.name,
+                stage=stage,
+                worker=worker.uid,
+            )
+            self.pools.release(worker)
+            return
+
+        if self.faults is not None and self.faults.corrupts():
+            # Staging/shard corruption: the output is garbage, the work
+            # must be redone even though the worker is healthy.
+            self.log.emit(
+                finished_at,
+                EventKind.STAGE_CORRUPTED,
+                job=job.name,
+                stage=stage,
+                worker=worker.uid,
+                attempt=task.attempt,
+            )
+            self.pools.release(worker)
+            if group is not None and self.speculation.twin_survives(
+                group, task
+            ):
+                return
+            self._handle_failed_attempt(task, reason="corruption")
+            return
+
+        loser = None
+        if group is not None:
+            loser = self.speculation.resolve(group, task)
+            if task.speculative:
+                self.log.emit(
+                    finished_at,
+                    EventKind.SPECULATIVE_WON,
+                    job=job.name,
+                    stage=stage,
+                    worker=worker.uid,
+                )
         worker.tasks_executed += 1
         job.record_stage(
             StageRecord(
                 stage=stage,
-                queued_at=task.enqueued_at,
+                queued_at=(
+                    task.first_enqueued_at
+                    if task.first_enqueued_at is not None
+                    else task.enqueued_at
+                ),
                 started_at=started_at,
                 finished_at=finished_at,
                 threads=threads,
                 tier=worker.tier,
+                attempts=task.attempt,
             )
         )
         self.log.emit(
@@ -359,6 +585,10 @@ class SCANScheduler:
             observe(job, stage, threads, duration)
 
         self.pools.release(worker)
+        if loser is not None and loser.process.is_alive:
+            # Interrupt the losing twin AFTER our own bookkeeping: its
+            # handler releases its worker and returns.
+            loser.process.interrupt(_SPECULATIVE_LOSS)
 
         if job.current_stage >= job.n_stages:
             latency = finished_at - job.submit_time
@@ -381,6 +611,73 @@ class SCANScheduler:
             )
         else:
             self._enqueue(job, job.current_stage)
+
+    # -- retry / dead-letter machinery -------------------------------------------
+    def _handle_failed_attempt(self, task: StageTask, reason: str) -> None:
+        """An execution produced nothing: retry with backoff or dead-letter."""
+        job, stage = task.job, task.stage
+        now = self.env.now
+        self.speculation.discard(task)
+        if self.retry_policy.exhausted(task.attempt):
+            self.dead_letters.push(task, reason, now)
+            self.log.emit(
+                now,
+                EventKind.TASK_DEAD_LETTERED,
+                job=job.name,
+                stage=stage,
+                attempts=task.attempt,
+                reason=reason,
+            )
+            job.fail(now)
+            self.failed_jobs.append(job)
+            self.log.emit(
+                now,
+                EventKind.JOB_FAILED,
+                job=job.name,
+                stage=stage,
+                reason=reason,
+            )
+            return
+        self.task_retries += 1
+        delay = self.retry_policy.delay_for(task.attempt)
+        if delay > 0:
+            self.log.emit(
+                now,
+                EventKind.TASK_RETRY_SCHEDULED,
+                job=job.name,
+                stage=stage,
+                attempt=task.attempt + 1,
+                delay=delay,
+                reason=reason,
+            )
+            self.env.process(self._retry_later(task, delay))
+        else:
+            self._requeue_retry(task)
+
+    def _retry_later(self, task: StageTask, delay: float):
+        yield self.env.timeout(delay)
+        self._requeue_retry(task)
+
+    def _requeue_retry(self, task: StageTask) -> None:
+        job, stage = task.job, task.stage
+        if job.is_failed:  # dead-lettered while the backoff timer ran
+            return
+        retry = StageTask(
+            job=job,
+            stage=stage,
+            enqueued_at=self.env.now,
+            attempt=task.attempt + 1,
+            first_enqueued_at=task.first_enqueued_at,
+        )
+        self.queues[stage].push(retry, self.env.now)
+        self.log.emit(
+            self.env.now,
+            EventKind.TASK_RETRIED,
+            job=job.name,
+            stage=stage,
+            attempt=retry.attempt,
+        )
+        self._dispatch(stage)
 
     # -- reporting ---------------------------------------------------------------
     def total_cost(self) -> float:

@@ -30,6 +30,9 @@ class JobState(str, enum.Enum):
     SUBMITTED = "submitted"
     RUNNING = "running"
     COMPLETED = "completed"
+    #: A stage task exhausted its retry budget and was dead-lettered; the
+    #: job's reward is forfeited.
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,8 @@ class StageRecord:
     finished_at: float
     threads: int
     tier: TierName
+    #: Executions this stage consumed (1 = first try succeeded).
+    attempts: int = 1
 
     @property
     def queue_wait(self) -> float:
@@ -84,6 +89,7 @@ class Job:
         self.current_stage = 0
         self.history: list[StageRecord] = []
         self.completed_at: Optional[float] = None
+        self.failed_at: Optional[float] = None
         self.reward_paid: Optional[float] = None
 
     @property
@@ -98,6 +104,10 @@ class Job:
     @property
     def is_complete(self) -> bool:
         return self.state is JobState.COMPLETED
+
+    @property
+    def is_failed(self) -> bool:
+        return self.state is JobState.FAILED
 
     def elapsed(self, now: float) -> float:
         """Time since the job entered the first queue (elapsed_j in Eq. 2)."""
@@ -136,6 +146,13 @@ class Job:
         self.completed_at = now
         self.reward_paid = reward
 
+    def fail(self, now: float) -> None:
+        """Mark the job dead-lettered: no further stages run, no reward."""
+        if self.state is JobState.COMPLETED:
+            raise SchedulingError(f"{self.name} already completed; cannot fail")
+        self.state = JobState.FAILED
+        self.failed_at = now
+
     def core_stages(self) -> int:
         """Total cores across executed stages (Figure 5's x-axis)."""
         return sum(r.threads for r in self.history)
@@ -160,12 +177,27 @@ class StageTask:
     #: When the current ``threads`` decision was made (scheduler memo; a
     #: stale decision is re-taken after DECISION_TTL).
     decided_at: float = float("-inf")
+    #: Which execution this is (1 = first try); retries carry it forward
+    #: so retry budgets and queue-wait metrics stay honest.
+    attempt: int = 1
+    #: When the FIRST attempt entered the queue; ``enqueued_at`` is reset
+    #: per retry, this is not.
+    first_enqueued_at: Optional[float] = None
+    #: A speculative duplicate launched by the straggler watchdog.
+    speculative: bool = False
+    #: Set when a twin already resolved this stage; dispatch drops the
+    #: task instead of running it.
+    cancelled: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.stage < self.job.n_stages:
             raise SchedulingError(
                 f"stage {self.stage} out of range for {self.job.name}"
             )
+        if self.attempt < 1:
+            raise SchedulingError(f"attempt must be >= 1, got {self.attempt}")
+        if self.first_enqueued_at is None:
+            self.first_enqueued_at = self.enqueued_at
 
     @property
     def size(self) -> float:

@@ -11,17 +11,21 @@ A :class:`Worker` wraps a CELAR-managed VM; :class:`WorkerPools` tracks the
 idle/busy/booting population, matches tasks to workers (smallest adequate
 instance first), re-pools idle workers to new vCPU shapes (paying the
 restart penalty), and reaps workers that have idled past their timeout.
+Chaos (VM crashes, boot failures) arrives through an optional
+:class:`~repro.cloud.faults.FaultInjector`.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 from typing import Callable, Optional
 
 from repro.cloud.celar import CelarManager
 from repro.cloud.failures import FailureModel
+from repro.cloud.faults import FaultInjector
 from repro.cloud.infrastructure import TierName
-from repro.cloud.vm import VirtualMachine
+from repro.cloud.vm import VirtualMachine, VMState
 from repro.core.errors import SchedulingError
 from repro.desim.engine import Environment
 
@@ -74,28 +78,49 @@ class WorkerPools:
         idle_timeout_tu: float = 2.0,
         reap_interval_tu: float = 1.0,
         failure_model: Optional[FailureModel] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if idle_timeout_tu < 0 or reap_interval_tu <= 0:
             raise SchedulingError("invalid reaper configuration")
+        if injector is None and failure_model is not None:
+            # Legacy crash-only callers hand us a bare FailureModel.
+            injector = FaultInjector.from_failure_model(failure_model)
         self.env = env
         self.celar = celar
         self.idle_timeout_tu = idle_timeout_tu
         self.reap_interval_tu = reap_interval_tu
-        self.failure_model = failure_model
+        self.injector = injector
         self._idle: list[Worker] = []
         self._busy: set[Worker] = set()
-        #: Workers currently booting/resizing, per stage that requested them.
-        self.booting_for_stage: dict[int, int] = {}
+        #: Workers currently booting/resizing, per stage that requested
+        #: them.  A Counter so absent stages read 0; zero-count entries are
+        #: pruned as boots finish (they used to linger forever).
+        self.booting_for_stage: Counter[int] = Counter()
         #: Invoked (with no args) whenever a worker becomes available.
         self.on_available: Optional[Callable[[], None]] = None
         #: Invoked with the victim when a BUSY worker's VM fails; the
         #: scheduler uses it to interrupt and retry the running task.
         self.on_worker_failed: Optional[Callable[[Worker], None]] = None
+        #: Invoked with (worker, stage) when an injected boot failure kills
+        #: a worker before it reaches READY.
+        self.on_boot_failed: Optional[Callable[[Worker, int], None]] = None
         self.hires = {TierName.PRIVATE: 0, TierName.PUBLIC: 0}
         self.repools = 0
         self.reaped = 0
         self.failed = 0
+        self.boot_failures = 0
         self._reaper_started = False
+
+    @property
+    def failure_model(self) -> Optional[FailureModel]:
+        """The crash lifetime model, if crashes are enabled (legacy view)."""
+        if self.injector is None:
+            return None
+        return self.injector.crash_model
+
+    @property
+    def _crashes_enabled(self) -> bool:
+        return self.injector is not None and self.injector.crashes_enabled
 
     # -- population views ------------------------------------------------------
     @property
@@ -167,31 +192,63 @@ class WorkerPools:
         self._idle.remove(worker)
         worker.idle_since = None
         self.celar.begin_resize(worker.vm, cores)
-        self.booting_for_stage[stage] = self.booting_for_stage.get(stage, 0) + 1
+        self.booting_for_stage[stage] += 1
         self.repools += 1
         self.env.process(self._boot_and_attach(worker, stage))
         return worker
 
     def hire(self, worker_class: str, cores: int, tier: TierName, stage: int) -> Worker:
-        """Deploy a fresh worker for *stage*: cores claimed now, boot async."""
+        """Deploy a fresh worker for *stage*: cores claimed now, boot async.
+
+        May raise :class:`~repro.core.errors.TransientDeployError` when a
+        fault injector is bouncing deploys; nothing is claimed in that case.
+        """
         vm = self.celar.deploy(cores, tier)
         worker = Worker(vm, worker_class)
-        self.booting_for_stage[stage] = self.booting_for_stage.get(stage, 0) + 1
+        self.booting_for_stage[stage] += 1
         self.hires[tier] += 1
         self.env.process(self._boot_and_attach(worker, stage))
         return worker
 
+    def _finish_boot_slot(self, stage: int) -> None:
+        """Release one booting slot; prune the stage entry at zero."""
+        self.booting_for_stage[stage] -= 1
+        if self.booting_for_stage[stage] <= 0:
+            del self.booting_for_stage[stage]
+
     def _boot_and_attach(self, worker: Worker, stage: int):
-        """Process: boot a claimed worker, then offer it to the pool."""
+        """Process: boot a claimed worker, then offer it to the pool.
+
+        Three exits: the happy path attaches the worker; an injected boot
+        failure terminates it (reported via ``on_boot_failed``); a crash
+        doom-timer may also have killed the VM mid-boot.  Every exit
+        notifies ``on_available`` -- a stage that waited on this boot must
+        re-decide even (especially) when the worker never arrives, or it
+        would stall forever.
+        """
         try:
             yield from worker.vm.boot()
         finally:
-            self.booting_for_stage[stage] -= 1
+            self._finish_boot_slot(stage)
+        boot_failed = False
+        if (
+            worker.vm.alive
+            and self.injector is not None
+            and self.injector.boot_fails(worker.tier)
+        ):
+            boot_failed = True
+            self.boot_failures += 1
+            self.celar.terminate(worker.vm)
         if worker.vm.alive:
-            if self.failure_model is not None and not worker.doom_armed:
+            if self._crashes_enabled and not worker.doom_armed:
                 worker.doom_armed = True
                 self.env.process(self._doom(worker))
             self._make_available(worker)
+        else:
+            if boot_failed and self.on_boot_failed is not None:
+                self.on_boot_failed(worker, stage)
+            if self.on_available is not None:
+                self.on_available()
 
     def _doom(self, worker: Worker):
         """Process: kill the worker's VM after its drawn lifetime.
@@ -199,11 +256,19 @@ class WorkerPools:
         Exponential lifetimes are memoryless, so one timer per worker is
         the exact model regardless of repools/reboots in between.
         """
-        assert self.failure_model is not None
-        lifetime = self.failure_model.draw_lifetime(worker.tier)
+        assert self.injector is not None
+        lifetime = self.injector.draw_lifetime(worker.tier)
         yield self.env.timeout(lifetime)
         if not worker.vm.alive:
             return  # already reaped/terminated: nothing to kill
+        if worker.vm.state is VMState.BOOTING:
+            # Mid-repool death: the worker sits in neither pool (repool
+            # removed it from idle).  Terminate now; _boot_and_attach sees
+            # the dead VM when the boot timeout elapses and notifies the
+            # waiting stage itself.
+            self.failed += 1
+            self.celar.terminate(worker.vm)
+            return
         self.failed += 1
         was_busy = worker in self._busy
         if worker in self._idle:
@@ -231,6 +296,20 @@ class WorkerPools:
         self._busy.remove(worker)
         worker.vm.mark_idle()
         self._make_available(worker)
+
+    def release_unstarted(self, worker: Worker) -> None:
+        """Return a worker whose task never ran (stale speculative attempt).
+
+        The VM never left READY (``mark_busy`` was not called), so this
+        skips the BUSY->READY transition that :meth:`release` performs.
+        """
+        if worker not in self._busy:
+            raise SchedulingError(f"{worker!r} was not busy")
+        self._busy.remove(worker)
+        if worker.vm.alive:
+            self._make_available(worker)
+        elif self.on_available is not None:
+            self.on_available()
 
     # -- wait estimation ----------------------------------------------------------
     def estimate_wait(self, worker_class: str, cores: int, penalty_tu: float) -> float:

@@ -37,6 +37,23 @@ class SessionResult:
     final_queue_depth: int
     worker_failures: int = 0
     task_retries: int = 0
+    #: Jobs dead-lettered out of the pipeline (reward forfeited).
+    failed_runs: int = 0
+    #: Tasks quarantined after exhausting their retry budget.
+    dead_lettered: int = 0
+    speculative_launched: int = 0
+    speculative_won: int = 0
+    speculative_lost: int = 0
+    #: Transient CELAR deploy bounces absorbed by the scheduler.
+    deploy_failures: int = 0
+    #: Workers that died during boot (injected boot failures).
+    boot_failures: int = 0
+    #: Times the public-tier circuit breaker tripped open.
+    breaker_opens: int = 0
+    #: Straggler slowdowns injected into task executions.
+    stragglers: int = 0
+    #: Completed stages retroactively invalidated by corruption.
+    corruptions: int = 0
 
     @property
     def profit(self) -> float:
@@ -60,6 +77,13 @@ class SessionResult:
             return 1.0
         return self.completed_runs / self.submitted_runs
 
+    @property
+    def failure_fraction(self) -> float:
+        """Share of submitted runs that were dead-lettered."""
+        if self.submitted_runs == 0:
+            return 0.0
+        return self.failed_runs / self.submitted_runs
+
     def metrics(self) -> dict[str, float]:
         """The numeric metrics used by repetition aggregation."""
         return {
@@ -73,6 +97,8 @@ class SessionResult:
             "mean_core_stages": self.mean_core_stages,
             "private_utilization": self.private_utilization,
             "public_core_tu": self.public_core_tu,
+            "completion_fraction": self.completion_fraction,
+            "failed_runs": float(self.failed_runs),
         }
 
     def as_dict(self) -> dict[str, Any]:
@@ -82,3 +108,20 @@ class SessionResult:
         out["mean_profit_per_run"] = self.mean_profit_per_run
         out["reward_to_cost"] = self.reward_to_cost
         return out
+
+    def resilience_counters(self) -> dict[str, int]:
+        """The fault/resilience counters as a compact dict."""
+        return {
+            "worker_failures": self.worker_failures,
+            "boot_failures": self.boot_failures,
+            "deploy_failures": self.deploy_failures,
+            "stragglers": self.stragglers,
+            "corruptions": self.corruptions,
+            "task_retries": self.task_retries,
+            "dead_lettered": self.dead_lettered,
+            "failed_runs": self.failed_runs,
+            "speculative_launched": self.speculative_launched,
+            "speculative_won": self.speculative_won,
+            "speculative_lost": self.speculative_lost,
+            "breaker_opens": self.breaker_opens,
+        }

@@ -11,7 +11,12 @@ from typing import Any, Mapping, Optional, Sequence
 
 from repro.analysis.stats import SummaryStats
 
-__all__ = ["render_table", "render_series", "format_summary"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "format_summary",
+    "render_resilience_summary",
+]
 
 
 def format_summary(stats: SummaryStats, precision: int = 1) -> str:
@@ -85,3 +90,18 @@ def render_series(
             row.append(values[i])
         rows.append(row)
     return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_resilience_summary(result: Any, title: str = "Resilience") -> str:
+    """Chaos-vs-resilience counters of one session, as a two-column table.
+
+    *result* is a :class:`~repro.sim.metrics.SessionResult` (anything with
+    a ``resilience_counters()`` method works).  Zero counters are kept --
+    an all-zero column is itself the signal that a run was fault-free.
+    """
+    counters = result.resilience_counters()
+    rows = [[name, count] for name, count in counters.items()]
+    rows.append(
+        ["completion_fraction", f"{result.completion_fraction:.3f}"]
+    )
+    return render_table(["counter", "value"], rows, title=title)

@@ -17,7 +17,7 @@ from typing import Callable, Optional
 from repro.apps.base import ApplicationModel
 from repro.apps.registry import ApplicationRegistry, default_registry
 from repro.cloud.celar import CelarManager
-from repro.cloud.failures import FailureModel
+from repro.cloud.faults import FaultInjector, FaultPlan
 from repro.cloud.infrastructure import Infrastructure, TierName
 from repro.core.config import AllocationAlgorithm, PlatformConfig
 from repro.core.events import EventLog
@@ -85,11 +85,18 @@ class SimulationSession:
             public_cores=cfg.cloud.public_cores,
             public_cost=cfg.cloud.public_core_cost,
         )
+        # The chaos layer: one injector shared by CELAR (deploy bounces)
+        # and the scheduler/pools (crashes, boot failures, stragglers,
+        # corruption).  A plan with nothing active means no injector at
+        # all -- the fault-free fast path stays bit-identical to the seed.
+        plan = FaultPlan.from_config(cfg.faults, cfg.cloud)
+        injector = FaultInjector(plan, streams) if plan.any_active else None
         celar = CelarManager(
             env,
             infrastructure,
             startup_penalty_tu=cfg.cloud.startup_penalty_tu,
             allowed_sizes=cfg.cloud.instance_sizes,
+            injector=injector,
         )
         reward = make_reward(cfg.reward)
         allocation = make_allocation_policy(
@@ -98,11 +105,6 @@ class SimulationSession:
         scaling = make_scaling_policy(
             cfg.scheduler.scaling, horizon_tu=cfg.scheduler.predictive_horizon
         )
-        failure_model = None
-        if cfg.cloud.vm_mtbf_tu is not None:
-            failure_model = FailureModel(
-                cfg.cloud.vm_mtbf_tu, streams.stream("failures")
-            )
         self.event_log = EventLog(capture=self.capture_events)
         scheduler = SCANScheduler(
             env,
@@ -115,7 +117,8 @@ class SimulationSession:
             config=cfg.scheduler,
             event_log=self.event_log,
             actual_app=self.actual_app,
-            failure_model=failure_model,
+            faults=injector,
+            resilience=cfg.resilience,
         )
         scheduler.start()
         self.scheduler = scheduler
@@ -234,6 +237,28 @@ class SimulationSession:
             final_queue_depth=scheduler.queues.total_waiting(),
             worker_failures=pools.failed,
             task_retries=scheduler.task_retries,
+            failed_runs=len(scheduler.failed_jobs),
+            dead_lettered=len(scheduler.dead_letters),
+            speculative_launched=scheduler.speculation.launched,
+            speculative_won=scheduler.speculation.won,
+            speculative_lost=scheduler.speculation.lost,
+            deploy_failures=scheduler.deploy_failures,
+            boot_failures=pools.boot_failures,
+            breaker_opens=(
+                scheduler.breaker.opened_count
+                if scheduler.breaker is not None
+                else 0
+            ),
+            stragglers=(
+                scheduler.faults.stragglers_injected
+                if scheduler.faults is not None
+                else 0
+            ),
+            corruptions=(
+                scheduler.faults.corruptions_injected
+                if scheduler.faults is not None
+                else 0
+            ),
         )
 
 

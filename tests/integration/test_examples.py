@@ -53,6 +53,13 @@ class TestExamples:
         assert "##fileformat=VCF" in out
         assert "integrated score" in out
 
+    def test_resilience_demo(self):
+        out = run_example("resilience_demo.py", timeout=600.0)
+        assert "chaos ablation" in out
+        assert "resilience ON" in out
+        assert "resilience OFF" in out
+        assert "kept" in out
+
     def test_integrative_workflow(self):
         out = run_example("integrative_workflow.py")
         assert "workflow complete" in out
@@ -65,7 +72,7 @@ class TestExamples:
         here = {
             "quickstart.py", "knowledge_base_tour.py",
             "data_broker_sharding.py", "cancer_pipeline.py",
-            "integrative_workflow.py",
+            "integrative_workflow.py", "resilience_demo.py",
         }
         bench_covered = {
             "figure4_scaling.py", "figure5_corestages.py", "full_sweep.py",

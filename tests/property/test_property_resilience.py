@@ -1,0 +1,118 @@
+"""Property-based invariants over randomized chaos + resilience sessions.
+
+Each example draws a random fault mix (crashes, boot failures, deploy
+bounces, stragglers, corruption) and resilience configuration, then checks
+the conservation laws that must hold under ANY chaos:
+
+- every submitted job ends in exactly one of {completed, dead-lettered,
+  in-flight} -- never two, never none;
+- dead letters, failed jobs and JobState agree with each other;
+- tier core accounting never goes negative and never exceeds capacity;
+- chaos replays deterministically per seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PlatformConfig
+from repro.sim.session import SimulationSession
+
+chaos_configs = st.fixed_dictionaries(
+    {
+        "mtbf": st.sampled_from([None, 30.0, 80.0]),
+        "p_boot_fail": st.sampled_from([0.0, 0.2]),
+        "p_deploy_fail": st.sampled_from([0.0, 0.2]),
+        "p_straggler": st.sampled_from([0.0, 0.1]),
+        "p_corrupt": st.sampled_from([0.0, 0.05]),
+        "max_attempts": st.sampled_from([0, 1, 3]),
+        "enabled": st.booleans(),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def run_session(params):
+    config = PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": 60.0},
+        faults={
+            "mtbf_tu": params["mtbf"],
+            "p_boot_fail": params["p_boot_fail"],
+            "p_deploy_fail": params["p_deploy_fail"],
+            "p_straggler": params["p_straggler"],
+            "p_corrupt": params["p_corrupt"],
+        },
+        resilience={
+            "enabled": params["enabled"],
+            "max_attempts": params["max_attempts"],
+        },
+    )
+    session = SimulationSession(config)
+    result = session.run(seed=params["seed"])
+    return session, result
+
+
+@given(params=chaos_configs)
+@settings(max_examples=25, deadline=None)
+def test_every_job_completed_failed_or_in_flight(params):
+    session, result = run_session(params)
+    scheduler = session.scheduler
+    completed = failed = in_flight = 0
+    for job in scheduler.submitted_jobs:
+        assert not (job.is_complete and job.is_failed)
+        if job.is_complete:
+            completed += 1
+            assert [r.stage for r in job.history] == list(range(7))
+        elif job.is_failed:
+            failed += 1
+            assert job.failed_at is not None
+        else:
+            in_flight += 1
+            assert 0 <= job.current_stage < 7
+    assert completed + failed + in_flight == len(scheduler.submitted_jobs)
+    assert completed == result.completed_runs
+    assert failed == result.failed_runs
+
+
+@given(params=chaos_configs)
+@settings(max_examples=25, deadline=None)
+def test_dead_letters_agree_with_failed_jobs(params):
+    session, result = run_session(params)
+    scheduler = session.scheduler
+    # One dead letter per failed job, each job failed at most once.
+    assert len(scheduler.dead_letters) == len(scheduler.failed_jobs)
+    assert len(set(id(j) for j in scheduler.failed_jobs)) == len(
+        scheduler.failed_jobs
+    )
+    assert all(j.is_failed for j in scheduler.failed_jobs)
+    assert result.dead_lettered == len(scheduler.dead_letters)
+    # Unbounded budgets (max_attempts=0) with resilience ON never
+    # dead-letter anything.
+    if params["enabled"] and params["max_attempts"] == 0:
+        assert result.dead_lettered == 0
+
+
+@given(params=chaos_configs)
+@settings(max_examples=25, deadline=None)
+def test_tier_accounting_never_negative_or_over_capacity(params):
+    session, _result = run_session(params)
+    infra = session.scheduler.infrastructure
+    for tier in (infra.private, infra.public):
+        assert tier.cores_in_use >= 0
+        assert tier.cores_in_use <= tier.capacity_cores
+
+
+@given(params=chaos_configs)
+@settings(max_examples=15, deadline=None)
+def test_chaos_replays_deterministically(params):
+    _s1, r1 = run_session(params)
+    _s2, r2 = run_session(params)
+    assert r1.completed_runs == r2.completed_runs
+    assert r1.failed_runs == r2.failed_runs
+    assert r1.dead_lettered == r2.dead_lettered
+    assert r1.worker_failures == r2.worker_failures
+    assert r1.deploy_failures == r2.deploy_failures
+    assert r1.boot_failures == r2.boot_failures
+    assert r1.stragglers == r2.stragglers
+    assert r1.corruptions == r2.corruptions
+    assert r1.total_reward == r2.total_reward
+    assert r1.total_cost == r2.total_cost
