@@ -7,6 +7,7 @@ Subcommands::
     scan-sim submit    run one analysis request on the platform facade
     scan-sim serve     start the HTTP RPC front-end
     scan-sim table2    print the Table II recovery (profiling regression)
+    scan-sim trace     inspect a Chrome trace written by ``run --trace-out``
 
 Every subcommand takes ``--seed`` and prints deterministic results.
 """
@@ -18,6 +19,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro._version import __version__
 from repro.core.config import (
     AllocationAlgorithm,
     PlatformConfig,
@@ -35,11 +37,36 @@ def build_parser() -> argparse.ArgumentParser:
         description="SCAN (ICPP 2015) reproduction: simulate smart "
         "scheduling of genomic pipelines on a hybrid cloud.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one simulation session")
     _common_session_args(run)
     run.add_argument("--json", action="store_true", help="machine-readable output")
+    run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human-readable summary (artifact/JSON output only)",
+    )
+    telem = run.add_argument_group("telemetry")
+    telem.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON (open in Perfetto / "
+        "chrome://tracing); implies telemetry",
+    )
+    telem.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write Prometheus text-exposition metrics; implies telemetry",
+    )
+    telem.add_argument(
+        "--profile", action="store_true",
+        help="profile the engine and write BENCH_telemetry.json",
+    )
+    telem.add_argument(
+        "--profile-out", default="BENCH_telemetry.json", metavar="PATH",
+        help="where --profile writes its report",
+    )
 
     sweep = sub.add_parser("sweep", help="sweep intervals x scaling policies")
     _common_session_args(sweep)
@@ -62,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
 
     sub.add_parser("table2", help="recover Table II from simulated profiling")
+
+    trace = sub.add_parser(
+        "trace", help="inspect a Chrome trace written by run --trace-out"
+    )
+    trace.add_argument("file", help="trace-event JSON file")
+    trace.add_argument(
+        "--top", type=int, default=10, help="how many longest spans to list"
+    )
 
     return parser
 
@@ -145,14 +180,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Run one simulation session and print its metrics."""
     from repro.sim.session import SimulationSession
 
-    result = SimulationSession(_session_config(args)).run(seed=args.seed)
+    config = _session_config(args)
+    telemetry_on = bool(args.trace_out or args.metrics_out or args.profile)
+    if telemetry_on:
+        config = config.with_overrides(
+            telemetry={"enabled": True, "profile": args.profile}
+        )
+    session = SimulationSession(config)
+    result = session.run(seed=args.seed)
+    _write_telemetry_artifacts(session, args)
     if args.json:
         print(json.dumps(result.as_dict(), default=str, indent=2))
-    else:
+    elif not args.quiet:
         print(f"completed runs      : {result.completed_runs}/{result.submitted_runs}")
         print(f"mean profit per run : {result.mean_profit_per_run:.1f} CU")
         print(f"reward-to-cost      : {result.reward_to_cost:.2f}")
         print(f"mean latency        : {result.mean_latency:.1f} TU")
+        print(f"latency p95         : {result.latency_p95:.1f} TU")
         print(f"private utilization : {result.private_utilization:.2f}")
         print(f"hires (priv/pub)    : {result.hires_private}/{result.hires_public}")
         print(f"repools             : {result.repools}")
@@ -161,6 +205,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
             print(render_resilience_summary(result, title="chaos / resilience"))
     return 0
+
+
+def _write_telemetry_artifacts(session, args: argparse.Namespace) -> None:
+    """Write trace / metrics / profile files from the session's hub.
+
+    Paths are reported on stderr so ``--json`` stdout stays parseable.
+    """
+    hub = getattr(session, "telemetry", None)
+    if hub is None:
+        return
+    if args.trace_out and hub.tracer is not None:
+        hub.tracer.write(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out and hub.metrics is not None:
+        hub.metrics.write(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.profile and hub.profiler is not None:
+        hub.profiler.write(args.profile_out, tracer=hub.tracer)
+        print(f"profile written to {args.profile_out}", file=sys.stderr)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -270,12 +333,70 @@ def cmd_table2(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarise a Chrome trace-event JSON file."""
+    from repro.sim.report import render_table
+
+    try:
+        with open(args.file) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    events = data.get("traceEvents", []) if isinstance(data, dict) else data
+
+    lanes: dict[int, str] = {}
+    counts: dict[str, int] = {}
+    spans = []
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                lanes[ev.get("tid", 0)] = ev.get("args", {}).get("name", "")
+            continue
+        cat = ev.get("cat", "?")
+        counts[cat] = counts.get(cat, 0) + 1
+        if ph == "X":
+            spans.append(ev)
+
+    print(
+        render_table(
+            ["category", "events"],
+            sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])),
+            title=f"{args.file}: {sum(counts.values())} events, "
+            f"{len(lanes)} lanes",
+        )
+    )
+    spans.sort(key=lambda ev: -ev.get("dur", 0.0))
+    rows = [
+        [
+            ev.get("name", "?"),
+            ev.get("cat", "?"),
+            lanes.get(ev.get("tid", 0), str(ev.get("tid", 0))),
+            f"{ev.get('ts', 0.0) / 1e6:.3f}",
+            f"{ev.get('dur', 0.0) / 1e6:.3f}",
+        ]
+        for ev in spans[: max(args.top, 0)]
+    ]
+    if rows:
+        print()
+        print(
+            render_table(
+                ["span", "cat", "lane", "start_tu", "dur_tu"],
+                rows,
+                title=f"top {len(rows)} longest spans",
+            )
+        )
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
     "submit": cmd_submit,
     "serve": cmd_serve,
     "table2": cmd_table2,
+    "trace": cmd_trace,
 }
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "BrokerConfig",
     "FaultConfig",
     "ResilienceConfig",
+    "TelemetryConfig",
     "SimulationConfig",
     "PlatformConfig",
 ]
@@ -363,6 +364,42 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability layer (`repro.telemetry`): tracing, metrics, audit,
+    profiling.
+
+    Disabled by default, and *structurally* disabled: with
+    ``enabled=False`` the session never constructs a ``TelemetryHub``, so
+    every integration point short-circuits on ``hub is None`` and a run
+    is bit-identical to one on a build without the telemetry subsystem.
+    Enabled instruments are passive (no RNG draws, no scheduled events),
+    so sim-time results are unchanged either way.
+    """
+
+    #: Master switch; False means no hub, no instruments, no overhead.
+    enabled: bool = False
+    #: Record spans/instants/counters for Chrome-trace export.
+    trace: bool = True
+    #: Maintain the Prometheus-style metrics registry.
+    metrics: bool = True
+    #: Record every scheduler hire-or-wait decision with Eq. 1 inputs.
+    audit: bool = True
+    #: Install the engine probe + wall-clock profiler (BENCH output).
+    profile: bool = False
+    #: The profiler samples event-calendar depth every N engine steps.
+    step_sample_every: int = 64
+    #: Hard cap on retained trace events (excess counted, not stored).
+    max_trace_events: int = 1_000_000
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.step_sample_every < 1:
+            raise ConfigurationError("step_sample_every must be >= 1")
+        if self.max_trace_events < 1:
+            raise ConfigurationError("max_trace_events must be >= 1")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Session-level controls (Table III row 1 plus reproducibility)."""
 
@@ -396,6 +433,7 @@ class PlatformConfig:
     broker: BrokerConfig = field(default_factory=BrokerConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     #: Name of the application pipeline to run (registry key).
     application: str = "gatk"
@@ -409,6 +447,7 @@ class PlatformConfig:
         self.broker.validate()
         self.faults.validate()
         self.resilience.validate()
+        self.telemetry.validate()
         self.simulation.validate()
         if not self.application:
             raise ConfigurationError("application must be named")

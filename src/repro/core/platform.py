@@ -99,6 +99,14 @@ class SCANPlatform:
 
         self.env = Environment()
         self.log = EventLog(capture=capture_events)
+        # Telemetry is opt-in; the import stays lazy so a telemetry-disabled
+        # platform never even loads the repro.telemetry package.
+        self.telemetry = None
+        if self.config.telemetry.enabled:
+            from repro.telemetry.hub import TelemetryHub
+
+            self.telemetry = TelemetryHub.from_config(self.config.telemetry)
+        _tracer = self.telemetry.tracer if self.telemetry is not None else None
         self.infrastructure = Infrastructure(
             self.env,
             private_cores=self.config.cloud.private_cores,
@@ -119,6 +127,7 @@ class SCANPlatform:
             startup_penalty_tu=self.config.cloud.startup_penalty_tu,
             allowed_sizes=self.config.cloud.instance_sizes,
             injector=self.injector,
+            tracer=_tracer,
         )
         self.filesystem = SharedFilesystem(self.env)
         self.kv_store = ReplicatedKVStore(self.env)
@@ -133,6 +142,7 @@ class SCANPlatform:
             config=self.config.broker,
             event_log=self.log,
             clock=lambda: self.env.now,
+            tracer=_tracer,
         )
 
         self.reward: RewardFunction = make_reward(self.config.reward)
@@ -164,7 +174,10 @@ class SCANPlatform:
             event_log=self.log,
             faults=self.injector,
             resilience=self.config.resilience,
+            telemetry=self.telemetry,
         )
+        if self.telemetry is not None:
+            self.telemetry.bind(self.env)
         self.scheduler.start()
         self.requests: list[AnalysisRequest] = []
         self._job_counter = itertools.count(1)

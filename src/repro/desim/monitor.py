@@ -87,13 +87,20 @@ class Monitor:
         return out
 
     def summary(self) -> dict[str, float]:
-        """Count/mean/std/min/max/total as a dict."""
+        """Count/mean/std/min/max/percentiles/total as a dict.
+
+        The percentile keys are NaN on an empty monitor (like mean/min/max),
+        never an exception, so report code can render them unconditionally.
+        """
         return {
             "count": float(len(self)),
             "mean": self.mean(),
             "std": self.std(),
             "min": self.min(),
             "max": self.max(),
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
             "total": self.total(),
         }
 

@@ -19,6 +19,7 @@ of observed queue waits, updated every time a task leaves a queue.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.apps.base import ApplicationModel
@@ -26,7 +27,7 @@ from repro.core.errors import SchedulingError
 from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.tasks import Job, StageTask
 
-__all__ = ["PipelineEstimator", "delay_cost"]
+__all__ = ["DelayCostTerm", "PipelineEstimator", "delay_cost", "delay_cost_terms"]
 
 
 class PipelineEstimator:
@@ -115,3 +116,55 @@ def delay_cost(
             max(ett_now + delay, 0.0), job.records
         )
     return total
+
+
+@dataclass(frozen=True)
+class DelayCostTerm:
+    """One job's contribution to Eq. 1, captured for the audit log.
+
+    ``reward_now - reward_delayed`` is this job's term; the ETT and record
+    count are kept so the decision can be replayed against the reward
+    function alone, without the live estimator or queue.
+    """
+
+    job_uid: int
+    ett_now: float
+    records: float
+    reward_now: float
+    reward_delayed: float
+
+    @property
+    def cost(self) -> float:
+        return self.reward_now - self.reward_delayed
+
+
+def delay_cost_terms(
+    queue_tasks: Iterable[StageTask],
+    estimator: PipelineEstimator,
+    reward: RewardFunction,
+    delay: float,
+    now: float,
+) -> tuple[float, tuple[DelayCostTerm, ...]]:
+    """Eq. 1 with its per-job breakdown (same total as :func:`delay_cost`)."""
+    if delay < 0:
+        raise SchedulingError(f"negative delay {delay}")
+    terms: list[DelayCostTerm] = []
+    if delay == 0:
+        return 0.0, ()
+    total = 0.0
+    for task in queue_tasks:
+        job = task.job
+        ett_now = estimator.ett(job, now)
+        reward_now = reward(max(ett_now, 0.0), job.records)
+        reward_delayed = reward(max(ett_now + delay, 0.0), job.records)
+        total += reward_now - reward_delayed
+        terms.append(
+            DelayCostTerm(
+                job_uid=job.uid,
+                ett_now=ett_now,
+                records=job.records,
+                reward_now=reward_now,
+                reward_delayed=reward_delayed,
+            )
+        )
+    return total, tuple(terms)

@@ -18,19 +18,25 @@ are fully occupied" (Section IV-B):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Optional, Protocol
 
 from repro.cloud.infrastructure import Infrastructure, TierName
 from repro.core.config import ScalingAlgorithm
 from repro.core.errors import SchedulingError
 from repro.scheduler.costs import TieredCostFunction
-from repro.scheduler.estimator import PipelineEstimator, delay_cost
+from repro.scheduler.estimator import (
+    DelayCostTerm,
+    PipelineEstimator,
+    delay_cost,
+    delay_cost_terms,
+)
 from repro.scheduler.queues import StageQueue
 from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.tasks import StageTask
 
 __all__ = [
+    "DecisionExplanation",
     "ScalingContext",
     "ScalingDecision",
     "ScalingPolicy",
@@ -58,6 +64,38 @@ class ScalingContext:
     #: False while the public-tier circuit breaker is open: repeated
     #: deploy failures make public hires pointless until the cooldown.
     public_available: bool = True
+    #: When True, policies attach a :class:`DecisionExplanation` to the
+    #: decision (telemetry audit log); the choice itself is unaffected.
+    explain: bool = False
+
+
+@dataclass(frozen=True)
+class DecisionExplanation:
+    """The Eq. 1 inputs behind one hire-or-wait choice.
+
+    Captured only when ``ScalingContext.explain`` is set, so the scheduler
+    hot path pays nothing by default.  Every field is a plain value: the
+    decision can be replayed later from this record plus the reward
+    function alone (see ``repro.telemetry.audit.replay_decision``).
+    """
+
+    policy: str
+    private_free: bool
+    public_available: bool
+    public_capacity: Optional[bool] = None
+    expected_wait: float = 0.0
+    #: The capped wait Eq. 1 was actually evaluated at (predictive only).
+    wait: Optional[float] = None
+    horizon: Optional[float] = None
+    cores: int = 0
+    threads: int = 0
+    duration: Optional[float] = None
+    premium: Optional[float] = None
+    delay_cost: Optional[float] = None
+    terms: tuple[DelayCostTerm, ...] = ()
+    private_core_cost: float = 0.0
+    public_core_cost: float = 0.0
+    startup_penalty_tu: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -66,6 +104,9 @@ class ScalingDecision:
 
     hire: bool
     tier: Optional[TierName] = None
+    explanation: Optional[DecisionExplanation] = field(
+        default=None, compare=False, repr=False
+    )
 
     @staticmethod
     def wait() -> "ScalingDecision":
@@ -90,6 +131,46 @@ def _private_first(cores: int, ctx: ScalingContext) -> Optional[ScalingDecision]
     return None
 
 
+def _explain(
+    decision: ScalingDecision,
+    ctx: ScalingContext,
+    task: StageTask,
+    cores: int,
+    policy: str,
+    *,
+    public_capacity: Optional[bool] = None,
+    wait: Optional[float] = None,
+    horizon: Optional[float] = None,
+    duration: Optional[float] = None,
+    premium: Optional[float] = None,
+    dc: Optional[float] = None,
+    terms: tuple[DelayCostTerm, ...] = (),
+) -> ScalingDecision:
+    """Attach a :class:`DecisionExplanation` when the context asks for one."""
+    if not ctx.explain:
+        return decision
+    threads = task.threads if task.threads is not None else cores
+    explanation = DecisionExplanation(
+        policy=policy,
+        private_free=decision.tier is TierName.PRIVATE,
+        public_available=ctx.public_available,
+        public_capacity=public_capacity,
+        expected_wait=ctx.expected_wait,
+        wait=wait,
+        horizon=horizon,
+        cores=cores,
+        threads=threads,
+        duration=duration,
+        premium=premium,
+        delay_cost=dc,
+        terms=terms,
+        private_core_cost=ctx.costs.private_core_cost,
+        public_core_cost=ctx.costs.public_core_cost,
+        startup_penalty_tu=ctx.startup_penalty_tu,
+    )
+    return replace(decision, explanation=explanation)
+
+
 class AlwaysScale:
     """Private if possible, otherwise public, immediately."""
 
@@ -97,10 +178,13 @@ class AlwaysScale:
         """Hire private if possible, else public, immediately."""
         decision = _private_first(cores, ctx)
         if decision is not None:
-            return decision
-        if ctx.public_available and ctx.infrastructure.public.can_allocate(cores):
-            return ScalingDecision.on(TierName.PUBLIC)
-        return ScalingDecision.wait()
+            return _explain(decision, ctx, task, cores, "always")
+        capacity = ctx.infrastructure.public.can_allocate(cores)
+        if ctx.public_available and capacity:
+            decision = ScalingDecision.on(TierName.PUBLIC)
+        else:
+            decision = ScalingDecision.wait()
+        return _explain(decision, ctx, task, cores, "always", public_capacity=capacity)
 
 
 class NeverScale:
@@ -110,8 +194,8 @@ class NeverScale:
         """Hire private if possible, otherwise wait."""
         decision = _private_first(cores, ctx)
         if decision is not None:
-            return decision
-        return ScalingDecision.wait()
+            return _explain(decision, ctx, task, cores, "never")
+        return _explain(ScalingDecision.wait(), ctx, task, cores, "never")
 
 
 class PredictiveScale:
@@ -135,17 +219,23 @@ class PredictiveScale:
         """Hire public only when delay cost exceeds the premium."""
         decision = _private_first(cores, ctx)
         if decision is not None:
-            return decision
+            return _explain(decision, ctx, task, cores, "predictive",
+                            horizon=self.horizon_tu)
         if not ctx.public_available:
             # Breaker open: public deploys are bouncing, don't bother.
-            return ScalingDecision.wait()
+            return _explain(ScalingDecision.wait(), ctx, task, cores,
+                            "predictive", horizon=self.horizon_tu)
         if not ctx.infrastructure.public.can_allocate(cores):
-            return ScalingDecision.wait()
+            return _explain(ScalingDecision.wait(), ctx, task, cores,
+                            "predictive", public_capacity=False,
+                            horizon=self.horizon_tu)
 
         wait = min(max(ctx.expected_wait, 0.0), self.horizon_tu)
         if wait <= 0.0:
             # A worker is (expected) free immediately; no reason to pay.
-            return ScalingDecision.wait()
+            return _explain(ScalingDecision.wait(), ctx, task, cores,
+                            "predictive", public_capacity=True, wait=wait,
+                            horizon=self.horizon_tu)
 
         threads = task.threads if task.threads is not None else cores
         duration = task.execution_time(max(threads, 1))
@@ -154,10 +244,20 @@ class PredictiveScale:
         )
         # Eq. 1 over the tasks currently waiting in this stage's queue; the
         # candidate task is included (it is at the front of the queue).
-        dc = delay_cost(ctx.queue, ctx.estimator, ctx.reward, wait, ctx.now)
+        terms: tuple[DelayCostTerm, ...] = ()
+        if ctx.explain:
+            dc, terms = delay_cost_terms(
+                ctx.queue, ctx.estimator, ctx.reward, wait, ctx.now
+            )
+        else:
+            dc = delay_cost(ctx.queue, ctx.estimator, ctx.reward, wait, ctx.now)
         if dc > premium:
-            return ScalingDecision.on(TierName.PUBLIC)
-        return ScalingDecision.wait()
+            decision = ScalingDecision.on(TierName.PUBLIC)
+        else:
+            decision = ScalingDecision.wait()
+        return _explain(decision, ctx, task, cores, "predictive",
+                        public_capacity=True, wait=wait, horizon=self.horizon_tu,
+                        duration=duration, premium=premium, dc=dc, terms=terms)
 
 
 def make_scaling_policy(

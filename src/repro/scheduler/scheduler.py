@@ -31,7 +31,7 @@ Resilience (this module's failure-handling half) layers on top:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps.base import ApplicationModel
 from repro.cloud.celar import CelarManager
@@ -57,6 +57,9 @@ from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.scaling import ScalingContext, ScalingPolicy
 from repro.scheduler.tasks import Job, JobState, StageRecord, StageTask
 from repro.scheduler.workers import Worker, WorkerPools
+
+if TYPE_CHECKING:  # telemetry stays import-free on the default path
+    from repro.telemetry.hub import TelemetryHub
 
 __all__ = ["SCANScheduler"]
 
@@ -89,6 +92,7 @@ class SCANScheduler:
         failure_model: Optional[FailureModel] = None,
         faults: Optional[FaultInjector] = None,
         resilience: Optional[ResilienceConfig] = None,
+        telemetry: "Optional[TelemetryHub]" = None,
     ) -> None:
         self.env = env
         self.app = app
@@ -144,6 +148,7 @@ class SCANScheduler:
             celar,
             idle_timeout_tu=self.config.idle_timeout_tu,
             injector=faults,
+            tracer=telemetry.tracer if telemetry is not None else None,
         )
         self.pools.on_available = self._on_worker_available
         self.pools.on_worker_failed = self._on_worker_failed
@@ -156,6 +161,54 @@ class SCANScheduler:
         self.completed_jobs: list[Job] = []
         self.total_reward = 0.0
         self._started = False
+
+        # Telemetry is threaded in as a hub (None = disabled).  Every
+        # instrument is cached as its own attribute so the disabled path
+        # is a single ``is not None`` check, and repro.telemetry is only
+        # imported when a hub actually exists -- a run without telemetry
+        # never loads the subsystem at all.
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._audit = telemetry.audit if telemetry is not None else None
+        self._explain = self._audit is not None or self._tracer is not None
+        if self._explain:
+            from repro.telemetry.audit import ScalingDecisionRecord, decision_label
+            from repro.telemetry.tracing import lane_for_stage, lane_for_worker
+
+            self._record_cls = ScalingDecisionRecord
+            self._decision_label = decision_label
+            self._lane_for_stage = lane_for_stage
+            self._lane_for_worker = lane_for_worker
+            if self._tracer is not None:
+                for stage in range(app.n_stages):
+                    self._tracer.lane(lane_for_stage(stage), f"stage {stage} queue")
+        metrics = telemetry.metrics if telemetry is not None else None
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_decisions = metrics.counter(
+                "scheduler_scaling_decisions_total",
+                "hire-or-wait outcomes from the horizontal-scaling policy",
+                labelnames=("decision",),
+            )
+            self._m_hires = metrics.counter(
+                "scheduler_hires_total",
+                "workers hired, by cloud tier",
+                labelnames=("tier",),
+            )
+            self._m_tasks = metrics.counter(
+                "scheduler_task_outcomes_total",
+                "stage-task executions by outcome",
+                labelnames=("outcome",),
+            )
+            self._m_stage_wait = metrics.histogram(
+                "scheduler_stage_wait_tu",
+                "queue wait of dispatched stage tasks (TU)",
+                buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0),
+            )
+            self._m_job_latency = metrics.histogram(
+                "scheduler_job_latency_tu",
+                "end-to-end latency of completed pipeline runs (TU)",
+            )
 
     # -- lifecycle --------------------------------------------------------------
     def start(self) -> None:
@@ -293,12 +346,44 @@ class SCANScheduler:
             cores=cores,
             stage=stage,
         )
+        if self._metrics is not None:
+            self._m_hires.inc(tier=tier.value)
         if tier is TierName.PUBLIC and self.breaker is not None:
             if self.breaker.record_success(self.env.now):
                 self.log.emit(
                     self.env.now, EventKind.BREAKER_CLOSED, tier=tier.value
                 )
         return True
+
+    def _record_decision(self, task: StageTask, decision) -> None:
+        """Feed one hire-or-wait choice to the audit log / tracer / metrics."""
+        label = self._decision_label(decision)
+        explanation = decision.explanation
+        if self._audit is not None:
+            self._audit.add(
+                self._record_cls(
+                    time=self.env.now,
+                    stage=task.stage,
+                    task_uid=task.uid,
+                    job_uid=task.job.uid,
+                    decision=label,
+                    explanation=explanation,
+                )
+            )
+        if self._tracer is not None:
+            args: dict = {"job": task.job.name, "decision": label}
+            if explanation is not None and explanation.premium is not None:
+                args["delay_cost"] = explanation.delay_cost
+                args["premium"] = explanation.premium
+                args["wait"] = explanation.wait
+            self._tracer.instant(
+                f"decision.{label}",
+                "scheduler",
+                lane=self._lane_for_stage(task.stage),
+                args=args,
+            )
+        if self._metrics is not None:
+            self._m_decisions.inc(decision=label)
 
     def _schedule_redispatch(self, stage: int, delay: float) -> None:
         def waker():
@@ -317,6 +402,26 @@ class SCANScheduler:
 
     def _dispatch(self, stage: int) -> None:
         """Serve the front of one stage queue as far as resources allow."""
+        tracer = self._tracer
+        if tracer is None:
+            self._dispatch_pass(stage)
+            return
+        lane = self._lane_for_stage(stage)
+        with tracer.span(
+            "scheduler.dispatch",
+            "scheduler",
+            lane=lane,
+            args={"stage": stage, "queued": len(self.queues[stage])},
+        ):
+            self._dispatch_pass(stage)
+        tracer.counter(
+            "queue.depth",
+            "scheduler",
+            {"depth": float(len(self.queues[stage]))},
+            lane=lane,
+        )
+
+    def _dispatch_pass(self, stage: int) -> None:
         queue = self.queues[stage]
         while not queue.empty:
             task = queue.peek()
@@ -396,8 +501,11 @@ class SCANScheduler:
                         if self.breaker is not None
                         else True
                     ),
+                    explain=self._explain,
                 ),
             )
+            if self._explain:
+                self._record_decision(task, decision)
             if decision.hire:
                 assert decision.tier is not None
                 self._try_hire(cores, decision.tier, stage)
@@ -436,6 +544,8 @@ class SCANScheduler:
         if not task.speculative:
             # Duplicates would double-count the stage's queue-wait signal.
             self.estimator.observe_queue_wait(stage, wait)
+            if self._metrics is not None:
+                self._m_stage_wait.observe(wait)
 
         worker.vm.mark_busy()
         # Reality may diverge from the believed model (actual_app).
@@ -478,8 +588,37 @@ class SCANScheduler:
             )
 
         self._executing[worker] = self.env.active_process
+        # The execution span stretches across simulated time (sync=False:
+        # its wall clock mostly measures other components running while
+        # this process sleeps); it closes even on Interrupt unwinding.
+        span = None
+        if self._tracer is not None:
+            lane = self._tracer.lane(
+                self._lane_for_worker(worker.uid),
+                f"worker {worker.uid} ({worker.tier.value} x{worker.cores})",
+            )
+            span = self._tracer.span(
+                f"{job.name}/s{stage}",
+                "task",
+                lane=lane,
+                args={
+                    "job": job.name,
+                    "stage": stage,
+                    "threads": threads,
+                    "tier": worker.tier.value,
+                    "attempt": task.attempt,
+                    "speculative": task.speculative,
+                    "straggled": straggled,
+                    "wait": wait,
+                },
+                sync=False,
+            )
         try:
-            yield self.env.timeout(duration)
+            if span is not None:
+                with span:
+                    yield self.env.timeout(duration)
+            else:
+                yield self.env.timeout(duration)
         except Interrupt as intr:
             if intr.cause == _SPECULATIVE_LOSS:
                 # The twin finished first; this worker is fine -- free it.
@@ -491,12 +630,16 @@ class SCANScheduler:
                     stage=stage,
                     worker=worker.uid,
                 )
+                if self._metrics is not None:
+                    self._m_tasks.inc(outcome="speculative_loss")
                 self.pools.release(worker)
                 return
             # The worker's VM died mid-task (failure injection): nothing
             # was produced.  If a twin is still running the stage survives
             # on it; otherwise the attempt failed and the retry/dead-letter
             # machinery takes over.
+            if self._metrics is not None:
+                self._m_tasks.inc(outcome="vm_failure")
             if group is not None and self.speculation.twin_survives(
                 group, task
             ):
@@ -531,6 +674,8 @@ class SCANScheduler:
                 worker=worker.uid,
                 attempt=task.attempt,
             )
+            if self._metrics is not None:
+                self._m_tasks.inc(outcome="corrupted")
             self.pools.release(worker)
             if group is not None and self.speculation.twin_survives(
                 group, task
@@ -578,6 +723,8 @@ class SCANScheduler:
             tier=worker.tier.value,
         )
 
+        if self._metrics is not None:
+            self._m_tasks.inc(outcome="completed")
         # Learning-guided policies (paper Section VI future work) get the
         # realised duration as their reward signal.
         observe = getattr(self.allocation, "observe_completion", None)
@@ -609,6 +756,14 @@ class SCANScheduler:
                 job=job.name,
                 reward=paid,
             )
+            if self._metrics is not None:
+                self._m_job_latency.observe(latency)
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "job.completed",
+                    "scheduler",
+                    args={"job": job.name, "latency": latency, "reward": paid},
+                )
         else:
             self._enqueue(job, job.current_stage)
 

@@ -79,6 +79,7 @@ class WorkerPools:
         reap_interval_tu: float = 1.0,
         failure_model: Optional[FailureModel] = None,
         injector: Optional[FaultInjector] = None,
+        tracer=None,
     ) -> None:
         if idle_timeout_tu < 0 or reap_interval_tu <= 0:
             raise SchedulingError("invalid reaper configuration")
@@ -90,6 +91,14 @@ class WorkerPools:
         self.idle_timeout_tu = idle_timeout_tu
         self.reap_interval_tu = reap_interval_tu
         self.injector = injector
+        #: Optional telemetry SpanTracer; boot/resize intervals appear on
+        #: each worker's trace lane under the "cloud" category.  Passive:
+        #: no clock writes, no RNG draws.
+        self.tracer = tracer
+        if tracer is not None:
+            from repro.telemetry.tracing import lane_for_worker
+
+            self._lane_for_worker = lane_for_worker
         self._idle: list[Worker] = []
         self._busy: set[Worker] = set()
         #: Workers currently booting/resizing, per stage that requested
@@ -226,8 +235,27 @@ class WorkerPools:
         re-decide even (especially) when the worker never arrives, or it
         would stall forever.
         """
+        span = None
+        if self.tracer is not None:
+            lane = self.tracer.lane(
+                self._lane_for_worker(worker.uid),
+                f"worker {worker.uid} ({worker.tier.value} x{worker.cores})",
+            )
+            # Boot spans the startup penalty in sim time -> sync=False.
+            span = self.tracer.span(
+                "vm.boot",
+                "cloud",
+                lane=lane,
+                args={"tier": worker.tier.value, "cores": worker.cores,
+                      "stage": stage},
+                sync=False,
+            )
         try:
-            yield from worker.vm.boot()
+            if span is not None:
+                with span:
+                    yield from worker.vm.boot()
+            else:
+                yield from worker.vm.boot()
         finally:
             self._finish_boot_slot(stage)
         boot_failed = False

@@ -54,6 +54,12 @@ class SessionResult:
     stragglers: int = 0
     #: Completed stages retroactively invalidated by corruption.
     corruptions: int = 0
+    #: Latency percentiles over completed (post-warmup) runs; NaN when no
+    #: run completed.  The mean alone hides tail behaviour -- exactly what
+    #: stragglers and retries inflate.
+    latency_p50: float = float("nan")
+    latency_p95: float = float("nan")
+    latency_p99: float = float("nan")
 
     @property
     def profit(self) -> float:
@@ -94,6 +100,7 @@ class SessionResult:
             "mean_profit_per_run": self.mean_profit_per_run,
             "reward_to_cost": self.reward_to_cost,
             "mean_latency": self.mean_latency,
+            "latency_p95": self.latency_p95,
             "mean_core_stages": self.mean_core_stages,
             "private_utilization": self.private_utilization,
             "public_core_tu": self.public_core_tu,

@@ -104,4 +104,9 @@ def render_resilience_summary(result: Any, title: str = "Resilience") -> str:
     rows.append(
         ["completion_fraction", f"{result.completion_fraction:.3f}"]
     )
+    # Tail latency is where stragglers and retries actually show up; the
+    # percentiles are NaN when no post-warmup run completed.
+    for name in ("latency_p50", "latency_p95", "latency_p99"):
+        value = getattr(result, name, float("nan"))
+        rows.append([name, f"{value:.2f}"])
     return render_table(["counter", "value"], rows, title=title)

@@ -12,7 +12,7 @@ the "best single execution plan" baseline the paper compares against.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.apps.base import ApplicationModel
 from repro.apps.registry import ApplicationRegistry, default_registry
@@ -22,6 +22,7 @@ from repro.cloud.infrastructure import Infrastructure, TierName
 from repro.core.config import AllocationAlgorithm, PlatformConfig
 from repro.core.events import EventLog
 from repro.desim.engine import Environment
+from repro.desim.monitor import Monitor
 from repro.desim.rng import RandomStreams
 from repro.scheduler.allocation import (
     find_best_constant_plan,
@@ -34,6 +35,9 @@ from repro.sim.metrics import SessionResult
 from repro.workload.arrivals import ArrivalBatch, BatchArrivalProcess
 from repro.workload.jobs import JobFactory
 from repro.workload.traces import ArrivalTrace, replay_trace
+
+if TYPE_CHECKING:  # imported only when telemetry is enabled at runtime
+    from repro.telemetry.hub import TelemetryHub
 
 __all__ = ["SimulationSession", "run_repetitions"]
 
@@ -74,9 +78,24 @@ class SimulationSession:
         # Populated by run(): the live scheduler of the most recent run.
         self.scheduler: Optional[SCANScheduler] = None
         self.event_log: Optional[EventLog] = None
+        #: Telemetry hub of the most recent run; None while telemetry is
+        #: disabled (the default) -- the subsystem is then never imported.
+        self.telemetry: "Optional[TelemetryHub]" = None
+
+    def _make_hub(self) -> "Optional[TelemetryHub]":
+        if not self.config.telemetry.enabled:
+            return None
+        from repro.telemetry.hub import TelemetryHub
+
+        return TelemetryHub.from_config(self.config.telemetry)
 
     # -- assembly ---------------------------------------------------------------
-    def _build(self, env: Environment, streams: RandomStreams) -> SCANScheduler:
+    def _build(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        hub: "Optional[TelemetryHub]" = None,
+    ) -> SCANScheduler:
         cfg = self.config
         infrastructure = Infrastructure(
             env,
@@ -97,6 +116,7 @@ class SimulationSession:
             startup_penalty_tu=cfg.cloud.startup_penalty_tu,
             allowed_sizes=cfg.cloud.instance_sizes,
             injector=injector,
+            tracer=hub.tracer if hub is not None else None,
         )
         reward = make_reward(cfg.reward)
         allocation = make_allocation_policy(
@@ -119,6 +139,7 @@ class SimulationSession:
             actual_app=self.actual_app,
             faults=injector,
             resilience=cfg.resilience,
+            telemetry=hub,
         )
         scheduler.start()
         self.scheduler = scheduler
@@ -133,38 +154,95 @@ class SimulationSession:
         actual_seed = cfg.simulation.seed if seed is None else seed
         streams = RandomStreams(actual_seed)
         env = Environment()
-        scheduler = self._build(env, streams)
+        hub = self._make_hub()
+        self.telemetry = hub
+        if hub is not None:
+            hub.bind(env)
+        scheduler = self._build(env, streams, hub)
 
         factory = JobFactory(self.app, size_unit_gb=cfg.workload.size_unit_gb)
         arrivals = BatchArrivalProcess(cfg.workload, streams.stream("arrivals"))
 
-        def on_batch(batch: ArrivalBatch) -> None:
-            for job in factory.from_batch(batch):
-                scheduler.submit(job)
-
+        on_batch = self._make_on_batch(factory, scheduler, hub)
         env.process(
             arrivals.run(env, on_batch, until=cfg.simulation.duration)
         )
         snapshot = self._arm_warmup(env, scheduler)
-        env.run(until=cfg.simulation.duration)
-        return self._collect(scheduler, actual_seed, snapshot)
+        self._run_engine(env, cfg.simulation.duration, hub)
+        return self._collect(scheduler, actual_seed, snapshot, hub)
 
     def run_trace(self, trace: ArrivalTrace, seed: int = 0) -> SessionResult:
         """Run one session against a recorded trace (paired comparisons)."""
         env = Environment()
-        scheduler = self._build(env, RandomStreams(seed))
+        hub = self._make_hub()
+        self.telemetry = hub
+        if hub is not None:
+            hub.bind(env)
+        scheduler = self._build(env, RandomStreams(seed), hub)
         factory = JobFactory(
             self.app, size_unit_gb=self.config.workload.size_unit_gb
         )
 
-        def on_batch(batch: ArrivalBatch) -> None:
-            for job in factory.from_batch(batch):
-                scheduler.submit(job)
-
+        on_batch = self._make_on_batch(factory, scheduler, hub)
         env.process(replay_trace(env, trace, on_batch))
         snapshot = self._arm_warmup(env, scheduler)
-        env.run(until=self.config.simulation.duration)
-        return self._collect(scheduler, seed, snapshot)
+        self._run_engine(env, self.config.simulation.duration, hub)
+        return self._collect(scheduler, seed, snapshot, hub)
+
+    def _make_on_batch(
+        self,
+        factory: JobFactory,
+        scheduler: SCANScheduler,
+        hub: "Optional[TelemetryHub]",
+    ) -> Callable[[ArrivalBatch], None]:
+        """The arrival callback: broker the batch into pipeline runs.
+
+        This boundary is the session's Data Broker role (paper
+        Section III-A.1: arriving datasets become subtask jobs before they
+        reach the scheduler), so with tracing on it carries the "broker"
+        category span.
+        """
+        tracer = hub.tracer if hub is not None else None
+        if tracer is None:
+
+            def on_batch(batch: ArrivalBatch) -> None:
+                for job in factory.from_batch(batch):
+                    scheduler.submit(job)
+
+            return on_batch
+
+        def traced_on_batch(batch: ArrivalBatch) -> None:
+            with tracer.span(
+                "broker.ingest_batch",
+                "broker",
+                args={"jobs": batch.n_jobs, "total_size": batch.total_size},
+            ):
+                for job in factory.from_batch(batch):
+                    scheduler.submit(job)
+
+        return traced_on_batch
+
+    def _run_engine(
+        self, env: Environment, duration: float, hub: "Optional[TelemetryHub]"
+    ) -> None:
+        """``env.run`` wrapped in engine-level telemetry when enabled."""
+        if hub is None:
+            env.run(until=duration)
+            return
+        if hub.profiler is not None:
+            hub.profiler.start()
+        try:
+            if hub.tracer is not None:
+                hub.tracer.lane(0, "session control")
+                with hub.tracer.span(
+                    "engine.run", "engine", args={"until": duration}, sync=False
+                ):
+                    env.run(until=duration)
+            else:
+                env.run(until=duration)
+        finally:
+            if hub.profiler is not None:
+                hub.profiler.stop(sim_duration=duration)
 
     def _arm_warmup(self, env: Environment, scheduler: SCANScheduler):
         """Schedule a state snapshot at the warmup boundary.
@@ -198,6 +276,7 @@ class SimulationSession:
         scheduler: SCANScheduler,
         seed: int,
         snapshot: "dict | None" = None,
+        hub: "Optional[TelemetryHub]" = None,
     ) -> SessionResult:
         infra = scheduler.infrastructure
         pools = scheduler.pools
@@ -208,14 +287,22 @@ class SimulationSession:
         completed0 = base.get("completed", 0)
         submitted0 = base.get("submitted", 0)
         warm_jobs = scheduler.completed_jobs[completed0:]
+        latencies = Monitor("latency")
+        for idx, job in enumerate(warm_jobs):
+            # Index as the pseudo-time axis: completion order is already
+            # monotone, and Monitor only needs non-decreasing stamps.
+            latencies.observe(float(idx), job.latency())
+        latency_summary = latencies.summary()
         if warm_jobs:
-            mean_latency = sum(j.latency() for j in warm_jobs) / len(warm_jobs)
+            mean_latency = latencies.mean()
             mean_core_stages = sum(j.core_stages() for j in warm_jobs) / len(
                 warm_jobs
             )
         else:
             mean_latency = float("nan")
             mean_core_stages = 0.0
+        if hub is not None:
+            self._absorb_session_metrics(hub, scheduler, latencies)
         return SessionResult(
             seed=seed,
             duration=duration,
@@ -259,7 +346,60 @@ class SimulationSession:
                 if scheduler.faults is not None
                 else 0
             ),
+            latency_p50=latency_summary["p50"],
+            latency_p95=latency_summary["p95"],
+            latency_p99=latency_summary["p99"],
         )
+
+    def _absorb_session_metrics(
+        self,
+        hub: "TelemetryHub",
+        scheduler: SCANScheduler,
+        latencies: Monitor,
+    ) -> None:
+        """Fold end-of-run series into the hub's metrics registry."""
+        registry = hub.metrics
+        if registry is None:
+            return
+        from repro.telemetry.metrics import absorb_monitor
+
+        now = scheduler.env.now
+        infra = scheduler.infrastructure
+        absorb_monitor(
+            registry,
+            latencies,
+            "session_latency_tu",
+            "completed pipeline-run latency (TU)",
+        )
+        utilization = registry.gauge(
+            "infra_utilization", "time-weighted tier utilisation",
+            labelnames=("tier",),
+        )
+        utilization.set(infra.private.utilization(), tier="private")
+        core_tu = registry.gauge(
+            "infra_core_tu", "core-TUs consumed per tier", labelnames=("tier",)
+        )
+        core_tu.set(infra.private.core_tu_consumed(), tier="private")
+        core_tu.set(infra.public.core_tu_consumed(), tier="public")
+        depth = registry.gauge(
+            "scheduler_queue_depth",
+            "stage queue depth (time-weighted statistics)",
+            labelnames=("stage", "stat"),
+        )
+        for stage in range(scheduler.app.n_stages):
+            monitor = scheduler.queues[stage].length_monitor
+            depth.set(monitor.level, stage=str(stage), stat="level")
+            depth.set(monitor.peak, stage=str(stage), stat="peak")
+            depth.set(
+                monitor.time_average(now), stage=str(stage), stat="time_average"
+            )
+        totals = registry.gauge(
+            "session_totals", "headline session totals", labelnames=("metric",)
+        )
+        totals.set(scheduler.total_reward, metric="reward")
+        totals.set(scheduler.total_cost(), metric="cost")
+        totals.set(float(len(scheduler.completed_jobs)), metric="completed_runs")
+        totals.set(float(len(scheduler.submitted_jobs)), metric="submitted_runs")
 
 
 def run_repetitions(

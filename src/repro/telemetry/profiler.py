@@ -1,0 +1,163 @@
+"""Simulation self-measurement: events/sec, heap depth, module shares.
+
+The profiler answers "how fast is the simulator itself?" -- the
+prerequisite for any future hot-path optimisation to prove a win.  It
+wraps :meth:`Environment.step` with a counting/timing shim (an *instance*
+attribute that shadows the class method, so the kernel needs no changes),
+samples the event-calendar depth every N steps, and at the end of a run
+writes ``BENCH_telemetry.json`` with:
+
+- ``events_per_sec``: calendar events processed per wall second;
+- ``heap``: mean/peak calendar depth over the sampled steps;
+- ``module_wall_share``: fraction of wall time spent per component,
+  derived from the tracer's synchronous-span accounting with the engine
+  as the remainder (an inclusive approximation: a span's wall time
+  includes the callees it invokes).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Optional
+
+from repro.desim.engine import Environment
+from repro.telemetry.tracing import SpanTracer
+
+__all__ = ["EngineProbe", "SimulationProfiler", "PROFILE_SCHEMA"]
+
+PROFILE_SCHEMA = "scan-sim-profile/1"
+
+
+class EngineProbe:
+    """Counts and times every :meth:`Environment.step`; samples the heap.
+
+    Installation sets ``env.step`` as an instance attribute shadowing the
+    class method -- :meth:`Environment.run` dispatches through ``self.step``
+    so every event passes through the shim.  The shim only counts, times
+    and (every ``sample_every`` steps) reads ``len(env._queue)``; it never
+    schedules events or draws random numbers, so simulated results are
+    untouched.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        tracer: Optional[SpanTracer] = None,
+        sample_every: int = 64,
+        wall: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.env = env
+        self.tracer = tracer
+        self.sample_every = sample_every
+        self._wall = wall
+        self.steps = 0
+        self.wall_in_step = 0.0
+        self.heap_samples = 0
+        self.heap_depth_sum = 0
+        self.peak_heap = 0
+        self._orig_step = env.step
+        self._installed = True
+        env.step = self._step  # type: ignore[method-assign]
+
+    def _step(self) -> None:
+        t0 = self._wall()
+        try:
+            self._orig_step()
+        finally:
+            self.wall_in_step += self._wall() - t0
+            self.steps += 1
+            if self.steps % self.sample_every == 0:
+                depth = len(self.env._queue)
+                self.heap_samples += 1
+                self.heap_depth_sum += depth
+                if depth > self.peak_heap:
+                    self.peak_heap = depth
+                if self.tracer is not None:
+                    self.tracer.counter(
+                        "engine.heap_depth", "engine", {"depth": depth}
+                    )
+
+    def uninstall(self) -> None:
+        """Restore the class method (idempotent)."""
+        if self._installed:
+            del self.env.step  # type: ignore[method-assign]
+            self._installed = False
+
+    @property
+    def mean_heap_depth(self) -> float:
+        if self.heap_samples == 0:
+            return 0.0
+        return self.heap_depth_sum / self.heap_samples
+
+
+class SimulationProfiler:
+    """Wall-clock self-measurement for one simulation run."""
+
+    def __init__(self, sample_every: int = 64) -> None:
+        self.sample_every = sample_every
+        self.probe: Optional[EngineProbe] = None
+        self._wall0: Optional[float] = None
+        self.wall_total = 0.0
+        self.sim_duration: Optional[float] = None
+
+    def install(self, env: Environment, tracer: Optional[SpanTracer] = None) -> None:
+        """Attach the engine probe to *env* (call before the run starts)."""
+        self.probe = EngineProbe(env, tracer, self.sample_every)
+
+    def start(self) -> None:
+        self._wall0 = time.perf_counter()
+
+    def stop(self, sim_duration: Optional[float] = None) -> None:
+        if self._wall0 is not None:
+            self.wall_total = time.perf_counter() - self._wall0
+            self._wall0 = None
+        if sim_duration is not None:
+            self.sim_duration = sim_duration
+        if self.probe is not None:
+            self.probe.uninstall()
+
+    # -- reporting ---------------------------------------------------------
+    def report(self, tracer: Optional[SpanTracer] = None) -> dict[str, Any]:
+        """The profile as a JSON-ready dict (``BENCH_telemetry.json``)."""
+        steps = self.probe.steps if self.probe is not None else 0
+        wall = self.wall_total
+        events_per_sec = steps / wall if wall > 0 else 0.0
+        out: dict[str, Any] = {
+            "schema": PROFILE_SCHEMA,
+            "sim_duration_tu": self.sim_duration,
+            "wall_seconds": round(wall, 6),
+            "engine_steps": steps,
+            "events_per_sec": round(events_per_sec, 3),
+            "heap": {
+                "samples": self.probe.heap_samples if self.probe else 0,
+                "mean_depth": round(self.probe.mean_heap_depth, 3)
+                if self.probe
+                else 0.0,
+                "peak_depth": self.probe.peak_heap if self.probe else 0,
+            },
+        }
+        if tracer is not None:
+            shares: dict[str, float] = {}
+            accounted = 0.0
+            for cat, seconds in sorted(tracer.wall_by_category.items()):
+                share = seconds / wall if wall > 0 else 0.0
+                shares[cat] = round(share, 6)
+                accounted += seconds
+            # The engine (heap pops, callback dispatch, generator resumes)
+            # is everything the synchronous spans did not claim.
+            if wall > 0:
+                shares["engine"] = round(max(wall - accounted, 0.0) / wall, 6)
+            out["module_wall_share"] = shares
+            out["span_counts"] = dict(sorted(tracer.count_by_category.items()))
+            out["trace_events"] = tracer.n_events
+            out["dropped_events"] = tracer.dropped
+        return out
+
+    def write(self, path: str, tracer: Optional[SpanTracer] = None) -> None:
+        """Serialise :meth:`report` to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.report(tracer), fh, indent=2)
+            fh.write("\n")

@@ -21,6 +21,24 @@ class TestParser:
         assert args.duration == 600.0
         assert args.allocation == "greedy"
         assert args.scaling == "predictive"
+        assert args.trace_out is None
+        assert args.metrics_out is None
+        assert not args.profile
+        assert not args.quiet
+
+    def test_version_flag(self, capsys):
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_trace_command_registered(self):
+        args = build_parser().parse_args(["trace", "t.json", "--top", "3"])
+        assert args.command == "trace"
+        assert args.file == "t.json"
+        assert args.top == 3
 
     def test_bad_choice_rejected(self):
         with pytest.raises(SystemExit):
@@ -52,6 +70,93 @@ class TestRun:
         main(["run", "--duration", "100", "--seed", "5", "--json"])
         second = json.loads(capsys.readouterr().out)
         assert first["total_reward"] == second["total_reward"]
+
+    def test_quiet_suppresses_table(self, capsys):
+        assert main(["run", "--duration", "60", "--seed", "1", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_keeps_json(self, capsys):
+        code = main(
+            ["run", "--duration", "60", "--seed", "1", "--quiet", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed_runs"] > 0
+
+    def test_telemetry_flags_unchanged_results(self, capsys, tmp_path):
+        """Trace/metrics/profile exports leave the sim results untouched."""
+        main(["run", "--duration", "80", "--seed", "2", "--json"])
+        plain = json.loads(capsys.readouterr().out)
+        trace = tmp_path / "trace.json"
+        main(
+            [
+                "run", "--duration", "80", "--seed", "2", "--json",
+                "--trace-out", str(trace),
+            ]
+        )
+        traced = json.loads(capsys.readouterr().out)
+        assert traced == plain
+
+
+class TestTelemetryArtifacts:
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "run", "--duration", "60", "--seed", "3", "--quiet",
+                "--trace-out", str(path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        categories = {ev["cat"] for ev in events if "cat" in ev}
+        # The acceptance bar: at least the four layer categories.
+        assert {"engine", "scheduler", "broker", "cloud"} <= categories
+
+    def test_metrics_out_writes_prometheus_text(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        main(
+            [
+                "run", "--duration", "60", "--seed", "3", "--quiet",
+                "--metrics-out", str(path),
+            ]
+        )
+        text = path.read_text()
+        assert "# TYPE scan_scheduler_hires_total counter" in text
+        assert "scan_session_latency_tu" in text
+
+    def test_profile_writes_bench_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_telemetry.json"
+        main(
+            [
+                "run", "--duration", "60", "--seed", "3", "--quiet",
+                "--profile", "--profile-out", str(path),
+            ]
+        )
+        data = json.loads(path.read_text())
+        assert data["schema"] == "scan-sim-profile/1"
+        assert data["events_per_sec"] > 0
+        assert "module_wall_share" in data
+
+
+class TestTraceCommand:
+    def test_summarises_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        main(
+            [
+                "run", "--duration", "60", "--seed", "3", "--quiet",
+                "--trace-out", str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "category" in out and "scheduler" in out
+        assert "longest spans" in out
+
+    def test_missing_file_is_error(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
 
 
 class TestSweep:

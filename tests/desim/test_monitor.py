@@ -48,6 +48,21 @@ class TestMonitor:
             m.observe(float(t), float(v))
         assert m.percentile(50) == 50.0
 
+    def test_summary_includes_percentiles(self):
+        m = Monitor()
+        for t, v in enumerate(range(101)):
+            m.observe(float(t), float(v))
+        summary = m.summary()
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+        assert summary["count"] == 101
+
+    def test_empty_summary_percentiles_are_nan(self):
+        summary = Monitor().summary()
+        for key in ("p50", "p95", "p99"):
+            assert math.isnan(summary[key])
+
 
 class TestTimeWeightedMonitor:
     def test_time_average_piecewise_constant(self):

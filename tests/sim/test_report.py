@@ -1,9 +1,16 @@
 """Tests for table/series rendering."""
 
+import textwrap
+
 import pytest
 
 from repro.analysis.stats import summarize
-from repro.sim.report import format_summary, render_series, render_table
+from repro.sim.report import (
+    format_summary,
+    render_resilience_summary,
+    render_series,
+    render_table,
+)
 
 
 class TestFormatSummary:
@@ -63,3 +70,90 @@ class TestRenderSeries:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             render_series("x", [1, 2], {"s": [1.0]})
+
+
+class TestGoldenOutput:
+    """Byte-exact renderings: any format drift must be a deliberate diff."""
+
+    def test_render_table_golden(self):
+        text = render_table(
+            ["stage", "a_i"],
+            [[1, 0.35], [12, 17.86]],
+            title="Table II",
+            precision=2,
+        )
+        expected = textwrap.dedent(
+            """\
+            Table II
+            stage    a_i
+            -----  -----
+                1   0.35
+               12  17.86"""
+        )
+        assert text == expected
+
+    def test_render_series_golden(self):
+        text = render_series(
+            "interval",
+            ["2.00", "3.00"],
+            {"always": [10.0, 20.5], "never": [1.0, 2.0]},
+            precision=1,
+        )
+        expected = textwrap.dedent(
+            """\
+            interval  always  never
+            --------  ------  -----
+                2.00    10.0    1.0
+                3.00    20.5    2.0"""
+        )
+        assert text == expected
+
+    def test_render_summary_cell_golden(self):
+        stats = summarize([10.0, 20.0])
+        text = render_table(["m"], [[stats]], precision=1)
+        expected = textwrap.dedent(
+            """\
+                       m
+            ------------
+            15.0 +/- 7.1"""
+        )
+        assert text == expected
+
+
+class TestResilienceSummary:
+    def _result(self, **overrides):
+        from repro.sim.metrics import SessionResult
+
+        base = dict(
+            seed=1, duration=100.0, submitted_runs=10, completed_runs=9,
+            total_reward=100.0, total_cost=50.0, mean_latency=20.0,
+            mean_core_stages=2.0, private_core_tu=10.0, public_core_tu=0.0,
+            private_utilization=0.5, hires_private=3, hires_public=0,
+            repools=0, reaped=0, final_queue_depth=0,
+            latency_p50=18.5, latency_p95=30.25, latency_p99=41.0,
+        )
+        base.update(overrides)
+        return SessionResult(**base)
+
+    def test_includes_latency_percentiles(self):
+        text = render_resilience_summary(self._result())
+        assert "latency_p50" in text
+        assert "18.50" in text
+        assert "30.25" in text
+        assert "41.00" in text
+
+    def test_nan_percentiles_render_without_error(self):
+        text = render_resilience_summary(
+            self._result(latency_p50=float("nan"),
+                         latency_p95=float("nan"),
+                         latency_p99=float("nan"))
+        )
+        assert "nan" in text
+
+    def test_counters_and_completion_fraction_present(self):
+        text = render_resilience_summary(
+            self._result(worker_failures=2, task_retries=4)
+        )
+        assert "worker_failures" in text
+        assert "completion_fraction" in text
+        assert "0.900" in text

@@ -1,0 +1,112 @@
+"""Tests for the engine probe and simulation profiler."""
+
+import json
+
+import pytest
+
+from repro.desim.engine import Environment
+from repro.telemetry.profiler import PROFILE_SCHEMA, EngineProbe, SimulationProfiler
+from repro.telemetry.tracing import SpanTracer
+
+
+def ticker(env, period=1.0, stop=10.0):
+    while env.now < stop:
+        yield env.timeout(period)
+
+
+class TestEngineProbe:
+    def test_counts_every_step(self):
+        env = Environment()
+        env.process(ticker(env))
+        probe = EngineProbe(env, sample_every=1)
+        env.run()
+        assert probe.steps > 0
+        assert probe.heap_samples == probe.steps
+        assert probe.wall_in_step >= 0.0
+
+    def test_uninstall_restores_class_method(self):
+        env = Environment()
+        probe = EngineProbe(env)
+        assert env.step.__func__ is not Environment.step
+        probe.uninstall()
+        assert env.step.__func__ is Environment.step
+        probe.uninstall()  # idempotent
+
+    def test_probe_does_not_change_sim_results(self):
+        def run(with_probe):
+            env = Environment()
+            seen = []
+
+            def proc(env):
+                for _ in range(5):
+                    yield env.timeout(0.5)
+                    seen.append(env.now)
+
+            env.process(proc(env))
+            if with_probe:
+                EngineProbe(env, sample_every=2)
+            env.run()
+            return seen
+
+        assert run(False) == run(True)
+
+    def test_heap_sampled_into_tracer_counters(self):
+        env = Environment()
+        env.process(ticker(env, period=0.1, stop=5.0))
+        tracer = SpanTracer(clock=lambda: env.now)
+        EngineProbe(env, tracer=tracer, sample_every=4)
+        env.run()
+        counters = [
+            ev
+            for ev in tracer.to_chrome_trace()["traceEvents"]
+            if ev["ph"] == "C" and ev["name"] == "engine.heap_depth"
+        ]
+        assert counters
+
+    def test_bad_sample_every_rejected(self):
+        with pytest.raises(ValueError):
+            EngineProbe(Environment(), sample_every=0)
+
+
+class TestSimulationProfiler:
+    def _profiled_run(self, tracer=None):
+        env = Environment()
+        env.process(ticker(env, period=0.25, stop=20.0))
+        profiler = SimulationProfiler(sample_every=8)
+        profiler.install(env, tracer)
+        profiler.start()
+        env.run()
+        profiler.stop(sim_duration=20.0)
+        return profiler
+
+    def test_report_schema_and_rates(self):
+        profiler = self._profiled_run()
+        report = profiler.report()
+        assert report["schema"] == PROFILE_SCHEMA
+        assert report["sim_duration_tu"] == 20.0
+        assert report["engine_steps"] > 0
+        assert report["events_per_sec"] > 0
+        assert report["heap"]["samples"] > 0
+
+    def test_module_shares_sum_to_one_with_tracer(self):
+        tracer = SpanTracer()
+        with tracer.span("prep", "broker"):
+            pass
+        profiler = self._profiled_run(tracer)
+        report = profiler.report(tracer)
+        shares = report["module_wall_share"]
+        assert "engine" in shares
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.01)
+        assert report["trace_events"] == tracer.n_events
+
+    def test_stop_uninstalls_probe(self):
+        profiler = self._profiled_run()
+        env = profiler.probe.env
+        assert env.step.__func__ is Environment.step
+
+    def test_write(self, tmp_path):
+        profiler = self._profiled_run()
+        path = tmp_path / "BENCH_telemetry.json"
+        profiler.write(str(path))
+        data = json.loads(path.read_text())
+        assert data["schema"] == PROFILE_SCHEMA
