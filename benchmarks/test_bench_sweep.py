@@ -1,0 +1,90 @@
+"""Parallel sweep benchmark: wall-clock speedup and cache hit rates.
+
+Runs the same scaled-down Table I grid through the serial executor and the
+process pool, checks they agree bit-for-bit, and writes ``BENCH_sweep.json``
+(schema ``scan-sim-bench-sweep/1``) with the wall times, the speedup and
+the worker hot-path cache hit rates exported through telemetry.
+
+The speedup is *recorded*, not hard-asserted: single-core containers
+legitimately see ~1x (pool overhead included), so the assertion here is
+equivalence plus a sanity floor, and the CI smoke job uploads the JSON so
+multi-core runners document the actual scaling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.config import RewardScheme, ScalingAlgorithm
+from repro.sim.parallel import collect_cache_stats, run_sweep_parallel
+from repro.sim.sweep import SweepSpec, run_sweep
+from repro.telemetry.metrics import MetricsRegistry
+
+from .conftest import bench_config
+
+#: Where the benchmark JSON lands (overridable for CI artifact staging).
+BENCH_OUT = os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json")
+#: Worker count for the parallel leg (0 = one per core).
+BENCH_JOBS = int(os.environ.get("BENCH_SWEEP_JOBS", "0"))
+
+SPEC = SweepSpec(
+    scaling=(ScalingAlgorithm.ALWAYS, ScalingAlgorithm.PREDICTIVE),
+    mean_interarrival=(2.2, 2.8),
+    reward_scheme=(RewardScheme.TIME,),
+)
+
+
+def rows_as_bytes(rows) -> bytes:
+    return json.dumps([r.as_flat_dict() for r in rows], sort_keys=True).encode()
+
+
+def test_parallel_sweep_speedup_and_equivalence(print_header):
+    base = bench_config()
+    registry = MetricsRegistry()
+
+    t0 = time.perf_counter()
+    serial_rows = run_sweep(base, SPEC, base_seed=42)
+    serial_s = time.perf_counter() - t0
+    serial_cache = collect_cache_stats()
+
+    t0 = time.perf_counter()
+    parallel_rows = run_sweep_parallel(
+        base, SPEC, base_seed=42, jobs=BENCH_JOBS, metrics=registry
+    )
+    parallel_s = time.perf_counter() - t0
+
+    assert rows_as_bytes(parallel_rows) == rows_as_bytes(serial_rows)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+
+    hit_rates = {}
+    for cache in ("sparql_plan", "sparql_result", "estimator_eet"):
+        gauge = registry.gauge(
+            "sweep_cache_hit_rate", "worker hot-path cache hit rate",
+            labelnames=("cache",),
+        )
+        hit_rates[cache] = gauge.value(cache=cache)
+
+    payload = {
+        "schema": "scan-sim-bench-sweep/1",
+        "grid_cells": SPEC.size(),
+        "repetitions": base.simulation.repetitions,
+        "jobs": BENCH_JOBS,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "rows_identical": True,
+        "cache_hit_rate": hit_rates,
+        "serial_driver_cache_stats": serial_cache,
+    }
+    with open(BENCH_OUT, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print_header("Parallel sweep: serial vs process pool")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    # Sanity floor only -- pool overhead on a 1-core box can eat the win.
+    assert speedup > 0.2

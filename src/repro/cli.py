@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated mean inter-arrival intervals",
     )
     sweep.add_argument("--repetitions", type=int, default=2)
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the grid (1 = in-process serial, "
+        "0 = one per CPU core); results are identical to serial",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one analysis to the platform facade"
@@ -227,29 +232,45 @@ def _write_telemetry_artifacts(session, args: argparse.Namespace) -> None:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Sweep intervals x scaling policies and print the series."""
+    """Sweep intervals x scaling policies and print the series.
+
+    ``--jobs N`` fans the grid across a process pool; the printed table is
+    identical to the serial run (deterministic per-cell seeds, ordered
+    collection -- see :mod:`repro.sim.parallel`).
+    """
     from repro.sim.report import render_series
-    from repro.sim.session import run_repetitions
-    from repro.analysis.stats import aggregate_runs
+    from repro.sim.sweep import SweepSpec, run_sweep
 
     intervals = [float(x) for x in args.intervals.split(",") if x.strip()]
     if not intervals:
         print("no intervals given", file=sys.stderr)
         return 2
-    series = {}
-    for scaling in ScalingAlgorithm:
-        points = []
-        for interval in intervals:
-            config = _session_config(args).with_overrides(
-                workload={"mean_interarrival": interval},
-                scheduler={"scaling": scaling},
-            )
-            results = run_repetitions(
-                config, repetitions=args.repetitions, base_seed=args.seed
-            )
-            stats = aggregate_runs([r.metrics() for r in results])
-            points.append(stats["mean_profit_per_run"])
-        series[scaling.value] = points
+    spec = SweepSpec(
+        allocation=(AllocationAlgorithm(args.allocation),),
+        scaling=tuple(ScalingAlgorithm),
+        mean_interarrival=tuple(intervals),
+        reward_scheme=(RewardScheme(args.reward),),
+        public_core_cost=(args.public_cost,),
+    )
+    base = _session_config(args)
+    if args.jobs == 1:
+        rows = run_sweep(
+            base, spec, repetitions=args.repetitions, base_seed=args.seed
+        )
+    else:
+        from repro.sim.parallel import run_sweep_parallel
+
+        rows = run_sweep_parallel(
+            base,
+            spec,
+            repetitions=args.repetitions,
+            base_seed=args.seed,
+            jobs=args.jobs,
+        )
+    series: dict[str, list] = {}
+    for row in rows:
+        scaling = row.param("scaling").value
+        series.setdefault(scaling, []).append(row["mean_profit_per_run"])
     print(
         render_series(
             "interval",

@@ -294,9 +294,30 @@ class Environment:
                 self._seq += 1
                 stop.callbacks.append(StopSimulation.callback)
 
+        # Hot path: when nothing shadows ``step`` (no profiler shim
+        # installed, no subclass override), run an inlined pop loop --
+        # local bindings for the heap and pop, no per-event method call,
+        # no re-checking the heap invariant.  Instrumented environments
+        # keep dispatching through ``self.step`` so shims see every event.
+        fast = type(self) is Environment and "step" not in self.__dict__
         try:
-            while True:
-                self.step()
+            if fast:
+                queue = self._queue
+                pop = heapq.heappop
+                while True:
+                    try:
+                        when, _prio, _seq, event = pop(queue)
+                    except IndexError:
+                        raise EmptySchedule() from None
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            else:
+                while True:
+                    self.step()
         except StopSimulation as stop_exc:
             stop_value = stop_exc.value
         except EmptySchedule:

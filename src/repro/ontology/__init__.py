@@ -34,7 +34,15 @@ from repro.ontology.triples import (
     XSD,
 )
 from repro.ontology.model import Ontology, OntClass, OntProperty, Individual
-from repro.ontology.sparql import SparqlQuery, parse_query, execute_query, SparqlError
+from repro.ontology.sparql import (
+    SparqlQuery,
+    parse_query,
+    execute_query,
+    SparqlError,
+    cache_stats,
+    reset_cache_stats,
+    clear_caches,
+)
 from repro.ontology.serializer import to_turtle, to_rdfxml
 from repro.ontology.scan_ontology import (
     SCAN,
@@ -61,6 +69,9 @@ __all__ = [
     "parse_query",
     "execute_query",
     "SparqlError",
+    "cache_stats",
+    "reset_cache_stats",
+    "clear_caches",
     "to_turtle",
     "to_rdfxml",
     "SCAN",

@@ -35,8 +35,10 @@ extensions, FILTER on completed bindings; ASK returns a boolean
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
+from weakref import WeakKeyDictionary
 
 from repro.ontology.triples import IRI, Literal, Term, TripleStore
 
@@ -47,6 +49,9 @@ __all__ = [
     "parse_query",
     "execute_query",
     "execute_ask",
+    "cache_stats",
+    "reset_cache_stats",
+    "clear_caches",
 ]
 
 
@@ -623,6 +628,81 @@ def _parse_number(text: str) -> Union[int, float]:
 
 
 # ---------------------------------------------------------------------------
+# Hot-path caches
+# ---------------------------------------------------------------------------
+#
+# The Data Broker re-issues the same handful of query texts for every
+# brokered dataset, so both the parse (query *plan*) and the executed
+# result set are memoised:
+#
+# - the plan cache is a module-level LRU keyed on (query text, the store's
+#   prefix map) -- parsing is pure, so a plan can be shared freely;
+# - the result cache is per-store (a WeakKeyDictionary, so dropped stores
+#   free their cache) keyed on query text and guarded by the store's
+#   mutation ``epoch``: any effective add/remove invalidates every cached
+#   result for that store.
+#
+# Cached result rows are copied in and out (dicts of immutable values), so
+# callers may mutate what they receive; hit/miss counters feed the sweep
+# executor's telemetry export.
+
+#: LRU capacity for parsed query plans (per process).
+PLAN_CACHE_SIZE = 256
+#: LRU capacity for result sets per store.
+RESULT_CACHE_SIZE = 128
+
+_plan_cache: "OrderedDict[tuple, SparqlQuery]" = OrderedDict()
+_result_caches: "WeakKeyDictionary[TripleStore, dict]" = WeakKeyDictionary()
+_CACHE_STATS = {
+    "plan_hits": 0,
+    "plan_misses": 0,
+    "result_hits": 0,
+    "result_misses": 0,
+}
+
+
+def cache_stats() -> dict[str, int]:
+    """Process-wide plan/result cache hit and miss counters (a copy)."""
+    return dict(_CACHE_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the hit/miss counters (cache contents are untouched)."""
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def clear_caches() -> None:
+    """Drop every cached plan and result set (counters are untouched)."""
+    _plan_cache.clear()
+    _result_caches.clear()
+
+
+def _cached_plan(text: str, prefixes: dict[str, str]) -> SparqlQuery:
+    key = (text, tuple(sorted(prefixes.items())))
+    plan = _plan_cache.get(key)
+    if plan is not None:
+        _plan_cache.move_to_end(key)
+        _CACHE_STATS["plan_hits"] += 1
+        return plan
+    _CACHE_STATS["plan_misses"] += 1
+    plan = _Parser(_tokenize(text), prefixes).parse()
+    _plan_cache[key] = plan
+    if len(_plan_cache) > PLAN_CACHE_SIZE:
+        _plan_cache.popitem(last=False)
+    return plan
+
+
+def _store_result_cache(store: TripleStore) -> "OrderedDict[str, list]":
+    """The store's live result cache, invalidated on epoch change."""
+    slot = _result_caches.get(store)
+    if slot is None or slot["epoch"] != store.epoch:
+        slot = {"epoch": store.epoch, "rows": OrderedDict()}
+        _result_caches[store] = slot
+    return slot["rows"]
+
+
+# ---------------------------------------------------------------------------
 # Executor
 # ---------------------------------------------------------------------------
 
@@ -631,10 +711,11 @@ def parse_query(text: str, store: Optional[TripleStore] = None) -> SparqlQuery:
     """Parse *text* into a :class:`SparqlQuery`.
 
     If *store* is given, its bound prefixes are available without PREFIX
-    declarations (as Jena does for its prefix map).
+    declarations (as Jena does for its prefix map).  Parses are served
+    from the plan cache; treat the returned query as immutable.
     """
     prefixes = store.prefixes if store is not None else {}
-    return _Parser(_tokenize(text), prefixes).parse()
+    return _cached_plan(text, prefixes)
 
 
 def execute_ask(store: TripleStore, text: str) -> bool:
@@ -645,15 +726,46 @@ def execute_ask(store: TripleStore, text: str) -> bool:
 
 
 def execute_query(
-    store: TripleStore, query: "SparqlQuery | str"
+    store: TripleStore,
+    query: "SparqlQuery | str",
+    cache: bool = True,
 ) -> list[dict[str, Any]]:
     """Run *query* against *store*, returning bindings as plain dicts.
 
     Result values are Python-native (literals unwrapped); IRIs stay
     :class:`IRI`.  Unbound optional variables are absent from the dict.
+
+    String queries are served through the plan and result caches by
+    default (``cache=False`` bypasses both); the result cache is keyed on
+    the store's mutation epoch, so any add/remove invalidates it.  Rows
+    are copied on the way in and out -- mutating a returned row never
+    corrupts the cache.
     """
     if isinstance(query, str):
-        query = parse_query(query, store)
+        rows_cache = _store_result_cache(store) if cache else None
+        if rows_cache is not None:
+            hit = rows_cache.get(query)
+            if hit is not None:
+                rows_cache.move_to_end(query)
+                _CACHE_STATS["result_hits"] += 1
+                return [dict(row) for row in hit]
+            _CACHE_STATS["result_misses"] += 1
+        text = query
+        query = parse_query(text, store) if cache else _Parser(
+            _tokenize(text), store.prefixes
+        ).parse()
+        results = _execute_parsed(store, query)
+        if rows_cache is not None:
+            rows_cache[text] = [dict(row) for row in results]
+            if len(rows_cache) > RESULT_CACHE_SIZE:
+                rows_cache.popitem(last=False)
+        return results
+    return _execute_parsed(store, query)
+
+
+def _execute_parsed(
+    store: TripleStore, query: SparqlQuery
+) -> list[dict[str, Any]]:
     bindings = _eval_group(store, query.where, [{}])
 
     # FILTERs were applied inside groups; now project / order / slice.

@@ -191,12 +191,23 @@ class TripleStore:
         self._pos: dict[IRI, dict[Term, set[Term]]] = {}
         self._osp: dict[Term, dict[Term, set[IRI]]] = {}
         self._size = 0
+        self._epoch = 0
         self._prefixes: dict[str, str] = {
             "rdf": RDF.base,
             "rdfs": RDFS.base,
             "owl": OWL.base,
             "xsd": XSD.base,
         }
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped on every effective add/remove.
+
+        Cache layers (the SPARQL result cache in
+        :mod:`repro.ontology.sparql`) key on this to invalidate whenever
+        the triple set changes; no-op inserts/removes do not bump it.
+        """
+        return self._epoch
 
     # -- prefixes -----------------------------------------------------------
     def bind_prefix(self, prefix: str, base: str) -> None:
@@ -238,6 +249,7 @@ class TripleStore:
             self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
             self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
             self._size += 1
+            self._epoch += 1
         return Triple(s, p, o)
 
     def add_all(self, triples: Iterable[tuple[Any, Any, Any]]) -> None:
@@ -257,6 +269,7 @@ class TripleStore:
         self._pos[p][o].discard(s)
         self._osp[o][s].discard(p)
         self._size -= 1
+        self._epoch += 1
         return True
 
     def remove_matching(

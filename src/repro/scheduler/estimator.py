@@ -27,7 +27,34 @@ from repro.core.errors import SchedulingError
 from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.tasks import Job, StageTask
 
-__all__ = ["DelayCostTerm", "PipelineEstimator", "delay_cost", "delay_cost_terms"]
+__all__ = [
+    "DelayCostTerm",
+    "PipelineEstimator",
+    "delay_cost",
+    "delay_cost_terms",
+    "eet_cache_stats",
+    "reset_eet_cache_stats",
+]
+
+#: Process-wide EET memo counters, aggregated across every estimator
+#: instance; the parallel sweep executor exports these per worker task.
+_EET_CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: Entries an estimator's EET memo may hold before it is dropped and
+#: rebuilt (sizes are continuous, so an unbounded dict could grow with
+#: the job population; re-deriving is always safe because EET is pure).
+EET_CACHE_SIZE = 65536
+
+
+def eet_cache_stats() -> dict[str, int]:
+    """Process-wide EET memo hit/miss counters (a copy)."""
+    return dict(_EET_CACHE_STATS)
+
+
+def reset_eet_cache_stats() -> None:
+    """Zero the process-wide EET memo counters."""
+    _EET_CACHE_STATS["hits"] = 0
+    _EET_CACHE_STATS["misses"] = 0
 
 
 class PipelineEstimator:
@@ -40,6 +67,11 @@ class PipelineEstimator:
         self.eqt_alpha = eqt_alpha
         self._eqt = [0.0] * app.n_stages
         self._eqt_seen = [0] * app.n_stages
+        # EET memo: (stage, size bucket, threads) -> T_i(t, d).  Buckets
+        # are the exact float size -- quantising would change estimates
+        # and break serial/parallel bit-equivalence; repeats come from the
+        # scheduler re-evaluating the same jobs at every decision point.
+        self._eet_cache: dict[tuple[int, float, int], float] = {}
 
     # -- EQT ----------------------------------------------------------------
     def observe_queue_wait(self, stage: int, wait: float) -> None:
@@ -59,8 +91,24 @@ class PipelineEstimator:
 
     # -- EET ----------------------------------------------------------------
     def eet(self, stage: int, size: float, threads: int = 1) -> float:
-        """Estimated execution time of *stage* for a job of *size*."""
-        return self.app.stage(stage).threaded_time(threads, size)
+        """Estimated execution time of *stage* for a job of *size*.
+
+        Memoised: EET is a pure function of (stage, size, threads), and the
+        scheduler re-asks for the same jobs at every allocation and scaling
+        decision, so the memo turns the inner Eq. 1/Eq. 2 loops into dict
+        lookups.  Cached values are the uncached computation's exact floats.
+        """
+        key = (stage, size, threads)
+        value = self._eet_cache.get(key)
+        if value is not None:
+            _EET_CACHE_STATS["hits"] += 1
+            return value
+        _EET_CACHE_STATS["misses"] += 1
+        value = self.app.stage(stage).threaded_time(threads, size)
+        if len(self._eet_cache) >= EET_CACHE_SIZE:
+            self._eet_cache.clear()
+        self._eet_cache[key] = value
+        return value
 
     # -- ETT (Eq. 2) ----------------------------------------------------------
     def ett(

@@ -7,12 +7,21 @@ and plain-text reporters that regenerate each table/figure's rows.
 - :mod:`repro.sim.session` -- build-and-run one simulated SCAN deployment.
 - :mod:`repro.sim.metrics` -- the per-session result record.
 - :mod:`repro.sim.sweep` -- parameter grids and repetition aggregation.
+- :mod:`repro.sim.parallel` -- process-pool sweep execution, bit-identical
+  to serial.
 - :mod:`repro.sim.report` -- ASCII table/series rendering.
 """
 
 from repro.sim.metrics import SessionResult
 from repro.sim.session import SimulationSession, run_repetitions
-from repro.sim.sweep import SweepSpec, SweepRow, run_sweep
+from repro.sim.sweep import SweepSpec, SweepRow, run_cell, run_sweep
+from repro.sim.parallel import (
+    ParallelSweepConfig,
+    SweepExecutionError,
+    derive_cell_seeds,
+    resolve_jobs,
+    run_sweep_parallel,
+)
 from repro.sim.report import render_table, render_series, format_summary
 
 __all__ = [
@@ -21,7 +30,13 @@ __all__ = [
     "run_repetitions",
     "SweepSpec",
     "SweepRow",
+    "run_cell",
     "run_sweep",
+    "ParallelSweepConfig",
+    "SweepExecutionError",
+    "derive_cell_seeds",
+    "resolve_jobs",
+    "run_sweep_parallel",
     "render_table",
     "render_series",
     "format_summary",

@@ -1,0 +1,467 @@
+"""Process-pool execution of Table I sweeps.
+
+The full Table I grid (4 allocators x 3 scalers x 11 intervals x 2 rewards
+x 4 public costs, x N repetitions) is embarrassingly parallel: every cell
+repetition is a pure function of ``(configuration, seed)``.  This module
+fans those repetitions across cores with
+:class:`concurrent.futures.ProcessPoolExecutor` while guaranteeing that
+the collected :class:`~repro.sim.sweep.SweepRow` list is **bit-identical**
+to :func:`~repro.sim.sweep.run_sweep`:
+
+- seeds are derived per cell by :func:`derive_cell_seeds`, whose default
+  ``"crn"`` mode reproduces the serial executor's ``base_seed + k``
+  ordering exactly (common random numbers across cells, the paper's
+  variance-reduction convention);
+- every worker runs cells through :func:`repro.sim.sweep.run_cell` -- the
+  same code path the serial sweep uses -- so a row does not depend on
+  which process produced it;
+- results are collected by ``(cell index, repetition offset)`` and
+  reassembled in grid order, regardless of completion order.
+
+Worker crashes and timeouts are survived with the PR-1 retry machinery
+(:class:`~repro.scheduler.resilience.RetryPolicy`: capped exponential
+backoff between attempts, wall-clock seconds here instead of simulated
+TUs); tasks that exhaust their budget are dead-lettered and reported in
+one :class:`SweepExecutionError`.  Progress and hot-path cache hit rates
+are exported through the PR-2 telemetry metrics registry when one is
+passed in.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.apps.registry import ApplicationRegistry
+from repro.core.config import PlatformConfig
+from repro.scheduler.resilience import RetryPolicy
+from repro.sim.sweep import SweepRow, SweepSpec, run_cell
+
+__all__ = [
+    "SEED_MODES",
+    "derive_cell_seeds",
+    "resolve_jobs",
+    "ParallelSweepConfig",
+    "TaskFailure",
+    "SweepExecutionError",
+    "run_sweep_parallel",
+    "collect_cache_stats",
+]
+
+#: Per-cell seed derivation modes understood by :func:`derive_cell_seeds`.
+SEED_MODES = ("crn", "disjoint")
+
+#: Shift giving each cell a disjoint 2**32-wide seed block in disjoint mode.
+_DISJOINT_BLOCK_BITS = 32
+
+
+def derive_cell_seeds(
+    base_seed: int,
+    cell_index: int,
+    repetitions: int,
+    mode: str = "crn",
+) -> tuple[int, ...]:
+    """The seeds for one grid cell's repetitions, as the executor uses them.
+
+    Pure arithmetic on ``(base_seed, cell_index, repetition)`` -- no salted
+    hashing, no process state -- so the mapping is stable across process
+    boundaries and Python versions.
+
+    ``"crn"`` (the default) gives every cell ``base_seed + k``: exactly the
+    serial :func:`~repro.sim.session.run_repetitions` ordering, and the
+    paper's common-random-numbers convention (cells compared under the same
+    base seed see identical arrival processes per repetition).
+
+    ``"disjoint"`` gives cell *i* the block ``base_seed + i * 2**32 + k``:
+    provably non-overlapping seed ranges across cells (for fewer than
+    2**32 repetitions), for studies where cross-cell seed reuse is
+    undesirable.  Disjoint mode intentionally does **not** match the
+    serial executor's seeds.
+    """
+    if mode not in SEED_MODES:
+        raise ValueError(f"unknown seed mode {mode!r}; expected one of {SEED_MODES}")
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    if cell_index < 0:
+        raise ValueError("cell_index must be >= 0")
+    if mode == "crn":
+        offset = int(base_seed)
+    else:
+        offset = int(base_seed) + (cell_index << _DISJOINT_BLOCK_BITS)
+    return tuple(offset + k for k in range(repetitions))
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Worker count for a ``--jobs`` value: 0 means one per CPU core."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class ParallelSweepConfig:
+    """Knobs for the process-pool executor."""
+
+    #: Worker processes; 0 resolves to the machine's CPU count.
+    jobs: int = 0
+    #: Task granularity: one task per ``"cell"`` (N reps each) or one task
+    #: per ``"repetition"`` (finer fan-out for small grids on many cores).
+    granularity: str = "cell"
+    #: Seed derivation mode (see :func:`derive_cell_seeds`).
+    seed_mode: str = "crn"
+    #: Retry budget + backoff for crashed/timed-out tasks.  Delays are
+    #: wall-clock seconds (the policy's TU fields reinterpreted).
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=3,
+            base_delay_tu=0.05,
+            backoff_factor=2.0,
+            max_delay_tu=1.0,
+        )
+    )
+    #: Wall-clock seconds a round of in-flight tasks may take before the
+    #: stragglers are declared failed and retried in a fresh pool.
+    #: ``None`` waits forever.
+    task_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.granularity not in ("cell", "repetition"):
+            raise ValueError(
+                f"granularity must be 'cell' or 'repetition', "
+                f"got {self.granularity!r}"
+            )
+        if self.seed_mode not in SEED_MODES:
+            raise ValueError(f"unknown seed mode {self.seed_mode!r}")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive when given")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Post-mortem of one task that exhausted its retry budget."""
+
+    cell_index: int
+    cell: dict[str, Any]
+    rep_start: int
+    attempts: int
+    reason: str
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised when one or more sweep tasks were dead-lettered."""
+
+    def __init__(self, failures: Sequence[TaskFailure]) -> None:
+        self.failures = tuple(failures)
+        lines = ", ".join(
+            f"cell {f.cell_index} reps {f.rep_start}+ "
+            f"({f.attempts} attempts: {f.reason})"
+            for f in self.failures
+        )
+        super().__init__(f"{len(self.failures)} sweep task(s) failed: {lines}")
+
+
+# -- worker side --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _TaskPayload:
+    """Everything one worker invocation needs, picklable."""
+
+    cell_index: int
+    cell: dict[str, Any]
+    base: PlatformConfig
+    seeds: tuple[int, ...]
+    rep_start: int
+
+
+@dataclass(frozen=True)
+class _TaskResult:
+    cell_index: int
+    rep_start: int
+    row: SweepRow
+    cache_stats: dict[str, dict[str, int]]
+
+
+def collect_cache_stats() -> dict[str, dict[str, int]]:
+    """Snapshot of this process's hot-path cache counters.
+
+    Covers the SPARQL plan/result caches and the estimator's EET memo;
+    workers report the per-task delta of these so the driver can export
+    aggregate hit rates through the telemetry metrics registry.
+    """
+    from repro.ontology.sparql import cache_stats as sparql_stats
+    from repro.scheduler.estimator import eet_cache_stats
+
+    sparql = sparql_stats()
+    return {
+        "sparql_plan": {
+            "hits": sparql["plan_hits"],
+            "misses": sparql["plan_misses"],
+        },
+        "sparql_result": {
+            "hits": sparql["result_hits"],
+            "misses": sparql["result_misses"],
+        },
+        "estimator_eet": eet_cache_stats(),
+    }
+
+
+def _stats_delta(
+    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+) -> dict[str, dict[str, int]]:
+    return {
+        cache: {
+            key: after[cache][key] - before[cache].get(key, 0)
+            for key in after[cache]
+        }
+        for cache in after
+    }
+
+
+def _run_task(payload: _TaskPayload) -> _TaskResult:
+    """Worker entry point: run one cell slice through the serial code path."""
+    before = collect_cache_stats()
+    row = run_cell(payload.base, payload.cell, seeds=payload.seeds)
+    after = collect_cache_stats()
+    return _TaskResult(
+        cell_index=payload.cell_index,
+        rep_start=payload.rep_start,
+        row=row,
+        cache_stats=_stats_delta(before, after),
+    )
+
+
+# -- driver side --------------------------------------------------------------
+
+
+def _build_tasks(
+    base: PlatformConfig,
+    cells: Sequence[dict[str, Any]],
+    repetitions: int,
+    base_seed: int,
+    cfg: ParallelSweepConfig,
+) -> dict[tuple[int, int], _TaskPayload]:
+    """All task payloads keyed by ``(cell_index, rep_start)``."""
+    tasks: dict[tuple[int, int], _TaskPayload] = {}
+    for cell_index, cell in enumerate(cells):
+        seeds = derive_cell_seeds(
+            base_seed, cell_index, repetitions, mode=cfg.seed_mode
+        )
+        if cfg.granularity == "cell":
+            slices = [(0, seeds)]
+        else:
+            slices = [(k, (seed,)) for k, seed in enumerate(seeds)]
+        for rep_start, seed_slice in slices:
+            tasks[(cell_index, rep_start)] = _TaskPayload(
+                cell_index=cell_index,
+                cell=dict(cell),
+                base=base,
+                seeds=tuple(seed_slice),
+                rep_start=rep_start,
+            )
+    return tasks
+
+
+def _merge_cell_rows(cell: dict[str, Any], rows: list[tuple[int, SweepRow]]) -> SweepRow:
+    """Reassemble one cell from its repetition slices, in seed order.
+
+    With cell granularity this is the identity; with repetition granularity
+    the per-rep rows each carry a single run's metrics, which are re-run
+    through the same aggregation the serial path uses.
+    """
+    rows.sort(key=lambda item: item[0])
+    if len(rows) == 1 and rows[0][0] == 0:
+        return rows[0][1]
+    from repro.analysis.stats import aggregate_runs
+
+    per_run: list[dict[str, float]] = []
+    for _start, row in rows:
+        # Single-repetition rows: the mean *is* the run's value.
+        per_run.append({name: stats.mean for name, stats in row.metrics.items()})
+    return SweepRow(
+        params=dict(cell),
+        metrics=aggregate_runs(per_run),
+        repetitions=len(per_run),
+    )
+
+
+def run_sweep_parallel(
+    base: PlatformConfig,
+    spec: SweepSpec,
+    repetitions: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    registry: Optional[ApplicationRegistry] = None,
+    progress: Optional[Any] = None,
+    jobs: int = 0,
+    config: Optional[ParallelSweepConfig] = None,
+    metrics: Optional[Any] = None,
+    task_runner: Callable[[_TaskPayload], _TaskResult] = _run_task,
+) -> list[SweepRow]:
+    """Run every cell of *spec* across a process pool; rows in grid order.
+
+    Drop-in replacement for :func:`~repro.sim.sweep.run_sweep`: with the
+    default ``"crn"`` seed mode the returned rows are bit-identical to the
+    serial executor's (the equivalence suite in ``tests/sim/test_parallel``
+    enforces this).  ``progress(done_cells, total_cells, cell)`` fires as
+    cells *complete* (completion order, unlike the serial executor's grid
+    order).  ``metrics``, a telemetry
+    :class:`~repro.telemetry.metrics.MetricsRegistry`, receives task
+    counters and aggregated worker cache hit rates.  ``task_runner`` exists
+    for fault-injection in tests; it must stay picklable.
+
+    Raises :class:`SweepExecutionError` if any task exhausts its retry
+    budget; transient worker crashes and round timeouts are retried with
+    capped exponential backoff in fresh pools.
+    """
+    base.validate()
+    # An explicit ParallelSweepConfig wins over the bare ``jobs`` shortcut.
+    cfg = config if config is not None else ParallelSweepConfig(jobs=jobs)
+    n_workers = resolve_jobs(cfg.jobs)
+    n_reps = (
+        base.simulation.repetitions if repetitions is None else repetitions
+    )
+    if n_reps < 1:
+        raise ValueError("repetitions must be >= 1")
+    seed0 = base.simulation.seed if base_seed is None else base_seed
+    if registry is not None:
+        # Workers rebuild the default registry per process; a custom one
+        # must travel through pickle with the payload, which the simple
+        # payload above does not do -- fail loudly instead of silently
+        # computing different rows than the serial path.
+        raise ValueError(
+            "run_sweep_parallel does not support a custom registry; "
+            "use run_sweep or register the application in default_registry"
+        )
+
+    cells = list(spec.cells())
+    pending = _build_tasks(base, cells, n_reps, seed0, cfg)
+    slices_per_cell = 1 if cfg.granularity == "cell" else n_reps
+    attempts: dict[tuple[int, int], int] = {key: 0 for key in pending}
+    failures: list[TaskFailure] = []
+    collected: dict[int, list[tuple[int, SweepRow]]] = {}
+    cache_totals: dict[str, dict[str, int]] = {}
+    retried_tasks = 0
+    done_cells = 0
+
+    def absorb_cache(stats: dict[str, dict[str, int]]) -> None:
+        for cache, counters in stats.items():
+            slot = cache_totals.setdefault(cache, {})
+            for key, value in counters.items():
+                slot[key] = slot.get(key, 0) + value
+
+    while pending:
+        round_tasks = dict(sorted(pending.items()))
+        pending = {}
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        futures = {
+            pool.submit(task_runner, payload): key
+            for key, payload in round_tasks.items()
+        }
+        done, not_done = wait(futures, timeout=cfg.task_timeout_s)
+        # Stragglers past the deadline are abandoned with their pool; a
+        # fresh pool serves the retry round.
+        pool.shutdown(wait=len(not_done) == 0, cancel_futures=True)
+        round_failed: list[tuple[tuple[int, int], str]] = []
+        for future in done:
+            key = futures[future]
+            attempts[key] += 1
+            try:
+                result: _TaskResult = future.result()
+            except BaseException as exc:  # worker crash / pool breakage
+                round_failed.append((key, f"{type(exc).__name__}: {exc}"))
+                continue
+            collected.setdefault(result.cell_index, []).append(
+                (result.rep_start, result.row)
+            )
+            absorb_cache(result.cache_stats)
+            if len(collected[result.cell_index]) == slices_per_cell:
+                done_cells += 1
+                if progress is not None:
+                    progress(done_cells, len(cells), cells[result.cell_index])
+        for future in not_done:
+            key = futures[future]
+            attempts[key] += 1
+            round_failed.append(
+                (key, f"timeout after {cfg.task_timeout_s}s")
+            )
+        max_backoff = 0.0
+        for key, reason in round_failed:
+            payload = round_tasks[key]
+            if cfg.retry.exhausted(attempts[key]):
+                failures.append(
+                    TaskFailure(
+                        cell_index=payload.cell_index,
+                        cell=dict(payload.cell),
+                        rep_start=payload.rep_start,
+                        attempts=attempts[key],
+                        reason=reason,
+                    )
+                )
+            else:
+                retried_tasks += 1
+                pending[key] = payload
+                max_backoff = max(
+                    max_backoff, cfg.retry.delay_for(attempts[key])
+                )
+        if pending and max_backoff > 0:
+            time.sleep(max_backoff)
+
+    if metrics is not None:
+        _export_metrics(
+            metrics, attempts, retried_tasks, failures, done_cells, cache_totals
+        )
+    if failures:
+        failures.sort(key=lambda f: (f.cell_index, f.rep_start))
+        raise SweepExecutionError(failures)
+    return [
+        _merge_cell_rows(cell, collected[index])
+        for index, cell in enumerate(cells)
+    ]
+
+
+def _export_metrics(
+    registry: Any,
+    attempts: dict[tuple[int, int], int],
+    retried_tasks: int,
+    failures: Sequence[TaskFailure],
+    done_cells: int,
+    cache_totals: dict[str, dict[str, int]],
+) -> None:
+    """Fold executor counters and worker cache stats into *registry*."""
+    tasks = registry.counter(
+        "sweep_tasks", "parallel sweep task outcomes", labelnames=("outcome",)
+    )
+    completed = len(attempts) - len(failures)
+    if completed:
+        tasks.inc(completed, outcome="completed")
+    if retried_tasks:
+        tasks.inc(retried_tasks, outcome="retried")
+    if failures:
+        tasks.inc(len(failures), outcome="dead_lettered")
+    cells_done = registry.gauge("sweep_cells_done", "grid cells completed")
+    cells_done.set(float(done_cells))
+    if cache_totals:
+        hits = registry.counter(
+            "sweep_cache_events",
+            "worker hot-path cache hits/misses",
+            labelnames=("cache", "kind"),
+        )
+        rate = registry.gauge(
+            "sweep_cache_hit_rate",
+            "worker hot-path cache hit rate",
+            labelnames=("cache",),
+        )
+        for cache, counters in sorted(cache_totals.items()):
+            n_hits = counters.get("hits", 0)
+            n_misses = counters.get("misses", 0)
+            if n_hits:
+                hits.inc(n_hits, cache=cache, kind="hits")
+            if n_misses:
+                hits.inc(n_misses, cache=cache, kind="misses")
+            total = n_hits + n_misses
+            rate.set(n_hits / total if total else 0.0, cache=cache)

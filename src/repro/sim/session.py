@@ -12,7 +12,7 @@ the "best single execution plan" baseline the paper compares against.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.apps.base import ApplicationModel
 from repro.apps.registry import ApplicationRegistry, default_registry
@@ -407,17 +407,26 @@ def run_repetitions(
     repetitions: Optional[int] = None,
     base_seed: Optional[int] = None,
     registry: Optional[ApplicationRegistry] = None,
+    seeds: "Optional[Sequence[int]]" = None,
 ) -> list[SessionResult]:
     """Run the paper's repeated measurements (default: config's 10 reps).
 
     Repetition *k* uses seed ``base_seed + k``, so two configurations run
     with the same base seed see identical arrival processes per repetition
     (common random numbers).
+
+    ``seeds``, if given, overrides the derived sequence entirely: one run
+    per listed seed, in order.  The parallel sweep executor uses this to
+    hand a worker an explicit slice of a cell's repetitions.
     """
     config.validate()
-    n = config.simulation.repetitions if repetitions is None else repetitions
-    if n < 1:
-        raise ValueError("repetitions must be >= 1")
-    seed0 = config.simulation.seed if base_seed is None else base_seed
+    if seeds is None:
+        n = config.simulation.repetitions if repetitions is None else repetitions
+        if n < 1:
+            raise ValueError("repetitions must be >= 1")
+        seed0 = config.simulation.seed if base_seed is None else base_seed
+        seeds = [seed0 + k for k in range(n)]
+    elif not seeds:
+        raise ValueError("seeds must be non-empty when given")
     session = SimulationSession(config, registry=registry)
-    return [session.run(seed=seed0 + k) for k in range(n)]
+    return [session.run(seed=seed) for seed in seeds]

@@ -25,7 +25,7 @@ from repro.core.config import (
 )
 from repro.sim.session import run_repetitions
 
-__all__ = ["SweepSpec", "SweepRow", "run_sweep", "TABLE1_FULL"]
+__all__ = ["SweepSpec", "SweepRow", "run_cell", "run_sweep", "TABLE1_FULL"]
 
 
 @dataclass(frozen=True)
@@ -124,6 +124,33 @@ def apply_cell(base: PlatformConfig, cell: dict[str, Any]) -> PlatformConfig:
     )
 
 
+def run_cell(
+    base: PlatformConfig,
+    cell: dict[str, Any],
+    repetitions: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    registry: Optional[ApplicationRegistry] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> SweepRow:
+    """Run one grid cell's repetitions and aggregate them into a row.
+
+    This is the shared unit of work between :func:`run_sweep` and the
+    process-pool executor in :mod:`repro.sim.parallel`: both produce rows
+    through this exact code path, which is what makes serial and parallel
+    sweeps bit-identical.
+    """
+    config = apply_cell(base, cell)
+    results = run_repetitions(
+        config,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        registry=registry,
+        seeds=seeds,
+    )
+    metrics = aggregate_runs([r.metrics() for r in results])
+    return SweepRow(params=dict(cell), metrics=metrics, repetitions=len(results))
+
+
 def run_sweep(
     base: PlatformConfig,
     spec: SweepSpec,
@@ -140,16 +167,14 @@ def run_sweep(
     rows: list[SweepRow] = []
     total = spec.size()
     for done, cell in enumerate(spec.cells(), start=1):
-        config = apply_cell(base, cell)
-        results = run_repetitions(
-            config,
-            repetitions=repetitions,
-            base_seed=base_seed,
-            registry=registry,
-        )
-        metrics = aggregate_runs([r.metrics() for r in results])
         rows.append(
-            SweepRow(params=dict(cell), metrics=metrics, repetitions=len(results))
+            run_cell(
+                base,
+                cell,
+                repetitions=repetitions,
+                base_seed=base_seed,
+                registry=registry,
+            )
         )
         if progress is not None:
             progress(done, total, cell)

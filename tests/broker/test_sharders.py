@@ -1,6 +1,8 @@
 """Tests for the data sharders."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.broker.sharders import (
     shard_bam_bytes,
@@ -159,3 +161,101 @@ class TestBamSharder:
         for shard in shard_bam_bytes(blob, 2):
             header, _records = read_bam(shard)
             assert header.references == [("chr1", 100_000)]
+
+
+# -- Hypothesis: split/merge round-trips for arbitrary sizes ------------------
+
+# (n_records, n_shards) with 1 <= n_shards <= n_records, so every shard is
+# non-empty -- the sharder's own precondition.
+_sizes = st.integers(min_value=1, max_value=60).flatmap(
+    lambda n: st.tuples(st.just(n), st.integers(min_value=1, max_value=n))
+)
+
+
+class TestShardingRoundTrips:
+    """Splitting then concatenating must be lossless and order-preserving."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(args=_sizes)
+    def test_split_counts_partitions_exactly(self, args):
+        total, parts = args
+        counts = split_counts(total, parts)
+        assert len(counts) == parts
+        assert sum(counts) == total
+        assert min(counts) >= 1
+        assert max(counts) - min(counts) <= 1
+        assert counts == sorted(counts, reverse=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(args=_sizes)
+    def test_fastq_round_trip(self, args):
+        n, shards = args
+        reads = [FastqRecord(f"r{i}", "ACGT", "IIII") for i in range(n)]
+        split = shard_fastq_records(reads, shards)
+        assert len(split) == shards
+        assert [r for shard in split for r in shard] == reads
+
+    @settings(max_examples=40, deadline=None)
+    @given(args=_sizes)
+    def test_vcf_round_trip(self, args):
+        n, shards = args
+        records = [VcfRecord("chr1", i + 1, "A", "T") for i in range(n)]
+        split = shard_vcf_records(records, shards)
+        assert len(split) == shards
+        assert [r for shard in split for r in shard] == records
+
+    @settings(max_examples=40, deadline=None)
+    @given(args=_sizes)
+    def test_mgf_round_trip(self, args):
+        n, shards = args
+        spectra = [
+            MgfSpectrum(title=f"s{i}", pepmass=100.0 + i, charge=2)
+            for i in range(n)
+        ]
+        split = shard_mgf_spectra(spectra, shards)
+        assert len(split) == shards
+        assert [s for shard in split for s in shard] == spectra
+
+    @settings(max_examples=40, deadline=None)
+    @given(args=_sizes)
+    def test_sam_round_trip_with_headers(self, args):
+        n, shards = args
+        header = SamHeader(references=[("chr1", 100_000)])
+        records = [
+            SamRecord(
+                qname=f"r{i}", flag=0, rname="chr1", pos=i + 1, mapq=60,
+                cigar=Cigar.parse("2M"), seq="AC", qual="II",
+            )
+            for i in range(n)
+        ]
+        split = shard_sam_records(header, records, shards)
+        assert len(split) == shards
+        recovered = []
+        for shard_header, shard_records in split:
+            assert shard_header.references == header.references
+            recovered.extend(shard_records)
+        assert recovered == records
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_blocks=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_bam_round_trip(self, n_blocks, data):
+        shards = data.draw(st.integers(min_value=1, max_value=n_blocks))
+        header = SamHeader(references=[("chr1", 100_000)])
+        block_records = 5
+        records = [
+            SamRecord(
+                qname=f"r{i}", flag=0, rname="chr1", pos=i + 1, mapq=60,
+                cigar=Cigar.parse("4M"), seq="ACGT", qual="IIII",
+            )
+            for i in range(n_blocks * block_records)
+        ]
+        blob = write_bam(header, records, block_records=block_records)
+        recovered = []
+        for shard in shard_bam_bytes(blob, shards):
+            shard_header, shard_records = read_bam(shard)
+            assert shard_header.references == header.references
+            recovered.extend(shard_records)
+        assert recovered == records

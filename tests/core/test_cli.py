@@ -176,6 +176,40 @@ class TestSweep:
         assert main(["sweep", "--intervals", ""]) == 2
 
 
+class TestSweepJobs:
+    SWEEP_ARGS = [
+        "sweep", "--duration", "40", "--repetitions", "1",
+        "--intervals", "2.5",
+    ]
+
+    def test_jobs_flag_defaults_to_serial(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["sweep", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_jobs_zero_means_cpu_count(self):
+        import os
+
+        from repro.sim.parallel import resolve_jobs
+
+        args = build_parser().parse_args(["sweep", "--jobs", "0"])
+        assert resolve_jobs(args.jobs) == (os.cpu_count() or 1)
+
+    def test_parallel_output_identical_to_serial(self, capsys):
+        assert main(self.SWEEP_ARGS) == 0
+        serial_out = capsys.readouterr().out
+        assert main(self.SWEEP_ARGS + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_jobs_zero_runs(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--jobs", "0"]) == 0
+        assert "always" in capsys.readouterr().out
+
+
 class TestSubmit:
     def test_submit_small_analysis(self, capsys):
         code = main(["submit", "--size-gb", "4", "--name", "cli-test"])

@@ -159,3 +159,78 @@ class TestFailurePropagation:
         source.succeed(7)
         env.run()
         assert sink.value == 7
+
+
+class TestFastLoop:
+    """``run`` inlines the pop loop only when ``step`` is untouched.
+
+    The telemetry profiler installs an instance-attribute ``step`` shim,
+    and tests may subclass ``Environment`` -- both must keep routing every
+    event through the overridden ``step``, and both paths must produce the
+    same trace as the fast loop.
+    """
+
+    @staticmethod
+    def _schedule_workload(env):
+        trace = []
+        for delay in (3.0, 1.0, 1.0, 2.0, 0.0):
+            env.timeout(delay, value=delay).callbacks.append(
+                lambda e: trace.append((env.now, e.value))
+            )
+        return trace
+
+    def test_instance_step_shim_sees_every_event(self):
+        env = Environment()
+        trace = self._schedule_workload(env)
+        stepped = []
+
+        original_step = env.step
+
+        def shim():
+            stepped.append(env.peek())
+            original_step()
+
+        env.step = shim
+        env.run()
+        # Five events, plus the final empty-calendar call that ends the run.
+        assert stepped == [0.0, 1.0, 1.0, 2.0, 3.0, float("inf")]
+        assert trace == [(0.0, 0.0), (1.0, 1.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+
+    def test_subclass_step_override_is_honoured(self):
+        calls = []
+
+        class CountingEnvironment(Environment):
+            def step(self):
+                calls.append(self.peek())
+                super().step()
+
+        env = CountingEnvironment()
+        self._schedule_workload(env)
+        env.run()
+        assert calls == [0.0, 1.0, 1.0, 2.0, 3.0, float("inf")]
+
+    def test_fast_and_instrumented_traces_identical(self):
+        fast_env = Environment()
+        fast_trace = self._schedule_workload(fast_env)
+        fast_env.run()
+
+        slow_env = Environment()
+        slow_trace = self._schedule_workload(slow_env)
+        slow_env.step = slow_env.step  # force the dispatching slow path
+        slow_env.run()
+
+        assert fast_trace == slow_trace
+        assert fast_env.now == slow_env.now
+
+    def test_fast_loop_propagates_unhandled_failure(self, env):
+        env.timeout(1.0)
+        event = env.event()
+        event.fail(RuntimeError("fast boom"))
+        with pytest.raises(RuntimeError, match="fast boom"):
+            env.run()
+
+    def test_fast_loop_honours_until_time(self, env):
+        trace = self._schedule_workload(env)
+        env.run(until=1.5)
+        assert env.now == 1.5
+        assert [value for _, value in trace] == [0.0, 1.0, 1.0]

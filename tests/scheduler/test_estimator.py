@@ -44,6 +44,48 @@ class TestEET:
         )
 
 
+class TestEETMemo:
+    def test_cached_value_is_bitwise_exact(self, estimator, gatk_model):
+        direct = gatk_model.stage(3).threaded_time(4, 7.25)
+        first = estimator.eet(3, 7.25, threads=4)
+        second = estimator.eet(3, 7.25, threads=4)
+        # == not approx: the memo must return the exact same float, or
+        # serial and parallel sweeps diverge at the last bit.
+        assert first == direct
+        assert second == direct
+
+    def test_counters_track_hits_and_misses(self, estimator):
+        from repro.scheduler.estimator import (
+            eet_cache_stats,
+            reset_eet_cache_stats,
+        )
+
+        reset_eet_cache_stats()
+        estimator.eet(0, 5.0, threads=1)
+        estimator.eet(0, 5.0, threads=1)
+        estimator.eet(0, 6.0, threads=1)
+        stats = eet_cache_stats()
+        assert stats == {"hits": 1, "misses": 2}
+
+    def test_distinct_keys_do_not_collide(self, estimator, gatk_model):
+        by_stage = estimator.eet(1, 5.0, threads=2)
+        by_size = estimator.eet(1, 5.5, threads=2)
+        by_threads = estimator.eet(1, 5.0, threads=4)
+        assert by_stage == pytest.approx(gatk_model.stage(1).threaded_time(2, 5.0))
+        assert by_size == pytest.approx(gatk_model.stage(1).threaded_time(2, 5.5))
+        assert by_threads == pytest.approx(gatk_model.stage(1).threaded_time(4, 5.0))
+
+    def test_clears_when_full(self, estimator, monkeypatch):
+        import repro.scheduler.estimator as mod
+
+        monkeypatch.setattr(mod, "EET_CACHE_SIZE", 2)
+        estimator.eet(0, 1.0)
+        estimator.eet(0, 2.0)
+        estimator.eet(0, 3.0)  # hits the cap: memo dropped, then refilled
+        assert len(estimator._eet_cache) == 1
+        assert estimator.eet(0, 3.0) == estimator.eet(0, 3.0)
+
+
 class TestETT:
     def test_fresh_job_sums_all_stages(self, estimator, gatk_model):
         job = make_job(gatk_model)

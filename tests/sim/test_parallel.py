@@ -1,0 +1,246 @@
+"""Serial-vs-parallel equivalence suite for the process-pool sweep executor.
+
+The contract under test: :func:`repro.sim.parallel.run_sweep_parallel`
+returns rows **bit-identical** to :func:`repro.sim.sweep.run_sweep` for any
+jobs count and task granularity, including under an active fault-injection
+configuration -- plus crash/timeout retries, dead-lettering and telemetry
+export around that contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.config import PlatformConfig, ScalingAlgorithm
+from repro.sim.parallel import (
+    ParallelSweepConfig,
+    SweepExecutionError,
+    TaskFailure,
+    _run_task,
+    resolve_jobs,
+    run_sweep_parallel,
+)
+from repro.sim.sweep import SweepSpec, run_sweep
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def small_base(**overrides) -> PlatformConfig:
+    config = PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": 60.0, "repetitions": 2}
+    )
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+SPEC = SweepSpec(
+    scaling=(ScalingAlgorithm.ALWAYS, ScalingAlgorithm.NEVER),
+    mean_interarrival=(2.5, 3.0),
+)
+
+
+def rows_as_bytes(rows) -> bytes:
+    """Canonical byte serialization of a row list (the golden form)."""
+    return json.dumps(
+        [row.as_flat_dict() for row in rows], sort_keys=True
+    ).encode()
+
+
+# -- fault-injecting task runners (must be top-level for pickling) -----------
+
+_FLAKY_DIR_VAR = "SCAN_TEST_FLAKY_DIR"
+
+
+def _flaky_runner(payload):
+    """Crash each task's first attempt; succeed via the real runner after."""
+    marker = os.path.join(
+        os.environ[_FLAKY_DIR_VAR],
+        f"{payload.cell_index}_{payload.rep_start}",
+    )
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("injected worker crash")
+    return _run_task(payload)
+
+
+def _poison_runner(payload):
+    raise RuntimeError("poison task")
+
+
+def _slow_first_runner(payload):
+    """Sleep past the round deadline on each task's first attempt."""
+    marker = os.path.join(
+        os.environ[_FLAKY_DIR_VAR],
+        f"{payload.cell_index}_{payload.rep_start}",
+    )
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        time.sleep(5.0)
+    return _run_task(payload)
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_rows(self):
+        return run_sweep(small_base(), SPEC, base_seed=42)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_rows_identical_across_jobs(self, serial_rows, jobs):
+        parallel = run_sweep_parallel(small_base(), SPEC, base_seed=42, jobs=jobs)
+        assert parallel == serial_rows
+        assert rows_as_bytes(parallel) == rows_as_bytes(serial_rows)
+
+    def test_repetition_granularity_identical(self, serial_rows):
+        parallel = run_sweep_parallel(
+            small_base(),
+            SPEC,
+            base_seed=42,
+            config=ParallelSweepConfig(jobs=2, granularity="repetition"),
+        )
+        assert parallel == serial_rows
+        assert rows_as_bytes(parallel) == rows_as_bytes(serial_rows)
+
+    def test_identical_under_fault_injection(self):
+        base = small_base(
+            faults={
+                "mtbf_tu": 40.0,
+                "p_boot_fail": 0.2,
+                "p_deploy_fail": 0.2,
+                "p_straggler": 0.1,
+            },
+            resilience={"max_attempts": 3},
+        )
+        serial = run_sweep(base, SPEC, base_seed=99)
+        parallel = run_sweep_parallel(base, SPEC, base_seed=99, jobs=2)
+        assert parallel == serial
+        assert rows_as_bytes(parallel) == rows_as_bytes(serial)
+        # The chaos config actually bit: at least one cell saw failures.
+        assert any(
+            row["failed_runs"].mean > 0 or row["completion_fraction"].mean < 1.0
+            for row in serial
+        )
+
+    def test_row_order_is_grid_order(self, serial_rows):
+        parallel = run_sweep_parallel(small_base(), SPEC, base_seed=42, jobs=2)
+        assert [r.params for r in parallel] == [r.params for r in serial_rows]
+
+
+class TestResilience:
+    def test_crashed_tasks_retry_to_identical_rows(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAKY_DIR_VAR, str(tmp_path))
+        serial = run_sweep(small_base(), SPEC, base_seed=42)
+        parallel = run_sweep_parallel(
+            small_base(),
+            SPEC,
+            base_seed=42,
+            jobs=2,
+            task_runner=_flaky_runner,
+        )
+        assert parallel == serial
+        # Every task left its first-attempt crash marker.
+        assert len(list(tmp_path.iterdir())) == SPEC.size()
+
+    def test_poison_tasks_dead_letter(self):
+        cfg = ParallelSweepConfig(
+            jobs=2,
+            retry=type(ParallelSweepConfig().retry)(
+                max_attempts=2, base_delay_tu=0.0
+            ),
+        )
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_sweep_parallel(
+                small_base(),
+                SPEC,
+                base_seed=42,
+                config=cfg,
+                task_runner=_poison_runner,
+            )
+        failures = excinfo.value.failures
+        assert len(failures) == SPEC.size()
+        assert all(isinstance(f, TaskFailure) for f in failures)
+        assert all(f.attempts == 2 for f in failures)
+        assert "poison task" in str(excinfo.value)
+
+    def test_timeout_then_retry_succeeds(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAKY_DIR_VAR, str(tmp_path))
+        spec = SweepSpec(mean_interarrival=(2.5,))
+        serial = run_sweep(small_base(), spec, base_seed=7)
+        parallel = run_sweep_parallel(
+            small_base(),
+            spec,
+            base_seed=7,
+            config=ParallelSweepConfig(jobs=1, task_timeout_s=0.5),
+            task_runner=_slow_first_runner,
+        )
+        assert parallel == serial
+
+
+class TestReporting:
+    def test_progress_fires_once_per_cell(self):
+        calls = []
+        run_sweep_parallel(
+            small_base(),
+            SPEC,
+            base_seed=42,
+            jobs=2,
+            progress=lambda done, total, cell: calls.append((done, total, cell)),
+        )
+        assert len(calls) == SPEC.size()
+        assert [done for done, _, _ in calls] == list(range(1, SPEC.size() + 1))
+        assert all(total == SPEC.size() for _, total, _ in calls)
+
+    def test_metrics_registry_receives_counters(self):
+        registry = MetricsRegistry()
+        run_sweep_parallel(small_base(), SPEC, base_seed=42, jobs=2, metrics=registry)
+        exposition = registry.expose()
+        assert 'sweep_tasks{outcome="completed"} 4' in exposition
+        assert "sweep_cells_done 4" in exposition
+        # Worker EET memo activity surfaced as a hit rate.
+        assert 'sweep_cache_hit_rate{cache="estimator_eet"}' in exposition
+
+    def test_retries_counted(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAKY_DIR_VAR, str(tmp_path))
+        registry = MetricsRegistry()
+        run_sweep_parallel(
+            small_base(),
+            SPEC,
+            base_seed=42,
+            jobs=2,
+            metrics=registry,
+            task_runner=_flaky_runner,
+        )
+        counter = registry.counter(
+            "sweep_tasks", "parallel sweep task outcomes", labelnames=("outcome",)
+        )
+        assert counter.value(outcome="retried") == SPEC.size()
+        assert counter.value(outcome="completed") == SPEC.size()
+
+
+class TestConfig:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(3) == 3
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweepConfig(granularity="batch")
+
+    def test_bad_seed_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweepConfig(seed_mode="random")
+
+    def test_custom_registry_rejected(self):
+        from repro.apps.registry import default_registry
+
+        with pytest.raises(ValueError, match="registry"):
+            run_sweep_parallel(
+                small_base(), SPEC, base_seed=1, registry=default_registry()
+            )
