@@ -4,6 +4,13 @@ The scheduler and knowledge base look applications up by name; new tools
 register a factory here ("Currently we have implemented GATK, BWA, and
 Maxquant workers for the SCAN platform", Section III-A.3 -- plus the other
 tools of Section III).
+
+Construction now rides the generic plugin machinery: the global
+:data:`APPLICATIONS` registry (``repro.core.plugins``) holds the model
+factories, and :func:`default_registry` snapshots it into a per-session
+:class:`ApplicationRegistry` (which adds build caching and name/model
+consistency checks).  Out-of-tree pipelines register with
+``@APPLICATIONS.register("mytool")`` -- no edit to this package needed.
 """
 
 from __future__ import annotations
@@ -17,8 +24,20 @@ from repro.apps.cytoscape import build_cytoscape_model
 from repro.apps.gatk import build_gatk_model
 from repro.apps.maxquant import build_maxquant_model
 from repro.apps.mutect import build_mutect_model
+from repro.core.errors import ConfigurationError
+from repro.core.plugins import Registry
 
-__all__ = ["ApplicationRegistry", "default_registry"]
+__all__ = ["APPLICATIONS", "ApplicationRegistry", "default_registry"]
+
+#: Plugin registry of application-model factories (``() -> ApplicationModel``).
+APPLICATIONS: "Registry[ApplicationModel]" = Registry("application")
+
+APPLICATIONS.register("gatk", build_gatk_model)
+APPLICATIONS.register("bwa", build_bwa_model)
+APPLICATIONS.register("mutect", build_mutect_model)
+APPLICATIONS.register("maxquant", build_maxquant_model)
+APPLICATIONS.register("cellprofiler", build_cellprofiler_model)
+APPLICATIONS.register("cytoscape", build_cytoscape_model)
 
 
 class ApplicationRegistry:
@@ -42,9 +61,9 @@ class ApplicationRegistry:
             try:
                 factory = self._factories[name]
             except KeyError:
-                known = ", ".join(sorted(self._factories))
-                raise KeyError(
-                    f"unknown application {name!r}; known: {known}"
+                known = ", ".join(sorted(self._factories)) or "(none)"
+                raise ConfigurationError(
+                    f"unknown application {name!r}; registered: {known}"
                 ) from None
             model = factory()
             if model.name != name:
@@ -63,12 +82,12 @@ class ApplicationRegistry:
 
 
 def default_registry() -> ApplicationRegistry:
-    """A registry pre-loaded with every tool the paper names."""
+    """A registry snapshotting every globally-registered application.
+
+    Includes the paper's built-in tools plus anything an out-of-tree
+    plugin added to :data:`APPLICATIONS` beforehand.
+    """
     registry = ApplicationRegistry()
-    registry.register("gatk", build_gatk_model)
-    registry.register("bwa", build_bwa_model)
-    registry.register("mutect", build_mutect_model)
-    registry.register("maxquant", build_maxquant_model)
-    registry.register("cellprofiler", build_cellprofiler_model)
-    registry.register("cytoscape", build_cytoscape_model)
+    for name in APPLICATIONS.names():
+        registry.register(name, APPLICATIONS.get(name))
     return registry

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Sequence, TypeVar
 
 from repro.core.errors import BrokerError
+from repro.core.plugins import Registry
 from repro.genomics.datasets import DataFormat, DatasetDescriptor
 from repro.genomics.formats.bam import assemble_bam, read_bam_blocks
 from repro.genomics.formats.fastq import FastqRecord
@@ -32,7 +33,9 @@ from repro.genomics.formats.vcf import VcfRecord
 
 __all__ = [
     "ShardPlan",
+    "SHARDERS",
     "shard_descriptor",
+    "shard_records",
     "shard_fastq_records",
     "shard_sam_records",
     "shard_bam_bytes",
@@ -42,6 +45,22 @@ __all__ = [
 ]
 
 T = TypeVar("T")
+
+#: Plugin registry of record-level sharders, keyed by data-format name.
+#: Each entry is a callable ``(payload..., n_shards) -> list-of-shards``;
+#: new genomic formats register theirs here (see ``repro.core.plugins``).
+SHARDERS: "Registry[list]" = Registry("sharder")
+
+
+def shard_records(fmt: "DataFormat | str", *args, **kwargs) -> list:
+    """Dispatch record-level sharding through the :data:`SHARDERS` registry.
+
+    ``fmt`` is a :class:`DataFormat` or its string value; the remaining
+    arguments are handed to the registered sharder unchanged.  Unknown
+    formats raise :class:`~repro.core.errors.ConfigurationError` listing
+    the registered ones.
+    """
+    return SHARDERS.create(fmt, *args, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -125,6 +144,7 @@ def _shard_list(items: Sequence[T], n_shards: int) -> list[list[T]]:
     return out
 
 
+@SHARDERS.register("fastq")
 def shard_fastq_records(
     reads: Sequence[FastqRecord], n_shards: int
 ) -> list[list[FastqRecord]]:
@@ -132,6 +152,7 @@ def shard_fastq_records(
     return _shard_list(reads, n_shards)
 
 
+@SHARDERS.register("sam")
 def shard_sam_records(
     header: SamHeader, records: Sequence[SamRecord], n_shards: int
 ) -> list[tuple[SamHeader, list[SamRecord]]]:
@@ -143,6 +164,7 @@ def shard_sam_records(
     return [(header, chunk) for chunk in _shard_list(records, n_shards)]
 
 
+@SHARDERS.register("bam")
 def shard_bam_bytes(data: bytes, n_shards: int) -> list[bytes]:
     """Split a BAM container at compression-block boundaries.
 
@@ -168,6 +190,7 @@ def shard_bam_bytes(data: bytes, n_shards: int) -> list[bytes]:
     return out
 
 
+@SHARDERS.register("vcf")
 def shard_vcf_records(
     records: Sequence[VcfRecord], n_shards: int
 ) -> list[list[VcfRecord]]:
@@ -175,6 +198,7 @@ def shard_vcf_records(
     return _shard_list(records, n_shards)
 
 
+@SHARDERS.register("mgf")
 def shard_mgf_spectra(
     spectra: Sequence[MgfSpectrum], n_shards: int
 ) -> list[list[MgfSpectrum]]:

@@ -2,12 +2,22 @@
 
 Subcommands::
 
-    scan-sim run       one simulation session, metrics to stdout
-    scan-sim sweep     a Table-I-style grid sweep
-    scan-sim submit    run one analysis request on the platform facade
-    scan-sim serve     start the HTTP RPC front-end
-    scan-sim table2    print the Table II recovery (profiling regression)
-    scan-sim trace     inspect a Chrome trace written by ``run --trace-out``
+    scan-sim run          one simulation session, metrics to stdout
+    scan-sim sweep        a Table-I-style grid sweep
+    scan-sim submit       run one analysis request on the platform facade
+    scan-sim serve        start the HTTP RPC front-end
+    scan-sim table2       print the Table II recovery (profiling regression)
+    scan-sim trace        inspect a Chrome trace written by ``run --trace-out``
+    scan-sim policies     list every plugin registry and its entries
+    scan-sim config-dump  print a named preset's resolved JSON config
+
+``run`` accepts the platform configuration three ways: individual flags
+(the historical interface), ``--preset NAME`` (a registered preset), or
+``--config FILE`` (a JSON dump, e.g. from ``config-dump``).  The three are
+interchangeable: running a dumped preset file reproduces the preset run
+byte-for-byte.  Out-of-tree plugin modules named in ``SCAN_SIM_PLUGINS``
+(or ``scan_sim.plugins`` entry points) are imported before any subcommand
+runs, so their registrations are visible everywhere.
 
 Every subcommand takes ``--seed`` and prints deterministic results.
 """
@@ -26,6 +36,7 @@ from repro.core.config import (
     RewardScheme,
     ScalingAlgorithm,
 )
+from repro.core.errors import ConfigurationError
 
 __all__ = ["main", "build_parser"]
 
@@ -44,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one simulation session")
     _common_session_args(run)
+    source = run.add_mutually_exclusive_group()
+    source.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="load the full platform configuration from a JSON file "
+        "(see config-dump); individual session flags are ignored",
+    )
+    source.add_argument(
+        "--preset", default=None, metavar="NAME",
+        help="use a registered configuration preset (see `scan-sim "
+        "policies`); individual session flags are ignored",
+    )
     run.add_argument("--json", action="store_true", help="machine-readable output")
     run.add_argument(
         "--quiet", action="store_true",
@@ -103,6 +125,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="how many longest spans to list"
     )
 
+    policies = sub.add_parser(
+        "policies", help="list plugin registries and their entries"
+    )
+    policies.add_argument(
+        "--kind", default=None,
+        help="show a single registry (allocation, scaling, reward, "
+        "sharder, application, preset, ...)",
+    )
+    policies.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    dump = sub.add_parser(
+        "config-dump",
+        help="print the resolved JSON config of a registered preset",
+    )
+    dump.add_argument("preset", help="preset name (see `scan-sim policies`)")
+
     return parser
 
 
@@ -110,16 +150,23 @@ def _common_session_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=600.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--interval", type=float, default=2.5)
+    # No argparse `choices`: out-of-tree policies loaded via
+    # SCAN_SIM_PLUGINS are addressable by name, and unknown names get a
+    # ConfigurationError listing everything registered (see `policies`).
     parser.add_argument(
         "--allocation", default="greedy",
-        choices=[a.value for a in AllocationAlgorithm],
+        help=f"allocation policy (built-in: "
+             f"{', '.join(a.value for a in AllocationAlgorithm)})",
     )
     parser.add_argument(
         "--scaling", default="predictive",
-        choices=[s.value for s in ScalingAlgorithm],
+        help=f"scaling policy (built-in: "
+             f"{', '.join(s.value for s in ScalingAlgorithm)})",
     )
     parser.add_argument(
-        "--reward", default="time", choices=[r.value for r in RewardScheme]
+        "--reward", default="time",
+        help=f"reward scheme (built-in: "
+             f"{', '.join(r.value for r in RewardScheme)})",
     )
     parser.add_argument("--public-cost", type=float, default=50.0)
     parser.add_argument("--size-unit-gb", type=float, default=1.0)
@@ -154,6 +201,18 @@ def _common_session_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _policy_name(enum_cls, name):
+    """Coerce *name* to its enum when built-in, else keep the raw string.
+
+    Raw strings flow through ``with_overrides`` untouched and resolve at
+    the registry, so plugin policies work from the command line.
+    """
+    try:
+        return enum_cls(name)
+    except ValueError:
+        return name
+
+
 def _session_config(args: argparse.Namespace) -> PlatformConfig:
     return PlatformConfig.paper_defaults().with_overrides(
         simulation={"duration": args.duration},
@@ -161,11 +220,11 @@ def _session_config(args: argparse.Namespace) -> PlatformConfig:
             "mean_interarrival": args.interval,
             "size_unit_gb": args.size_unit_gb,
         },
-        reward={"scheme": RewardScheme(args.reward)},
+        reward={"scheme": _policy_name(RewardScheme, args.reward)},
         cloud={"public_core_cost": args.public_cost},
         scheduler={
-            "allocation": AllocationAlgorithm(args.allocation),
-            "scaling": ScalingAlgorithm(args.scaling),
+            "allocation": _policy_name(AllocationAlgorithm, args.allocation),
+            "scaling": _policy_name(ScalingAlgorithm, args.scaling),
         },
         faults={
             "mtbf_tu": args.mtbf,
@@ -181,11 +240,29 @@ def _session_config(args: argparse.Namespace) -> PlatformConfig:
     )
 
 
+def _resolve_run_config(args: argparse.Namespace) -> PlatformConfig:
+    """run's config, from --config / --preset / individual flags."""
+    if args.config is not None:
+        try:
+            with open(args.config) as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read config file {args.config!r}: {exc}"
+            ) from exc
+        return PlatformConfig.from_json(text).validate()
+    if args.preset is not None:
+        from repro.core.presets import make_preset
+
+        return make_preset(args.preset)
+    return _session_config(args)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one simulation session and print its metrics."""
     from repro.sim.session import SimulationSession
 
-    config = _session_config(args)
+    config = _resolve_run_config(args)
     telemetry_on = bool(args.trace_out or args.metrics_out or args.profile)
     if telemetry_on:
         config = config.with_overrides(
@@ -246,10 +323,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("no intervals given", file=sys.stderr)
         return 2
     spec = SweepSpec(
-        allocation=(AllocationAlgorithm(args.allocation),),
+        allocation=(_policy_name(AllocationAlgorithm, args.allocation),),
         scaling=tuple(ScalingAlgorithm),
         mean_interarrival=tuple(intervals),
-        reward_scheme=(RewardScheme(args.reward),),
+        reward_scheme=(_policy_name(RewardScheme, args.reward),),
         public_core_cost=(args.public_cost,),
     )
     base = _session_config(args)
@@ -411,6 +488,38 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policies(args: argparse.Namespace) -> int:
+    """List every plugin registry (or one ``--kind``) and its entries."""
+    from repro.core.plugins import all_registries, get_registry
+
+    if args.kind is not None:
+        registries = {args.kind: get_registry(args.kind)}
+    else:
+        registries = all_registries()
+    if args.json:
+        print(
+            json.dumps(
+                {kind: reg.names() for kind, reg in registries.items()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for kind, registry in registries.items():
+        print(f"{kind} ({len(registry)}):")
+        for name in registry.names():
+            print(f"  {name}")
+    return 0
+
+
+def cmd_config_dump(args: argparse.Namespace) -> int:
+    """Print one preset's fully-resolved config as round-trippable JSON."""
+    from repro.core.presets import make_preset
+
+    print(make_preset(args.preset).to_json())
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
@@ -418,13 +527,22 @@ _COMMANDS = {
     "serve": cmd_serve,
     "table2": cmd_table2,
     "trace": cmd_trace,
+    "policies": cmd_policies,
+    "config-dump": cmd_config_dump,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        from repro.core.plugins import load_plugins
+
+        load_plugins()
+        return _COMMANDS[args.command](args)
+    except ConfigurationError as exc:
+        print(f"scan-sim: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

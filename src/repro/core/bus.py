@@ -1,0 +1,325 @@
+"""Typed simulation event bus: deterministic synchronous pub/sub.
+
+Cross-cutting observers (telemetry adapters, fault bookkeeping, live
+monitors, dead-letter accounting) used to be threaded through constructor
+chains as bespoke hooks.  They are now subscribers on an :class:`EventBus`
+carrying the dataclass events below; the scheduler and pools *publish*,
+and whoever cares *subscribes* -- assembly code decides the wiring.
+
+Determinism contract:
+
+- delivery is synchronous and in subscription order -- no queues, no
+  threads, no reordering, so a run's observable behaviour is a pure
+  function of its seed regardless of how many observers are attached;
+- subscribers must be passive with respect to the simulation: they may
+  record, count and export, but never draw from the simulation's RNG
+  streams or schedule engine events (the telemetry rules, generalised);
+- the no-subscriber fast path is hard: ``publish`` on an event type with
+  no handlers is a dict probe and an early return, and publishers guard
+  event *construction* behind ``type in bus`` so a run with no observers
+  allocates nothing.  Disabled runs are therefore bit-identical to builds
+  without the bus at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Type
+
+__all__ = [
+    "BusEvent",
+    "TaskQueued",
+    "TaskStarted",
+    "TaskFinished",
+    "TaskRetryScheduled",
+    "TaskDeadLettered",
+    "JobCompleted",
+    "JobFailed",
+    "WorkerHired",
+    "WorkerRepooled",
+    "WorkerFailed",
+    "DeployFailed",
+    "ScalingDecisionMade",
+    "FaultInjected",
+    "EventBus",
+    "EventCounter",
+    "EventRecorder",
+]
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """Base class: every bus event is stamped with simulation time."""
+
+    time: float
+
+
+# -- task lifecycle ---------------------------------------------------------
+@dataclass(frozen=True)
+class TaskQueued(BusEvent):
+    """A stage task entered its queue (first attempt or retry)."""
+
+    job: str
+    stage: int
+    attempt: int
+    speculative: bool
+
+
+@dataclass(frozen=True)
+class TaskStarted(BusEvent):
+    """A stage task began executing on a worker."""
+
+    job: str
+    stage: int
+    threads: int
+    worker: int
+    tier: str
+    wait: float
+    attempt: int
+    speculative: bool
+    straggled: bool
+
+
+@dataclass(frozen=True)
+class TaskFinished(BusEvent):
+    """An execution attempt ended; ``outcome`` says how.
+
+    Outcomes: ``completed``, ``vm_failure``, ``corrupted``,
+    ``speculative_loss``.
+    """
+
+    job: str
+    stage: int
+    outcome: str
+    worker: int
+    tier: str
+
+
+@dataclass(frozen=True)
+class TaskRetryScheduled(BusEvent):
+    """A failed attempt will re-enter its queue after backoff."""
+
+    job: str
+    stage: int
+    attempt: int
+    delay: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class TaskDeadLettered(BusEvent):
+    """A task exhausted its retry budget; carries the task for quarantine."""
+
+    job: str
+    stage: int
+    attempts: int
+    reason: str
+    #: The quarantined task object itself (dead-letter subscribers keep it).
+    task: Any = field(compare=False)
+
+
+# -- job lifecycle ----------------------------------------------------------
+@dataclass(frozen=True)
+class JobCompleted(BusEvent):
+    """A pipeline run finished all stages and was paid its reward."""
+
+    job: str
+    latency: float
+    reward: float
+    size: float
+
+
+@dataclass(frozen=True)
+class JobFailed(BusEvent):
+    """A pipeline run was abandoned (dead-lettered stage)."""
+
+    job: str
+    stage: int
+    reason: str
+
+
+# -- worker / cloud state ---------------------------------------------------
+@dataclass(frozen=True)
+class WorkerHired(BusEvent):
+    """A fresh worker was deployed for a stage."""
+
+    tier: str
+    cores: int
+    stage: int
+
+
+@dataclass(frozen=True)
+class WorkerRepooled(BusEvent):
+    """An idle worker was resized to serve a different shape."""
+
+    worker: int
+    cores: int
+    stage: int
+
+
+@dataclass(frozen=True)
+class WorkerFailed(BusEvent):
+    """A busy worker's VM died under its task."""
+
+    worker: int
+    tier: str
+    cores: int
+
+
+@dataclass(frozen=True)
+class DeployFailed(BusEvent):
+    """A CELAR deploy request bounced transiently."""
+
+    tier: str
+    cores: int
+    stage: int
+    breaker_opened: bool
+
+
+# -- decisions and faults ---------------------------------------------------
+@dataclass(frozen=True)
+class ScalingDecisionMade(BusEvent):
+    """One hire-or-wait choice.
+
+    ``decision`` is the :class:`~repro.scheduler.scaling.ScalingDecision`
+    itself (carrying its Eq. 1 explanation when one was captured);
+    subscribers derive labels/records from it.
+    """
+
+    stage: int
+    task_uid: int
+    job_uid: int
+    job: str
+    decision: Any = field(compare=False)
+
+
+@dataclass(frozen=True)
+class FaultInjected(BusEvent):
+    """The chaos layer perturbed an execution (straggler, corruption)."""
+
+    kind: str
+    job: str
+    stage: int
+    detail: float = 0.0
+
+
+Handler = Callable[[Any], None]
+
+
+class EventBus:
+    """Synchronous, deterministic pub/sub over the dataclasses above.
+
+    Handlers subscribe per event *type* (exact type, no subclass
+    dispatch -- publishing is a single dict probe).  Publication order is
+    event order; delivery order is subscription order.
+    """
+
+    __slots__ = ("_handlers",)
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type[Any], List[Handler]] = {}
+
+    def subscribe(self, event_type: Type[Any], handler: Handler) -> Handler:
+        """Invoke *handler* for every future event of exactly *event_type*."""
+        self._handlers.setdefault(event_type, []).append(handler)
+        return handler
+
+    def unsubscribe(self, event_type: Type[Any], handler: Handler) -> None:
+        """Remove one subscription; unknown handlers are ignored."""
+        handlers = self._handlers.get(event_type)
+        if handlers is None:
+            return
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            return
+        if not handlers:
+            del self._handlers[event_type]
+
+    def publish(self, event: Any) -> None:
+        """Deliver *event* to its subscribers (no-op without any)."""
+        handlers = self._handlers.get(type(event))
+        if not handlers:
+            return
+        for handler in handlers:
+            handler(event)
+
+    def __contains__(self, event_type: Type[Any]) -> bool:
+        # The publisher-side guard: `if TaskStarted in bus:` skips event
+        # construction entirely on the no-subscriber path.
+        return event_type in self._handlers
+
+    @property
+    def active(self) -> bool:
+        """Whether any subscription exists at all."""
+        return bool(self._handlers)
+
+    def subscriptions(self) -> Dict[str, int]:
+        """Handler counts by event-type name (diagnostics)."""
+        return {t.__name__: len(h) for t, h in self._handlers.items()}
+
+
+# -- generic subscribers ----------------------------------------------------
+class EventCounter:
+    """Counts events by type name -- the simplest possible observer."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def attach(
+        self, bus: EventBus, event_types: Optional[list[type]] = None
+    ) -> "EventCounter":
+        """Subscribe to *event_types* (default: every event type here)."""
+        if event_types is None:
+            event_types = _ALL_EVENT_TYPES
+        for event_type in event_types:
+            bus.subscribe(event_type, self._observe)
+        return self
+
+    def _observe(self, event: Any) -> None:
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+
+class EventRecorder:
+    """Retains every received event in publication order (tests, replay)."""
+
+    def __init__(self) -> None:
+        self.events: List[Any] = []
+
+    def attach(
+        self, bus: EventBus, event_types: Optional[list[type]] = None
+    ) -> "EventRecorder":
+        """Subscribe to *event_types* (default: every event type here)."""
+        if event_types is None:
+            event_types = _ALL_EVENT_TYPES
+        for event_type in event_types:
+            bus.subscribe(event_type, self.events.append)
+        return self
+
+    def of_type(self, event_type: type) -> List[Any]:
+        """Recorded events of exactly *event_type*, in order."""
+        return [e for e in self.events if type(e) is event_type]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.events)
+
+
+_ALL_EVENT_TYPES: List[type] = [
+    TaskQueued,
+    TaskStarted,
+    TaskFinished,
+    TaskRetryScheduled,
+    TaskDeadLettered,
+    JobCompleted,
+    JobFailed,
+    WorkerHired,
+    WorkerRepooled,
+    WorkerFailed,
+    DeployFailed,
+    ScalingDecisionMade,
+    FaultInjected,
+]

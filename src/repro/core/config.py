@@ -17,7 +17,8 @@ Units follow the paper: TU = (abstract) time unit, CU = cost unit.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.core.errors import ConfigurationError
@@ -422,6 +423,74 @@ class SimulationConfig:
             raise ConfigurationError("warmup must lie in [0, duration)")
 
 
+# -- serialization helpers ---------------------------------------------------
+#: Enum-valued fields across the section dataclasses (field name -> enum).
+_ENUM_FIELDS: dict[str, type[enum.Enum]] = {
+    "scheme": RewardScheme,
+    "allocation": AllocationAlgorithm,
+    "scaling": ScalingAlgorithm,
+}
+
+#: Registry kind backing each enum field, for out-of-tree policy names.
+_ENUM_REGISTRY_KINDS: dict[str, str] = {
+    "scheme": "reward",
+    "allocation": "allocation",
+    "scaling": "scaling",
+}
+
+
+def _section_to_dict(section: Any) -> dict[str, Any]:
+    """One config section as plain JSON-serializable values."""
+    out: dict[str, Any] = {}
+    for f in fields(section):
+        value = getattr(section, f.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def _section_from_dict(cls: type, data: Mapping[str, Any], where: str) -> Any:
+    """Rebuild one config section, coercing JSON shapes back to Python.
+
+    Lists become tuples, enum values become enum members; unknown keys and
+    unknown enum values raise :class:`ConfigurationError` naming what *is*
+    valid.
+    """
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {', '.join(map(repr, unknown))} in config "
+            f"section {where!r}; known: {', '.join(sorted(known))}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        enum_cls = _ENUM_FIELDS.get(name)
+        if enum_cls is not None and not isinstance(value, enum_cls):
+            try:
+                value = enum_cls(value)
+            except ValueError:
+                # Not a built-in: out-of-tree policies registered through
+                # load_plugins() stay addressable by raw name in config
+                # files, so consult the registry before rejecting.
+                from repro.core.plugins import get_registry
+
+                registry = get_registry(_ENUM_REGISTRY_KINDS[name])
+                if value not in registry:
+                    valid = ", ".join(registry.names())
+                    raise ConfigurationError(
+                        f"unknown {where}.{name} {value!r}; "
+                        f"registered: {valid}"
+                    ) from None
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
 @dataclass(frozen=True)
 class PlatformConfig:
     """Complete SCAN platform configuration."""
@@ -476,3 +545,79 @@ class PlatformConfig:
     def paper_defaults() -> "PlatformConfig":
         """The exact fixed configuration of Table III."""
         return PlatformConfig().validate()
+
+    # -- serialization -----------------------------------------------------
+    #: Section fields, in declaration order (everything but ``application``).
+    _SECTIONS = (
+        "reward", "cloud", "workload", "scheduler", "broker",
+        "faults", "resilience", "telemetry", "simulation",
+    )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The whole deployment as one plain, JSON-serializable dict.
+
+        Lossless: :meth:`from_dict` rebuilds an equal config (enums to
+        their string values, tuples to lists, ``None`` passed through).
+        """
+        out: dict[str, Any] = {
+            name: _section_to_dict(getattr(self, name))
+            for name in self._SECTIONS
+        }
+        out["application"] = self.application
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformConfig":
+        """Rebuild a config from :meth:`to_dict` output (or any subset).
+
+        Absent sections/keys keep their defaults; unknown sections, keys
+        or enum values raise :class:`ConfigurationError` naming the valid
+        choices.
+        """
+        section_classes: dict[str, type] = {
+            "reward": RewardConfig,
+            "cloud": CloudConfig,
+            "workload": WorkloadConfig,
+            "scheduler": SchedulerConfig,
+            "broker": BrokerConfig,
+            "faults": FaultConfig,
+            "resilience": ResilienceConfig,
+            "telemetry": TelemetryConfig,
+            "simulation": SimulationConfig,
+        }
+        unknown = sorted(set(data) - set(section_classes) - {"application"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config section(s) {', '.join(map(repr, unknown))}; "
+                f"known: application, {', '.join(sorted(section_classes))}"
+            )
+        kwargs: dict[str, Any] = {}
+        for name, section_cls in section_classes.items():
+            if name in data:
+                section = data[name]
+                if not isinstance(section, Mapping):
+                    raise ConfigurationError(
+                        f"config section {name!r} must be a mapping, "
+                        f"got {type(section).__name__}"
+                    )
+                kwargs[name] = _section_from_dict(section_cls, section, name)
+        if "application" in data:
+            kwargs["application"] = data["application"]
+        return cls(**kwargs)
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        """The config as a JSON document (one serializable artifact)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlatformConfig":
+        """Parse :meth:`to_json` output back into a config."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid config JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"config JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)

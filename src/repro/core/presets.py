@@ -1,0 +1,96 @@
+"""Named deployment presets: whole-platform configs behind one string.
+
+A preset is a registered factory returning a validated
+:class:`~repro.core.config.PlatformConfig`; ``scan-sim run --preset NAME``
+runs it, ``scan-sim config-dump NAME`` prints its resolved JSON, and
+``scan-sim run --config dump.json`` reproduces the preset run
+byte-for-byte (the round-trip CI smoke job checks exactly that).
+
+Out-of-tree presets register like any other plugin::
+
+    from repro.core.presets import PRESETS
+
+    @PRESETS.register("mylab")
+    def _mylab():
+        return PlatformConfig.paper_defaults().with_overrides(...)
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    PlatformConfig,
+    RewardScheme,
+)
+from repro.core.plugins import Registry
+
+__all__ = ["PRESETS", "make_preset", "preset_names"]
+
+#: Plugin registry of deployment presets (``() -> PlatformConfig``).
+PRESETS: "Registry[PlatformConfig]" = Registry("preset")
+
+
+@PRESETS.register("paper")
+def _paper() -> PlatformConfig:
+    """Table III exactly: the paper's fixed evaluation configuration."""
+    return PlatformConfig.paper_defaults()
+
+
+@PRESETS.register("smoke")
+def _smoke() -> PlatformConfig:
+    """A fast deterministic session for CI smoke tests (120 TU, 2 reps)."""
+    return PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": 120.0, "repetitions": 2},
+    )
+
+
+@PRESETS.register("busy")
+def _busy() -> PlatformConfig:
+    """The paper's 'very busy system' end of Table I (interval 2.0)."""
+    return PlatformConfig.paper_defaults().with_overrides(
+        workload={"mean_interarrival": 2.0},
+    )
+
+
+@PRESETS.register("throughput")
+def _throughput() -> PlatformConfig:
+    """Throughput-oriented reward scheme (Section II-D, second family)."""
+    return PlatformConfig.paper_defaults().with_overrides(
+        reward={"scheme": RewardScheme.THROUGHPUT},
+    )
+
+
+@PRESETS.register("chaos")
+def _chaos() -> PlatformConfig:
+    """Fault injection on, bounded retries: the resilience showcase."""
+    return PlatformConfig.paper_defaults().with_overrides(
+        faults={
+            "mtbf_tu": 40.0,
+            "p_boot_fail": 0.05,
+            "p_deploy_fail": 0.05,
+            "p_straggler": 0.1,
+            "p_corrupt": 0.02,
+        },
+        resilience={"max_attempts": 3},
+    )
+
+
+@PRESETS.register("observed")
+def _observed() -> PlatformConfig:
+    """Telemetry fully on (tracing + metrics + audit); same sim results."""
+    return PlatformConfig.paper_defaults().with_overrides(
+        telemetry={"enabled": True},
+    )
+
+
+def make_preset(name: str) -> PlatformConfig:
+    """The validated config of preset *name*.
+
+    Unknown names raise :class:`~repro.core.errors.ConfigurationError`
+    listing the registered presets.
+    """
+    return PRESETS.create(name).validate()
+
+
+def preset_names() -> list[str]:
+    """Registered preset names, sorted."""
+    return PRESETS.names()

@@ -24,6 +24,7 @@ from typing import Optional, Protocol, Sequence
 from repro.apps.base import ApplicationModel, ExecutionPlan, StageModel
 from repro.core.config import AllocationAlgorithm
 from repro.core.errors import SchedulingError
+from repro.core.plugins import Registry
 from repro.scheduler.costs import TieredCostFunction
 from repro.scheduler.estimator import PipelineEstimator
 from repro.scheduler.rewards import RewardFunction
@@ -36,9 +37,15 @@ __all__ = [
     "LongTermAllocation",
     "LongTermAdaptiveAllocation",
     "BestConstantAllocation",
+    "ALLOCATION_POLICIES",
     "find_best_constant_plan",
     "make_allocation_policy",
 ]
+
+#: Plugin registry of allocation-policy factories.  Factories are invoked
+#: with keyword arguments from the construction site (``constant_plan``
+#: for best-constant); out-of-tree policies register here.
+ALLOCATION_POLICIES: "Registry[AllocationPolicy]" = Registry("allocation")
 
 
 @dataclass
@@ -262,26 +269,53 @@ def find_best_constant_plan(
     return ExecutionPlan(tuple(current))
 
 
-def make_allocation_policy(
-    algorithm: AllocationAlgorithm,
+# Built-in registrations.  Every allocation factory takes the same keyword
+# context (currently just ``constant_plan``) so the construction site needs
+# no per-policy branching; out-of-tree factories follow the same shape.
+@ALLOCATION_POLICIES.register("greedy")
+def _make_greedy(constant_plan: Optional[ExecutionPlan] = None) -> AllocationPolicy:
+    return GreedyAllocation()
+
+
+@ALLOCATION_POLICIES.register("long_term")
+def _make_long_term(constant_plan: Optional[ExecutionPlan] = None) -> AllocationPolicy:
+    return LongTermAllocation()
+
+
+@ALLOCATION_POLICIES.register("long_term_adaptive")
+def _make_long_term_adaptive(
     constant_plan: Optional[ExecutionPlan] = None,
 ) -> AllocationPolicy:
-    """Instantiate the policy named by *algorithm*."""
-    if algorithm is AllocationAlgorithm.GREEDY:
-        return GreedyAllocation()
-    if algorithm is AllocationAlgorithm.LONG_TERM:
-        return LongTermAllocation()
-    if algorithm is AllocationAlgorithm.LONG_TERM_ADAPTIVE:
-        return LongTermAdaptiveAllocation()
-    if algorithm is AllocationAlgorithm.BEST_CONSTANT:
-        if constant_plan is None:
-            raise SchedulingError(
-                "best-constant allocation requires a plan; use "
-                "find_best_constant_plan() first"
-            )
-        return BestConstantAllocation(constant_plan)
-    if algorithm is AllocationAlgorithm.LEARNED:
-        from repro.scheduler.learning import LearnedAllocation
+    return LongTermAdaptiveAllocation()
 
-        return LearnedAllocation()
-    raise SchedulingError(f"unknown allocation algorithm {algorithm!r}")
+
+@ALLOCATION_POLICIES.register("best_constant")
+def _make_best_constant(
+    constant_plan: Optional[ExecutionPlan] = None,
+) -> AllocationPolicy:
+    if constant_plan is None:
+        raise SchedulingError(
+            "best-constant allocation requires a plan; use "
+            "find_best_constant_plan() first"
+        )
+    return BestConstantAllocation(constant_plan)
+
+
+@ALLOCATION_POLICIES.register("learned")
+def _make_learned(constant_plan: Optional[ExecutionPlan] = None) -> AllocationPolicy:
+    from repro.scheduler.learning import LearnedAllocation
+
+    return LearnedAllocation()
+
+
+def make_allocation_policy(
+    algorithm: "AllocationAlgorithm | str",
+    constant_plan: Optional[ExecutionPlan] = None,
+) -> AllocationPolicy:
+    """Instantiate the policy named by *algorithm*.
+
+    A thin :data:`ALLOCATION_POLICIES` lookup (enum or raw string key);
+    unknown names raise :class:`ConfigurationError` listing what is
+    registered.
+    """
+    return ALLOCATION_POLICIES.create(algorithm, constant_plan=constant_plan)

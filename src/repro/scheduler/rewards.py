@@ -25,9 +25,21 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from repro.core.config import RewardConfig, RewardScheme
+from repro.core.config import RewardConfig
+from repro.core.plugins import Registry
 
-__all__ = ["RewardFunction", "TimeReward", "ThroughputReward", "make_reward"]
+__all__ = [
+    "RewardFunction",
+    "TimeReward",
+    "ThroughputReward",
+    "REWARDS",
+    "make_reward",
+]
+
+#: Plugin registry of reward-function families.  Each factory is called
+#: with the :class:`RewardConfig` and returns a :class:`RewardFunction`;
+#: out-of-tree schemes register here (see ``repro.core.plugins``).
+REWARDS: "Registry[RewardFunction]" = Registry("reward")
 
 
 class RewardFunction(Protocol):
@@ -102,10 +114,22 @@ class ThroughputReward:
         return f"ThroughputReward(rscale={self.rscale})"
 
 
+@REWARDS.register("time")
+def _make_time_reward(config: RewardConfig) -> RewardFunction:
+    return TimeReward(rmax=config.rmax, rpenalty=config.rpenalty)
+
+
+@REWARDS.register("throughput")
+def _make_throughput_reward(config: RewardConfig) -> RewardFunction:
+    return ThroughputReward(rscale=config.rscale)
+
+
 def make_reward(config: RewardConfig) -> RewardFunction:
-    """Build the reward function described by *config*."""
-    if config.scheme is RewardScheme.TIME:
-        return TimeReward(rmax=config.rmax, rpenalty=config.rpenalty)
-    if config.scheme is RewardScheme.THROUGHPUT:
-        return ThroughputReward(rscale=config.rscale)
-    raise ValueError(f"unknown reward scheme {config.scheme!r}")
+    """Build the reward function described by *config*.
+
+    A thin registry lookup: ``config.scheme`` (enum or raw string) names
+    the :data:`REWARDS` entry; unknown schemes raise
+    :class:`~repro.core.errors.ConfigurationError` listing what is
+    registered.
+    """
+    return REWARDS.create(config.scheme, config)

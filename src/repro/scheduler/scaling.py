@@ -24,6 +24,7 @@ from typing import Optional, Protocol
 from repro.cloud.infrastructure import Infrastructure, TierName
 from repro.core.config import ScalingAlgorithm
 from repro.core.errors import SchedulingError
+from repro.core.plugins import Registry
 from repro.scheduler.costs import TieredCostFunction
 from repro.scheduler.estimator import (
     DelayCostTerm,
@@ -43,8 +44,14 @@ __all__ = [
     "AlwaysScale",
     "NeverScale",
     "PredictiveScale",
+    "SCALING_POLICIES",
     "make_scaling_policy",
 ]
+
+#: Plugin registry of horizontal-scaling policy factories.  Factories are
+#: invoked with the keyword context of the construction site (currently
+#: ``horizon_tu``); out-of-tree policies register here.
+SCALING_POLICIES: "Registry[ScalingPolicy]" = Registry("scaling")
 
 
 @dataclass
@@ -260,14 +267,30 @@ class PredictiveScale:
                         duration=duration, premium=premium, dc=dc, terms=terms)
 
 
+# Built-in registrations: every scaling factory takes the same keyword
+# context so the construction site needs no per-policy branching.
+@SCALING_POLICIES.register("always")
+def _make_always(horizon_tu: float = 5.0) -> ScalingPolicy:
+    return AlwaysScale()
+
+
+@SCALING_POLICIES.register("never")
+def _make_never(horizon_tu: float = 5.0) -> ScalingPolicy:
+    return NeverScale()
+
+
+@SCALING_POLICIES.register("predictive")
+def _make_predictive(horizon_tu: float = 5.0) -> ScalingPolicy:
+    return PredictiveScale(horizon_tu=horizon_tu)
+
+
 def make_scaling_policy(
-    algorithm: ScalingAlgorithm, horizon_tu: float = 5.0
+    algorithm: "ScalingAlgorithm | str", horizon_tu: float = 5.0
 ) -> ScalingPolicy:
-    """Instantiate the policy named by *algorithm*."""
-    if algorithm is ScalingAlgorithm.ALWAYS:
-        return AlwaysScale()
-    if algorithm is ScalingAlgorithm.NEVER:
-        return NeverScale()
-    if algorithm is ScalingAlgorithm.PREDICTIVE:
-        return PredictiveScale(horizon_tu=horizon_tu)
-    raise SchedulingError(f"unknown scaling algorithm {algorithm!r}")
+    """Instantiate the policy named by *algorithm*.
+
+    A thin :data:`SCALING_POLICIES` lookup (enum or raw string key);
+    unknown names raise :class:`~repro.core.errors.ConfigurationError`
+    listing what is registered.
+    """
+    return SCALING_POLICIES.create(algorithm, horizon_tu=horizon_tu)

@@ -39,6 +39,22 @@ from repro.cloud.failures import FailureModel
 from repro.cloud.faults import FaultInjector
 from repro.cloud.infrastructure import Infrastructure, TierName
 from repro.desim.process import Interrupt
+from repro.core.bus import (
+    DeployFailed,
+    EventBus,
+    FaultInjected,
+    JobCompleted,
+    JobFailed,
+    ScalingDecisionMade,
+    TaskDeadLettered,
+    TaskFinished,
+    TaskQueued,
+    TaskRetryScheduled,
+    TaskStarted,
+    WorkerFailed,
+    WorkerHired,
+    WorkerRepooled,
+)
 from repro.core.config import ResilienceConfig, SchedulerConfig
 from repro.core.errors import SchedulingError, TransientDeployError
 from repro.core.events import EventKind, EventLog
@@ -93,6 +109,7 @@ class SCANScheduler:
         faults: Optional[FaultInjector] = None,
         resilience: Optional[ResilienceConfig] = None,
         telemetry: "Optional[TelemetryHub]" = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.env = env
         self.app = app
@@ -162,53 +179,34 @@ class SCANScheduler:
         self.total_reward = 0.0
         self._started = False
 
-        # Telemetry is threaded in as a hub (None = disabled).  Every
-        # instrument is cached as its own attribute so the disabled path
-        # is a single ``is not None`` check, and repro.telemetry is only
+        #: The typed event bus all cross-cutting observers subscribe to.
+        #: The scheduler only *publishes*; assembly code (PlatformBuilder,
+        #: tests, plugins) decides who listens.  Dead-letter accounting is
+        #: itself a subscriber now -- the scheduler announces exhaustion,
+        #: the queue quarantines.
+        self.bus = bus if bus is not None else EventBus()
+        self.bus.subscribe(TaskDeadLettered, self._on_dead_letter)
+
+        # Telemetry is threaded in as a hub (None = disabled) and consumes
+        # the bus through passive adapters.  repro.telemetry is only
         # imported when a hub actually exists -- a run without telemetry
-        # never loads the subsystem at all.
+        # never loads the subsystem at all, and the publisher-side
+        # ``type in bus`` guards keep the disabled path a dict probe.
         self.telemetry = telemetry
         self._tracer = telemetry.tracer if telemetry is not None else None
         self._audit = telemetry.audit if telemetry is not None else None
         self._explain = self._audit is not None or self._tracer is not None
-        if self._explain:
-            from repro.telemetry.audit import ScalingDecisionRecord, decision_label
+        if self._tracer is not None:
             from repro.telemetry.tracing import lane_for_stage, lane_for_worker
 
-            self._record_cls = ScalingDecisionRecord
-            self._decision_label = decision_label
             self._lane_for_stage = lane_for_stage
             self._lane_for_worker = lane_for_worker
-            if self._tracer is not None:
-                for stage in range(app.n_stages):
-                    self._tracer.lane(lane_for_stage(stage), f"stage {stage} queue")
-        metrics = telemetry.metrics if telemetry is not None else None
-        self._metrics = metrics
-        if metrics is not None:
-            self._m_decisions = metrics.counter(
-                "scheduler_scaling_decisions_total",
-                "hire-or-wait outcomes from the horizontal-scaling policy",
-                labelnames=("decision",),
-            )
-            self._m_hires = metrics.counter(
-                "scheduler_hires_total",
-                "workers hired, by cloud tier",
-                labelnames=("tier",),
-            )
-            self._m_tasks = metrics.counter(
-                "scheduler_task_outcomes_total",
-                "stage-task executions by outcome",
-                labelnames=("outcome",),
-            )
-            self._m_stage_wait = metrics.histogram(
-                "scheduler_stage_wait_tu",
-                "queue wait of dispatched stage tasks (TU)",
-                buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0),
-            )
-            self._m_job_latency = metrics.histogram(
-                "scheduler_job_latency_tu",
-                "end-to-end latency of completed pipeline runs (TU)",
-            )
+            for stage in range(app.n_stages):
+                self._tracer.lane(lane_for_stage(stage), f"stage {stage} queue")
+        if telemetry is not None:
+            from repro.telemetry.bus_adapter import attach_hub
+
+            attach_hub(self.bus, telemetry)
 
     # -- lifecycle --------------------------------------------------------------
     def start(self) -> None:
@@ -258,6 +256,10 @@ class SCANScheduler:
             job=job.name,
             stage=stage,
         )
+        if TaskQueued in self.bus:
+            self.bus.publish(
+                TaskQueued(self.env.now, job.name, stage, task.attempt, False)
+            )
         self._dispatch(stage)
 
     def _launch_speculative(self, task: StageTask) -> None:
@@ -270,6 +272,12 @@ class SCANScheduler:
             stage=task.stage,
             attempt=task.attempt,
         )
+        if TaskQueued in self.bus:
+            self.bus.publish(
+                TaskQueued(
+                    self.env.now, task.job.name, task.stage, task.attempt, True
+                )
+            )
         self._dispatch(task.stage)
 
     def _on_worker_available(self) -> None:
@@ -285,6 +293,12 @@ class SCANScheduler:
             tier=worker.tier.value,
             cores=worker.cores,
         )
+        if WorkerFailed in self.bus:
+            self.bus.publish(
+                WorkerFailed(
+                    self.env.now, worker.uid, worker.tier.value, worker.cores
+                )
+            )
         process = self._executing.pop(worker, None)
         if process is not None and getattr(process, "is_alive", False):
             process.interrupt("vm-failure")
@@ -320,8 +334,10 @@ class SCANScheduler:
                 stage=stage,
                 error=str(exc),
             )
+            breaker_opened = False
             if tier is TierName.PUBLIC and self.breaker is not None:
-                if self.breaker.record_failure(now):
+                breaker_opened = self.breaker.record_failure(now)
+                if breaker_opened:
                     self.log.emit(
                         now,
                         EventKind.BREAKER_OPEN,
@@ -331,6 +347,10 @@ class SCANScheduler:
                     # Once the cooldown elapses a half-open probe is
                     # allowed; wake every queue to take it.
                     self._schedule_redispatch_all(self.breaker.cooldown_tu)
+            if DeployFailed in self.bus:
+                self.bus.publish(
+                    DeployFailed(now, tier.value, cores, stage, breaker_opened)
+                )
             if self.resilience.enabled:
                 self._schedule_redispatch(
                     stage, self.resilience.deploy_retry_delay_tu
@@ -346,8 +366,10 @@ class SCANScheduler:
             cores=cores,
             stage=stage,
         )
-        if self._metrics is not None:
-            self._m_hires.inc(tier=tier.value)
+        if WorkerHired in self.bus:
+            self.bus.publish(
+                WorkerHired(self.env.now, tier.value, cores, stage)
+            )
         if tier is TierName.PUBLIC and self.breaker is not None:
             if self.breaker.record_success(self.env.now):
                 self.log.emit(
@@ -355,35 +377,23 @@ class SCANScheduler:
                 )
         return True
 
-    def _record_decision(self, task: StageTask, decision) -> None:
-        """Feed one hire-or-wait choice to the audit log / tracer / metrics."""
-        label = self._decision_label(decision)
-        explanation = decision.explanation
-        if self._audit is not None:
-            self._audit.add(
-                self._record_cls(
-                    time=self.env.now,
-                    stage=task.stage,
-                    task_uid=task.uid,
-                    job_uid=task.job.uid,
-                    decision=label,
-                    explanation=explanation,
+    def _publish_decision(self, task: StageTask, decision) -> None:
+        """Announce one hire-or-wait choice (audit/trace/metric adapters)."""
+        if ScalingDecisionMade in self.bus:
+            self.bus.publish(
+                ScalingDecisionMade(
+                    self.env.now,
+                    task.stage,
+                    task.uid,
+                    task.job.uid,
+                    task.job.name,
+                    decision,
                 )
             )
-        if self._tracer is not None:
-            args: dict = {"job": task.job.name, "decision": label}
-            if explanation is not None and explanation.premium is not None:
-                args["delay_cost"] = explanation.delay_cost
-                args["premium"] = explanation.premium
-                args["wait"] = explanation.wait
-            self._tracer.instant(
-                f"decision.{label}",
-                "scheduler",
-                lane=self._lane_for_stage(task.stage),
-                args=args,
-            )
-        if self._metrics is not None:
-            self._m_decisions.inc(decision=label)
+
+    def _on_dead_letter(self, event: TaskDeadLettered) -> None:
+        """Built-in subscriber: quarantine exhausted tasks."""
+        self.dead_letters.push(event.task, event.reason, event.time)
 
     def _schedule_redispatch(self, stage: int, delay: float) -> None:
         def waker():
@@ -476,6 +486,12 @@ class SCANScheduler:
                         cores=cores,
                         stage=stage,
                     )
+                    if WorkerRepooled in self.bus:
+                        self.bus.publish(
+                            WorkerRepooled(
+                                self.env.now, candidate.uid, cores, stage
+                            )
+                        )
                     return
 
             # Hire-or-wait: the horizontal-scaling policy's call.
@@ -504,8 +520,11 @@ class SCANScheduler:
                     explain=self._explain,
                 ),
             )
+            # NB: gated on _explain (audit/trace present), matching the
+            # pre-bus behaviour where metrics-only runs skipped decision
+            # accounting entirely.
             if self._explain:
-                self._record_decision(task, decision)
+                self._publish_decision(task, decision)
             if decision.hire:
                 assert decision.tier is not None
                 self._try_hire(cores, decision.tier, stage)
@@ -544,8 +563,6 @@ class SCANScheduler:
         if not task.speculative:
             # Duplicates would double-count the stage's queue-wait signal.
             self.estimator.observe_queue_wait(stage, wait)
-            if self._metrics is not None:
-                self._m_stage_wait.observe(wait)
 
         worker.vm.mark_busy()
         # Reality may diverge from the believed model (actual_app).
@@ -572,6 +589,27 @@ class SCANScheduler:
             speculative=task.speculative,
             straggled=straggled,
         )
+        if TaskStarted in self.bus:
+            self.bus.publish(
+                TaskStarted(
+                    started_at,
+                    job.name,
+                    stage,
+                    threads,
+                    worker.uid,
+                    worker.tier.value,
+                    wait,
+                    task.attempt,
+                    task.speculative,
+                    straggled,
+                )
+            )
+        if straggled and FaultInjected in self.bus:
+            self.bus.publish(
+                FaultInjected(
+                    started_at, "straggler", job.name, stage, duration
+                )
+            )
 
         # Arm the straggler watchdog for primaries when stragglers can
         # occur; it launches at most one speculative duplicate.
@@ -630,16 +668,34 @@ class SCANScheduler:
                     stage=stage,
                     worker=worker.uid,
                 )
-                if self._metrics is not None:
-                    self._m_tasks.inc(outcome="speculative_loss")
+                if TaskFinished in self.bus:
+                    self.bus.publish(
+                        TaskFinished(
+                            self.env.now,
+                            job.name,
+                            stage,
+                            "speculative_loss",
+                            worker.uid,
+                            worker.tier.value,
+                        )
+                    )
                 self.pools.release(worker)
                 return
             # The worker's VM died mid-task (failure injection): nothing
             # was produced.  If a twin is still running the stage survives
             # on it; otherwise the attempt failed and the retry/dead-letter
             # machinery takes over.
-            if self._metrics is not None:
-                self._m_tasks.inc(outcome="vm_failure")
+            if TaskFinished in self.bus:
+                self.bus.publish(
+                    TaskFinished(
+                        self.env.now,
+                        job.name,
+                        stage,
+                        "vm_failure",
+                        worker.uid,
+                        worker.tier.value,
+                    )
+                )
             if group is not None and self.speculation.twin_survives(
                 group, task
             ):
@@ -674,8 +730,21 @@ class SCANScheduler:
                 worker=worker.uid,
                 attempt=task.attempt,
             )
-            if self._metrics is not None:
-                self._m_tasks.inc(outcome="corrupted")
+            if TaskFinished in self.bus:
+                self.bus.publish(
+                    TaskFinished(
+                        finished_at,
+                        job.name,
+                        stage,
+                        "corrupted",
+                        worker.uid,
+                        worker.tier.value,
+                    )
+                )
+            if FaultInjected in self.bus:
+                self.bus.publish(
+                    FaultInjected(finished_at, "corruption", job.name, stage)
+                )
             self.pools.release(worker)
             if group is not None and self.speculation.twin_survives(
                 group, task
@@ -723,8 +792,17 @@ class SCANScheduler:
             tier=worker.tier.value,
         )
 
-        if self._metrics is not None:
-            self._m_tasks.inc(outcome="completed")
+        if TaskFinished in self.bus:
+            self.bus.publish(
+                TaskFinished(
+                    finished_at,
+                    job.name,
+                    stage,
+                    "completed",
+                    worker.uid,
+                    worker.tier.value,
+                )
+            )
         # Learning-guided policies (paper Section VI future work) get the
         # realised duration as their reward signal.
         observe = getattr(self.allocation, "observe_completion", None)
@@ -756,13 +834,9 @@ class SCANScheduler:
                 job=job.name,
                 reward=paid,
             )
-            if self._metrics is not None:
-                self._m_job_latency.observe(latency)
-            if self._tracer is not None:
-                self._tracer.instant(
-                    "job.completed",
-                    "scheduler",
-                    args={"job": job.name, "latency": latency, "reward": paid},
+            if JobCompleted in self.bus:
+                self.bus.publish(
+                    JobCompleted(finished_at, job.name, latency, paid, job.size)
                 )
         else:
             self._enqueue(job, job.current_stage)
@@ -774,7 +848,14 @@ class SCANScheduler:
         now = self.env.now
         self.speculation.discard(task)
         if self.retry_policy.exhausted(task.attempt):
-            self.dead_letters.push(task, reason, now)
+            # Quarantining is a subscription: the scheduler's own
+            # _on_dead_letter handler feeds self.dead_letters (always
+            # subscribed, so no `in bus` guard here).
+            self.bus.publish(
+                TaskDeadLettered(
+                    now, job.name, stage, task.attempt, reason, task
+                )
+            )
             self.log.emit(
                 now,
                 EventKind.TASK_DEAD_LETTERED,
@@ -792,9 +873,17 @@ class SCANScheduler:
                 stage=stage,
                 reason=reason,
             )
+            if JobFailed in self.bus:
+                self.bus.publish(JobFailed(now, job.name, stage, reason))
             return
         self.task_retries += 1
         delay = self.retry_policy.delay_for(task.attempt)
+        if TaskRetryScheduled in self.bus:
+            self.bus.publish(
+                TaskRetryScheduled(
+                    now, job.name, stage, task.attempt + 1, delay, reason
+                )
+            )
         if delay > 0:
             self.log.emit(
                 now,
@@ -832,6 +921,10 @@ class SCANScheduler:
             stage=stage,
             attempt=retry.attempt,
         )
+        if TaskQueued in self.bus:
+            self.bus.publish(
+                TaskQueued(self.env.now, job.name, stage, retry.attempt, False)
+            )
         self._dispatch(stage)
 
     # -- reporting ---------------------------------------------------------------

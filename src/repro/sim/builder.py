@@ -1,0 +1,271 @@
+"""Declarative platform assembly: the session's wiring, staged.
+
+:class:`SimulationSession` used to assemble the whole deployment inside
+one monolithic ``_build``.  The wiring now lives here as a
+:class:`PlatformBuilder` whose discrete stages -- cloud, faults, CELAR,
+policies, bus, scheduler, workload, observers -- can each be overridden
+by subclassing, so experiments swap a single layer without re-plumbing
+the rest::
+
+    class TracedCloudBuilder(PlatformBuilder):
+        def build_infrastructure(self, env):
+            infra = super().build_infrastructure(env)
+            ...instrument it...
+            return infra
+
+Stage outputs are collected into a :class:`BuiltPlatform`, a plain record
+of every assembled component; the session keeps only the references it
+reports on.  Construction order (and therefore RNG stream usage and event
+scheduling) matches the historical monolith exactly -- the golden-sweep
+fixture holds the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.apps.base import ApplicationModel
+from repro.apps.registry import ApplicationRegistry, default_registry
+from repro.cloud.celar import CelarManager
+from repro.cloud.faults import FaultInjector, FaultPlan
+from repro.cloud.infrastructure import Infrastructure
+from repro.core.bus import EventBus
+from repro.core.config import AllocationAlgorithm, PlatformConfig
+from repro.core.events import EventLog
+from repro.desim.engine import Environment
+from repro.desim.rng import RandomStreams
+from repro.scheduler.allocation import (
+    AllocationPolicy,
+    find_best_constant_plan,
+    make_allocation_policy,
+)
+from repro.scheduler.rewards import RewardFunction, make_reward
+from repro.scheduler.scaling import ScalingPolicy, make_scaling_policy
+from repro.scheduler.scheduler import SCANScheduler
+from repro.workload.arrivals import BatchArrivalProcess
+from repro.workload.jobs import JobFactory
+
+if TYPE_CHECKING:  # imported only when telemetry is enabled at runtime
+    from repro.telemetry.hub import TelemetryHub
+
+__all__ = ["BuiltPlatform", "PlatformBuilder"]
+
+#: An observer is any callable handed the bus and the built platform at
+#: the end of assembly; it subscribes whatever it likes.
+Observer = Callable[[EventBus, "BuiltPlatform"], None]
+
+
+@dataclass
+class BuiltPlatform:
+    """Every component one assembly pass produced, by name."""
+
+    env: Environment
+    streams: RandomStreams
+    infrastructure: Infrastructure
+    injector: Optional[FaultInjector]
+    celar: CelarManager
+    reward: RewardFunction
+    allocation: AllocationPolicy
+    scaling: ScalingPolicy
+    bus: EventBus
+    event_log: EventLog
+    scheduler: SCANScheduler
+    factory: JobFactory
+
+
+class PlatformBuilder:
+    """Stage-by-stage assembly of one simulated SCAN deployment."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        registry: Optional[ApplicationRegistry] = None,
+        capture_events: bool = False,
+        actual_app: Optional[ApplicationModel] = None,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.registry = registry if registry is not None else default_registry()
+        self.capture_events = capture_events
+        self.app: ApplicationModel = self.registry.get(config.application)
+        self.actual_app = actual_app
+        self.observers: list[Observer] = list(observers)
+        # The offline best-constant plan depends only on the configuration,
+        # so compute it once per builder (i.e. once per session).
+        self._constant_plan = None
+        if config.scheduler.allocation is AllocationAlgorithm.BEST_CONSTANT:
+            self._constant_plan = find_best_constant_plan(
+                self.app,
+                make_reward(config.reward),
+                core_cost=config.cloud.private_core_cost,
+                job_size=config.workload.job_size_mean,
+                thread_choices=config.scheduler.thread_choices,
+                input_gb=config.workload.job_size_mean
+                * config.workload.size_unit_gb,
+            )
+
+    def add_observer(self, observer: Observer) -> "PlatformBuilder":
+        """Attach *observer* at the end of every subsequent assembly."""
+        self.observers.append(observer)
+        return self
+
+    # -- stages (override any of these) -----------------------------------------
+    def build_infrastructure(self, env: Environment) -> Infrastructure:
+        """Stage 1: the two-tier simulated cloud."""
+        cloud = self.config.cloud
+        return Infrastructure(
+            env,
+            private_cores=cloud.private_cores,
+            private_cost=cloud.private_core_cost,
+            public_cores=cloud.public_cores,
+            public_cost=cloud.public_core_cost,
+        )
+
+    def build_faults(
+        self, streams: RandomStreams
+    ) -> Optional[FaultInjector]:
+        """Stage 2: the chaos layer (None = fault-free fast path)."""
+        plan = FaultPlan.from_config(self.config.faults, self.config.cloud)
+        return FaultInjector(plan, streams) if plan.any_active else None
+
+    def build_celar(
+        self,
+        env: Environment,
+        infrastructure: Infrastructure,
+        injector: Optional[FaultInjector],
+        hub: "Optional[TelemetryHub]",
+    ) -> CelarManager:
+        """Stage 3: the elasticity manager (CELAR)."""
+        cloud = self.config.cloud
+        return CelarManager(
+            env,
+            infrastructure,
+            startup_penalty_tu=cloud.startup_penalty_tu,
+            allowed_sizes=cloud.instance_sizes,
+            injector=injector,
+            tracer=hub.tracer if hub is not None else None,
+        )
+
+    def build_reward(self) -> RewardFunction:
+        """Stage 4a: the reward function (plugin registry lookup)."""
+        return make_reward(self.config.reward)
+
+    def build_allocation(self) -> AllocationPolicy:
+        """Stage 4b: the allocation policy (plugin registry lookup)."""
+        return make_allocation_policy(
+            self.config.scheduler.allocation,
+            constant_plan=self._constant_plan,
+        )
+
+    def build_scaling(self) -> ScalingPolicy:
+        """Stage 4c: the horizontal-scaling policy (registry lookup)."""
+        return make_scaling_policy(
+            self.config.scheduler.scaling,
+            horizon_tu=self.config.scheduler.predictive_horizon,
+        )
+
+    def build_bus(self) -> EventBus:
+        """Stage 5: the typed event bus observers will subscribe to."""
+        return EventBus()
+
+    def build_event_log(self) -> EventLog:
+        """Stage 5b: the flight-recorder event log."""
+        return EventLog(capture=self.capture_events)
+
+    def build_scheduler(
+        self,
+        env: Environment,
+        infrastructure: Infrastructure,
+        celar: CelarManager,
+        reward: RewardFunction,
+        allocation: AllocationPolicy,
+        scaling: ScalingPolicy,
+        event_log: EventLog,
+        injector: Optional[FaultInjector],
+        hub: "Optional[TelemetryHub]",
+        bus: EventBus,
+    ) -> SCANScheduler:
+        """Stage 6: the scheduler itself (publishes on *bus*)."""
+        return SCANScheduler(
+            env,
+            self.app,
+            infrastructure,
+            celar,
+            reward,
+            allocation,
+            scaling,
+            config=self.config.scheduler,
+            event_log=event_log,
+            actual_app=self.actual_app,
+            faults=injector,
+            resilience=self.config.resilience,
+            telemetry=hub,
+            bus=bus,
+        )
+
+    def build_job_factory(self) -> JobFactory:
+        """Stage 7a: arriving datasets -> pipeline-run jobs."""
+        return JobFactory(
+            self.app, size_unit_gb=self.config.workload.size_unit_gb
+        )
+
+    def build_arrivals(self, streams: RandomStreams) -> BatchArrivalProcess:
+        """Stage 7b: the stochastic batch-arrival process."""
+        return BatchArrivalProcess(
+            self.config.workload, streams.stream("arrivals")
+        )
+
+    def attach_observers(
+        self, bus: EventBus, platform: BuiltPlatform
+    ) -> None:
+        """Stage 8: hand the bus to every registered observer."""
+        for observer in self.observers:
+            observer(bus, platform)
+
+    # -- orchestration -----------------------------------------------------------
+    def build(
+        self,
+        env: Environment,
+        streams: RandomStreams,
+        hub: "Optional[TelemetryHub]" = None,
+    ) -> BuiltPlatform:
+        """Run every stage in order and start the scheduler."""
+        infrastructure = self.build_infrastructure(env)
+        injector = self.build_faults(streams)
+        celar = self.build_celar(env, infrastructure, injector, hub)
+        reward = self.build_reward()
+        allocation = self.build_allocation()
+        scaling = self.build_scaling()
+        bus = self.build_bus()
+        event_log = self.build_event_log()
+        scheduler = self.build_scheduler(
+            env,
+            infrastructure,
+            celar,
+            reward,
+            allocation,
+            scaling,
+            event_log,
+            injector,
+            hub,
+            bus,
+        )
+        scheduler.start()
+        platform = BuiltPlatform(
+            env=env,
+            streams=streams,
+            infrastructure=infrastructure,
+            injector=injector,
+            celar=celar,
+            reward=reward,
+            allocation=allocation,
+            scaling=scaling,
+            bus=bus,
+            event_log=event_log,
+            scheduler=scheduler,
+            factory=self.build_job_factory(),
+        )
+        self.attach_observers(bus, platform)
+        return platform

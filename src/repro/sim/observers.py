@@ -1,0 +1,77 @@
+"""Stock bus observers: live monitors fed by simulation events.
+
+These are ready-made :class:`~repro.core.bus.EventBus` subscribers for
+the common "watch the run while it happens" cases.  Attach them through
+:meth:`~repro.sim.builder.PlatformBuilder.add_observer` (or subscribe by
+hand in tests).  All of them obey the bus's passivity rule: they record,
+they never touch the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.core.bus import (
+    EventBus,
+    FaultInjected,
+    JobCompleted,
+    TaskDeadLettered,
+    WorkerFailed,
+)
+from repro.desim.monitor import Monitor
+
+if TYPE_CHECKING:
+    from repro.sim.builder import BuiltPlatform
+
+__all__ = ["LatencyMonitorObserver", "FaultLedgerObserver"]
+
+
+class LatencyMonitorObserver:
+    """A time-stamped :class:`~repro.desim.monitor.Monitor` of job latency.
+
+    Before the bus, live latency tracking meant threading a Monitor into
+    the scheduler; now it is one subscription on :class:`JobCompleted`.
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.monitor = Monitor(name)
+
+    def __call__(self, bus: EventBus, platform: "BuiltPlatform") -> None:
+        bus.subscribe(JobCompleted, self._observe)
+
+    def _observe(self, event: JobCompleted) -> None:
+        self.monitor.observe(event.time, event.latency)
+
+
+class FaultLedgerObserver:
+    """Counts every fault the chaos layer surfaces, by kind.
+
+    Aggregates the injected perturbations (:class:`FaultInjected`) with
+    their downstream consequences (worker deaths, dead letters) into one
+    ledger -- the fault bookkeeping that used to be scattered across
+    ad-hoc counters.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def __call__(self, bus: EventBus, platform: "BuiltPlatform") -> None:
+        bus.subscribe(FaultInjected, self._on_fault)
+        bus.subscribe(WorkerFailed, self._on_worker_failed)
+        bus.subscribe(TaskDeadLettered, self._on_dead_letter)
+
+    def _bump(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def _on_fault(self, event: FaultInjected) -> None:
+        self._bump(event.kind)
+
+    def _on_worker_failed(self, event: WorkerFailed) -> None:
+        self._bump("worker_failure")
+
+    def _on_dead_letter(self, event: TaskDeadLettered) -> None:
+        self._bump("dead_letter")
+
+    def total(self) -> int:
+        """Every recorded incident, summed."""
+        return sum(self.counts.values())

@@ -1,13 +1,14 @@
 """Build-and-run one simulated SCAN deployment.
 
-A session assembles the whole stack for one configuration -- simulated
-cloud, CELAR, reward function, allocation + scaling policies, scheduler,
+A session assembles the whole stack for one configuration through a
+:class:`~repro.sim.builder.PlatformBuilder` -- simulated cloud, CELAR,
+reward function, allocation + scaling policies, event bus, scheduler,
 workload -- runs it for the configured duration and reports a
 :class:`~repro.sim.metrics.SessionResult`.
 
-Best-constant allocation computes its offline plan here (once per session)
-via :func:`~repro.scheduler.allocation.find_best_constant_plan`, exactly
-the "best single execution plan" baseline the paper compares against.
+Pass a subclassed builder (or ``observers``) to customise a single
+assembly stage; the session itself only orchestrates runs and collects
+results.
 """
 
 from __future__ import annotations
@@ -15,24 +16,18 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.apps.base import ApplicationModel
-from repro.apps.registry import ApplicationRegistry, default_registry
-from repro.cloud.celar import CelarManager
-from repro.cloud.faults import FaultInjector, FaultPlan
-from repro.cloud.infrastructure import Infrastructure, TierName
-from repro.core.config import AllocationAlgorithm, PlatformConfig
+from repro.apps.registry import ApplicationRegistry
+from repro.cloud.infrastructure import TierName
+from repro.core.bus import EventBus
+from repro.core.config import PlatformConfig
 from repro.core.events import EventLog
 from repro.desim.engine import Environment
 from repro.desim.monitor import Monitor
 from repro.desim.rng import RandomStreams
-from repro.scheduler.allocation import (
-    find_best_constant_plan,
-    make_allocation_policy,
-)
-from repro.scheduler.rewards import make_reward
-from repro.scheduler.scaling import make_scaling_policy
 from repro.scheduler.scheduler import SCANScheduler
+from repro.sim.builder import Observer, PlatformBuilder
 from repro.sim.metrics import SessionResult
-from repro.workload.arrivals import ArrivalBatch, BatchArrivalProcess
+from repro.workload.arrivals import ArrivalBatch
 from repro.workload.jobs import JobFactory
 from repro.workload.traces import ArrivalTrace, replay_trace
 
@@ -52,35 +47,42 @@ class SimulationSession:
         capture_events: bool = False,
         on_build: Optional[Callable[["SimulationSession"], None]] = None,
         actual_app: Optional[ApplicationModel] = None,
+        builder: Optional[PlatformBuilder] = None,
+        observers: "Sequence[Observer]" = (),
     ) -> None:
-        config.validate()
-        self.config = config
-        self.registry = registry if registry is not None else default_registry()
-        self.capture_events = capture_events
-        self.on_build = on_build
-        self.app: ApplicationModel = self.registry.get(config.application)
-        #: Optional divergent execution model (profiling drift): planning
-        #: uses ``app``, execution uses this (see SCANScheduler.actual_app).
-        self.actual_app = actual_app
-        # The offline best-constant plan depends only on the configuration,
-        # so compute it once per session object.
-        self._constant_plan = None
-        if config.scheduler.allocation is AllocationAlgorithm.BEST_CONSTANT:
-            self._constant_plan = find_best_constant_plan(
-                self.app,
-                make_reward(config.reward),
-                core_cost=config.cloud.private_core_cost,
-                job_size=config.workload.job_size_mean,
-                thread_choices=config.scheduler.thread_choices,
-                input_gb=config.workload.job_size_mean
-                * config.workload.size_unit_gb,
+        #: The assembly recipe.  A caller-supplied builder wins; otherwise
+        #: the stock :class:`PlatformBuilder` wires the paper platform.
+        self.builder = (
+            builder
+            if builder is not None
+            else PlatformBuilder(
+                config,
+                registry=registry,
+                capture_events=capture_events,
+                actual_app=actual_app,
+                observers=observers,
             )
-        # Populated by run(): the live scheduler of the most recent run.
+        )
+        self.config = self.builder.config
+        self.registry = self.builder.registry
+        self.capture_events = self.builder.capture_events
+        self.on_build = on_build
+        self.app: ApplicationModel = self.builder.app
+        self.actual_app = self.builder.actual_app
+        # Populated by run(): the live components of the most recent run.
         self.scheduler: Optional[SCANScheduler] = None
         self.event_log: Optional[EventLog] = None
+        self.bus: Optional[EventBus] = None
+        self._factory: Optional[JobFactory] = None
         #: Telemetry hub of the most recent run; None while telemetry is
         #: disabled (the default) -- the subsystem is then never imported.
         self.telemetry: "Optional[TelemetryHub]" = None
+
+    @property
+    def _constant_plan(self):
+        # The offline best-constant plan now lives with the assembly
+        # recipe; kept addressable here for callers/tests that inspect it.
+        return self.builder._constant_plan
 
     def _make_hub(self) -> "Optional[TelemetryHub]":
         if not self.config.telemetry.enabled:
@@ -96,56 +98,14 @@ class SimulationSession:
         streams: RandomStreams,
         hub: "Optional[TelemetryHub]" = None,
     ) -> SCANScheduler:
-        cfg = self.config
-        infrastructure = Infrastructure(
-            env,
-            private_cores=cfg.cloud.private_cores,
-            private_cost=cfg.cloud.private_core_cost,
-            public_cores=cfg.cloud.public_cores,
-            public_cost=cfg.cloud.public_core_cost,
-        )
-        # The chaos layer: one injector shared by CELAR (deploy bounces)
-        # and the scheduler/pools (crashes, boot failures, stragglers,
-        # corruption).  A plan with nothing active means no injector at
-        # all -- the fault-free fast path stays bit-identical to the seed.
-        plan = FaultPlan.from_config(cfg.faults, cfg.cloud)
-        injector = FaultInjector(plan, streams) if plan.any_active else None
-        celar = CelarManager(
-            env,
-            infrastructure,
-            startup_penalty_tu=cfg.cloud.startup_penalty_tu,
-            allowed_sizes=cfg.cloud.instance_sizes,
-            injector=injector,
-            tracer=hub.tracer if hub is not None else None,
-        )
-        reward = make_reward(cfg.reward)
-        allocation = make_allocation_policy(
-            cfg.scheduler.allocation, constant_plan=self._constant_plan
-        )
-        scaling = make_scaling_policy(
-            cfg.scheduler.scaling, horizon_tu=cfg.scheduler.predictive_horizon
-        )
-        self.event_log = EventLog(capture=self.capture_events)
-        scheduler = SCANScheduler(
-            env,
-            self.app,
-            infrastructure,
-            celar,
-            reward,
-            allocation,
-            scaling,
-            config=cfg.scheduler,
-            event_log=self.event_log,
-            actual_app=self.actual_app,
-            faults=injector,
-            resilience=cfg.resilience,
-            telemetry=hub,
-        )
-        scheduler.start()
-        self.scheduler = scheduler
+        platform = self.builder.build(env, streams, hub)
+        self.scheduler = platform.scheduler
+        self.event_log = platform.event_log
+        self.bus = platform.bus
+        self._factory = platform.factory
         if self.on_build is not None:
             self.on_build(self)
-        return scheduler
+        return platform.scheduler
 
     # -- running -------------------------------------------------------------------
     def run(self, seed: Optional[int] = None) -> SessionResult:
@@ -159,11 +119,9 @@ class SimulationSession:
         if hub is not None:
             hub.bind(env)
         scheduler = self._build(env, streams, hub)
+        arrivals = self.builder.build_arrivals(streams)
 
-        factory = JobFactory(self.app, size_unit_gb=cfg.workload.size_unit_gb)
-        arrivals = BatchArrivalProcess(cfg.workload, streams.stream("arrivals"))
-
-        on_batch = self._make_on_batch(factory, scheduler, hub)
+        on_batch = self._make_on_batch(self._factory, scheduler, hub)
         env.process(
             arrivals.run(env, on_batch, until=cfg.simulation.duration)
         )
@@ -179,11 +137,8 @@ class SimulationSession:
         if hub is not None:
             hub.bind(env)
         scheduler = self._build(env, RandomStreams(seed), hub)
-        factory = JobFactory(
-            self.app, size_unit_gb=self.config.workload.size_unit_gb
-        )
 
-        on_batch = self._make_on_batch(factory, scheduler, hub)
+        on_batch = self._make_on_batch(self._factory, scheduler, hub)
         env.process(replay_trace(env, trace, on_batch))
         snapshot = self._arm_warmup(env, scheduler)
         self._run_engine(env, self.config.simulation.duration, hub)

@@ -1,0 +1,148 @@
+"""Telemetry adapters over the simulation event bus.
+
+Scheduler-side metric counters, the scaling-decision audit log and the
+decision trace instants used to be inline scheduler code behind
+``if self._metrics is not None`` guards.  They are now ordinary
+:class:`~repro.core.bus.EventBus` subscribers wired up at assembly time:
+the scheduler publishes typed events, these adapters translate them into
+the telemetry instruments.  Subscribers are passive -- they never draw
+RNG or schedule engine events -- so attaching them leaves simulated
+results bit-identical (the telemetry determinism contract, unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.bus import (
+    EventBus,
+    JobCompleted,
+    ScalingDecisionMade,
+    TaskFinished,
+    TaskStarted,
+    WorkerHired,
+)
+from repro.telemetry.audit import ScalingDecisionRecord, decision_label
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.telemetry.audit import DecisionAuditLog
+    from repro.telemetry.hub import TelemetryHub
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.tracing import SpanTracer
+
+__all__ = [
+    "attach_hub",
+    "attach_metrics_adapter",
+    "attach_audit_adapter",
+    "attach_decision_trace_adapter",
+]
+
+
+def attach_hub(bus: EventBus, hub: "TelemetryHub") -> None:
+    """Subscribe every instrument the hub carries to *bus*."""
+    if hub.metrics is not None:
+        attach_metrics_adapter(bus, hub.metrics)
+    if hub.audit is not None:
+        attach_audit_adapter(bus, hub.audit)
+    if hub.tracer is not None:
+        attach_decision_trace_adapter(bus, hub.tracer)
+
+
+def attach_metrics_adapter(bus: EventBus, registry: "MetricsRegistry") -> None:
+    """Scheduler metric instruments, fed from bus events.
+
+    Creates the same instruments (names, labels, buckets) the scheduler
+    used to own, so exposition output is unchanged.
+    """
+    decisions = registry.counter(
+        "scheduler_scaling_decisions_total",
+        "hire-or-wait outcomes from the horizontal-scaling policy",
+        labelnames=("decision",),
+    )
+    hires = registry.counter(
+        "scheduler_hires_total",
+        "workers hired, by cloud tier",
+        labelnames=("tier",),
+    )
+    tasks = registry.counter(
+        "scheduler_task_outcomes_total",
+        "stage-task executions by outcome",
+        labelnames=("outcome",),
+    )
+    stage_wait = registry.histogram(
+        "scheduler_stage_wait_tu",
+        "queue wait of dispatched stage tasks (TU)",
+        buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0),
+    )
+    job_latency = registry.histogram(
+        "scheduler_job_latency_tu",
+        "end-to-end latency of completed pipeline runs (TU)",
+    )
+
+    bus.subscribe(
+        ScalingDecisionMade,
+        lambda e: decisions.inc(decision=decision_label(e.decision)),
+    )
+    bus.subscribe(WorkerHired, lambda e: hires.inc(tier=e.tier))
+    bus.subscribe(TaskFinished, lambda e: tasks.inc(outcome=e.outcome))
+
+    def on_started(event: TaskStarted) -> None:
+        # Speculative duplicates would double-count the queue-wait signal.
+        if not event.speculative:
+            stage_wait.observe(event.wait)
+
+    bus.subscribe(TaskStarted, on_started)
+    bus.subscribe(JobCompleted, lambda e: job_latency.observe(e.latency))
+
+
+def attach_audit_adapter(bus: EventBus, audit: "DecisionAuditLog") -> None:
+    """Record every published hire-or-wait choice in the audit log."""
+
+    def on_decision(event: ScalingDecisionMade) -> None:
+        audit.add(
+            ScalingDecisionRecord(
+                time=event.time,
+                stage=event.stage,
+                task_uid=event.task_uid,
+                job_uid=event.job_uid,
+                decision=decision_label(event.decision),
+                explanation=event.decision.explanation,
+            )
+        )
+
+    bus.subscribe(ScalingDecisionMade, on_decision)
+
+
+def attach_decision_trace_adapter(bus: EventBus, tracer: "SpanTracer") -> None:
+    """Decision instants and job-completion instants on the trace."""
+    from repro.telemetry.tracing import lane_for_stage
+
+    def on_decision(event: ScalingDecisionMade) -> None:
+        label = decision_label(event.decision)
+        args: dict = {"job": event.job, "decision": label}
+        explanation = event.decision.explanation
+        if explanation is not None and explanation.premium is not None:
+            args["delay_cost"] = explanation.delay_cost
+            args["premium"] = explanation.premium
+            args["wait"] = explanation.wait
+        tracer.instant(
+            f"decision.{label}",
+            "scheduler",
+            lane=lane_for_stage(event.stage),
+            args=args,
+        )
+
+    bus.subscribe(ScalingDecisionMade, on_decision)
+
+    def on_completed(event: JobCompleted) -> None:
+        tracer.instant(
+            "job.completed",
+            "scheduler",
+            args={
+                "job": event.job,
+                "latency": event.latency,
+                "reward": event.reward,
+            },
+        )
+
+    bus.subscribe(JobCompleted, on_completed)

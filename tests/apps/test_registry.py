@@ -3,7 +3,8 @@
 import pytest
 
 from repro.apps.base import ApplicationModel, StageModel
-from repro.apps.registry import ApplicationRegistry, default_registry
+from repro.apps.registry import APPLICATIONS, ApplicationRegistry, default_registry
+from repro.core.errors import ConfigurationError
 from repro.genomics.datasets import DataFormat
 
 
@@ -20,8 +21,11 @@ class TestDefaultRegistry:
         assert "nonexistent" not in registry
 
     def test_unknown_app_error_lists_known(self, registry):
-        with pytest.raises(KeyError, match="gatk"):
+        with pytest.raises(ConfigurationError, match="gatk"):
             registry.get("nope")
+
+    def test_backed_by_global_plugin_registry(self):
+        assert set(default_registry().names()) >= set(APPLICATIONS.names())
 
 
 class TestCustomRegistration:

@@ -40,9 +40,13 @@ class TestParser:
         assert args.file == "t.json"
         assert args.top == 3
 
-    def test_bad_choice_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--allocation", "nope"])
+    def test_unknown_policy_rejected_at_registry(self, capsys):
+        # No argparse `choices`: unknown names flow to the registry so
+        # plugin policies work, and the error lists what IS registered.
+        assert main(["run", "--duration", "50", "--allocation", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err
+        assert "greedy" in err
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -228,3 +232,84 @@ class TestTable2:
         out = capsys.readouterr().out
         assert "HaplotypeCaller" in out
         assert "17.86" in out  # stage 5's b_i
+
+
+class TestPolicies:
+    def test_lists_every_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for kind in (
+            "allocation", "application", "preset", "reward", "scaling",
+            "sharder",
+        ):
+            assert f"{kind} (" in out
+        assert "greedy" in out
+        assert "predictive" in out
+
+    def test_single_kind(self, capsys):
+        assert main(["policies", "--kind", "scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling (3):" in out
+        assert "allocation" not in out
+
+    def test_json_output(self, capsys):
+        assert main(["policies", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "greedy" in data["allocation"]
+        assert "time" in data["reward"]
+
+    def test_unknown_kind_is_error(self, capsys):
+        assert main(["policies", "--kind", "styling"]) == 2
+        assert "unknown registry kind" in capsys.readouterr().err
+
+
+class TestConfigDump:
+    def test_dump_parses_as_config(self, capsys):
+        from repro.core.config import PlatformConfig
+        from repro.core.presets import make_preset
+
+        assert main(["config-dump", "chaos"]) == 0
+        dumped = PlatformConfig.from_json(capsys.readouterr().out)
+        assert dumped == make_preset("chaos")
+
+    def test_unknown_preset_is_error(self, capsys):
+        assert main(["config-dump", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown preset" in err
+        assert "paper" in err  # lists what is registered
+
+
+class TestRunConfigSources:
+    def test_preset_and_config_byte_identical(self, capsys, tmp_path):
+        assert main(["config-dump", "smoke"]) == 0
+        dump = tmp_path / "smoke.json"
+        dump.write_text(capsys.readouterr().out)
+
+        assert main(["run", "--preset", "smoke", "--json", "--seed", "3"]) == 0
+        by_preset = capsys.readouterr().out
+        assert (
+            main(["run", "--config", str(dump), "--json", "--seed", "3"]) == 0
+        )
+        by_file = capsys.readouterr().out
+        assert by_preset == by_file
+        assert json.loads(by_preset)["completed_runs"] > 0
+
+    def test_preset_and_config_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--preset", "smoke", "--config", "x.json"]
+            )
+
+    def test_missing_config_file_is_error(self, capsys):
+        assert main(["run", "--config", "/no/such/file.json"]) == 2
+        assert "cannot read config file" in capsys.readouterr().err
+
+    def test_invalid_config_file_is_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"workload": {"warp_factor": 9}}))
+        assert main(["run", "--config", str(bad)]) == 2
+        assert "warp_factor" in capsys.readouterr().err
+
+    def test_unknown_preset_run_is_error(self, capsys):
+        assert main(["run", "--preset", "nope"]) == 2
+        assert "unknown preset" in capsys.readouterr().err

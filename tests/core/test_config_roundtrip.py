@@ -1,0 +1,139 @@
+"""Config serialization: golden fixture, preset round-trips, properties.
+
+``PlatformConfig.to_dict/from_dict`` (and the JSON wrappers) must be
+lossless: every preset, and every randomly-overridden config Hypothesis
+can cook up, survives the round trip equal to the original.  The golden
+fixture pins the default config's exact serialized form so accidental
+schema drift fails loudly (regenerate it deliberately when the schema
+*should* change).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    AllocationAlgorithm,
+    PlatformConfig,
+    RewardScheme,
+    ScalingAlgorithm,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.presets import PRESETS, make_preset
+
+FIXTURE = Path(__file__).parent / "fixtures" / "default_config.json"
+
+
+class TestGoldenDefaultConfig:
+    def test_default_serialization_matches_fixture(self):
+        assert (
+            PlatformConfig.paper_defaults().to_json() + "\n"
+            == FIXTURE.read_text()
+        )
+
+    def test_fixture_parses_back_to_defaults(self):
+        assert (
+            PlatformConfig.from_json(FIXTURE.read_text())
+            == PlatformConfig.paper_defaults()
+        )
+
+    def test_to_json_is_sorted_and_stable(self):
+        cfg = PlatformConfig.paper_defaults()
+        assert cfg.to_json() == cfg.to_json()
+        data = json.loads(cfg.to_json())
+        assert list(data) == sorted(data)
+
+
+class TestPresetRoundTrips:
+    @pytest.mark.parametrize("name", sorted(PRESETS.names()))
+    def test_every_preset_round_trips(self, name):
+        cfg = make_preset(name)
+        assert PlatformConfig.from_json(cfg.to_json()) == cfg
+
+    @pytest.mark.parametrize("name", sorted(PRESETS.names()))
+    def test_every_preset_dict_round_trips(self, name):
+        cfg = make_preset(name)
+        rebuilt = PlatformConfig.from_dict(cfg.to_dict())
+        assert rebuilt == cfg
+        assert rebuilt.to_dict() == cfg.to_dict()
+
+
+class TestSerializationErrors:
+    def test_unknown_section_rejected(self):
+        data = PlatformConfig.paper_defaults().to_dict()
+        data["quantum"] = {}
+        with pytest.raises(ConfigurationError, match="quantum"):
+            PlatformConfig.from_dict(data)
+
+    def test_unknown_key_rejected(self):
+        data = PlatformConfig.paper_defaults().to_dict()
+        data["workload"]["warp_factor"] = 9
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            PlatformConfig.from_dict(data)
+
+    def test_unknown_enum_value_lists_valid_ones(self):
+        data = PlatformConfig.paper_defaults().to_dict()
+        data["scheduler"]["allocation"] = "psychic"
+        with pytest.raises(ConfigurationError, match="psychic"):
+            PlatformConfig.from_dict(data)
+
+    def test_non_mapping_section_rejected(self):
+        data = PlatformConfig.paper_defaults().to_dict()
+        data["cloud"] = "big"
+        with pytest.raises(ConfigurationError, match="cloud"):
+            PlatformConfig.from_dict(data)
+
+
+@st.composite
+def platform_configs(draw) -> PlatformConfig:
+    """Valid configs with overrides scattered across every section."""
+    positive = st.floats(
+        min_value=0.5, max_value=500.0, allow_nan=False, allow_infinity=False
+    )
+    threads = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=32),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    return PlatformConfig.paper_defaults().with_overrides(
+        reward={"scheme": draw(st.sampled_from(list(RewardScheme)))},
+        scheduler={
+            "allocation": draw(st.sampled_from(list(AllocationAlgorithm))),
+            "scaling": draw(st.sampled_from(list(ScalingAlgorithm))),
+            "thread_choices": tuple(sorted(threads)),
+        },
+        workload={"mean_interarrival": draw(positive)},
+        cloud={"public_core_cost": draw(positive)},
+        faults={"mtbf_tu": draw(st.none() | positive)},
+        resilience={
+            "max_attempts": draw(st.integers(min_value=0, max_value=9)),
+            "enabled": draw(st.booleans()),
+        },
+        telemetry={"enabled": draw(st.booleans())},
+        simulation={
+            "duration": draw(
+                st.floats(min_value=10.0, max_value=5000.0, allow_nan=False)
+            ),
+            "repetitions": draw(st.integers(min_value=1, max_value=20)),
+        },
+    )
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(platform_configs())
+    def test_json_round_trip_is_lossless(self, cfg):
+        assert PlatformConfig.from_json(cfg.to_json()) == cfg
+
+    @settings(max_examples=60, deadline=None)
+    @given(platform_configs())
+    def test_dict_round_trip_preserves_validation(self, cfg):
+        rebuilt = PlatformConfig.from_dict(cfg.to_dict())
+        assert rebuilt == cfg
+        rebuilt.validate()  # still a valid platform after the trip

@@ -66,6 +66,12 @@ class TestExamples:
         assert "bwa, cellprofiler, cytoscape, gatk, maxquant" in out
         assert "shards=" in out
 
+    def test_custom_policy_demo(self):
+        out = run_example("custom_policy_demo.py")
+        assert "escalating" in out
+        assert "greedy" in out
+        assert "custom policy demo complete" in out
+
     def test_examples_all_covered(self):
         """Every example file is either tested here or a figure/sweep
         regenerator covered by the benchmark suite."""
@@ -73,6 +79,7 @@ class TestExamples:
             "quickstart.py", "knowledge_base_tour.py",
             "data_broker_sharding.py", "cancer_pipeline.py",
             "integrative_workflow.py", "resilience_demo.py",
+            "custom_policy_demo.py",
         }
         bench_covered = {
             "figure4_scaling.py", "figure5_corestages.py", "full_sweep.py",

@@ -1,0 +1,79 @@
+"""Behaviour-preservation proof for the control-plane refactor.
+
+``fixtures/golden_sweep.json`` was captured BEFORE the plugin-registry /
+event-bus / builder refactor, straight off the old constructor-threaded
+wiring.  These tests re-run the identical sweeps through the refactored
+stack and demand byte-for-byte equality of the canonical row dump -- both
+with everything off (the hard no-subscriber fast path) and with telemetry
+and chaos on (the busiest observer configuration).
+
+Regenerate (only when an *intentional* behaviour change lands)::
+
+    PYTHONPATH=src python -m tests.sim.test_golden_equivalence
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import PlatformConfig, ScalingAlgorithm
+from repro.sim.sweep import SweepSpec, run_sweep
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_sweep.json"
+
+SPEC = SweepSpec(
+    scaling=(ScalingAlgorithm.ALWAYS, ScalingAlgorithm.NEVER),
+    mean_interarrival=(2.5, 3.0),
+)
+
+
+def _base(**overrides) -> PlatformConfig:
+    cfg = PlatformConfig.paper_defaults().with_overrides(
+        simulation={"duration": 60.0, "repetitions": 2}
+    )
+    if overrides:
+        cfg = cfg.with_overrides(**overrides)
+    return cfg
+
+
+def _variants() -> dict[str, PlatformConfig]:
+    return {
+        "plain": _base(),
+        "telemetry_chaos": _base(
+            telemetry={"enabled": True},
+            faults={
+                "mtbf_tu": 40.0,
+                "p_boot_fail": 0.05,
+                "p_deploy_fail": 0.05,
+                "p_straggler": 0.1,
+                "p_corrupt": 0.02,
+            },
+            resilience={"max_attempts": 3},
+        ),
+    }
+
+
+def _canonical(config: PlatformConfig) -> str:
+    rows = run_sweep(config, SPEC, base_seed=0)
+    return json.dumps([r.as_flat_dict() for r in rows], sort_keys=True)
+
+
+class TestGoldenSweepEquivalence:
+    def _golden(self) -> dict[str, str]:
+        return json.loads(FIXTURE.read_text())
+
+    def test_plain_variant_byte_identical(self):
+        assert _canonical(_variants()["plain"]) == self._golden()["plain"]
+
+    def test_telemetry_chaos_variant_byte_identical(self):
+        assert (
+            _canonical(_variants()["telemetry_chaos"])
+            == self._golden()["telemetry_chaos"]
+        )
+
+
+if __name__ == "__main__":  # regeneration entry point
+    out = {name: _canonical(cfg) for name, cfg in _variants().items()}
+    FIXTURE.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"regenerated {FIXTURE}")
