@@ -25,6 +25,7 @@ from repro.core.events import EventKind, EventLog
 from repro.genomics.datasets import DatasetDescriptor
 from repro.knowledge.advisor import ShardAdvice, ShardAdvisor
 from repro.knowledge.kb import SCANKnowledgeBase
+from repro.knowledge.plane import KnowledgePlane
 from repro.scheduler.rewards import RewardFunction
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -56,6 +57,7 @@ class DataBroker:
         event_log: Optional[EventLog] = None,
         clock=None,
         tracer: "SpanTracer | None" = None,
+        plane: "KnowledgePlane | None" = None,
     ) -> None:
         self.kb = kb
         self.config = config if config is not None else BrokerConfig()
@@ -71,6 +73,7 @@ class DataBroker:
             default_shard_gb=self.config.default_shard_gb,
             min_shard_gb=self.config.min_shard_gb,
             max_shards=self.config.max_shards_per_job,
+            plane=plane,
         )
 
     # -- preparation -------------------------------------------------------

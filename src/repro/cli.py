@@ -10,6 +10,7 @@ Subcommands::
     scan-sim trace        inspect a Chrome trace written by ``run --trace-out``
     scan-sim policies     list every plugin registry and its entries
     scan-sim config-dump  print a named preset's resolved JSON config
+    scan-sim kb           dump the knowledge plane facts, or diff snapshots
 
 ``run`` accepts the platform configuration three ways: individual flags
 (the historical interface), ``--preset NAME`` (a registered preset), or
@@ -143,6 +144,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dump.add_argument("preset", help="preset name (see `scan-sim policies`)")
 
+    kb = sub.add_parser(
+        "kb",
+        help="dump the knowledge plane's facts table, or diff two snapshots",
+    )
+    kb.add_argument(
+        "--diff", nargs=2, default=None, metavar=("BEFORE", "AFTER"),
+        help="diff two snapshot JSON files (written by --snapshot-out) "
+        "instead of running a session",
+    )
+    kb.add_argument("--preset", default=None, metavar="NAME",
+                    help="run this preset's session before dumping")
+    kb.add_argument("--estimates", default=None, metavar="PROVIDER",
+                    help="estimate provider (static, adaptive)")
+    kb.add_argument("--duration", type=float, default=None,
+                    help="override the session duration (TU)")
+    kb.add_argument("--seed", type=int, default=0)
+    kb.add_argument("--json", action="store_true",
+                    help="print the snapshot as JSON instead of a table")
+    kb.add_argument(
+        "--snapshot-out", default=None, metavar="PATH",
+        help="also write the snapshot JSON here (feed to --diff later)",
+    )
+
     return parser
 
 
@@ -170,6 +194,11 @@ def _common_session_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--public-cost", type=float, default=50.0)
     parser.add_argument("--size-unit-gb", type=float, default=1.0)
+    parser.add_argument(
+        "--estimates", default=None, metavar="PROVIDER",
+        help="estimate provider behind the knowledge plane (built-in: "
+        "static, adaptive); overrides --preset/--config too",
+    )
     chaos = parser.add_argument_group("chaos / resilience")
     chaos.add_argument(
         "--mtbf", type=float, default=None,
@@ -240,6 +269,16 @@ def _session_config(args: argparse.Namespace) -> PlatformConfig:
     )
 
 
+def _apply_estimates_flag(
+    config: PlatformConfig, args: argparse.Namespace
+) -> PlatformConfig:
+    """Overlay ``--estimates`` onto *config* (wins over preset/file)."""
+    provider = getattr(args, "estimates", None)
+    if provider is None:
+        return config
+    return config.with_overrides(knowledge={"provider": provider})
+
+
 def _resolve_run_config(args: argparse.Namespace) -> PlatformConfig:
     """run's config, from --config / --preset / individual flags."""
     if args.config is not None:
@@ -262,7 +301,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Run one simulation session and print its metrics."""
     from repro.sim.session import SimulationSession
 
-    config = _resolve_run_config(args)
+    config = _apply_estimates_flag(_resolve_run_config(args), args)
     telemetry_on = bool(args.trace_out or args.metrics_out or args.profile)
     if telemetry_on:
         config = config.with_overrides(
@@ -329,7 +368,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         reward_scheme=(_policy_name(RewardScheme, args.reward),),
         public_core_cost=(args.public_cost,),
     )
-    base = _session_config(args)
+    base = _apply_estimates_flag(_session_config(args), args)
     if args.jobs == 1:
         rows = run_sweep(
             base, spec, repetitions=args.repetitions, base_seed=args.seed
@@ -520,6 +559,90 @@ def cmd_config_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_kb(args: argparse.Namespace) -> int:
+    """Dump the knowledge plane's facts table, or diff two snapshots.
+
+    Without ``--diff`` this runs one session and prints every fact the
+    plane holds afterwards (stage, coefficients, provenance, samples,
+    confidence, epoch).  With ``--diff BEFORE AFTER`` it compares two
+    snapshot files written by ``--snapshot-out`` and prints the changed
+    facts -- a poor man's ``watch`` over the refit loop.
+    """
+    from repro.knowledge.plane import diff_snapshots
+
+    if args.diff is not None:
+        snapshots = []
+        for path in args.diff:
+            try:
+                with open(path) as fh:
+                    snapshots.append(json.load(fh))
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"cannot read snapshot {path!r}: {exc}", file=sys.stderr)
+                return 2
+        lines = diff_snapshots(snapshots[0], snapshots[1])
+        if not lines:
+            print("no changes")
+        for line in lines:
+            print(line)
+        return 0
+
+    from repro.sim.session import SimulationSession
+
+    config = PlatformConfig.paper_defaults()
+    if args.preset is not None:
+        from repro.core.presets import make_preset
+
+        config = make_preset(args.preset)
+    config = _apply_estimates_flag(config, args)
+    if args.duration is not None:
+        config = config.with_overrides(simulation={"duration": args.duration})
+    session = SimulationSession(config)
+    session.run(seed=args.seed)
+    plane = session.plane
+    if plane is not None and not plane.facts(session.app.name):
+        # The static provider reads the application model directly and
+        # never writes the plane; seed it now so the dump shows the facts
+        # the estimates actually came from.
+        plane.seed_from_model(session.app)
+    if plane is None:
+        print("no knowledge plane in this session", file=sys.stderr)
+        return 2
+    snapshot = plane.snapshot()
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+        print(f"snapshot written to {args.snapshot_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    from repro.sim.report import render_table
+
+    rows = [
+        [
+            fact["app"],
+            fact["stage"],
+            f"{fact['a']:.4f}",
+            f"{fact['b']:.4f}",
+            "-" if fact["c"] is None else f"{fact['c']:.4f}",
+            fact["provenance"],
+            fact["samples"],
+            f"{fact['confidence']:.2f}",
+            fact["epoch"],
+        ]
+        for fact in snapshot["facts"]
+    ]
+    print(
+        render_table(
+            ["app", "stage", "a", "b", "c", "provenance",
+             "samples", "confidence", "epoch"],
+            rows,
+            title=f"knowledge plane @ epoch {snapshot['epoch']} "
+            f"({len(rows)} facts)",
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
@@ -529,6 +652,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "policies": cmd_policies,
     "config-dump": cmd_config_dump,
+    "kb": cmd_kb,
 }
 
 

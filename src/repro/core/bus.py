@@ -31,6 +31,7 @@ __all__ = [
     "TaskQueued",
     "TaskStarted",
     "TaskFinished",
+    "StageCompleted",
     "TaskRetryScheduled",
     "TaskDeadLettered",
     "JobCompleted",
@@ -93,6 +94,27 @@ class TaskFinished(BusEvent):
     outcome: str
     worker: int
     tier: str
+
+
+@dataclass(frozen=True)
+class StageCompleted(BusEvent):
+    """A stage execution attempt completed successfully.
+
+    This is the knowledge plane's feedback signal: it carries the realised
+    duration alongside the stage-model axes (input GB, threads), so online
+    refitters and learning policies can fold the observation back into
+    their models.  ``input_gb`` is the job's stage-model input size (the
+    x-axis of the Eq. 2 linear fits), not the reward-unit job size.
+    """
+
+    job: str
+    app: str
+    stage: int
+    input_gb: float
+    threads: int
+    duration: float
+    #: The job object itself (learning subscribers read per-job state).
+    job_obj: Any = field(compare=False, default=None)
 
 
 @dataclass(frozen=True)
@@ -312,6 +334,7 @@ _ALL_EVENT_TYPES: List[type] = [
     TaskQueued,
     TaskStarted,
     TaskFinished,
+    StageCompleted,
     TaskRetryScheduled,
     TaskDeadLettered,
     JobCompleted,

@@ -35,6 +35,7 @@ __all__ = [
     "FaultConfig",
     "ResilienceConfig",
     "TelemetryConfig",
+    "KnowledgeConfig",
     "SimulationConfig",
     "PlatformConfig",
 ]
@@ -401,6 +402,50 @@ class TelemetryConfig:
 
 
 @dataclass(frozen=True)
+class KnowledgeConfig:
+    """Knowledge plane (`repro.knowledge.plane`): the shared store of
+    per-stage performance facts behind every estimate.
+
+    With the default ``static`` provider the plane is a pass-through over
+    the profiled application model -- estimates are bit-identical to a
+    build without the plane.  The ``adaptive`` provider re-fits stage
+    coefficients online from completed-stage observations and bumps the
+    plane epoch, invalidating the estimator's EET memo.
+    """
+
+    #: Estimate-provider registry key ("static" or "adaptive"; plugins may
+    #: register more).
+    provider: str = "static"
+    #: The online refitter re-fits after this many new observations.
+    refit_every: int = 8
+    #: Minimum observations per stage before a refit replaces the prior.
+    min_samples: int = 4
+    #: Retained observations per stage (oldest dropped beyond this).
+    max_observations: int = 4096
+    #: Ground-truth drift factor: executed stage durations use profiled
+    #: linear coefficients scaled by this factor while planning still uses
+    #: the unscaled profile.  1.0 = no drift (the paper's assumption);
+    #: the ``drift`` preset mis-specifies the profile to exercise the
+    #: adaptive provider's recovery.
+    model_drift: float = 1.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if not self.provider:
+            raise ConfigurationError("knowledge provider must be named")
+        if self.refit_every < 1:
+            raise ConfigurationError("refit_every must be >= 1")
+        if self.min_samples < 2:
+            raise ConfigurationError("min_samples must be >= 2")
+        if self.max_observations < self.min_samples:
+            raise ConfigurationError(
+                "max_observations must be >= min_samples"
+            )
+        if self.model_drift <= 0:
+            raise ConfigurationError("model_drift must be positive")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Session-level controls (Table III row 1 plus reproducibility)."""
 
@@ -503,6 +548,7 @@ class PlatformConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    knowledge: KnowledgeConfig = field(default_factory=KnowledgeConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     #: Name of the application pipeline to run (registry key).
     application: str = "gatk"
@@ -517,6 +563,7 @@ class PlatformConfig:
         self.faults.validate()
         self.resilience.validate()
         self.telemetry.validate()
+        self.knowledge.validate()
         self.simulation.validate()
         if not self.application:
             raise ConfigurationError("application must be named")
@@ -550,7 +597,7 @@ class PlatformConfig:
     #: Section fields, in declaration order (everything but ``application``).
     _SECTIONS = (
         "reward", "cloud", "workload", "scheduler", "broker",
-        "faults", "resilience", "telemetry", "simulation",
+        "faults", "resilience", "telemetry", "knowledge", "simulation",
     )
 
     def to_dict(self) -> dict[str, Any]:
@@ -583,6 +630,7 @@ class PlatformConfig:
             "faults": FaultConfig,
             "resilience": ResilienceConfig,
             "telemetry": TelemetryConfig,
+            "knowledge": KnowledgeConfig,
             "simulation": SimulationConfig,
         }
         unknown = sorted(set(data) - set(section_classes) - {"application"})

@@ -31,8 +31,14 @@ from repro.core.events import EventLog
 from repro.desim.engine import Environment
 from repro.desim.rng import RandomStreams
 from repro.genomics.datasets import DatasetDescriptor
+from repro.core.bus import EventBus
 from repro.knowledge.kb import SCANKnowledgeBase
 from repro.knowledge.log_ingest import KnowledgeIngestor
+from repro.knowledge.plane import (
+    KnowledgePlane,
+    OnlineRefitter,
+    make_estimate_provider,
+)
 from repro.scheduler.allocation import (
     find_best_constant_plan,
     make_allocation_policy,
@@ -137,12 +143,36 @@ class SCANPlatform:
         self.ingestor = KnowledgeIngestor(
             self.kb, self.log, sample_every=kb_sample_every
         )
+        # One knowledge plane serves every estimate consumer: the broker's
+        # shard advisor, the scheduler's pipeline estimator, and (via the
+        # allocation context) the learned policy's cold-start priors.
+        self.bus = EventBus()
+        self.plane = KnowledgePlane()
+        self.estimates = make_estimate_provider(
+            self.config.knowledge.provider, app=self.app, plane=self.plane
+        )
+        self.refitter: Optional[OnlineRefitter] = None
+        if self.config.knowledge.provider != "static":
+            self.refitter = OnlineRefitter(
+                self.plane,
+                refit_every=self.config.knowledge.refit_every,
+                min_samples=self.config.knowledge.min_samples,
+                max_observations=self.config.knowledge.max_observations,
+                metrics=(
+                    self.telemetry.metrics
+                    if self.telemetry is not None
+                    else None
+                ),
+                clock=lambda: self.env.now,
+            )
+            self.refitter.attach(self.bus)
         self.broker = DataBroker(
             self.kb,
             config=self.config.broker,
             event_log=self.log,
             clock=lambda: self.env.now,
             tracer=_tracer,
+            plane=self.plane,
         )
 
         self.reward: RewardFunction = make_reward(self.config.reward)
@@ -175,6 +205,8 @@ class SCANPlatform:
             faults=self.injector,
             resilience=self.config.resilience,
             telemetry=self.telemetry,
+            bus=self.bus,
+            estimates=self.estimates,
         )
         if self.telemetry is not None:
             self.telemetry.bind(self.env)

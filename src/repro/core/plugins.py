@@ -157,6 +157,7 @@ def all_registries() -> Dict[str, "Registry[Any]"]:
         "repro.broker.sharders",
         "repro.apps.registry",
         "repro.core.presets",
+        "repro.knowledge.plane",
     ):
         importlib.import_module(module)
     return dict(sorted(_REGISTRIES.items()))

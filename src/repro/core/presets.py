@@ -74,6 +74,25 @@ def _chaos() -> PlatformConfig:
     )
 
 
+@PRESETS.register("drift")
+def _drift() -> PlatformConfig:
+    """Mis-specified profiles: the platform plans with 2x-pessimistic
+    stage coefficients (ground truth runs at half the profiled time).
+
+    Under the throughput reward the marginal value of saved time is
+    ``d * Rscale / ETT^2``, so over-estimated ETTs make the static
+    provider under-value threads and leave easy speedups on the table.
+    The adaptive provider refits a/b from completed-stage observations
+    and recovers the lost profit -- the knowledge plane's showcase
+    experiment (EXPERIMENTS.md, model-drift row).
+    """
+    return PlatformConfig.paper_defaults().with_overrides(
+        knowledge={"model_drift": 0.5},
+        reward={"scheme": RewardScheme.THROUGHPUT},
+        simulation={"duration": 2000.0, "repetitions": 3},
+    )
+
+
 @PRESETS.register("observed")
 def _observed() -> PlatformConfig:
     """Telemetry fully on (tracing + metrics + audit); same sim results."""

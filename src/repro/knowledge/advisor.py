@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 
 from repro.core.errors import KnowledgeBaseError
 from repro.knowledge.kb import SCANKnowledgeBase
+from repro.knowledge.plane import FactProvider, KnowledgePlane
 
 __all__ = ["ShardAdvice", "ShardAdvisor"]
 
@@ -58,6 +59,7 @@ class ShardAdvisor:
         default_shard_gb: float = 2.0,
         min_shard_gb: float = 0.25,
         max_shards: int = 256,
+        plane: Optional[KnowledgePlane] = None,
     ) -> None:
         if default_shard_gb <= 0 or min_shard_gb <= 0:
             raise ValueError("shard sizes must be positive")
@@ -67,6 +69,26 @@ class ShardAdvisor:
         self.default_shard_gb = default_shard_gb
         self.min_shard_gb = min_shard_gb
         self.max_shards = max_shards
+        #: The knowledge plane task-time predictions resolve through.  A
+        #: private plane is created when none is shared; either way the
+        #: advisor reads facts, never raw profile objects, at decision
+        #: time.
+        self.plane = plane if plane is not None else KnowledgePlane()
+        self._seeded_obs: dict[str, int] = {}
+
+    def _provider(self, app: str) -> FactProvider:
+        """The plane-backed estimate provider for *app*, freshly seeded.
+
+        Facts are (re-)seeded from the knowledge base's profile fits
+        whenever the KB gained observations since the last seed -- the
+        log-ingest path keeps sharpening the fits, and the plane snapshot
+        must follow.
+        """
+        n_obs = len(self.kb.profile(app))
+        if self._seeded_obs.get(app) != n_obs:
+            self.plane.seed_from_profiles(self.kb, app)
+            self._seeded_obs[app] = n_obs
+        return FactProvider(self.plane, app)
 
     def advise(
         self,
@@ -96,11 +118,10 @@ class ShardAdvisor:
             # platform default (2 GB for GATK in the evaluation).
             return self._fixed_advice(total_gb, self.default_shard_gb, "default")
 
-        profile = self.kb.profile(app)
-        stage_indices = profile.stage_indices
-        usable = [
-            i for i in stage_indices if profile.stage(i).has_linear_fit
-        ]
+        # Facts only exist for stages whose profile supports a linear fit,
+        # so the provider's stage list is exactly the old `usable` set.
+        provider = self._provider(app)
+        usable = provider.stages()
         if not usable:
             return self._fixed_advice(total_gb, self.default_shard_gb, "default")
 
@@ -117,7 +138,7 @@ class ShardAdvisor:
                 continue
             actual_shard = total_gb / n_shards
             task_time = sum(
-                profile.stage(i).predict(actual_shard, 1) for i in usable
+                provider.eet(i, actual_shard, 1) for i in usable
             )
             waves = math.ceil(n_shards / parallel_workers)
             makespan = waves * task_time

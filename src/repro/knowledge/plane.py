@@ -1,0 +1,757 @@
+"""The knowledge plane: one versioned store of per-stage performance facts.
+
+The paper's "smartness" claim is that decisions -- shard sizes, EET/ETT
+estimates, hire-vs-wait -- come from profiled facts in the knowledge base
+(Sections I, III-A.1), and Section VI's future work is to refine those
+facts online.  Before this module the repo was open-loop: the scheduler's
+estimator read static :class:`~repro.apps.base.ApplicationModel`
+coefficients, the shard advisor and the learning allocator each kept
+private side-channels, and log ingestion was an offline afterthought.
+
+:class:`KnowledgePlane` closes that loop.  It is an epoch-stamped store of
+:class:`StageFact` records (coefficients + provenance + sample counts +
+confidence), persisted through the ontology triple store, and queried by
+*all three* consumers through one :class:`EstimateProvider` protocol:
+
+- the scheduler's :class:`~repro.scheduler.estimator.PipelineEstimator`
+  (EET/ETT, Eq. 2) -- whose memo is invalidated by plane epoch bumps
+  exactly like :class:`~repro.ontology.triples.TripleStore` epochs
+  invalidate the SPARQL result cache;
+- the broker's :class:`~repro.knowledge.advisor.ShardAdvisor` (shard
+  sizing);
+- :class:`~repro.scheduler.learning.LearnedAllocation` (cold-start
+  priors, via the estimator).
+
+:class:`OnlineRefitter` provides the feedback path: it subscribes to
+:class:`~repro.core.bus.StageCompleted` events and periodically re-fits
+the linear coefficients from realised durations, installing new facts
+(which bumps the epoch).  Two providers ship behind the plugin registry:
+``static`` (the default -- bit-identical to the pre-plane behaviour, so
+golden sweep fixtures pin it) and ``adaptive`` (serves refit facts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Tuple
+
+from repro.analysis.amdahl import amdahl_time
+from repro.analysis.regression import fit_linear
+from repro.apps.base import ApplicationModel, StageModel
+from repro.core.bus import EventBus, StageCompleted
+from repro.core.errors import KnowledgeBaseError
+from repro.core.plugins import Registry
+
+__all__ = [
+    "StageFact",
+    "RefitRecord",
+    "KnowledgePlane",
+    "OnlineRefitter",
+    "EstimateProvider",
+    "StaticEstimateProvider",
+    "AdaptiveEstimateProvider",
+    "FactProvider",
+    "ESTIMATE_PROVIDERS",
+    "make_estimate_provider",
+    "fit_stage_fact",
+    "diff_snapshots",
+    "drifted_model",
+]
+
+
+@dataclass(frozen=True)
+class StageFact:
+    """One stage's performance model, with its pedigree.
+
+    ``a``/``b`` are the Eq. 2 linear execution-time coefficients and ``c``
+    the Amdahl parallel fraction, exactly as in
+    :class:`~repro.apps.base.StageModel` -- except ``a``/``b`` are kept
+    *unclamped* (raw regression output) so :meth:`predict` reproduces
+    :meth:`~repro.knowledge.profiles.StageProfile.predict` float-for-float.
+    ``c`` is ``None`` when no multi-threaded evidence exists.
+    """
+
+    app: str
+    stage: int
+    a: float
+    b: float
+    c: Optional[float]
+    ram_gb: float = 4.0
+    #: Where the coefficients came from: ``"model"`` (seeded from an
+    #: analytical ApplicationModel), ``"profile"`` (offline KB regression)
+    #: or ``"refit"`` (online refit from realised durations).
+    provenance: str = "model"
+    #: Observations behind the fit (0 for analytical seeds).
+    samples: int = 0
+    #: Fit quality in [0, 1]: r-squared for regressions, 1.0 for seeds.
+    confidence: float = 1.0
+    #: Plane epoch at which this fact was installed.
+    epoch: int = 0
+
+    def predict(self, input_gb: float, threads: int = 1) -> float:
+        """Predicted execution time; mirrors ``StageProfile.predict``."""
+        base = max(self.a * input_gb + self.b, 1e-6)
+        if threads == 1 or self.c is None:
+            return base
+        return amdahl_time(base, threads, self.c)
+
+    def to_stage_model(self, name: str = "") -> StageModel:
+        """Export as a (clamped) :class:`StageModel` for Eq. 1/2 consumers."""
+        return StageModel(
+            index=self.stage,
+            name=name or f"{self.app}-stage{self.stage}",
+            a=max(self.a, 0.0),
+            b=self.b,
+            c=min(max(self.c if self.c is not None else 0.0, 0.0), 1.0),
+            ram_gb=self.ram_gb,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-able record (``scan-sim kb`` output rows)."""
+        return {
+            "app": self.app,
+            "stage": self.stage,
+            "a": self.a,
+            "b": self.b,
+            "c": self.c,
+            "ram_gb": self.ram_gb,
+            "provenance": self.provenance,
+            "samples": self.samples,
+            "confidence": self.confidence,
+            "epoch": self.epoch,
+        }
+
+
+@dataclass(frozen=True)
+class RefitRecord:
+    """Audit record of one refit: what changed, when, from how much data."""
+
+    time: float
+    app: str
+    stage: int
+    old_a: float
+    old_b: float
+    new_a: float
+    new_b: float
+    samples: int
+    epoch: int
+
+
+class KnowledgePlane:
+    """Versioned store of stage facts shared by every estimate consumer.
+
+    Every :meth:`install` bumps :attr:`epoch`; consumers that memoise
+    derived values (the EET memo, the adaptive provider's model table)
+    compare their stored epoch against the plane's and rebuild on
+    mismatch -- the same contract as ``TripleStore.epoch`` and the SPARQL
+    result cache.
+    """
+
+    def __init__(self) -> None:
+        self._facts: Dict[Tuple[str, int], StageFact] = {}
+        self._epoch = 0
+        self.history: List[RefitRecord] = []
+
+    @property
+    def epoch(self) -> int:
+        """Version counter, bumped by every :meth:`install`."""
+        return self._epoch
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    # -- writing ------------------------------------------------------------
+    def install(self, facts: Iterable[StageFact]) -> int:
+        """Install *facts* as one atomic snapshot; returns the new epoch.
+
+        Installing an empty iterable is a no-op (the epoch does not move,
+        so downstream memos stay warm).
+        """
+        staged = list(facts)
+        if not staged:
+            return self._epoch
+        self._epoch += 1
+        for fact in staged:
+            self._facts[(fact.app, fact.stage)] = replace(
+                fact, epoch=self._epoch
+            )
+        return self._epoch
+
+    def seed_from_model(
+        self, model: ApplicationModel, provenance: str = "model"
+    ) -> int:
+        """Seed facts from an analytical application model's coefficients."""
+        return self.install(
+            StageFact(
+                app=model.name,
+                stage=stage.index,
+                a=stage.a,
+                b=stage.b,
+                c=stage.c,
+                ram_gb=stage.ram_gb,
+                provenance=provenance,
+                samples=0,
+                confidence=1.0,
+            )
+            for stage in model.stages
+        )
+
+    def seed_from_profiles(self, kb: Any, app: str) -> int:
+        """Seed facts from a knowledge base's fitted stage profiles.
+
+        Only stages with a usable linear fit produce facts; raw slopes and
+        intercepts are kept unclamped so plane predictions match
+        ``StageProfile.predict`` exactly.  Stages already carrying an
+        online ``refit`` fact are left alone -- on a shared plane the
+        refitter's trace-derived coefficients outrank offline profile
+        fits, so a broker reseed never rolls them back.
+        """
+        if not kb.has_profile(app):
+            return self._epoch
+        profile = kb.profile(app)
+        facts = []
+        for index in profile.stage_indices:
+            current = self._facts.get((app, index))
+            if current is not None and current.provenance == "refit":
+                continue
+            stage = profile.stage(index)
+            if not stage.has_linear_fit:
+                continue
+            fit = stage.linear_fit
+            ram = 4.0
+            for obs in stage.observations:
+                ram = max(ram, obs.ram_gb)
+            facts.append(
+                StageFact(
+                    app=app,
+                    stage=index,
+                    a=fit.slope,
+                    b=fit.intercept,
+                    c=stage.parallel_fraction,
+                    ram_gb=ram,
+                    provenance="profile",
+                    samples=len(stage),
+                    confidence=max(min(fit.r_squared, 1.0), 0.0),
+                )
+            )
+        return self.install(facts)
+
+    # -- reading ------------------------------------------------------------
+    def get(self, app: str, stage: int) -> Optional[StageFact]:
+        """The fact for (*app*, *stage*), or None."""
+        return self._facts.get((app, stage))
+
+    def facts(self, app: Optional[str] = None) -> list[StageFact]:
+        """All facts (optionally one app's), sorted by (app, stage)."""
+        rows = [
+            fact
+            for key, fact in self._facts.items()
+            if app is None or key[0] == app
+        ]
+        return sorted(rows, key=lambda f: (f.app, f.stage))
+
+    def apps(self) -> list[str]:
+        """Applications with at least one fact, sorted."""
+        return sorted({app for app, _ in self._facts})
+
+    def stage_models(self, app: str) -> list[StageModel]:
+        """Clamped stage models for *app*, ordered by stage index."""
+        facts = self.facts(app)
+        if not facts:
+            raise KnowledgeBaseError(f"knowledge plane has no facts for {app!r}")
+        return [fact.to_stage_model() for fact in facts]
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able snapshot: epoch + every fact (``scan-sim kb``)."""
+        return {
+            "epoch": self._epoch,
+            "facts": [fact.as_dict() for fact in self.facts()],
+        }
+
+    # -- persistence (ontology triple store) ---------------------------------
+    def persist(self, ontology: Any) -> int:
+        """Write every fact as a ``PerformanceFact`` individual.
+
+        *ontology* is a :class:`~repro.ontology.scan_ontology.ScanOntology`;
+        the facts ride the same triple store (and Turtle serialisation) as
+        the paper's GATK1/GATK2/... profiling individuals.  Returns the
+        number of individuals written.
+        """
+        cls = _fact_class(ontology)
+        for fact in self.facts():
+            ind = ontology.domain.individual(
+                f"Fact_{fact.app}_stage{fact.stage}", cls
+            )
+            ind.set("appName", fact.app)
+            ind.set("stage", int(fact.stage))
+            ind.set("coefA", float(fact.a))
+            ind.set("coefB", float(fact.b))
+            ind.set("coefC", -1.0 if fact.c is None else float(fact.c))
+            ind.set("RAM", float(fact.ram_gb))
+            ind.set("provenance", fact.provenance)
+            ind.set("samples", int(fact.samples))
+            ind.set("confidence", float(fact.confidence))
+            ind.set("factEpoch", int(fact.epoch))
+        return len(self._facts)
+
+    @classmethod
+    def restore(cls, ontology: Any) -> "KnowledgePlane":
+        """Rebuild a plane from ``PerformanceFact`` individuals."""
+        plane = cls()
+        fact_cls = ontology.domain.get_class("PerformanceFact")
+        if fact_cls is None:
+            return plane
+        facts = []
+        for ind in fact_cls.individuals():
+            app = ind.get("appName")
+            stage = ind.get("stage")
+            if app is None or stage is None:
+                continue
+            c_raw = float(ind.get("coefC", -1.0))
+            facts.append(
+                StageFact(
+                    app=str(app),
+                    stage=int(stage),
+                    a=float(ind.get("coefA", 0.0)),
+                    b=float(ind.get("coefB", 0.0)),
+                    c=None if c_raw < 0 else c_raw,
+                    ram_gb=float(ind.get("RAM", 4.0)),
+                    provenance=str(ind.get("provenance", "model")),
+                    samples=int(ind.get("samples", 0)),
+                    confidence=float(ind.get("confidence", 1.0)),
+                )
+            )
+        plane.install(facts)
+        return plane
+
+
+def _fact_class(ontology: Any):
+    """The (declared-on-demand) ``PerformanceFact`` ontology class."""
+    cls = ontology.domain.get_class("PerformanceFact")
+    if cls is None:
+        cls = ontology.domain.declare_class("PerformanceFact")
+        for prop in (
+            "coefA",
+            "coefB",
+            "coefC",
+            "provenance",
+            "samples",
+            "confidence",
+            "factEpoch",
+        ):
+            ontology.domain.declare_datatype_property(prop, domain=cls)
+    return cls
+
+
+def diff_snapshots(
+    before: dict[str, Any], after: dict[str, Any], rel_tol: float = 1e-12
+) -> list[str]:
+    """Human-readable changes between two :meth:`KnowledgePlane.snapshot`\\ s."""
+
+    def _index(snap: dict[str, Any]) -> dict[tuple[str, int], dict[str, Any]]:
+        return {(f["app"], f["stage"]): f for f in snap.get("facts", ())}
+
+    old, new = _index(before), _index(after)
+    lines: list[str] = []
+    if before.get("epoch") != after.get("epoch"):
+        lines.append(
+            f"epoch: {before.get('epoch')} -> {after.get('epoch')}"
+        )
+    for key in sorted(set(old) | set(new)):
+        app, stage = key
+        if key not in old:
+            fact = new[key]
+            lines.append(
+                f"+ {app} stage {stage}: a={fact['a']:.6g} b={fact['b']:.6g} "
+                f"({fact['provenance']}, n={fact['samples']})"
+            )
+            continue
+        if key not in new:
+            lines.append(f"- {app} stage {stage}: removed")
+            continue
+        changes = []
+        for field_name in ("a", "b", "c", "provenance", "samples"):
+            ov, nv = old[key][field_name], new[key][field_name]
+            if isinstance(ov, float) and isinstance(nv, float):
+                scale = max(abs(ov), abs(nv), 1e-12)
+                if abs(ov - nv) / scale <= rel_tol:
+                    continue
+                changes.append(f"{field_name}: {ov:.6g} -> {nv:.6g}")
+            elif ov != nv:
+                changes.append(f"{field_name}: {ov} -> {nv}")
+        if changes:
+            lines.append(f"~ {app} stage {stage}: " + ", ".join(changes))
+    return lines
+
+
+# -- online refitting --------------------------------------------------------
+#: One retained observation: (input_gb, threads, duration).
+_Obs = Tuple[float, int, float]
+
+
+def fit_stage_fact(
+    app: str,
+    stage: int,
+    observations: Iterable[_Obs],
+    prior: Optional[StageFact] = None,
+    min_samples: int = 4,
+) -> Optional[StageFact]:
+    """Batch-fit one stage's fact from (input_gb, threads, duration) triples.
+
+    The fit is *deterministically order-independent*: observations are
+    sorted before any floating-point accumulation, so any permutation of
+    the same multiset produces bit-identical coefficients (the Hypothesis
+    property in the test suite pins this).
+
+    Multi-threaded durations are normalised back to single-threaded
+    equivalents through the prior's Amdahl fraction ``c`` (online runs
+    rarely execute at ``threads=1``, so the de-Amdahl step is what lets a
+    production trace correct a mis-profiled ``a``/``b``).  Returns ``None``
+    when the data cannot support a fit (too few points, one distinct
+    size) -- the caller keeps the prior fact.
+    """
+    obs = sorted(observations)
+    if len(obs) < max(min_samples, 2):
+        return None
+    c = prior.c if prior is not None else None
+    ram_gb = prior.ram_gb if prior is not None else 4.0
+    xs: list[float] = []
+    ys: list[float] = []
+    for size, threads, duration in obs:
+        if threads == 1 or c is None:
+            equivalent = duration
+        else:
+            equivalent = duration / max(c / threads + (1.0 - c), 1e-9)
+        xs.append(size)
+        ys.append(equivalent)
+    if len(set(xs)) < 2:
+        return None
+    try:
+        fit = fit_linear(xs, ys)
+    except ValueError:
+        return None
+    return StageFact(
+        app=app,
+        stage=stage,
+        a=fit.slope,
+        b=fit.intercept,
+        c=c,
+        ram_gb=ram_gb,
+        provenance="refit",
+        samples=len(obs),
+        confidence=max(min(fit.r_squared, 1.0), 0.0),
+    )
+
+
+class OnlineRefitter:
+    """Streams realised stage durations back into the knowledge plane.
+
+    Subscribe it to a bus (:meth:`attach`) and every
+    :class:`~repro.core.bus.StageCompleted` event is retained; every
+    ``refit_every`` observations the affected stages are re-fit
+    (:func:`fit_stage_fact`) and the new facts installed, bumping the
+    plane epoch so EET memos and provider model tables rebuild.
+
+    The refitter is a passive bus subscriber: it never draws simulation
+    randomness or schedules events, so attaching it cannot perturb a run's
+    trajectory -- only its *estimates*.
+    """
+
+    def __init__(
+        self,
+        plane: KnowledgePlane,
+        refit_every: int = 8,
+        min_samples: int = 4,
+        max_observations: int = 4096,
+        metrics: Any = None,
+        clock: Any = None,
+    ) -> None:
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.plane = plane
+        self.refit_every = refit_every
+        self.min_samples = min_samples
+        self.max_observations = max_observations
+        self._clock = clock
+        self._observations: Dict[Tuple[str, int], List[_Obs]] = {}
+        self._dirty: set[Tuple[str, int]] = set()
+        self._since_refit = 0
+        self.observed = 0
+        self.refits = 0
+        self._refit_counter = None
+        self._epoch_gauge = None
+        self._error_hist = None
+        if metrics is not None:
+            self._refit_counter = metrics.counter(
+                "knowledge_refits", "Online refits installed into the plane"
+            )
+            self._epoch_gauge = metrics.gauge(
+                "knowledge_plane_epoch", "Current knowledge-plane epoch"
+            )
+            self._error_hist = metrics.histogram(
+                "estimate_error_ratio",
+                "Realised duration / plane-predicted duration per stage",
+                buckets=(0.25, 0.5, 0.75, 0.9, 1.1, 1.25, 1.5, 2.0, 4.0),
+            )
+
+    def attach(self, bus: EventBus) -> "OnlineRefitter":
+        """Subscribe to *bus*'s :class:`StageCompleted` events."""
+        bus.subscribe(StageCompleted, self.on_stage_completed)
+        return self
+
+    def on_stage_completed(self, event: StageCompleted) -> None:
+        self.observe(
+            event.app, event.stage, event.input_gb, event.threads, event.duration
+        )
+
+    def observe(
+        self, app: str, stage: int, input_gb: float, threads: int, duration: float
+    ) -> None:
+        """Fold one realised duration in; refit when the cadence is due."""
+        key = (app, stage)
+        prior = self.plane.get(app, stage)
+        if self._error_hist is not None and prior is not None:
+            predicted = prior.predict(input_gb, threads)
+            if predicted > 0:
+                self._error_hist.observe(duration / predicted)
+        retained = self._observations.setdefault(key, [])
+        retained.append((float(input_gb), int(threads), float(duration)))
+        if len(retained) > self.max_observations:
+            del retained[0 : len(retained) - self.max_observations]
+        self._dirty.add(key)
+        self.observed += 1
+        self._since_refit += 1
+        if self._since_refit >= self.refit_every:
+            self.refit()
+
+    def refit(self) -> int:
+        """Re-fit every stage touched since the last refit; returns epoch."""
+        self._since_refit = 0
+        facts: list[StageFact] = []
+        fitted_keys: list[Tuple[str, int]] = []
+        for key in sorted(self._dirty):
+            app, stage = key
+            prior = self.plane.get(app, stage)
+            fact = fit_stage_fact(
+                app,
+                stage,
+                self._observations[key],
+                prior=prior,
+                min_samples=self.min_samples,
+            )
+            if fact is not None:
+                facts.append(fact)
+                fitted_keys.append(key)
+        if not facts:
+            return self.plane.epoch
+        now = float(self._clock()) if self._clock is not None else 0.0
+        priors = {key: self.plane.get(*key) for key in fitted_keys}
+        epoch = self.plane.install(facts)
+        for key, fact in zip(fitted_keys, facts):
+            self._dirty.discard(key)
+            prior = priors[key]
+            self.plane.history.append(
+                RefitRecord(
+                    time=now,
+                    app=fact.app,
+                    stage=fact.stage,
+                    old_a=prior.a if prior is not None else float("nan"),
+                    old_b=prior.b if prior is not None else float("nan"),
+                    new_a=fact.a,
+                    new_b=fact.b,
+                    samples=fact.samples,
+                    epoch=epoch,
+                )
+            )
+        self.refits += 1
+        if self._refit_counter is not None:
+            self._refit_counter.inc()
+        if self._epoch_gauge is not None:
+            self._epoch_gauge.set(float(epoch))
+        return epoch
+
+    def flush(self) -> int:
+        """Force a refit of everything pending (end-of-run, tests)."""
+        return self.refit()
+
+
+# -- providers ----------------------------------------------------------------
+class EstimateProvider(Protocol):
+    """The one read interface every estimate consumer goes through."""
+
+    @property
+    def epoch(self) -> int:
+        """Model version; consumers invalidate memos when it moves."""
+        ...
+
+    @property
+    def n_stages(self) -> int: ...
+
+    def stage_model(self, stage: int) -> StageModel:
+        """The current (clamped) model for *stage*."""
+        ...
+
+    def eet(self, stage: int, size_gb: float, threads: int) -> float:
+        """Estimated execution time T_i(t, d) under the current facts."""
+        ...
+
+
+#: Plugin registry of estimate providers (``static`` / ``adaptive``).
+ESTIMATE_PROVIDERS: "Registry[EstimateProvider]" = Registry("estimates")
+
+
+@ESTIMATE_PROVIDERS.register("static")
+class StaticEstimateProvider:
+    """Frozen profiled coefficients: the pre-plane behaviour, exactly.
+
+    ``eet`` delegates straight to the application model's
+    ``threaded_time`` -- the same floats as before the refactor, pinned by
+    the golden sweep fixtures.  The epoch never moves, so EET memos built
+    over this provider are never invalidated.
+    """
+
+    def __init__(self, app: ApplicationModel, plane: Any = None, **_: Any) -> None:
+        self.app = app
+
+    @property
+    def epoch(self) -> int:
+        return 0
+
+    @property
+    def n_stages(self) -> int:
+        return self.app.n_stages
+
+    def stage_model(self, stage: int) -> StageModel:
+        return self.app.stage(stage)
+
+    def eet(self, stage: int, size_gb: float, threads: int) -> float:
+        return self.app.stage(stage).threaded_time(threads, size_gb)
+
+
+@ESTIMATE_PROVIDERS.register("adaptive")
+class AdaptiveEstimateProvider:
+    """Serves the knowledge plane's latest facts; re-reads after refits.
+
+    Stage models are materialised once per plane epoch (a refit bumps the
+    epoch, the next read rebuilds the table).  Stages without facts fall
+    back to the application model's profiled coefficients, so a cold plane
+    behaves like the static provider.
+    """
+
+    def __init__(self, app: ApplicationModel, plane: KnowledgePlane, **_: Any) -> None:
+        if plane is None:
+            raise KnowledgeBaseError(
+                "adaptive estimate provider requires a knowledge plane"
+            )
+        self.app = app
+        self.plane = plane
+        if not plane.facts(app.name):
+            plane.seed_from_model(app)
+        self._models: Dict[int, StageModel] = {}
+        self._models_epoch = -1
+
+    @property
+    def epoch(self) -> int:
+        return self.plane.epoch
+
+    @property
+    def n_stages(self) -> int:
+        return self.app.n_stages
+
+    def _refresh(self) -> None:
+        if self._models_epoch == self.plane.epoch:
+            return
+        models: Dict[int, StageModel] = {}
+        for index in range(self.app.n_stages):
+            fact = self.plane.get(self.app.name, index)
+            if fact is None:
+                models[index] = self.app.stage(index)
+            else:
+                models[index] = fact.to_stage_model(
+                    name=self.app.stage(index).name
+                )
+        self._models = models
+        self._models_epoch = self.plane.epoch
+
+    def stage_model(self, stage: int) -> StageModel:
+        self._refresh()
+        return self._models[stage]
+
+    def eet(self, stage: int, size_gb: float, threads: int) -> float:
+        self._refresh()
+        return self._models[stage].threaded_time(threads, size_gb)
+
+
+class FactProvider:
+    """An :class:`EstimateProvider` view over one app's plane facts alone.
+
+    The broker side has no :class:`ApplicationModel` in scope (it knows
+    applications by name), so its provider is backed purely by installed
+    facts.  ``eet`` uses the *unclamped* :meth:`StageFact.predict`
+    arithmetic, which reproduces the knowledge base's profile-fit
+    predictions float-for-float -- the shard advisor's historical numbers.
+    """
+
+    def __init__(self, plane: KnowledgePlane, app: str) -> None:
+        self.plane = plane
+        self.app = app
+
+    @property
+    def epoch(self) -> int:
+        return self.plane.epoch
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.plane.facts(self.app))
+
+    def stages(self) -> list[int]:
+        """Stage indices with installed facts, sorted."""
+        return [fact.stage for fact in self.plane.facts(self.app)]
+
+    def stage_model(self, stage: int) -> StageModel:
+        fact = self.plane.get(self.app, stage)
+        if fact is None:
+            raise KnowledgeBaseError(
+                f"no fact for {self.app!r} stage {stage} in the plane"
+            )
+        return fact.to_stage_model()
+
+    def eet(self, stage: int, size_gb: float, threads: int) -> float:
+        fact = self.plane.get(self.app, stage)
+        if fact is None:
+            raise KnowledgeBaseError(
+                f"no fact for {self.app!r} stage {stage} in the plane"
+            )
+        return fact.predict(size_gb, threads)
+
+
+def drifted_model(app: ApplicationModel, factor: float) -> ApplicationModel:
+    """*app* with every stage's linear coefficients scaled by *factor*.
+
+    Models ground-truth drift: the platform plans with the profiled
+    coefficients while execution follows the drifted ones (the scheduler's
+    ``actual_app`` seam).  Amdahl fractions and RAM footprints are left
+    alone -- drift in a/b is what the online refitter can recover from
+    production traces.
+    """
+    if factor <= 0:
+        raise ValueError(f"drift factor must be positive, got {factor}")
+    if factor == 1.0:
+        return app
+    stages = tuple(
+        replace(stage, a=stage.a * factor, b=stage.b * factor)
+        for stage in app.stages
+    )
+    return replace(app, stages=stages)
+
+
+def make_estimate_provider(
+    kind: Any,
+    app: ApplicationModel,
+    plane: Optional[KnowledgePlane] = None,
+    **kwargs: Any,
+) -> EstimateProvider:
+    """Instantiate the estimate provider registered under *kind*."""
+    return ESTIMATE_PROVIDERS.create(kind, app=app, plane=plane, **kwargs)

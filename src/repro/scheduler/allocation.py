@@ -25,6 +25,7 @@ from repro.apps.base import ApplicationModel, ExecutionPlan, StageModel
 from repro.core.config import AllocationAlgorithm
 from repro.core.errors import SchedulingError
 from repro.core.plugins import Registry
+from repro.knowledge.plane import EstimateProvider
 from repro.scheduler.costs import TieredCostFunction
 from repro.scheduler.estimator import PipelineEstimator
 from repro.scheduler.rewards import RewardFunction
@@ -57,6 +58,17 @@ class AllocationContext:
     costs: TieredCostFunction
     thread_choices: tuple[int, ...]
     now: float
+    #: The knowledge plane's read interface.  Policies resolve stage
+    #: models through :meth:`stage_model`, never through the application's
+    #: raw coefficients, so refit facts reach every decision path.  Left
+    #: ``None`` by bare test fixtures; the scheduler always supplies it.
+    estimates: Optional[EstimateProvider] = None
+
+    def stage_model(self, job: Job, stage: int) -> StageModel:
+        """The current model for *stage* (plane-backed when wired)."""
+        if self.estimates is not None:
+            return self.estimates.stage_model(stage)
+        return job.app.stage(stage)
 
 
 class AllocationPolicy(Protocol):
@@ -133,7 +145,7 @@ def _optimise_plan(
         value = ctx.reward.marginal_value(max(ett, 0.0), job.records)
         for stage_idx in range(from_stage, app.n_stages):
             current[stage_idx] = _best_stage_threads(
-                app.stage(stage_idx),
+                ctx.stage_model(job, stage_idx),
                 job.input_gb,
                 value,
                 core_cost,
@@ -157,7 +169,11 @@ class GreedyAllocation:
         value = ctx.reward.marginal_value(max(ett, 0.0), job.records)
         core_cost = ctx.costs.marginal_core_cost(1)
         return _best_stage_threads(
-            job.app.stage(stage), job.input_gb, value, core_cost, ctx.thread_choices
+            ctx.stage_model(job, stage),
+            job.input_gb,
+            value,
+            core_cost,
+            ctx.thread_choices,
         )
 
 

@@ -24,6 +24,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.apps.base import ApplicationModel
 from repro.core.errors import SchedulingError
+from repro.knowledge.plane import EstimateProvider, StaticEstimateProvider
 from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.tasks import Job, StageTask
 
@@ -34,11 +35,21 @@ __all__ = [
     "delay_cost_terms",
     "eet_cache_stats",
     "reset_eet_cache_stats",
+    "eet_cell_stats",
+    "reset_eet_cell_stats",
 ]
 
 #: Process-wide EET memo counters, aggregated across every estimator
-#: instance; the parallel sweep executor exports these per worker task.
+#: instance for the lifetime of the process.  Never reset by the sweep
+#: machinery -- per-cell accounting lives in :data:`_EET_CELL_STATS` and
+#: per-estimator accounting on the instances themselves.
 _EET_CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: Cell-scoped EET memo counters: zeroed at the top of every sweep cell
+#: (:func:`repro.sim.sweep.run_cell`), so a cell's reported hit rate only
+#: covers its own sessions -- earlier cells in the same worker process no
+#: longer contaminate it.
+_EET_CELL_STATS = {"hits": 0, "misses": 0}
 
 #: Entries an estimator's EET memo may hold before it is dropped and
 #: rebuilt (sizes are continuous, so an unbounded dict could grow with
@@ -57,14 +68,42 @@ def reset_eet_cache_stats() -> None:
     _EET_CACHE_STATS["misses"] = 0
 
 
-class PipelineEstimator:
-    """Per-application time estimation for scheduling decisions."""
+def eet_cell_stats() -> dict[str, int]:
+    """Cell-scoped EET memo hit/miss counters (a copy)."""
+    return dict(_EET_CELL_STATS)
 
-    def __init__(self, app: ApplicationModel, eqt_alpha: float = 0.3) -> None:
+
+def reset_eet_cell_stats() -> None:
+    """Zero the cell-scoped EET memo counters (sweep cell boundaries)."""
+    _EET_CELL_STATS["hits"] = 0
+    _EET_CELL_STATS["misses"] = 0
+
+
+class PipelineEstimator:
+    """Per-application time estimation for scheduling decisions.
+
+    EET reads go through an :class:`~repro.knowledge.plane.EstimateProvider`
+    (default: a :class:`~repro.knowledge.plane.StaticEstimateProvider`
+    over *app*, which reproduces the profiled coefficients exactly).  The
+    provider's ``epoch`` guards the EET memo: when an online refit bumps
+    the knowledge-plane epoch, the next ``eet`` call drops the memo --
+    the same invalidation contract the SPARQL result cache has with
+    ``TripleStore.epoch``.
+    """
+
+    def __init__(
+        self,
+        app: ApplicationModel,
+        eqt_alpha: float = 0.3,
+        estimates: Optional[EstimateProvider] = None,
+    ) -> None:
         if not 0.0 < eqt_alpha <= 1.0:
             raise SchedulingError("eqt_alpha must lie in (0, 1]")
         self.app = app
         self.eqt_alpha = eqt_alpha
+        self.estimates: EstimateProvider = (
+            estimates if estimates is not None else StaticEstimateProvider(app)
+        )
         self._eqt = [0.0] * app.n_stages
         self._eqt_seen = [0] * app.n_stages
         # EET memo: (stage, size bucket, threads) -> T_i(t, d).  Buckets
@@ -72,6 +111,15 @@ class PipelineEstimator:
         # and break serial/parallel bit-equivalence; repeats come from the
         # scheduler re-evaluating the same jobs at every decision point.
         self._eet_cache: dict[tuple[int, float, int], float] = {}
+        self._cache_epoch = self.estimates.epoch
+        #: Per-instance memo counters (session-scoped; the module globals
+        #: keep the process aggregate and per-sweep-cell views).
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def cache_stats(self) -> dict[str, int]:
+        """This estimator's own memo hit/miss counters (a copy)."""
+        return {"hits": self.cache_hits, "misses": self.cache_misses}
 
     # -- EQT ----------------------------------------------------------------
     def observe_queue_wait(self, stage: int, wait: float) -> None:
@@ -98,13 +146,23 @@ class PipelineEstimator:
         decision, so the memo turns the inner Eq. 1/Eq. 2 loops into dict
         lookups.  Cached values are the uncached computation's exact floats.
         """
+        if self._cache_epoch != self.estimates.epoch:
+            # The knowledge plane installed new facts: every memoised EET
+            # is stale.  Same move as the SPARQL result cache on a store
+            # epoch bump.
+            self._eet_cache.clear()
+            self._cache_epoch = self.estimates.epoch
         key = (stage, size, threads)
         value = self._eet_cache.get(key)
         if value is not None:
+            self.cache_hits += 1
             _EET_CACHE_STATS["hits"] += 1
+            _EET_CELL_STATS["hits"] += 1
             return value
+        self.cache_misses += 1
         _EET_CACHE_STATS["misses"] += 1
-        value = self.app.stage(stage).threaded_time(threads, size)
+        _EET_CELL_STATS["misses"] += 1
+        value = self.estimates.eet(stage, size, threads)
         if len(self._eet_cache) >= EET_CACHE_SIZE:
             self._eet_cache.clear()
         self._eet_cache[key] = value

@@ -19,8 +19,9 @@ online instead of trusting the analytical model:
   scalability differs from the profiled c_i).
 
 The policy plugs into the scheduler exactly like the Table I algorithms
-(``on_submit`` / ``threads_for_stage``) plus one feedback hook the
-scheduler calls on stage completion.
+(``on_submit`` / ``threads_for_stage``); its feedback arrives as a
+:class:`~repro.core.bus.StageCompleted` bus subscription the scheduler
+wires at construction (``observe_completion`` is the handler's target).
 """
 
 from __future__ import annotations
@@ -147,8 +148,10 @@ class LearnedAllocation:
         arm = self._arms.get((stage, band, threads))
         if arm is not None and arm.pulls > 0:
             return arm.mean_duration
-        # Cold start: fall back to the analytical stage model.
-        return job.app.stage(stage).threaded_time(threads, job.input_gb)
+        # Cold start: the knowledge plane's current prior, through the
+        # estimator's memoised EET path (with the static provider this is
+        # the analytical stage model's exact floats).
+        return ctx.estimator.eet(stage, job.input_gb, threads)
 
     # -- introspection ------------------------------------------------------------
     def arm_table(self) -> dict[tuple[int, int, int], tuple[int, float]]:

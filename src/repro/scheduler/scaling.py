@@ -245,7 +245,11 @@ class PredictiveScale:
                             horizon=self.horizon_tu)
 
         threads = task.threads if task.threads is not None else cores
-        duration = task.execution_time(max(threads, 1))
+        # Premium-side duration through the knowledge plane (the memoised
+        # EET path), so a refit corrects the hire-or-wait margin too.
+        duration = ctx.estimator.eet(
+            task.stage, task.job.input_gb, max(threads, 1)
+        )
         premium = ctx.costs.public_premium(
             cores, duration, startup_penalty_tu=ctx.startup_penalty_tu
         )

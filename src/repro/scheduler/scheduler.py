@@ -46,6 +46,7 @@ from repro.core.bus import (
     JobCompleted,
     JobFailed,
     ScalingDecisionMade,
+    StageCompleted,
     TaskDeadLettered,
     TaskFinished,
     TaskQueued,
@@ -59,6 +60,7 @@ from repro.core.config import ResilienceConfig, SchedulerConfig
 from repro.core.errors import SchedulingError, TransientDeployError
 from repro.core.events import EventKind, EventLog
 from repro.desim.engine import Environment
+from repro.knowledge.plane import EstimateProvider
 from repro.scheduler.allocation import AllocationContext, AllocationPolicy
 from repro.scheduler.costs import TieredCostFunction
 from repro.scheduler.estimator import PipelineEstimator
@@ -110,6 +112,7 @@ class SCANScheduler:
         resilience: Optional[ResilienceConfig] = None,
         telemetry: "Optional[TelemetryHub]" = None,
         bus: Optional[EventBus] = None,
+        estimates: Optional[EstimateProvider] = None,
     ) -> None:
         self.env = env
         self.app = app
@@ -158,7 +161,9 @@ class SCANScheduler:
         )
 
         self.queues = QueueSet(app.n_stages, start_time=env.now)
-        self.estimator = PipelineEstimator(app, eqt_alpha=self.config.eqt_alpha)
+        self.estimator = PipelineEstimator(
+            app, eqt_alpha=self.config.eqt_alpha, estimates=estimates
+        )
         self.costs = TieredCostFunction(infrastructure)
         self.pools = WorkerPools(
             env,
@@ -186,6 +191,18 @@ class SCANScheduler:
         #: the queue quarantines.
         self.bus = bus if bus is not None else EventBus()
         self.bus.subscribe(TaskDeadLettered, self._on_dead_letter)
+
+        # Learning-guided policies (paper Section VI future work) get the
+        # realised duration as their reward signal -- delivered through the
+        # bus as a StageCompleted subscription, not a bespoke callback, so
+        # the feedback path is the same one the online refitter uses.
+        observe = getattr(allocation, "observe_completion", None)
+        if observe is not None:
+
+            def _feed_learner(event: StageCompleted, _observe=observe) -> None:
+                _observe(event.job_obj, event.stage, event.threads, event.duration)
+
+            self.bus.subscribe(StageCompleted, _feed_learner)
 
         # Telemetry is threaded in as a hub (None = disabled) and consumes
         # the bus through passive adapters.  repro.telemetry is only
@@ -245,6 +262,7 @@ class SCANScheduler:
             costs=self.costs,
             thread_choices=self.config.thread_choices,
             now=self.env.now,
+            estimates=self.estimator.estimates,
         )
 
     def _enqueue(self, job: Job, stage: int) -> None:
@@ -452,9 +470,9 @@ class SCANScheduler:
             threads = task.threads
             # Instance sizing honours the stage's memory footprint too: a
             # 8 GB stage cannot run on a 1-core/4 GB instance even
-            # single-threaded.
+            # single-threaded.  The footprint is a knowledge-plane fact.
             cores = self.celar.fit_size(
-                threads, ram_gb=self.app.stage(stage).ram_gb
+                threads, ram_gb=self.estimator.estimates.stage_model(stage).ram_gb
             )
 
             worker = self.pools.acquire(self.app.worker_class, cores)
@@ -803,11 +821,23 @@ class SCANScheduler:
                     worker.tier.value,
                 )
             )
-        # Learning-guided policies (paper Section VI future work) get the
-        # realised duration as their reward signal.
-        observe = getattr(self.allocation, "observe_completion", None)
-        if observe is not None:
-            observe(job, stage, threads, duration)
+        # The knowledge loop's feedback edge: realised durations flow to
+        # whoever subscribed (learning policies, the online refitter).
+        # `input_gb` is the stage-model axis (job.input_gb), unlike the
+        # legacy EventLog record above which carries the reward-unit size.
+        if StageCompleted in self.bus:
+            self.bus.publish(
+                StageCompleted(
+                    finished_at,
+                    job.name,
+                    self.app.name,
+                    stage,
+                    job.input_gb,
+                    threads,
+                    duration,
+                    job,
+                )
+            )
 
         self.pools.release(worker)
         if loser is not None and loser.process.is_alive:

@@ -35,6 +35,13 @@ from repro.core.config import AllocationAlgorithm, PlatformConfig
 from repro.core.events import EventLog
 from repro.desim.engine import Environment
 from repro.desim.rng import RandomStreams
+from repro.knowledge.plane import (
+    EstimateProvider,
+    KnowledgePlane,
+    OnlineRefitter,
+    drifted_model,
+    make_estimate_provider,
+)
 from repro.scheduler.allocation import (
     AllocationPolicy,
     find_best_constant_plan,
@@ -72,6 +79,11 @@ class BuiltPlatform:
     event_log: EventLog
     scheduler: SCANScheduler
     factory: JobFactory
+    #: The knowledge plane behind every estimate, and its online refitter
+    #: (None when the static provider needs no feedback loop).
+    plane: Optional[KnowledgePlane] = None
+    estimates: Optional[EstimateProvider] = None
+    refitter: Optional[OnlineRefitter] = None
 
 
 class PlatformBuilder:
@@ -90,6 +102,10 @@ class PlatformBuilder:
         self.registry = registry if registry is not None else default_registry()
         self.capture_events = capture_events
         self.app: ApplicationModel = self.registry.get(config.application)
+        # Ground-truth drift: plan with the profiled model, execute the
+        # drifted one.  An explicit actual_app wins over the config knob.
+        if actual_app is None and config.knowledge.model_drift != 1.0:
+            actual_app = drifted_model(self.app, config.knowledge.model_drift)
         self.actual_app = actual_app
         self.observers: list[Observer] = list(observers)
         # The offline best-constant plan depends only on the configuration,
@@ -174,6 +190,39 @@ class PlatformBuilder:
         """Stage 5b: the flight-recorder event log."""
         return EventLog(capture=self.capture_events)
 
+    def build_knowledge(
+        self,
+        env: Environment,
+        bus: EventBus,
+        hub: "Optional[TelemetryHub]",
+    ) -> tuple[KnowledgePlane, EstimateProvider, Optional[OnlineRefitter]]:
+        """Stage 5c: the knowledge plane and its estimate provider.
+
+        The default ``static`` provider reads the profiled application
+        model directly (bit-identical to a build without the plane) and
+        attaches no refitter, so no :class:`StageCompleted` subscriber
+        exists and the scheduler never constructs the event.  Any other
+        provider gets an :class:`OnlineRefitter` streaming stage-finish
+        observations into fresh model snapshots.
+        """
+        know = self.config.knowledge
+        plane = KnowledgePlane()
+        provider = make_estimate_provider(
+            know.provider, app=self.app, plane=plane
+        )
+        refitter: Optional[OnlineRefitter] = None
+        if know.provider != "static":
+            refitter = OnlineRefitter(
+                plane,
+                refit_every=know.refit_every,
+                min_samples=know.min_samples,
+                max_observations=know.max_observations,
+                metrics=hub.metrics if hub is not None else None,
+                clock=lambda: env.now,
+            )
+            refitter.attach(bus)
+        return plane, provider, refitter
+
     def build_scheduler(
         self,
         env: Environment,
@@ -186,6 +235,7 @@ class PlatformBuilder:
         injector: Optional[FaultInjector],
         hub: "Optional[TelemetryHub]",
         bus: EventBus,
+        estimates: Optional[EstimateProvider] = None,
     ) -> SCANScheduler:
         """Stage 6: the scheduler itself (publishes on *bus*)."""
         return SCANScheduler(
@@ -203,6 +253,7 @@ class PlatformBuilder:
             resilience=self.config.resilience,
             telemetry=hub,
             bus=bus,
+            estimates=estimates,
         )
 
     def build_job_factory(self) -> JobFactory:
@@ -240,6 +291,7 @@ class PlatformBuilder:
         scaling = self.build_scaling()
         bus = self.build_bus()
         event_log = self.build_event_log()
+        plane, estimates, refitter = self.build_knowledge(env, bus, hub)
         scheduler = self.build_scheduler(
             env,
             infrastructure,
@@ -251,6 +303,7 @@ class PlatformBuilder:
             injector,
             hub,
             bus,
+            estimates,
         )
         scheduler.start()
         platform = BuiltPlatform(
@@ -266,6 +319,9 @@ class PlatformBuilder:
             event_log=event_log,
             scheduler=scheduler,
             factory=self.build_job_factory(),
+            plane=plane,
+            estimates=estimates,
+            refitter=refitter,
         )
         self.attach_observers(bus, platform)
         return platform

@@ -190,12 +190,20 @@ class _TaskResult:
 def collect_cache_stats() -> dict[str, dict[str, int]]:
     """Snapshot of this process's hot-path cache counters.
 
-    Covers the SPARQL plan/result caches and the estimator's EET memo;
-    workers report the per-task delta of these so the driver can export
-    aggregate hit rates through the telemetry metrics registry.
+    Covers the SPARQL plan/result caches and the estimator's EET memo
+    (process aggregate -- see :func:`_sparql_stats` / the cell-scoped
+    counters in :mod:`repro.scheduler.estimator` for the per-task path).
     """
-    from repro.ontology.sparql import cache_stats as sparql_stats
     from repro.scheduler.estimator import eet_cache_stats
+
+    out = _sparql_stats()
+    out["estimator_eet"] = eet_cache_stats()
+    return out
+
+
+def _sparql_stats() -> dict[str, dict[str, int]]:
+    """The SPARQL plan/result cache counters alone."""
+    from repro.ontology.sparql import cache_stats as sparql_stats
 
     sparql = sparql_stats()
     return {
@@ -207,7 +215,6 @@ def collect_cache_stats() -> dict[str, dict[str, int]]:
             "hits": sparql["result_hits"],
             "misses": sparql["result_misses"],
         },
-        "estimator_eet": eet_cache_stats(),
     }
 
 
@@ -224,15 +231,24 @@ def _stats_delta(
 
 
 def _run_task(payload: _TaskPayload) -> _TaskResult:
-    """Worker entry point: run one cell slice through the serial code path."""
-    before = collect_cache_stats()
+    """Worker entry point: run one cell slice through the serial code path.
+
+    SPARQL counters are process-wide (never reset), so this task's share
+    is a before/after delta.  The estimator's EET counters are read from
+    the cell-scoped tier, which ``run_cell`` zeroes on entry -- a reused
+    pool process cannot leak earlier cells' hits into this task's rate.
+    """
+    from repro.scheduler.estimator import eet_cell_stats
+
+    before = _sparql_stats()
     row = run_cell(payload.base, payload.cell, seeds=payload.seeds)
-    after = collect_cache_stats()
+    stats = _stats_delta(before, _sparql_stats())
+    stats["estimator_eet"] = eet_cell_stats()
     return _TaskResult(
         cell_index=payload.cell_index,
         rep_start=payload.rep_start,
         row=row,
-        cache_stats=_stats_delta(before, after),
+        cache_stats=stats,
     )
 
 

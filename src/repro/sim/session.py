@@ -73,6 +73,10 @@ class SimulationSession:
         self.scheduler: Optional[SCANScheduler] = None
         self.event_log: Optional[EventLog] = None
         self.bus: Optional[EventBus] = None
+        #: Knowledge plane / refitter of the most recent run (refitter is
+        #: None under the static provider -- no feedback loop exists).
+        self.plane = None
+        self.refitter = None
         self._factory: Optional[JobFactory] = None
         #: Telemetry hub of the most recent run; None while telemetry is
         #: disabled (the default) -- the subsystem is then never imported.
@@ -102,6 +106,8 @@ class SimulationSession:
         self.scheduler = platform.scheduler
         self.event_log = platform.event_log
         self.bus = platform.bus
+        self.plane = platform.plane
+        self.refitter = platform.refitter
         self._factory = platform.factory
         if self.on_build is not None:
             self.on_build(self)

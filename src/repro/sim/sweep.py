@@ -138,7 +138,15 @@ def run_cell(
     process-pool executor in :mod:`repro.sim.parallel`: both produce rows
     through this exact code path, which is what makes serial and parallel
     sweeps bit-identical.
+
+    The estimator's cell-scoped EET-memo counters are zeroed on entry, so
+    after this returns :func:`repro.scheduler.estimator.eet_cell_stats`
+    reports this cell's hits/misses alone -- earlier cells run by the same
+    (possibly reused) process never contaminate the rate.
     """
+    from repro.scheduler.estimator import reset_eet_cell_stats
+
+    reset_eet_cell_stats()
     config = apply_cell(base, cell)
     results = run_repetitions(
         config,

@@ -313,3 +313,74 @@ class TestRunConfigSources:
     def test_unknown_preset_run_is_error(self, capsys):
         assert main(["run", "--preset", "nope"]) == 2
         assert "unknown preset" in capsys.readouterr().err
+
+
+class TestEstimatesFlag:
+    def test_run_accepts_adaptive_provider(self, capsys):
+        code = main(["run", "--duration", "100", "--seed", "1",
+                     "--estimates", "adaptive"])
+        assert code == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_unknown_provider_is_error(self, capsys):
+        assert main(["run", "--duration", "50", "--estimates", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err
+        assert "static" in err
+
+
+class TestKb:
+    def test_parser_registers_kb(self):
+        args = build_parser().parse_args(
+            ["kb", "--diff", "a.json", "b.json"]
+        )
+        assert args.command == "kb"
+        assert args.diff == ["a.json", "b.json"]
+
+    def test_table_lists_model_facts(self, capsys):
+        assert main(["kb", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "knowledge plane @ epoch" in out
+        assert "gatk" in out
+        assert "model" in out
+
+    def test_json_snapshot_parses(self, capsys):
+        assert main(["kb", "--duration", "60", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["epoch"] >= 1
+        assert len(snapshot["facts"]) > 0
+        assert {"a", "b", "provenance"} <= set(snapshot["facts"][0])
+
+    def test_adaptive_session_dumps_refit_facts(self, capsys):
+        code = main(["kb", "--preset", "drift", "--estimates", "adaptive",
+                     "--duration", "300", "--json"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert any(f["provenance"] == "refit" for f in snapshot["facts"])
+
+    def test_snapshot_out_and_diff_round_trip(self, capsys, tmp_path):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        assert main(["kb", "--duration", "60", "--json",
+                     "--snapshot-out", str(before)]) == 0
+        assert main(["kb", "--preset", "drift", "--estimates", "adaptive",
+                     "--duration", "300", "--json",
+                     "--snapshot-out", str(after)]) == 0
+        capsys.readouterr()
+        assert main(["kb", "--diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "epoch:" in out
+        assert any(line.startswith("~ ") for line in out.splitlines())
+
+    def test_diff_identical_snapshots_says_no_changes(self, capsys, tmp_path):
+        snap = tmp_path / "snap.json"
+        assert main(["kb", "--duration", "60", "--json",
+                     "--snapshot-out", str(snap)]) == 0
+        capsys.readouterr()
+        assert main(["kb", "--diff", str(snap), str(snap)]) == 0
+        assert "no changes" in capsys.readouterr().out
+
+    def test_diff_missing_file_is_error(self, capsys, tmp_path):
+        assert main(["kb", "--diff", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 2
+        assert "cannot read snapshot" in capsys.readouterr().err

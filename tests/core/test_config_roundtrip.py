@@ -116,6 +116,10 @@ def platform_configs(draw) -> PlatformConfig:
             "enabled": draw(st.booleans()),
         },
         telemetry={"enabled": draw(st.booleans())},
+        knowledge={
+            "provider": draw(st.sampled_from(["static", "adaptive"])),
+            "refit_every": draw(st.integers(min_value=1, max_value=64)),
+        },
         simulation={
             "duration": draw(
                 st.floats(min_value=10.0, max_value=5000.0, allow_nan=False)

@@ -10,7 +10,8 @@ from repro.core.presets import PRESETS, make_preset, preset_names
 class TestPresets:
     def test_builtin_names(self):
         assert preset_names() == [
-            "busy", "chaos", "observed", "paper", "smoke", "throughput",
+            "busy", "chaos", "drift", "observed", "paper", "smoke",
+            "throughput",
         ]
 
     @pytest.mark.parametrize("name", PRESETS.names())
@@ -28,6 +29,9 @@ class TestPresets:
         assert make_preset("throughput").reward.scheme is RewardScheme.THROUGHPUT
         assert make_preset("chaos").faults.mtbf_tu == 40.0
         assert make_preset("observed").telemetry.enabled
+        drift = make_preset("drift")
+        assert drift.knowledge.model_drift == 0.5
+        assert drift.reward.scheme is RewardScheme.THROUGHPUT
 
     def test_unknown_preset_lists_registered(self):
         with pytest.raises(ConfigurationError, match="smoke"):

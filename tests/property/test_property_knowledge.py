@@ -1,0 +1,100 @@
+"""Property-based tests for the knowledge plane's online refitting.
+
+The load-bearing property: :func:`~repro.knowledge.plane.fit_stage_fact`
+sorts its observations before any floating-point accumulation, so an
+incremental refit fed the same multiset in *any* order must produce
+coefficients bit-identical to the batch fit.  That is what makes adaptive
+runs reproducible -- the order stages happen to complete in cannot change
+the installed facts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knowledge.plane import (
+    KnowledgePlane,
+    OnlineRefitter,
+    StageFact,
+    drifted_model,
+    fit_stage_fact,
+)
+
+_observation = st.tuples(
+    st.sampled_from([1.0, 2.0, 3.0, 5.0, 8.0, 13.0]),   # input_gb
+    st.sampled_from([1, 2, 4, 8]),                      # threads
+    st.floats(min_value=0.1, max_value=500.0,           # duration
+              allow_nan=False, allow_infinity=False),
+)
+
+_observation_sets = st.lists(
+    _observation, min_size=4, max_size=24
+).filter(lambda obs: len({size for size, _, _ in obs}) >= 2)
+
+
+@st.composite
+def _shuffled_observations(draw):
+    obs = draw(_observation_sets)
+    return obs, draw(st.permutations(obs))
+
+
+class TestRefitOrderInvariance:
+    @given(data=_shuffled_observations())
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_refit_equals_batch_fit_bit_exactly(self, data):
+        obs, shuffled = data
+        batch = fit_stage_fact("gatk", 0, obs, min_samples=2)
+
+        plane = KnowledgePlane()
+        refitter = OnlineRefitter(
+            plane, refit_every=10_000, min_samples=2
+        )
+        for size, threads, duration in shuffled:
+            refitter.observe("gatk", 0, size, threads, duration)
+        refitter.flush()
+        incremental = plane.get("gatk", 0)
+
+        if batch is None:
+            assert incremental is None
+            return
+        # == on raw floats, not approx: any permutation of the same
+        # multiset must install the exact same coefficients.
+        assert incremental.a == batch.a
+        assert incremental.b == batch.b
+        assert incremental.confidence == batch.confidence
+        assert incremental.samples == batch.samples
+
+    @given(data=_shuffled_observations())
+    @settings(max_examples=50, deadline=None)
+    def test_order_invariance_survives_an_amdahl_prior(self, data):
+        obs, shuffled = data
+        prior = StageFact(app="gatk", stage=0, a=1.0, b=1.0, c=0.75)
+        batch = fit_stage_fact("gatk", 0, obs, prior=prior, min_samples=2)
+
+        plane = KnowledgePlane()
+        plane.install([prior])
+        refitter = OnlineRefitter(plane, refit_every=10_000, min_samples=2)
+        for size, threads, duration in shuffled:
+            refitter.observe("gatk", 0, size, threads, duration)
+        refitter.flush()
+        incremental = plane.get("gatk", 0)
+
+        if batch is None:
+            assert incremental.provenance != "refit"
+            return
+        assert incremental.a == batch.a
+        assert incremental.b == batch.b
+        assert incremental.c == prior.c
+
+
+class TestDriftedModelProperties:
+    @given(factor=st.floats(min_value=0.05, max_value=20.0,
+                            allow_nan=False, allow_infinity=False))
+    @settings(max_examples=50, deadline=None)
+    def test_single_thread_times_scale_by_the_factor(self, factor, gatk_model):
+        drifted = drifted_model(gatk_model, factor)
+        for stage in range(gatk_model.n_stages):
+            assert drifted.stage(stage).execution_time(5.0) == pytest.approx(
+                gatk_model.stage(stage).execution_time(5.0) * factor,
+                rel=1e-9,
+            )

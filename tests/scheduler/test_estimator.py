@@ -86,6 +86,91 @@ class TestEETMemo:
         assert estimator.eet(0, 3.0) == estimator.eet(0, 3.0)
 
 
+class TestEETMemoEpochs:
+    def test_plane_epoch_bump_invalidates_memo(self, gatk_model):
+        from repro.knowledge.plane import (
+            AdaptiveEstimateProvider,
+            KnowledgePlane,
+            StageFact,
+        )
+
+        plane = KnowledgePlane()
+        provider = AdaptiveEstimateProvider(gatk_model, plane)
+        estimator = PipelineEstimator(gatk_model, estimates=provider)
+        before = estimator.eet(0, 5.0, threads=1)
+        plane.install([StageFact(app=gatk_model.name, stage=0,
+                                 a=100.0, b=0.0, c=None,
+                                 provenance="refit")])
+        # Same key, new facts: the memo must not serve the stale float.
+        after = estimator.eet(0, 5.0, threads=1)
+        assert after == pytest.approx(500.0)
+        assert after != before
+
+    def test_static_provider_epoch_never_moves(self, estimator):
+        estimator.eet(0, 5.0)
+        assert estimator.estimates.epoch == 0
+        estimator.eet(0, 5.0)
+        assert estimator.cache_hits == 1  # memo stayed warm
+
+    def test_per_instance_counters_are_independent(self, gatk_model):
+        first = PipelineEstimator(gatk_model)
+        second = PipelineEstimator(gatk_model)
+        first.eet(0, 5.0)
+        first.eet(0, 5.0)
+        assert first.cache_stats() == {"hits": 1, "misses": 1}
+        # A fresh estimator starts from zero -- counters no longer leak
+        # across sessions through the module globals.
+        assert second.cache_stats() == {"hits": 0, "misses": 0}
+
+    def test_cell_counters_reset_independently_of_aggregate(self, estimator):
+        from repro.scheduler.estimator import (
+            eet_cache_stats,
+            eet_cell_stats,
+            reset_eet_cell_stats,
+        )
+
+        reset_eet_cell_stats()
+        aggregate_before = eet_cache_stats()
+        estimator.eet(0, 5.0)
+        estimator.eet(0, 5.0)
+        assert eet_cell_stats() == {"hits": 1, "misses": 1}
+        reset_eet_cell_stats()
+        assert eet_cell_stats() == {"hits": 0, "misses": 0}
+        # The process-wide aggregate keeps counting across cell resets.
+        aggregate = eet_cache_stats()
+        assert aggregate["hits"] == aggregate_before["hits"] + 1
+        assert aggregate["misses"] == aggregate_before["misses"] + 1
+
+    def test_run_cell_zeroes_cell_counters(self, gatk_model):
+        from repro.core.config import (
+            AllocationAlgorithm,
+            PlatformConfig,
+            RewardScheme,
+            ScalingAlgorithm,
+        )
+        from repro.scheduler.estimator import eet_cell_stats
+        from repro.sim.sweep import run_cell
+
+        base = PlatformConfig.paper_defaults().with_overrides(
+            simulation={"duration": 60.0, "repetitions": 1},
+        )
+        cell = {
+            "allocation": AllocationAlgorithm.GREEDY,
+            "scaling": ScalingAlgorithm.PREDICTIVE,
+            "mean_interarrival": 4.0,
+            "reward_scheme": RewardScheme.TIME,
+            "public_core_cost": 90.0,
+        }
+        run_cell(base, cell, seeds=(1,))
+        reference = eet_cell_stats()
+        assert reference["misses"] >= 1
+        # Pollute the cell counters, then run the same cell again: the
+        # entry reset must keep the pre-cell traffic out of its stats.
+        PipelineEstimator(gatk_model).eet(0, 123.456)
+        run_cell(base, cell, seeds=(1,))
+        assert eet_cell_stats() == reference
+
+
 class TestETT:
     def test_fresh_job_sums_all_stages(self, estimator, gatk_model):
         job = make_job(gatk_model)
