@@ -115,6 +115,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="start the HTTP RPC front-end")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--preset", default=None, metavar="NAME",
+                       help="platform preset (default: paper defaults)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="override the platform's root seed")
+    service = serve.add_argument_group(
+        "service plane (multi-tenant queue; see DESIGN.md section 5g)"
+    )
+    service.add_argument(
+        "--service", action="store_true",
+        help="attach the multi-tenant service plane "
+        "(tenant queues, admission control, crash recovery)",
+    )
+    service.add_argument(
+        "--store", default="memory", metavar="SPEC",
+        help="queue persistence: 'memory', a .jsonl path, a .db/.sqlite "
+        "path, or kind:path (default: memory)",
+    )
+    service.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="per-tenant queue capacity (default from ServiceConfig)",
+    )
+    service.add_argument(
+        "--strategy", default=None, metavar="NAME",
+        help="priority strategy (fifo, smallest_first, largest_first, "
+        "weighted, deadline; see `scan-sim policies --kind priority`)",
+    )
+    service.add_argument(
+        "--admission", default=None, choices=["reject", "shed_lowest"],
+        help="what to do when a tenant queue is full",
+    )
+    service.add_argument(
+        "--max-body-bytes", type=int, default=None, metavar="N",
+        help="largest accepted HTTP request body",
+    )
 
     sub.add_parser("table2", help="recover Table II from simulated profiling")
 
@@ -425,14 +459,51 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Start the HTTP RPC front-end and block until Ctrl-C."""
+    import dataclasses
+
     from repro.core.platform import SCANPlatform
     from repro.core.rpc import ScanRpcServer
 
-    platform = SCANPlatform(PlatformConfig.paper_defaults())
+    if args.preset is not None:
+        from repro.core.presets import make_preset
+
+        config = make_preset(args.preset)
+    else:
+        config = PlatformConfig.paper_defaults()
+    if args.seed is not None:
+        config = dataclasses.replace(
+            config,
+            simulation=dataclasses.replace(config.simulation, seed=args.seed),
+        )
+    platform = SCANPlatform(config)
     platform.bootstrap_knowledge()
-    server = ScanRpcServer(platform, host=args.host, port=args.port)
+    plane = None
+    if args.service:
+        from repro.service import ServiceConfig, ServicePlane
+
+        overrides = {
+            key: value
+            for key, value in (
+                ("tenant_capacity", args.capacity),
+                ("priority_strategy", args.strategy),
+                ("admission", args.admission),
+                ("store", args.store),
+                ("max_body_bytes", args.max_body_bytes),
+            )
+            if value is not None
+        }
+        plane = ServicePlane(platform, config=ServiceConfig(**overrides))
+        recovered = plane.recovered
+        if recovered.accepted:
+            print(
+                f"recovered {len(recovered.queued)} queued job(s) "
+                f"({len(recovered.interrupted)} interrupted) and "
+                f"{len(recovered.finished)} finished from {args.store}"
+            )
+    server = ScanRpcServer(platform, host=args.host, port=args.port, plane=plane)
     server.start()
-    print(f"SCAN RPC listening on {server.address} (Ctrl-C to stop)")
+    mode = "service plane" if plane is not None else "platform RPC"
+    print(f"SCAN {mode} listening on {server.address} (Ctrl-C to stop)")
     try:
         import time
 

@@ -36,6 +36,10 @@ __all__ = [
     "TaskDeadLettered",
     "JobCompleted",
     "JobFailed",
+    "ServiceJobAccepted",
+    "ServiceJobRejected",
+    "ServiceJobPopped",
+    "ServiceJobFinished",
     "WorkerHired",
     "WorkerRepooled",
     "WorkerFailed",
@@ -158,6 +162,47 @@ class JobFailed(BusEvent):
     job: str
     stage: int
     reason: str
+
+
+# -- service plane (multi-tenant front door) --------------------------------
+@dataclass(frozen=True)
+class ServiceJobAccepted(BusEvent):
+    """Admission control accepted a tenant's job into its queue."""
+
+    tenant: str
+    uid: str
+    size_gb: float
+    depth: int
+
+
+@dataclass(frozen=True)
+class ServiceJobRejected(BusEvent):
+    """Admission control bounced (or shed) a tenant's job.
+
+    Reasons: ``queue_full``, ``shed``, ``duplicate``, ``tenant_suspended``.
+    """
+
+    tenant: str
+    uid: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class ServiceJobPopped(BusEvent):
+    """A worker/pump leased the best-priority job off a tenant's queue."""
+
+    tenant: str
+    uid: str
+    wait_s: float
+
+
+@dataclass(frozen=True)
+class ServiceJobFinished(BusEvent):
+    """A leased job resolved (``completed`` / ``failed`` / ``requeued``)."""
+
+    tenant: str
+    uid: str
+    outcome: str
 
 
 # -- worker / cloud state ---------------------------------------------------
@@ -339,6 +384,10 @@ _ALL_EVENT_TYPES: List[type] = [
     TaskDeadLettered,
     JobCompleted,
     JobFailed,
+    ServiceJobAccepted,
+    ServiceJobRejected,
+    ServiceJobPopped,
+    ServiceJobFinished,
     WorkerHired,
     WorkerRepooled,
     WorkerFailed,

@@ -158,6 +158,8 @@ def all_registries() -> Dict[str, "Registry[Any]"]:
         "repro.apps.registry",
         "repro.core.presets",
         "repro.knowledge.plane",
+        "repro.service.queue",
+        "repro.service.store",
     ):
         importlib.import_module(module)
     return dict(sorted(_REGISTRIES.items()))

@@ -1,4 +1,4 @@
-"""HTTP RPC front-end for the SCAN platform.
+"""HTTP RPC front-end for the SCAN platform and its service plane.
 
 The paper's prototype scheduler "is implemented in Python, using the
 CherryPy web framework to process HTTP requests.  Its interface is realized
@@ -9,13 +9,41 @@ platform's verbs as JSON-over-HTTP endpoints.
 Endpoints
 ---------
 ``GET  /health``            liveness probe
-``GET  /metrics``           platform metrics snapshot
+``GET  /metrics``           platform metrics snapshot (JSON); with an
+                            ``Accept: text/plain`` header and a service
+                            plane attached, the tenant-labelled
+                            Prometheus exposition instead
 ``GET  /requests``          all analysis requests (id, status, latency)
 ``GET  /requests/<id>``     one request's detail
 ``GET  /workers``           worker-pool population
 ``POST /submit``            body {"name", "size_gb", "format"} -> request id
 ``POST /advance``           body {"until": t} or {} -> run the simulation
 ``POST /kb/query``          body {"sparql": "..."} -> result rows
+
+Service-plane endpoints (when a :class:`~repro.service.plane.ServicePlane`
+is attached):
+
+``POST /tenants/<id>/jobs`` submit a job to a tenant's priority queue;
+                            202 on admission, 429 when the queue is full,
+                            503 while the tenant's breaker is open,
+                            409 on a duplicate uid
+``GET  /tenants``           every tenant with queue depth and breaker state
+``GET  /tenants/<id>/queue``one tenant's queue in pop order
+``POST /pop``               body {"tenant": ...?} -> lease the best job
+``POST /finish``            body {"uid", "outcome"?} -> resolve a lease
+``POST /drain``             body {"max_jobs"?, "until"?} -> pump + run +
+                            reconcile
+``GET  /service/state``     global accounting (the recovery invariant)
+
+Error contract (RPC hardening): every error body is structured JSON --
+``{"error": {"code": <stable string>, "message": <human text>}}`` -- with
+``bad_json`` (400), ``bad_request`` (400), ``bad_route`` (400),
+``payload_too_large`` (413), ``length_required`` (411), ``queue_full``
+(429), ``tenant_suspended`` (503), ``duplicate`` (409), ``not_found``
+(404 on service routes) and ``internal`` (500).  Request bodies are read
+*bounded*: an oversize ``Content-Length`` is refused before a byte is
+read, and a socket read timeout frees the handler thread from clients
+that declare more bytes than they send.
 
 The simulated platform is single-threaded; a lock serialises handler
 access so concurrent HTTP clients cannot interleave simulation steps.
@@ -26,7 +54,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.errors import SCANError
 from repro.core.platform import AnalysisRequest, SCANPlatform
@@ -34,11 +62,24 @@ from repro.genomics.datasets import DataFormat, DatasetDescriptor
 from repro.ontology.sparql import SparqlError
 from repro.ontology.triples import IRI
 
-__all__ = ["ScanRpcServer", "RpcError"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.service.plane import ServicePlane
+
+__all__ = ["ScanRpcServer", "RpcError", "DEFAULT_MAX_BODY_BYTES"]
+
+#: Default request-body ceiling (bytes); ServiceConfig can override.
+DEFAULT_MAX_BODY_BYTES = 1_048_576
 
 
 class RpcError(SCANError):
-    """An RPC-layer failure (bad route, malformed body)."""
+    """An RPC-layer failure with an HTTP status and a stable error code."""
+
+    def __init__(
+        self, message: str, status: int = 400, code: str = "bad_request"
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
 
 
 def _jsonable(value: Any) -> Any:
@@ -54,6 +95,14 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+#: Admission-decision reason -> (HTTP status, error code).
+_ADMISSION_STATUS = {
+    "queue_full": (429, "queue_full"),
+    "duplicate": (409, "duplicate"),
+    "tenant_suspended": (503, "tenant_suspended"),
+}
+
+
 class ScanRpcServer:
     """A threaded HTTP JSON-RPC wrapper around one :class:`SCANPlatform`.
 
@@ -63,10 +112,34 @@ class ScanRpcServer:
         server.start()
         ... urllib / curl against http://127.0.0.1:{server.port} ...
         server.stop()
+
+    Attaching a service plane (``plane=ServicePlane(platform, ...)``)
+    adds the tenant-scoped queue endpoints.
     """
 
-    def __init__(self, platform: SCANPlatform, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        platform: SCANPlatform,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        plane: "Optional[ServicePlane]" = None,
+        max_body_bytes: Optional[int] = None,
+        read_timeout_s: Optional[float] = None,
+    ):
         self.platform = platform
+        self.plane = plane
+        if max_body_bytes is None:
+            max_body_bytes = (
+                plane.config.max_body_bytes
+                if plane is not None
+                else DEFAULT_MAX_BODY_BYTES
+            )
+        if read_timeout_s is None:
+            read_timeout_s = (
+                plane.config.read_timeout_s if plane is not None else 10.0
+            )
+        self.max_body_bytes = max_body_bytes
+        self.read_timeout_s = read_timeout_s
         self._lock = threading.Lock()
         self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
         self._thread: Optional[threading.Thread] = None
@@ -96,13 +169,23 @@ class ScanRpcServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self.plane is not None:
+            self.plane.close()
 
     # -- RPC verbs (called under the lock) -----------------------------------
     def _rpc_health(self) -> dict:
-        return {"status": "ok", "now": self.platform.env.now}
+        payload = {"status": "ok", "now": self.platform.env.now}
+        if self.plane is not None:
+            payload["service"] = True
+            payload["queued"] = self.plane.queue.depth()
+        return payload
 
     def _rpc_metrics(self) -> dict:
-        return _jsonable(self.platform.metrics())
+        metrics = _jsonable(self.platform.metrics())
+        if self.plane is not None:
+            stats = self.plane.queue.stats()
+            metrics["service"] = _jsonable(stats)
+        return metrics
 
     def _rpc_requests(self) -> list:
         return [self._request_summary(r) for r in self.platform.requests]
@@ -145,18 +228,29 @@ class ScanRpcServer:
             "repools": pools.repools,
         }
 
-    def _rpc_submit(self, body: dict) -> dict:
+    @staticmethod
+    def _job_fields(body: dict) -> tuple[str, float, str]:
         try:
             name = str(body["name"])
             size_gb = float(body["size_gb"])
         except (KeyError, TypeError, ValueError) as exc:
-            raise RpcError(f"submit requires name and size_gb: {exc}") from exc
+            raise RpcError(
+                f"submit requires name and size_gb: {exc}"
+            ) from exc
+        if size_gb <= 0:
+            raise RpcError(f"size_gb must be positive, got {size_gb}")
         fmt_text = str(body.get("format", "fastq"))
         try:
-            fmt = DataFormat(fmt_text)
+            DataFormat(fmt_text)
         except ValueError:
             raise RpcError(f"unknown format {fmt_text!r}") from None
-        dataset = DatasetDescriptor.from_size(name, fmt, size_gb)
+        return name, size_gb, fmt_text
+
+    def _rpc_submit(self, body: dict) -> dict:
+        name, size_gb, fmt_text = self._job_fields(body)
+        dataset = DatasetDescriptor.from_size(
+            name, DataFormat(fmt_text), size_gb
+        )
         request = self.platform.submit_analysis(dataset)
         return self._request_summary(request)
 
@@ -195,49 +289,255 @@ class ScanRpcServer:
             summary["latency"] = request.latency()
         return summary
 
+    # -- service-plane verbs -------------------------------------------------
+    def _require_plane(self) -> "ServicePlane":
+        if self.plane is None:
+            raise RpcError(
+                "no service plane attached (start with scan-sim serve "
+                "--service)",
+                status=404,
+                code="not_found",
+            )
+        return self.plane
+
+    @staticmethod
+    def _job_summary(job) -> dict:
+        return {
+            "uid": job.uid,
+            "tenant": job.tenant,
+            "name": job.name,
+            "size_gb": job.size_gb,
+            "format": job.data_format,
+            "weight": job.weight,
+            "deadline": job.deadline,
+            "seq": job.seq,
+            "attempts": job.attempts,
+        }
+
+    def _rpc_tenant_submit(self, tenant: str, body: dict) -> tuple[int, dict]:
+        plane = self._require_plane()
+        name, size_gb, fmt_text = self._job_fields(body)
+        try:
+            weight = float(body.get("weight", 1.0))
+            deadline = (
+                None if body.get("deadline") is None
+                else float(body["deadline"])
+            )
+        except (TypeError, ValueError) as exc:
+            raise RpcError(f"bad weight/deadline: {exc}") from exc
+        uid = body.get("uid")
+        if uid is not None:
+            uid = str(uid)
+        decision, job = plane.submit(
+            tenant,
+            name=name,
+            size_gb=size_gb,
+            data_format=fmt_text,
+            weight=weight,
+            deadline=deadline,
+            uid=uid,
+        )
+        if not decision.accepted:
+            status, code = _ADMISSION_STATUS.get(
+                decision.reason, (429, decision.reason)
+            )
+            raise RpcError(
+                f"job rejected for tenant {tenant!r}: {decision.reason}",
+                status=status,
+                code=code,
+            )
+        return 202, {
+            "accepted": True,
+            "job": self._job_summary(job),
+            "depth": plane.queue.depth(tenant),
+            "shed": None if decision.shed is None else decision.shed.uid,
+        }
+
+    def _rpc_tenants(self) -> dict:
+        plane = self._require_plane()
+        return {
+            "tenants": [
+                plane.tenant_status(tenant) for tenant in plane.tenants()
+            ]
+        }
+
+    def _rpc_tenant_queue(self, tenant: str) -> dict:
+        plane = self._require_plane()
+        status = plane.tenant_status(tenant)
+        status["jobs"] = [
+            self._job_summary(job)
+            for job in plane.queue.snapshot(tenant, limit=100)
+        ]
+        return status
+
+    def _rpc_pop(self, body: dict) -> dict:
+        plane = self._require_plane()
+        tenant = body.get("tenant")
+        if tenant is not None:
+            tenant = str(tenant)
+        job = plane.pop(tenant=tenant)
+        if job is None:
+            return {"job": None}
+        return {"job": self._job_summary(job)}
+
+    def _rpc_finish(self, body: dict) -> dict:
+        plane = self._require_plane()
+        uid = body.get("uid")
+        if not isinstance(uid, str) or not uid:
+            raise RpcError("finish requires a 'uid' string")
+        outcome = str(body.get("outcome", "completed"))
+        if outcome not in ("completed", "failed"):
+            raise RpcError(
+                f"outcome must be completed or failed, got {outcome!r}"
+            )
+        try:
+            job = plane.finish(uid, outcome)
+        except SCANError as exc:
+            raise RpcError(str(exc), status=404, code="not_found") from exc
+        return {"finished": self._job_summary(job), "outcome": outcome}
+
+    def _rpc_drain(self, body: dict) -> dict:
+        plane = self._require_plane()
+        max_jobs = body.get("max_jobs")
+        if max_jobs is not None:
+            try:
+                max_jobs = int(max_jobs)
+            except (TypeError, ValueError) as exc:
+                raise RpcError(f"bad max_jobs: {exc}") from exc
+            if max_jobs < 1:
+                raise RpcError("max_jobs must be >= 1")
+        until = body.get("until")
+        if until is not None:
+            until = float(until)
+            if until < self.platform.env.now:
+                raise RpcError(
+                    f"until={until} is in the simulated past "
+                    f"(now={self.platform.env.now})"
+                )
+        outcomes = plane.drain(max_jobs=max_jobs, until=until)
+        return {
+            "outcomes": outcomes,
+            "now": self.platform.env.now,
+            "queued": plane.queue.depth(),
+            "in_flight": len(plane._in_flight),
+        }
+
+    def _rpc_service_state(self) -> dict:
+        return _jsonable(self._require_plane().state_summary())
+
     # -- HTTP plumbing -----------------------------------------------------------
     def _make_handler(self):
         server = self
 
         class Handler(BaseHTTPRequestHandler):
+            # A stalled client (Content-Length larger than what it sends)
+            # hits this socket timeout instead of pinning its thread.
+            timeout = server.read_timeout_s
+
             # Silence per-request stderr logging.
             def log_message(self, fmt: str, *args: Any) -> None:
                 pass
 
-            def _reply(self, status: int, payload: Any) -> None:
-                body = json.dumps(payload).encode("utf-8")
+            def _reply(
+                self, status: int, payload: Any, content_type: str = None
+            ) -> None:
+                if content_type is None:
+                    body = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
+                else:
+                    body = payload.encode("utf-8")
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _reply_error(self, status: int, code: str, message: str) -> None:
+                self._reply(
+                    status, {"error": {"code": code, "message": message}}
+                )
+
+            def _read_body(self) -> Optional[dict]:
+                """Bounded, validated body read; None means already replied."""
+                raw_length = self.headers.get("Content-Length")
+                if raw_length is None:
+                    return {}
+                try:
+                    length = int(raw_length)
+                except ValueError:
+                    self._reply_error(
+                        400, "bad_request",
+                        f"invalid Content-Length {raw_length!r}",
+                    )
+                    return None
+                if length < 0:
+                    self._reply_error(
+                        400, "bad_request", "negative Content-Length"
+                    )
+                    return None
+                if length > server.max_body_bytes:
+                    # Refuse before reading a byte; close the connection
+                    # since the unread body would desync keep-alive.
+                    self.close_connection = True
+                    self._reply_error(
+                        413, "payload_too_large",
+                        f"body of {length} bytes exceeds the "
+                        f"{server.max_body_bytes}-byte limit",
+                    )
+                    return None
+                raw = self.rfile.read(length) if length else b"{}"
+                try:
+                    body = json.loads(raw or b"{}")
+                except json.JSONDecodeError as exc:
+                    self._reply_error(400, "bad_json", f"bad JSON: {exc}")
+                    return None
+                if not isinstance(body, dict):
+                    self._reply_error(
+                        400, "bad_json",
+                        f"body must be a JSON object, got "
+                        f"{type(body).__name__}",
+                    )
+                    return None
+                return body
+
             def _dispatch(self, method: str) -> None:
-                path = self.path.rstrip("/")
+                path = self.path.split("?", 1)[0].rstrip("/")
                 body: dict = {}
                 if method == "POST":
-                    length = int(self.headers.get("Content-Length", 0))
-                    raw = self.rfile.read(length) if length else b"{}"
-                    try:
-                        body = json.loads(raw or b"{}")
-                    except json.JSONDecodeError as exc:
-                        self._reply(400, {"error": f"bad JSON: {exc}"})
+                    maybe_body = self._read_body()
+                    if maybe_body is None:
                         return
+                    body = maybe_body
                 try:
                     with server._lock:
                         result = self._route(method, path, body)
                 except RpcError as exc:
-                    self._reply(400, {"error": str(exc)})
+                    self._reply_error(exc.status, exc.code, str(exc))
                 except Exception as exc:  # surface simulation errors as 500
-                    self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+                    self._reply_error(
+                        500, "internal", f"{type(exc).__name__}: {exc}"
+                    )
                 else:
-                    self._reply(200, result)
+                    if isinstance(result, tuple):
+                        status, payload = result
+                        self._reply(status, payload)
+                    elif isinstance(result, str):
+                        self._reply(
+                            200, result, content_type="text/plain; version=0.0.4"
+                        )
+                    else:
+                        self._reply(200, result)
 
             def _route(self, method: str, path: str, body: dict) -> Any:
                 if method == "GET":
                     if path == "/health":
                         return server._rpc_health()
                     if path == "/metrics":
+                        accept = self.headers.get("Accept", "")
+                        if server.plane is not None and (
+                            "text/plain" in accept
+                        ):
+                            return server.plane.metrics_text()
                         return server._rpc_metrics()
                     if path == "/requests":
                         return server._rpc_requests()
@@ -250,6 +550,14 @@ class ScanRpcServer:
                         return server._rpc_request_detail(uid)
                     if path == "/workers":
                         return server._rpc_workers()
+                    if path == "/tenants":
+                        return server._rpc_tenants()
+                    if path.startswith("/tenants/") and path.endswith("/queue"):
+                        tenant = path[len("/tenants/"):-len("/queue")]
+                        if tenant and "/" not in tenant:
+                            return server._rpc_tenant_queue(tenant)
+                    if path == "/service/state":
+                        return server._rpc_service_state()
                 if method == "POST":
                     if path == "/submit":
                         return server._rpc_submit(body)
@@ -257,7 +565,19 @@ class ScanRpcServer:
                         return server._rpc_advance(body)
                     if path == "/kb/query":
                         return server._rpc_kb_query(body)
-                raise RpcError(f"no route for {method} {path}")
+                    if path.startswith("/tenants/") and path.endswith("/jobs"):
+                        tenant = path[len("/tenants/"):-len("/jobs")]
+                        if tenant and "/" not in tenant:
+                            return server._rpc_tenant_submit(tenant, body)
+                    if path == "/pop":
+                        return server._rpc_pop(body)
+                    if path == "/finish":
+                        return server._rpc_finish(body)
+                    if path == "/drain":
+                        return server._rpc_drain(body)
+                raise RpcError(
+                    f"no route for {method} {path}", code="bad_route"
+                )
 
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
                 self._dispatch("GET")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 from repro.core.config import ResilienceConfig
 from repro.core.errors import SchedulingError
@@ -95,20 +95,26 @@ class RetryPolicy:
 # -- dead letters -------------------------------------------------------------
 @dataclass(frozen=True)
 class DeadLetter:
-    """One quarantined task with its post-mortem."""
+    """One quarantined item with its post-mortem.
 
-    task: StageTask
+    ``task`` is a :class:`StageTask` when the scheduler dead-letters a
+    stage execution; the service plane quarantines whole tenant jobs
+    through the same queue, so the payload is duck-typed (anything with
+    an optional ``stage`` attribute groups under :meth:`by_stage`).
+    """
+
+    task: Any
     reason: str
     time: float
 
 
 class DeadLetterQueue:
-    """Quarantine for tasks that exhausted their retry budget."""
+    """Quarantine for work that exhausted its retry budget."""
 
     def __init__(self) -> None:
         self._entries: list[DeadLetter] = []
 
-    def push(self, task: StageTask, reason: str, now: float) -> DeadLetter:
+    def push(self, task: Any, reason: str, now: float) -> DeadLetter:
         entry = DeadLetter(task=task, reason=reason, time=now)
         self._entries.append(entry)
         return entry
@@ -120,10 +126,11 @@ class DeadLetterQueue:
         return iter(self._entries)
 
     def by_stage(self) -> dict[int, int]:
-        """Dead-letter counts per pipeline stage."""
+        """Dead-letter counts per pipeline stage (service jobs: stage -1)."""
         out: dict[int, int] = {}
         for entry in self._entries:
-            out[entry.task.stage] = out.get(entry.task.stage, 0) + 1
+            stage = getattr(entry.task, "stage", -1)
+            out[stage] = out.get(stage, 0) + 1
         return out
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "LATENCY_BUCKETS_TU",
+    "POP_LATENCY_BUCKETS_S",
     "absorb_monitor",
     "absorb_time_weighted",
     "absorb_counter_monitor",
@@ -37,6 +38,12 @@ _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
 #: Default histogram buckets for pipeline latencies (TU).
 LATENCY_BUCKETS_TU = (5.0, 10.0, 20.0, 40.0, 60.0, 90.0, 120.0, 200.0, 400.0)
+
+#: Wall-clock buckets (seconds) for service-plane queue waits: sub-ms
+#: in-memory pops up through minutes of backlog.
+POP_LATENCY_BUCKETS_S = (
+    0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0,
+)
 
 
 def _check_name(name: str) -> str:

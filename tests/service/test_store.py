@@ -1,0 +1,188 @@
+"""Persistence-backend tests: ledger replay, crash tolerance, compaction."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SCANError
+from repro.service.queue import QueuedJob
+from repro.service.store import (
+    QUEUE_STORES,
+    JsonlQueueStore,
+    MemoryQueueStore,
+    SqliteQueueStore,
+    make_store,
+)
+
+
+def _job(uid, tenant="t0", seq=0, **kw):
+    return QueuedJob(uid=uid, tenant=tenant, name=uid, size_gb=1.0,
+                     seq=seq, **kw)
+
+
+def _stores(tmp_path):
+    return [
+        MemoryQueueStore(),
+        JsonlQueueStore(str(tmp_path / "ledger.jsonl")),
+        SqliteQueueStore(str(tmp_path / "ledger.db")),
+    ]
+
+
+class TestReplaySemantics:
+    def test_push_only_recovers_in_seq_order(self, tmp_path):
+        for store in _stores(tmp_path):
+            store.record_push(_job("b", seq=2))
+            store.record_push(_job("a", seq=1))
+            state = store.load()
+            assert [j.uid for j in state.queued] == ["a", "b"]
+            assert state.accepted == 2
+            store.close()
+
+    def test_leased_at_crash_recovers_as_queued_and_interrupted(self, tmp_path):
+        for store in _stores(tmp_path):
+            store.record_push(_job("a", seq=1))
+            store.record_push(_job("b", seq=2))
+            store.record_pop(_job("a", seq=1))
+            state = store.load()
+            assert [j.uid for j in state.queued] == ["a", "b"]
+            assert state.interrupted == ["a"]
+            store.close()
+
+    def test_finished_jobs_do_not_requeue(self, tmp_path):
+        for store in _stores(tmp_path):
+            job = _job("a", seq=1)
+            store.record_push(job)
+            store.record_pop(job)
+            store.record_finish(job, "completed")
+            state = store.load()
+            assert state.queued == []
+            assert state.finished == {"a": "completed"}
+            assert state.accepted == 1
+            store.close()
+
+    def test_shed_jobs_leave_the_queue(self, tmp_path):
+        for store in _stores(tmp_path):
+            store.record_push(_job("a", seq=1))
+            store.record_shed(_job("a", seq=1))
+            state = store.load()
+            assert state.queued == []
+            assert state.shed == ["a"]
+            store.close()
+
+    def test_requeue_repush_supersedes_finish(self, tmp_path):
+        # The retry path: finish("requeued") then push again -- the job
+        # must come back queued, not counted twice.
+        for store in _stores(tmp_path):
+            job = _job("a", seq=1)
+            store.record_push(job)
+            store.record_pop(job)
+            store.record_finish(job, "requeued")
+            store.record_push(_job("a", seq=1, attempts=1))
+            state = store.load()
+            assert [j.uid for j in state.queued] == ["a"]
+            assert "a" not in state.finished
+            assert state.accepted == 1
+            store.close()
+
+    def test_compact_keeps_only_live_jobs(self, tmp_path):
+        for store in _stores(tmp_path):
+            store.record_push(_job("live", seq=1))
+            done = _job("done", seq=2)
+            store.record_push(done)
+            store.record_pop(done)
+            store.record_finish(done, "completed")
+            store.compact()
+            state = store.load()
+            assert [j.uid for j in state.queued] == ["live"]
+            store.close()
+
+
+class TestJsonlCrashTolerance:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        store = JsonlQueueStore(str(path))
+        store.record_push(_job("a", seq=1))
+        store.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "push", "job": {"uid": "tor')  # crash mid-write
+        reopened = JsonlQueueStore(str(path))
+        state = reopened.load()
+        assert [j.uid for j in state.queued] == ["a"]
+        assert state.corrupt_records == 1
+        reopened.close()
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        store = JsonlQueueStore(str(path))
+        store.record_push(_job("a", seq=1))
+        store.close()
+        good_line = path.read_text()
+        path.write_text("NOT JSON\n" + good_line)
+        with pytest.raises(SCANError):
+            JsonlQueueStore(str(path)).load()
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        store = JsonlQueueStore(str(tmp_path / "fresh.jsonl"))
+        assert store.load().accepted == 0
+        store.close()
+
+    def test_write_after_close_raises(self, tmp_path):
+        store = JsonlQueueStore(str(tmp_path / "ledger.jsonl"))
+        store.close()
+        with pytest.raises(SCANError):
+            store.record_push(_job("a"))
+
+    def test_unknown_op_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(json.dumps({"op": "teleport", "uid": "a"}) + "\n")
+        store = JsonlQueueStore(str(path))
+        with pytest.raises(SCANError):
+            store.load()
+        store.close()
+
+
+class TestSqliteReopen:
+    def test_state_survives_close_and_reopen(self, tmp_path):
+        path = str(tmp_path / "ledger.db")
+        store = SqliteQueueStore(path)
+        store.record_push(_job("a", seq=1))
+        store.record_push(_job("b", seq=2))
+        store.record_pop(_job("a", seq=1))
+        store.close()
+        reopened = SqliteQueueStore(path)
+        state = reopened.load()
+        assert [j.uid for j in state.queued] == ["a", "b"]
+        assert state.interrupted == ["a"]
+        reopened.close()
+
+    def test_load_after_close_raises(self, tmp_path):
+        store = SqliteQueueStore(str(tmp_path / "ledger.db"))
+        store.close()
+        with pytest.raises(SCANError):
+            store.load()
+
+
+class TestMakeStore:
+    def test_registry_has_all_backends(self):
+        assert {"memory", "jsonl", "sqlite"} <= set(QUEUE_STORES.names())
+
+    def test_spec_dispatch(self, tmp_path):
+        assert isinstance(make_store("memory"), MemoryQueueStore)
+        jsonl = make_store(str(tmp_path / "x.jsonl"))
+        assert isinstance(jsonl, JsonlQueueStore)
+        jsonl.close()
+        db = make_store(str(tmp_path / "x.db"))
+        assert isinstance(db, SqliteQueueStore)
+        db.close()
+        explicit = make_store(f"jsonl:{tmp_path / 'y.ledger'}")
+        assert isinstance(explicit, JsonlQueueStore)
+        explicit.close()
+        mem_db = make_store("sqlite::memory:")
+        assert isinstance(mem_db, SqliteQueueStore)
+        mem_db.close()
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ConfigurationError):
+            make_store("")
+        with pytest.raises(ConfigurationError):
+            make_store("sqlite:")

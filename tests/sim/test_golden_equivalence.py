@@ -73,6 +73,55 @@ class TestGoldenSweepEquivalence:
         )
 
 
+class TestServicePlaneEquivalence:
+    """Routing work through the service plane must not perturb the sim.
+
+    A single-tenant FIFO deployment pops jobs in exactly the order they
+    were submitted, and ``pump()`` only pops and calls
+    ``submit_analysis`` -- no simulated time passes.  So push-all ->
+    pump-all -> run must be byte-identical to the in-process submit-all
+    -> run path on the same platform config and seed.
+    """
+
+    DATASETS = [("eq-a", 4.0), ("eq-b", 9.0), ("eq-c", 2.5), ("eq-d", 6.0)]
+    UNTIL = 2_000.0
+
+    def _direct(self) -> str:
+        from repro.core.platform import SCANPlatform
+        from repro.genomics.datasets import DataFormat, DatasetDescriptor
+
+        platform = SCANPlatform(_base())
+        platform.bootstrap_knowledge()
+        for name, size_gb in self.DATASETS:
+            platform.submit_analysis(
+                DatasetDescriptor.from_size(name, DataFormat.FASTQ, size_gb)
+            )
+        platform.run(until=self.UNTIL)
+        return json.dumps(platform.metrics(), sort_keys=True, default=str)
+
+    def _via_service_plane(self) -> str:
+        from repro.core.platform import SCANPlatform
+        from repro.service import ServiceConfig, ServicePlane
+
+        platform = SCANPlatform(_base())
+        platform.bootstrap_knowledge()
+        plane = ServicePlane(
+            platform,
+            config=ServiceConfig(priority_strategy="fifo", store="memory"),
+        )
+        for name, size_gb in self.DATASETS:
+            decision, _job = plane.submit("tenant-0", name=name,
+                                          size_gb=size_gb)
+            assert decision.accepted
+        plane.pump()
+        platform.run(until=self.UNTIL)
+        plane.reconcile()
+        return json.dumps(platform.metrics(), sort_keys=True, default=str)
+
+    def test_single_tenant_run_byte_identical(self):
+        assert self._via_service_plane() == self._direct()
+
+
 if __name__ == "__main__":  # regeneration entry point
     out = {name: _canonical(cfg) for name, cfg in _variants().items()}
     FIXTURE.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
