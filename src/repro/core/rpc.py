@@ -257,7 +257,10 @@ class ScanRpcServer:
     def _rpc_advance(self, body: dict) -> dict:
         until = body.get("until")
         if until is not None:
-            until = float(until)
+            try:
+                until = float(until)
+            except (TypeError, ValueError) as exc:
+                raise RpcError(f"bad until: {exc}") from exc
             if until < self.platform.env.now:
                 raise RpcError(
                     f"until={until} is in the simulated past "
@@ -408,7 +411,10 @@ class ScanRpcServer:
                 raise RpcError("max_jobs must be >= 1")
         until = body.get("until")
         if until is not None:
-            until = float(until)
+            try:
+                until = float(until)
+            except (TypeError, ValueError) as exc:
+                raise RpcError(f"bad until: {exc}") from exc
             if until < self.platform.env.now:
                 raise RpcError(
                     f"until={until} is in the simulated past "

@@ -135,6 +135,18 @@ class ServicePlane:
     def _recover(self) -> RecoveredState:
         """Rebuild the in-memory queues from the persistent store."""
         state = self.store.load()
+        # Advance the auto-uid counter past every recovered uid's numeric
+        # suffix: a fresh boot restarts the counter at 1, and without this
+        # a post-restart submit() without an explicit uid would mint a uid
+        # the ledger already knows and bounce as a spurious duplicate.
+        max_suffix = 0
+        for uid in itertools.chain(
+            (job.uid for job in state.queued), state.finished, state.shed
+        ):
+            head, _, tail = uid.rpartition("-")
+            if head and tail.isdigit():
+                max_suffix = max(max_suffix, int(tail))
+        self._uid_counter = itertools.count(max_suffix + 1)
         for job in state.queued:
             decision = self.queue.push(job, preserve_seq=True)
             if not decision.accepted:
@@ -190,9 +202,14 @@ class ServicePlane:
     ) -> Tuple[AdmissionDecision, Optional[QueuedJob]]:
         """Admit one job for *tenant*; returns (decision, queued job).
 
-        The write-ahead ordering is deliberate: persist *then* count the
-        job as accepted, so a crash between the two can only produce a
-        job the ledger knows about.
+        The write-ahead ordering is deliberate: the push (and any shed
+        victim's exit) is persisted under the queue lock *before* the job
+        becomes visible to poppers, so a worker's pop/finish ledger
+        record can never precede the push record it resolves -- replay
+        would otherwise resurrect finished work.  The newcomer's push is
+        written before the victim's shed, so a crash between the two
+        leaves both in the ledger (replay tolerates the overflow) rather
+        than dropping an acknowledged job for a never-persisted newcomer.
         """
         if not tenant or "/" in tenant:
             raise SCANError(f"bad tenant id {tenant!r}")
@@ -212,21 +229,25 @@ class ServicePlane:
             weight=weight,
             deadline=deadline,
         )
-        decision = self.queue.push(job)
+        def write_ahead(admitted: AdmissionDecision) -> None:
+            # Runs under the queue lock, before the job is poppable; the
+            # queue stamped seq/submitted_at, persist that exact record.
+            self.store.record_push(admitted.job)
+            if admitted.shed is not None:
+                # The victim of a shed-lowest admission leaves the ledger.
+                self.store.record_shed(admitted.shed)
+
+        decision = self.queue.push(job, on_admit=write_ahead)
         if not decision.accepted:
             self._note_rejection(tenant, job.uid, decision.reason)
             return decision, None
         if decision.shed is not None:
-            # The victim of a shed-lowest admission leaves the ledger too.
-            self.store.record_shed(decision.shed)
             self._note_rejection(
                 decision.shed.tenant,
                 decision.shed.uid,
                 AdmissionDecision.SHED,
             )
-        # The queue stamped seq/submitted_at; persist that exact record.
         stamped = decision.job if decision.job is not None else job
-        self.store.record_push(stamped)
         depth = self.queue.depth(tenant)
         self._m_accepted.inc(tenant=tenant)
         self._m_depth.set(depth, tenant=tenant)
@@ -339,8 +360,12 @@ class ServicePlane:
                 if job.attempts < self.config.max_job_attempts:
                     self._in_flight.pop(uid, None)
                     self.store.record_finish(job, "requeued")
-                    requeued = self.queue.requeue(uid)
-                    self.store.record_push(requeued)
+                    # Write-ahead like submit(): the re-push record lands
+                    # before the job is poppable again.
+                    requeued = self.queue.requeue(
+                        uid,
+                        on_admit=lambda d: self.store.record_push(d.job),
+                    )
                     self._m_depth.set(
                         self.queue.depth(job.tenant), tenant=job.tenant
                     )

@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
+import time
 from dataclasses import dataclass, replace
 from heapq import heappop, heappush
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -329,7 +330,11 @@ class JobQueue:
 
     # -- push ----------------------------------------------------------------
     def push(
-        self, job: QueuedJob, *, preserve_seq: bool = False
+        self,
+        job: QueuedJob,
+        *,
+        preserve_seq: bool = False,
+        on_admit: Optional[Callable[[AdmissionDecision], None]] = None,
     ) -> AdmissionDecision:
         """Admit *job* into its tenant's queue (or reject/shed).
 
@@ -341,6 +346,14 @@ class JobQueue:
         lose the overflow (the queue drains back under the bound; only
         fresh submissions are capacity-checked).  Fresh submissions get
         the next global sequence number and the current clock reading.
+
+        ``on_admit`` is the write-ahead hook: it runs under the queue
+        lock with the final (seq-stamped) decision *before* the job is
+        inserted, so a popper can never lease the job before the hook's
+        ledger write lands -- a pop/finish record cannot precede its push
+        record.  If the hook raises, the push is rolled back (the shed
+        victim stays queued, the newcomer never becomes visible) and the
+        exception propagates.
         """
         with self._cond:
             if not preserve_seq:
@@ -364,6 +377,7 @@ class JobQueue:
                 return AdmissionDecision(False, AdmissionDecision.DUPLICATE)
             score = self.strategy.score(job)
             shed_job: Optional[QueuedJob] = None
+            shed_score: Optional[Score] = None
             if tq.full and not preserve_seq:
                 if self.admission == "reject":
                     self.rejected_count += 1
@@ -379,16 +393,25 @@ class JobQueue:
                     return AdmissionDecision(
                         False, AdmissionDecision.QUEUE_FULL
                     )
-                shed_job = worst
+                shed_job, shed_score = worst, worst_score
+            decision = AdmissionDecision(
+                True, AdmissionDecision.ACCEPTED, shed_job, job
+            )
+            if on_admit is not None:
+                try:
+                    on_admit(decision)
+                except BaseException:
+                    if shed_job is not None:
+                        tq.push(shed_score, shed_job)
+                    raise
+            if shed_job is not None:
                 self.shed_count += 1
-                del self._queued_uids[worst.uid]
+                del self._queued_uids[shed_job.uid]
             tq.push(score, job)
             self._queued_uids[job.uid] = job.tenant
             self.accepted_count += 1
             self._cond.notify()
-            return AdmissionDecision(
-                True, AdmissionDecision.ACCEPTED, shed_job, job
-            )
+            return decision
 
     def _bump_seq_past(self, seq: int) -> None:
         current = next(self._seq)
@@ -406,18 +429,23 @@ class JobQueue:
         a positive timeout blocks at most that long.  Returns ``None``
         when nothing is available.  The popped job is *leased*, not gone:
         :meth:`finish` (or a crash-recovery replay) decides its fate.
+
+        The blocking deadline is measured on the *real* clock, not the
+        injectable one: :meth:`threading.Condition.wait` sleeps in real
+        time, so a frozen/simulated clock (the recovery-test use) would
+        otherwise make a positive timeout never expire.
         """
         with self._cond:
             if timeout == 0.0:
                 return self._pop_locked(tenant)
-            deadline = None if timeout is None else self._clock() + timeout
+            deadline = None if timeout is None else time.monotonic() + timeout
             while True:
                 job = self._pop_locked(tenant)
                 if job is not None:
                     return job
                 wait = None
                 if deadline is not None:
-                    wait = deadline - self._clock()
+                    wait = deadline - time.monotonic()
                     if wait <= 0:
                         return None
                 self._cond.wait(wait)
@@ -471,7 +499,11 @@ class JobQueue:
                 self.accepted_count += 1
             self._finished[uid] = outcome
 
-    def requeue(self, uid: str) -> QueuedJob:
+    def requeue(
+        self,
+        uid: str,
+        on_admit: Optional[Callable[[AdmissionDecision], None]] = None,
+    ) -> QueuedJob:
         """Return a leased job to its queue (retry path); keeps its seq."""
         with self._cond:
             job = self._leased.pop(uid, None)
@@ -479,7 +511,12 @@ class JobQueue:
                 raise SCANError(f"no leased job with uid {uid!r}")
         # push() re-takes the lock; accepted_count deliberately counts the
         # re-admission so accepted == pushes, matching the store's ledger.
-        decision = self.push(job, preserve_seq=True)
+        try:
+            decision = self.push(job, preserve_seq=True, on_admit=on_admit)
+        except BaseException:
+            with self._cond:
+                self._leased[uid] = job
+            raise
         if not decision.accepted:  # pragma: no cover - capacity race only
             raise SCANError(
                 f"cannot requeue {uid!r}: {decision.reason}"
@@ -549,6 +586,4 @@ class JobQueue:
 
 
 def _default_clock() -> float:
-    import time
-
     return time.monotonic()

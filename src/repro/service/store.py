@@ -167,9 +167,41 @@ class JsonlQueueStore(QueueStore):
         self._lock = threading.Lock()
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
+        self._repair_torn_tail()
         self._fh: Optional[io.TextIOWrapper] = open(  # noqa: SIM115
             path, "a", encoding="utf-8"
         )
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial final line left by a crash mid-write.
+
+        :meth:`load` tolerates a torn tail by dropping it, but appending
+        onto one would weld the next record to the fragment -- corrupting
+        the ledger *mid-file*, where replay refuses to skip.  Cutting the
+        file back to the last newline restores the invariant that the
+        ledger always ends at a record boundary before any append.
+        """
+        try:
+            fh = open(self.path, "rb+")  # noqa: SIM115
+        except FileNotFoundError:
+            return
+        with fh:
+            fh.seek(0, os.SEEK_END)
+            pos = fh.tell()
+            if pos == 0:
+                return
+            fh.seek(pos - 1)
+            if fh.read(1) == b"\n":
+                return
+            last_nl = -1
+            while pos > 0 and last_nl < 0:
+                start = max(0, pos - 4096)
+                fh.seek(start)
+                idx = fh.read(pos - start).rfind(b"\n")
+                if idx >= 0:
+                    last_nl = start + idx
+                pos = start
+            fh.truncate(last_nl + 1)
 
     def _append(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True)

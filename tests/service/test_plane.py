@@ -1,5 +1,8 @@
 """ServicePlane orchestration tests: ingest, resilience, reconcile, drain."""
 
+import threading
+import time
+
 import pytest
 
 from repro.core.bus import (
@@ -158,6 +161,56 @@ class TestResilience:
             plane.pump()
         with pytest.raises(SCANError):
             plane.drain()
+
+
+class FailingStore(MemoryQueueStore):
+    """A store whose push writes can be made to fail (disk-full stand-in)."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_pushes = False
+
+    def record_push(self, job):
+        if self.fail_pushes:
+            raise SCANError("simulated ledger write failure")
+        super().record_push(job)
+
+
+class TestWriteAhead:
+    def test_failed_ledger_write_rolls_back_admission(self):
+        store = FailingStore()
+        plane = ServicePlane(
+            config=ServiceConfig(), store=store, bus=EventBus()
+        )
+        store.fail_pushes = True
+        with pytest.raises(SCANError):
+            plane.submit("alice", name="a", size_gb=1.0)
+        # The job never became visible: not queued, not poppable.
+        assert plane.queue.depth("alice") == 0
+        assert plane.pop() is None
+        store.fail_pushes = False
+        decision, job = plane.submit("alice", name="a", size_gb=1.0)
+        assert decision.accepted
+        assert [j.uid for j in store.load().queued] == [job.uid]
+
+    def test_push_record_lands_before_blocked_popper_leases(self):
+        # A worker blocked in pop() must not write a pop ledger record
+        # that precedes the push record it resolves: on replay the late
+        # push would supersede the finish and resurrect completed work.
+        store = MemoryQueueStore()
+        plane = ServicePlane(
+            config=ServiceConfig(), store=store, bus=EventBus()
+        )
+        leased = []
+        worker = threading.Thread(
+            target=lambda: leased.append(plane.pop(timeout=10.0))
+        )
+        worker.start()
+        time.sleep(0.05)  # let the worker block in pop()
+        plane.submit("alice", name="a", size_gb=1.0)
+        worker.join(timeout=10.0)
+        assert leased and leased[0] is not None
+        assert [r["op"] for r in store._records] == ["push", "pop"]
 
 
 class TestRecoveryWiring:

@@ -1,6 +1,7 @@
 """Unit tests for the multi-tenant bounded priority queue."""
 
 import threading
+import time
 
 import pytest
 
@@ -57,6 +58,30 @@ class TestAdmission:
         assert q.push(_job("a")).reason == AdmissionDecision.DUPLICATE
         q.finish("a")
         assert q.push(_job("a")).reason == AdmissionDecision.DUPLICATE
+
+    def test_on_admit_failure_rolls_back_including_shed_victim(self):
+        q = JobQueue(
+            capacity=1, strategy="smallest_first", admission="shed_lowest"
+        )
+        q.push(_job("big", size_gb=100.0))
+
+        def boom(_decision):
+            raise SCANError("ledger down")
+
+        with pytest.raises(SCANError):
+            q.push(_job("small", size_gb=1.0), on_admit=boom)
+        # The victim is still queued, the newcomer never became visible.
+        assert q.depth() == 1
+        assert q.pop().uid == "big"
+        assert q.stats()["accepted"] == 1
+
+    def test_blocking_pop_timeout_expires_under_frozen_clock(self):
+        # Condition.wait sleeps in real time, so the wait deadline must
+        # come from the real clock even when a frozen clock is injected.
+        q = JobQueue(clock=lambda: 0.0)
+        start = time.monotonic()
+        assert q.pop(timeout=0.05) is None
+        assert time.monotonic() - start < 5.0
 
     def test_shed_lowest_evicts_worst(self):
         q = JobQueue(capacity=2, strategy="smallest_first",

@@ -95,6 +95,28 @@ class TestKillRebuild:
         assert popped == expected
         rebuilt.store.close()
 
+    def test_auto_uids_continue_past_recovered_jobs(self, tmp_path, store_kind):
+        """Post-restart submits without explicit uids must not collide.
+
+        A rebuilt plane restarts the auto-uid counter; unless recovery
+        advances it past every recovered uid, the first fresh submission
+        re-mints a uid the ledger already knows and bounces as a
+        spurious 409 duplicate.
+        """
+        path = self._store_path(tmp_path, store_kind)
+        config = ServiceConfig(store=path)
+        plane = ServicePlane(config=config)
+        before = _ingest(plane, 6, ["t0", "t1"])  # auto-minted uids
+        done = plane.pop()
+        plane.finish(done.uid, "completed")
+        plane.store.close()
+        del plane
+
+        rebuilt = ServicePlane(config=config)
+        after = _ingest(rebuilt, 6, ["t0", "t1"])  # asserts all accepted
+        assert set(before).isdisjoint(after)
+        rebuilt.store.close()
+
     def test_repeated_kills_converge(self, tmp_path, store_kind):
         """Three kill/rebuild rounds, finishing a few jobs each round."""
         path = self._store_path(tmp_path, store_kind)

@@ -157,6 +157,11 @@ class TestWorkerApi:
         with pytest.raises(urllib.error.HTTPError) as err:
             post(server, "/drain", {"max_jobs": 0})
         assert err.value.code == 400
+        # A non-numeric "until" is a 400 bad_request, not a 500 internal.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(server, "/drain", {"until": "bogus"})
+        assert err.value.code == 400
+        assert error_body(err.value)["code"] == "bad_request"
 
 
 class TestErrorContract:

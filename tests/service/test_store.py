@@ -99,6 +99,22 @@ class TestReplaySemantics:
 
 class TestJsonlCrashTolerance:
     def test_torn_final_line_tolerated(self, tmp_path):
+        # load() on a live handle drops a torn tail; reopening instead
+        # truncates it first (see the repair tests below).
+        path = tmp_path / "ledger.jsonl"
+        store = JsonlQueueStore(str(path))
+        store.record_push(_job("a", seq=1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "push", "job": {"uid": "tor')  # crash mid-write
+        state = store.load()
+        assert [j.uid for j in state.queued] == ["a"]
+        assert state.corrupt_records == 1
+        store.close()
+
+    def test_append_after_torn_tail_repairs_file(self, tmp_path):
+        # Reopening truncates the torn fragment, so the next append can
+        # never weld onto it and turn it into mid-file corruption -- a
+        # SECOND restart must also replay cleanly, with nothing lost.
         path = tmp_path / "ledger.jsonl"
         store = JsonlQueueStore(str(path))
         store.record_push(_job("a", seq=1))
@@ -106,10 +122,36 @@ class TestJsonlCrashTolerance:
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"op": "push", "job": {"uid": "tor')  # crash mid-write
         reopened = JsonlQueueStore(str(path))
+        reopened.record_push(_job("b", seq=2))
         state = reopened.load()
-        assert [j.uid for j in state.queued] == ["a"]
-        assert state.corrupt_records == 1
+        assert [j.uid for j in state.queued] == ["a", "b"]
+        assert state.corrupt_records == 0  # fragment removed, not welded
         reopened.close()
+        second_restart = JsonlQueueStore(str(path))
+        assert [j.uid for j in second_restart.load().queued] == ["a", "b"]
+        second_restart.close()
+
+    def test_tail_repair_scans_past_chunk_boundary(self, tmp_path):
+        # The backward newline scan reads 4 KiB at a time; a torn line
+        # longer than one chunk must still be found and removed.
+        path = tmp_path / "ledger.jsonl"
+        store = JsonlQueueStore(str(path))
+        store.record_push(_job("a", seq=1))
+        store.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "push", "pad": "' + "x" * 10_000)
+        reopened = JsonlQueueStore(str(path))
+        reopened.record_push(_job("b", seq=2))
+        assert [j.uid for j in reopened.load().queued] == ["a", "b"]
+        reopened.close()
+
+    def test_tail_repair_of_fragment_only_file(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"op": "pu')  # the whole file is one torn write
+        store = JsonlQueueStore(str(path))
+        store.record_push(_job("a", seq=1))
+        assert [j.uid for j in store.load().queued] == ["a"]
+        store.close()
 
     def test_mid_file_corruption_raises(self, tmp_path):
         path = tmp_path / "ledger.jsonl"
