@@ -14,6 +14,8 @@ verifies the two headline claims.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.config import (
@@ -22,6 +24,7 @@ from repro.core.config import (
     ScalingAlgorithm,
 )
 from repro.sim.report import render_table
+from repro.sim.results import MemoryResultStore, make_result_store
 from repro.sim.sweep import SweepSpec, run_sweep
 
 from .conftest import FIG4_UNIT_GB, bench_config
@@ -40,7 +43,20 @@ def run_grid():
         simulation={"duration": 400.0, "repetitions": 2},
         workload={"size_unit_gb": FIG4_UNIT_GB},
     )
-    return run_sweep(base, SPEC, base_seed=4000)
+    # The grid always flows through the streaming result layer (rows are
+    # byte-identical either way -- the golden suite pins that); set
+    # FULLGRID_RESULTS_OUT to a ledger path to keep a durable, resumable
+    # record of this long run instead of the in-memory sink.
+    spec = os.environ.get("FULLGRID_RESULTS_OUT")
+    store = make_result_store(spec) if spec else MemoryResultStore()
+    try:
+        # resume is a no-op on a fresh ledger; on an interrupted one it
+        # picks up the remaining cells instead of refusing to start.
+        return run_sweep(
+            base, SPEC, base_seed=4000, results=store, resume=bool(spec)
+        )
+    finally:
+        store.close()
 
 
 @pytest.fixture(scope="module")

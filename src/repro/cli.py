@@ -93,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="sweep intervals x scaling policies")
     _common_session_args(sweep)
+    sweep_source = sweep.add_mutually_exclusive_group()
+    sweep_source.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="load the full platform configuration from a JSON file "
+        "(see config-dump); individual session flags are ignored",
+    )
+    sweep_source.add_argument(
+        "--preset", default=None, metavar="NAME",
+        help="use a registered configuration preset (see `scan-sim "
+        "policies`); individual session flags are ignored",
+    )
     sweep.add_argument(
         "--intervals", default="2.0,2.5,3.0",
         help="comma-separated mean inter-arrival intervals",
@@ -102,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the grid (1 = in-process serial, "
         "0 = one per CPU core); results are identical to serial",
+    )
+    streaming = sweep.add_argument_group(
+        "streaming results (resumable sweeps; see DESIGN.md section 5h)"
+    )
+    streaming.add_argument(
+        "--results-out", default=None, metavar="SPEC",
+        help="stream every completed repetition to this result ledger: "
+        "a .jsonl path, a .db/.sqlite path, or kind:path; overrides the "
+        "config's results.store",
+    )
+    streaming.add_argument(
+        "--resume", action="store_true",
+        help="continue the sweep already in the result ledger: completed "
+        "repetitions are not re-run, failed ones are retried; the final "
+        "report is byte-identical to an uninterrupted run",
     )
 
     submit = sub.add_parser(
@@ -386,9 +412,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     ``--jobs N`` fans the grid across a process pool; the printed table is
     identical to the serial run (deterministic per-cell seeds, ordered
-    collection -- see :mod:`repro.sim.parallel`).
+    collection -- see :mod:`repro.sim.parallel`).  ``--results-out``
+    streams every completed repetition to an append-only ledger and makes
+    the sweep resumable with ``--resume`` after a crash or kill -- again
+    with a byte-identical final table (see :mod:`repro.sim.results`).
     """
-    from repro.sim.report import render_series
+    from repro.sim.report import render_series, rows_to_series
     from repro.sim.sweep import SweepSpec, run_sweep
 
     intervals = [float(x) for x in args.intervals.split(",") if x.strip()]
@@ -402,25 +431,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         reward_scheme=(_policy_name(RewardScheme, args.reward),),
         public_core_cost=(args.public_cost,),
     )
-    base = _apply_estimates_flag(_session_config(args), args)
-    if args.jobs == 1:
-        rows = run_sweep(
-            base, spec, repetitions=args.repetitions, base_seed=args.seed
+    base = _apply_estimates_flag(_resolve_run_config(args), args)
+    store_spec = args.results_out or base.results.store or None
+    if args.resume and store_spec is None:
+        print(
+            "scan-sim: --resume needs a result ledger; pass --results-out "
+            "or a config with results.store set",
+            file=sys.stderr,
         )
-    else:
-        from repro.sim.parallel import run_sweep_parallel
+        return 2
+    store = None
+    if store_spec is not None:
+        from repro.sim.results import make_result_store
 
-        rows = run_sweep_parallel(
-            base,
-            spec,
-            repetitions=args.repetitions,
-            base_seed=args.seed,
-            jobs=args.jobs,
-        )
-    series: dict[str, list] = {}
-    for row in rows:
-        scaling = row.param("scaling").value
-        series.setdefault(scaling, []).append(row["mean_profit_per_run"])
+        store = make_result_store(store_spec, fsync=base.results.fsync)
+    try:
+        if args.jobs == 1:
+            rows = run_sweep(
+                base,
+                spec,
+                repetitions=args.repetitions,
+                base_seed=args.seed,
+                results=store,
+                resume=args.resume,
+            )
+        else:
+            from repro.sim.parallel import run_sweep_parallel
+
+            rows = run_sweep_parallel(
+                base,
+                spec,
+                repetitions=args.repetitions,
+                base_seed=args.seed,
+                jobs=args.jobs,
+                results=store,
+                resume=args.resume,
+            )
+    finally:
+        if store is not None:
+            store.close()
+    series = rows_to_series(rows, "scaling", "mean_profit_per_run")
     print(
         render_series(
             "interval",

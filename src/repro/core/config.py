@@ -37,6 +37,7 @@ __all__ = [
     "TelemetryConfig",
     "KnowledgeConfig",
     "SimulationConfig",
+    "ResultsConfig",
     "PlatformConfig",
 ]
 
@@ -468,6 +469,36 @@ class SimulationConfig:
             raise ConfigurationError("warmup must lie in [0, duration)")
 
 
+@dataclass(frozen=True)
+class ResultsConfig:
+    """Streaming sweep-result sink (:mod:`repro.sim.results`).
+
+    With the default empty ``store`` sweeps run fully in memory, exactly
+    as before.  Naming a store spec turns on the append-only result
+    ledger: every completed (cell, repetition) is persisted as it
+    finishes and the sweep becomes resumable with ``--resume``.
+    """
+
+    #: Result-store spec: ``""`` (off), ``memory``, a JSONL path, a
+    #: ``.db``/``.sqlite`` path, or an explicit ``jsonl:PATH``/
+    #: ``sqlite:PATH``.  The CLI's ``--results-out`` overrides this.
+    store: str = ""
+    #: fsync the JSONL ledger after every record.  Durable against power
+    #: loss, not just process death -- at a per-record write cost.
+    fsync: bool = False
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if self.store:
+            prefix = self.store.split(":", 1)[0]
+            if ":" in self.store and prefix not in ("jsonl", "sqlite") \
+                    and len(prefix) > 1:  # allow Windows drive letters
+                raise ConfigurationError(
+                    f"unknown result-store kind {prefix!r}; "
+                    f"expected jsonl or sqlite"
+                )
+
+
 # -- serialization helpers ---------------------------------------------------
 #: Enum-valued fields across the section dataclasses (field name -> enum).
 _ENUM_FIELDS: dict[str, type[enum.Enum]] = {
@@ -550,6 +581,7 @@ class PlatformConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     knowledge: KnowledgeConfig = field(default_factory=KnowledgeConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    results: ResultsConfig = field(default_factory=ResultsConfig)
     #: Name of the application pipeline to run (registry key).
     application: str = "gatk"
 
@@ -565,6 +597,7 @@ class PlatformConfig:
         self.telemetry.validate()
         self.knowledge.validate()
         self.simulation.validate()
+        self.results.validate()
         if not self.application:
             raise ConfigurationError("application must be named")
         return self
@@ -598,6 +631,7 @@ class PlatformConfig:
     _SECTIONS = (
         "reward", "cloud", "workload", "scheduler", "broker",
         "faults", "resilience", "telemetry", "knowledge", "simulation",
+        "results",
     )
 
     def to_dict(self) -> dict[str, Any]:
@@ -632,6 +666,7 @@ class PlatformConfig:
             "telemetry": TelemetryConfig,
             "knowledge": KnowledgeConfig,
             "simulation": SimulationConfig,
+            "results": ResultsConfig,
         }
         unknown = sorted(set(data) - set(section_classes) - {"application"})
         if unknown:

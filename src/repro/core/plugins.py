@@ -160,6 +160,7 @@ def all_registries() -> Dict[str, "Registry[Any]"]:
         "repro.knowledge.plane",
         "repro.service.queue",
         "repro.service.store",
+        "repro.sim.results",
     ):
         importlib.import_module(module)
     return dict(sorted(_REGISTRIES.items()))

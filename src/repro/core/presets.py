@@ -93,6 +93,18 @@ def _drift() -> PlatformConfig:
     )
 
 
+@PRESETS.register("overnight")
+def _overnight() -> PlatformConfig:
+    """Long resumable sweeps: every repetition streamed to a durable
+    JSONL ledger (fsync per record), so a full-grid overnight run that
+    dies at 3am resumes from its last completed repetition with
+    ``scan-sim sweep --preset overnight --resume``.
+    """
+    return PlatformConfig.paper_defaults().with_overrides(
+        results={"store": "sweep_results.jsonl", "fsync": True},
+    )
+
+
 @PRESETS.register("observed")
 def _observed() -> PlatformConfig:
     """Telemetry fully on (tracing + metrics + audit); same sim results."""

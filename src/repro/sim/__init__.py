@@ -9,12 +9,21 @@ and plain-text reporters that regenerate each table/figure's rows.
 - :mod:`repro.sim.sweep` -- parameter grids and repetition aggregation.
 - :mod:`repro.sim.parallel` -- process-pool sweep execution, bit-identical
   to serial.
+- :mod:`repro.sim.results` -- streaming result sinks (JSONL/SQLite) and
+  incremental aggregation; the crash-resume substrate for long sweeps.
 - :mod:`repro.sim.report` -- ASCII table/series rendering.
 """
 
 from repro.sim.metrics import SessionResult
 from repro.sim.session import SimulationSession, run_repetitions
-from repro.sim.sweep import SweepSpec, SweepRow, run_cell, run_sweep
+from repro.sim.sweep import (
+    SweepSpec,
+    SweepRow,
+    run_cell,
+    run_cell_runs,
+    row_from_runs,
+    run_sweep,
+)
 from repro.sim.parallel import (
     ParallelSweepConfig,
     SweepExecutionError,
@@ -22,7 +31,21 @@ from repro.sim.parallel import (
     resolve_jobs,
     run_sweep_parallel,
 )
-from repro.sim.report import render_table, render_series, format_summary
+from repro.sim.results import (
+    RESULT_STORES,
+    ResultRecord,
+    ResultStore,
+    SweepAggregator,
+    SweepMeta,
+    make_result_store,
+    open_result_stream,
+)
+from repro.sim.report import (
+    render_table,
+    render_series,
+    rows_to_series,
+    format_summary,
+)
 
 __all__ = [
     "SessionResult",
@@ -31,13 +54,23 @@ __all__ = [
     "SweepSpec",
     "SweepRow",
     "run_cell",
+    "run_cell_runs",
+    "row_from_runs",
     "run_sweep",
     "ParallelSweepConfig",
     "SweepExecutionError",
     "derive_cell_seeds",
     "resolve_jobs",
     "run_sweep_parallel",
+    "RESULT_STORES",
+    "ResultRecord",
+    "ResultStore",
+    "SweepAggregator",
+    "SweepMeta",
+    "make_result_store",
+    "open_result_stream",
     "render_table",
     "render_series",
+    "rows_to_series",
     "format_summary",
 ]

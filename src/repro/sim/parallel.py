@@ -31,14 +31,21 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.apps.registry import ApplicationRegistry
 from repro.core.config import PlatformConfig
 from repro.scheduler.resilience import RetryPolicy
-from repro.sim.sweep import SweepRow, SweepSpec, run_cell
+from repro.sim.results import (
+    ResultRecord,
+    SweepAggregator,
+    failed_records,
+    open_result_stream,
+    sweep_meta,
+)
+from repro.sim.sweep import SweepRow, SweepSpec, row_from_runs, run_cell_runs
 
 __all__ = [
     "SEED_MODES",
@@ -177,6 +184,10 @@ class _TaskPayload:
     base: PlatformConfig
     seeds: tuple[int, ...]
     rep_start: int
+    #: The repetition indices this slice covers (aligned with ``seeds``).
+    #: Contiguous from 0 on a fresh sweep; an arbitrary subset on resume,
+    #: when the result ledger already holds some of the cell's reps.
+    rep_indices: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -185,6 +196,9 @@ class _TaskResult:
     rep_start: int
     row: SweepRow
     cache_stats: dict[str, dict[str, int]]
+    #: Per-repetition metric dicts in slice order -- what the streaming
+    #: sink persists (the row above is their aggregate).
+    per_run: tuple[dict[str, float], ...] = ()
 
 
 def collect_cache_stats() -> dict[str, dict[str, int]]:
@@ -241,7 +255,8 @@ def _run_task(payload: _TaskPayload) -> _TaskResult:
     from repro.scheduler.estimator import eet_cell_stats
 
     before = _sparql_stats()
-    row = run_cell(payload.base, payload.cell, seeds=payload.seeds)
+    per_run = run_cell_runs(payload.base, payload.cell, seeds=payload.seeds)
+    row = row_from_runs(payload.cell, per_run)
     stats = _stats_delta(before, _sparql_stats())
     stats["estimator_eet"] = eet_cell_stats()
     return _TaskResult(
@@ -249,6 +264,7 @@ def _run_task(payload: _TaskPayload) -> _TaskResult:
         rep_start=payload.rep_start,
         row=row,
         cache_stats=stats,
+        per_run=tuple(per_run),
     )
 
 
@@ -261,24 +277,38 @@ def _build_tasks(
     repetitions: int,
     base_seed: int,
     cfg: ParallelSweepConfig,
+    skip: frozenset[tuple[int, int]] = frozenset(),
 ) -> dict[tuple[int, int], _TaskPayload]:
-    """All task payloads keyed by ``(cell_index, rep_start)``."""
+    """Task payloads keyed by ``(cell_index, rep_start)``.
+
+    ``skip`` holds (cell, repetition) keys already in the result ledger:
+    those repetitions are scheduled nowhere.  A partially-complete cell
+    yields one task over its *missing* repetitions (cell granularity) or
+    one task per missing repetition; a fully-complete cell yields none.
+    """
     tasks: dict[tuple[int, int], _TaskPayload] = {}
     for cell_index, cell in enumerate(cells):
         seeds = derive_cell_seeds(
             base_seed, cell_index, repetitions, mode=cfg.seed_mode
         )
+        missing = [
+            k for k in range(repetitions) if (cell_index, k) not in skip
+        ]
+        if not missing:
+            continue
         if cfg.granularity == "cell":
-            slices = [(0, seeds)]
+            slices = [tuple(missing)]
         else:
-            slices = [(k, (seed,)) for k, seed in enumerate(seeds)]
-        for rep_start, seed_slice in slices:
+            slices = [(k,) for k in missing]
+        for rep_indices in slices:
+            rep_start = rep_indices[0]
             tasks[(cell_index, rep_start)] = _TaskPayload(
                 cell_index=cell_index,
                 cell=dict(cell),
                 base=base,
-                seeds=tuple(seed_slice),
+                seeds=tuple(seeds[k] for k in rep_indices),
                 rep_start=rep_start,
+                rep_indices=rep_indices,
             )
     return tasks
 
@@ -317,6 +347,8 @@ def run_sweep_parallel(
     config: Optional[ParallelSweepConfig] = None,
     metrics: Optional[Any] = None,
     task_runner: Callable[[_TaskPayload], _TaskResult] = _run_task,
+    results: Optional[Any] = None,
+    resume: bool = False,
 ) -> list[SweepRow]:
     """Run every cell of *spec* across a process pool; rows in grid order.
 
@@ -329,6 +361,14 @@ def run_sweep_parallel(
     :class:`~repro.telemetry.metrics.MetricsRegistry`, receives task
     counters and aggregated worker cache hit rates.  ``task_runner`` exists
     for fault-injection in tests; it must stay picklable.
+
+    ``results``, a :class:`~repro.sim.results.ResultStore`, streams every
+    completed repetition to disk as its future lands (the driver is the
+    only writer -- workers return their runs, they never touch the sink),
+    and rows come from the incremental aggregator instead of an in-memory
+    reassembly buffer.  With ``resume=True`` repetitions the store already
+    holds are never scheduled; dead-lettered tasks are recorded as
+    ``failed`` so the *next* resume retries exactly them.
 
     Raises :class:`SweepExecutionError` if any task exhausts its retry
     budget; transient worker crashes and round timeouts are retried with
@@ -355,14 +395,22 @@ def run_sweep_parallel(
         )
 
     cells = list(spec.cells())
-    pending = _build_tasks(base, cells, n_reps, seed0, cfg)
+    agg: Optional[SweepAggregator] = None
+    skip: frozenset[tuple[int, int]] = frozenset()
+    if results is not None:
+        meta = sweep_meta(base, cells, n_reps, seed0, seed_mode=cfg.seed_mode)
+        state = open_result_stream(results, meta, resume=resume)
+        agg = SweepAggregator(cells, n_reps)
+        agg.add_all(state.completed.values())
+        skip = frozenset(state.completed_keys())
+    pending = _build_tasks(base, cells, n_reps, seed0, cfg, skip=skip)
     slices_per_cell = 1 if cfg.granularity == "cell" else n_reps
     attempts: dict[tuple[int, int], int] = {key: 0 for key in pending}
     failures: list[TaskFailure] = []
     collected: dict[int, list[tuple[int, SweepRow]]] = {}
     cache_totals: dict[str, dict[str, int]] = {}
     retried_tasks = 0
-    done_cells = 0
+    done_cells = agg.done_cells if agg is not None else 0
 
     def absorb_cache(stats: dict[str, dict[str, int]]) -> None:
         for cache, counters in stats.items():
@@ -378,27 +426,80 @@ def run_sweep_parallel(
             pool.submit(task_runner, payload): key
             for key, payload in round_tasks.items()
         }
-        done, not_done = wait(futures, timeout=cfg.task_timeout_s)
-        # Stragglers past the deadline are abandoned with their pool; a
-        # fresh pool serves the retry round.
-        pool.shutdown(wait=len(not_done) == 0, cancel_futures=True)
         round_failed: list[tuple[tuple[int, int], str]] = []
-        for future in done:
+
+        def consume(future: Any) -> None:
             key = futures[future]
             attempts[key] += 1
             try:
                 result: _TaskResult = future.result()
             except BaseException as exc:  # worker crash / pool breakage
                 round_failed.append((key, f"{type(exc).__name__}: {exc}"))
-                continue
+                return
+            absorb_cache(result.cache_stats)
+            nonlocal done_cells
+            if agg is not None:
+                # Streaming: persist each repetition the moment its future
+                # lands, then fold it; the cell's row surfaces (and
+                # progress fires) when its last repetition arrives, which
+                # may be this task's or an earlier resume's.
+                payload = round_tasks[key]
+                finished = None
+                for rep_index, seed, run in zip(
+                    payload.rep_indices, payload.seeds, result.per_run
+                ):
+                    record = ResultRecord(
+                        cell_index=result.cell_index,
+                        rep_index=rep_index,
+                        seed=seed,
+                        status="completed",
+                        metrics=dict(run),
+                    )
+                    results.record(record)
+                    row = agg.add(record)
+                    if row is not None:
+                        finished = row
+                if finished is not None:
+                    done_cells += 1
+                    if progress is not None:
+                        progress(
+                            done_cells, len(cells), cells[result.cell_index]
+                        )
+                return
             collected.setdefault(result.cell_index, []).append(
                 (result.rep_start, result.row)
             )
-            absorb_cache(result.cache_stats)
             if len(collected[result.cell_index]) == slices_per_cell:
                 done_cells += 1
                 if progress is not None:
                     progress(done_cells, len(cells), cells[result.cell_index])
+
+        # Drain futures as they land -- NOT in one blocking wait() -- so
+        # streamed records hit the ledger while the round is still in
+        # flight; a kill mid-round then loses at most the unpersisted
+        # tail, which is what makes ``--resume`` worth having.  One
+        # deadline bounds the whole round: stragglers past it are
+        # abandoned with their pool and retried in a fresh one.
+        deadline = (
+            time.monotonic() + cfg.task_timeout_s
+            if cfg.task_timeout_s is not None
+            else None
+        )
+        not_done = set(futures)
+        while not_done:
+            timeout = (
+                max(0.0, deadline - time.monotonic())
+                if deadline is not None
+                else None
+            )
+            done, not_done = wait(
+                not_done, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                break  # round deadline hit with stragglers in flight
+            for future in done:
+                consume(future)
+        pool.shutdown(wait=len(not_done) == 0, cancel_futures=True)
         for future in not_done:
             key = futures[future]
             attempts[key] += 1
@@ -418,6 +519,17 @@ def run_sweep_parallel(
                         reason=reason,
                     )
                 )
+                if results is not None:
+                    # Dead-letter the slice *into the ledger*: a resume
+                    # must see these repetitions as failed-not-done and
+                    # schedule them again, not silently skip them.
+                    for record in failed_records(
+                        payload.cell_index,
+                        payload.rep_indices,
+                        payload.seeds,
+                        reason,
+                    ):
+                        results.record(record)
             else:
                 retried_tasks += 1
                 pending[key] = payload
@@ -434,6 +546,8 @@ def run_sweep_parallel(
     if failures:
         failures.sort(key=lambda f: (f.cell_index, f.rep_start))
         raise SweepExecutionError(failures)
+    if agg is not None:
+        return agg.rows()
     return [
         _merge_cell_rows(cell, collected[index])
         for index, cell in enumerate(cells)

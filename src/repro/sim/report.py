@@ -14,6 +14,7 @@ from repro.analysis.stats import SummaryStats
 __all__ = [
     "render_table",
     "render_series",
+    "rows_to_series",
     "format_summary",
     "render_resilience_summary",
 ]
@@ -90,6 +91,25 @@ def render_series(
             row.append(values[i])
         rows.append(row)
     return render_table(headers, rows, title=title, precision=precision)
+
+
+def rows_to_series(
+    rows: Sequence[Any], series_param: str, metric: str
+) -> dict[str, list[Any]]:
+    """Pivot sweep rows into :func:`render_series` input.
+
+    Groups *rows* (anything with ``param(name)`` and ``__getitem__`` --
+    :class:`~repro.sim.sweep.SweepRow` in practice) by the value of
+    *series_param* (enums keyed by their string value), keeping each
+    group's *metric* stats in row order.  Works identically on rows that
+    came from memory or from a streamed result ledger, which is what lets
+    the CLI report stay byte-identical across both paths.
+    """
+    series: dict[str, list[Any]] = {}
+    for row in rows:
+        key = row.param(series_param)
+        series.setdefault(getattr(key, "value", key), []).append(row[metric])
+    return series
 
 
 def render_resilience_summary(result: Any, title: str = "Resilience") -> str:

@@ -1,0 +1,788 @@
+"""Streaming, resumable sweep results.
+
+The PR-3 executors hold every cell's repetitions in memory and assemble
+the row list at the end, which caps a study at whatever the driver's heap
+tolerates and loses *everything* when the process dies at cell 9,999 of
+10,000.  This module gives sweeps the same treatment PR-6 gave queues:
+an append-only ledger as the source of truth, incremental aggregation
+over it, and resume-by-skipping-completed.
+
+- :class:`ResultRecord` -- one completed (or dead-lettered) repetition of
+  one grid cell: the atomic unit of sweep progress.
+- :class:`ResultStore` -- the sink interface behind the ``RESULT_STORES``
+  registry (``memory`` / ``jsonl`` / ``sqlite``), mirroring the service
+  plane's ``QUEUE_STORES``.  JSONL is append-only with torn-tail repair;
+  SQLite upserts one row per (cell, repetition).
+- :class:`SweepAggregator` -- folds per-repetition records into
+  :class:`~repro.sim.sweep.SweepRow` summaries cell by cell, holding only
+  in-flight cells' run values; a finished cell collapses to its summary
+  statistics immediately, so peak memory tracks the number of
+  *incomplete* cells, not the grid.
+- :func:`open_result_stream` -- the resume protocol: a fresh store gets a
+  header pinning the sweep's identity (grid/config fingerprints, seeds);
+  a resumed store must match it, and reports the completed keys so the
+  executor schedules only the remainder.  Dead-lettered repetitions are
+  recorded as ``failed`` and are *not* in the completed set -- a resume
+  retries them instead of silently skipping.
+
+Aggregation is exact, not approximate: a cell's summary is computed by
+the same :func:`~repro.analysis.stats.aggregate_runs` call on the same
+per-run dicts in the same repetition order as the in-memory path, so a
+streamed sweep's report is byte-identical to a monolithic one (the golden
+equivalence suite enforces this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError, SCANError
+from repro.core.plugins import Registry
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "ResultRecord",
+    "SweepMeta",
+    "RecoveredResults",
+    "ResultStore",
+    "MemoryResultStore",
+    "JsonlResultStore",
+    "SqliteResultStore",
+    "RESULT_STORES",
+    "make_result_store",
+    "grid_fingerprint",
+    "sweep_meta",
+    "open_result_stream",
+    "SweepAggregator",
+    "fold_records",
+    "records_from_runs",
+    "failed_records",
+]
+
+#: Ledger schema identifier, bumped on incompatible record changes.
+RESULT_SCHEMA = "scan-sim-sweep-results/1"
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One repetition's outcome: the unit the sink appends as work lands.
+
+    ``status`` is ``"completed"`` (``metrics`` holds the run's metric
+    dict) or ``"failed"`` (a dead-lettered task; ``error`` says why and
+    ``metrics`` is empty).  A later completed record for the same
+    ``(cell_index, rep_index)`` key supersedes a failed one -- that is
+    the retry path writing its success over the post-mortem.
+    """
+
+    cell_index: int
+    rep_index: int
+    seed: int
+    status: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in ("completed", "failed"):
+            raise ValueError(f"status must be completed/failed, got {self.status!r}")
+        if self.cell_index < 0 or self.rep_index < 0:
+            raise ValueError("cell_index and rep_index must be >= 0")
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.cell_index, self.rep_index)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "cell_index": self.cell_index,
+            "rep_index": self.rep_index,
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": dict(self.metrics),
+        }
+        if self.error:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResultRecord":
+        return cls(
+            cell_index=int(data["cell_index"]),
+            rep_index=int(data["rep_index"]),
+            seed=int(data["seed"]),
+            status=data["status"],
+            metrics=dict(data.get("metrics", {})),
+            error=data.get("error", ""),
+        )
+
+
+def _canonical_cell(cell: dict[str, Any]) -> dict[str, Any]:
+    """A grid cell's parameters as plain JSON values (enums to strings)."""
+    return {k: getattr(v, "value", v) for k, v in cell.items()}
+
+
+def grid_fingerprint(cells: Sequence[dict[str, Any]]) -> str:
+    """SHA-256 over the canonical serialization of the whole grid."""
+    text = json.dumps([_canonical_cell(c) for c in cells], sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepMeta:
+    """The sweep's identity, pinned in the ledger header.
+
+    A resume must present an *equal* meta: same grid (fingerprinted, so a
+    reordered or edited spec is caught), same base config (duration,
+    workload, ... -- anything that changes the metrics), same seed
+    derivation.  Mixing records from two different sweeps would produce a
+    report that is silently wrong, which is worse than refusing.
+    """
+
+    cells: int
+    repetitions: int
+    base_seed: int
+    seed_mode: str
+    grid_fingerprint: str
+    config_fingerprint: str
+    schema: str = RESULT_SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "cells": self.cells,
+            "repetitions": self.repetitions,
+            "base_seed": self.base_seed,
+            "seed_mode": self.seed_mode,
+            "grid_fingerprint": self.grid_fingerprint,
+            "config_fingerprint": self.config_fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepMeta":
+        return cls(
+            cells=int(data["cells"]),
+            repetitions=int(data["repetitions"]),
+            base_seed=int(data["base_seed"]),
+            seed_mode=data["seed_mode"],
+            grid_fingerprint=data["grid_fingerprint"],
+            config_fingerprint=data["config_fingerprint"],
+            schema=data.get("schema", RESULT_SCHEMA),
+        )
+
+
+def sweep_meta(
+    base: Any,
+    cells: Sequence[dict[str, Any]],
+    repetitions: int,
+    base_seed: int,
+    seed_mode: str = "crn",
+) -> SweepMeta:
+    """The :class:`SweepMeta` of one (config, spec, seeds) sweep."""
+    # The `results` section configures the sink, not the simulation --
+    # moving the ledger or toggling fsync must not invalidate a resume.
+    payload = base.to_dict()
+    payload.pop("results", None)
+    return SweepMeta(
+        cells=len(cells),
+        repetitions=repetitions,
+        base_seed=base_seed,
+        seed_mode=seed_mode,
+        grid_fingerprint=grid_fingerprint(cells),
+        config_fingerprint=hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest(),
+    )
+
+
+@dataclass
+class RecoveredResults:
+    """What a store replay yields: which keys resolved, and how."""
+
+    meta: Optional[SweepMeta] = None
+    #: (cell, rep) -> first completed record.  The resume skip-set.
+    completed: Dict[tuple[int, int], ResultRecord] = field(default_factory=dict)
+    #: (cell, rep) -> latest failed record with no completed successor.
+    #: NOT skipped on resume: these are the dead-lettered retry candidates.
+    failed: Dict[tuple[int, int], ResultRecord] = field(default_factory=dict)
+    #: Ledger lines dropped as unreadable (jsonl torn tail).
+    corrupt_records: int = 0
+    #: Completed records for an already-completed key (ignored, first wins).
+    duplicate_records: int = 0
+
+    def completed_keys(self) -> set[tuple[int, int]]:
+        return set(self.completed)
+
+
+class ResultStore:
+    """Interface every result-sink backend implements.
+
+    Writers are driver-side only (one process, possibly many threads);
+    worker processes return their runs to the driver, which appends.
+    """
+
+    def write_meta(self, meta: SweepMeta) -> None:
+        raise NotImplementedError
+
+    def record(self, record: ResultRecord) -> None:
+        raise NotImplementedError
+
+    def load(self) -> RecoveredResults:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release file handles; the store must be reopenable."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+#: Registry of result-sink backends, sibling to ``QUEUE_STORES``.
+RESULT_STORES: "Registry[ResultStore]" = Registry("result_store")
+
+
+def _replay(records: Iterable[dict]) -> RecoveredResults:
+    """Fold ledger records into live state (memory/jsonl backends)."""
+    state = RecoveredResults()
+    for raw in records:
+        op = raw.get("op")
+        if op == "meta":
+            meta = SweepMeta.from_dict(raw["meta"])
+            if state.meta is not None and state.meta != meta:
+                raise SCANError(
+                    "result ledger contains two conflicting sweep headers"
+                )
+            state.meta = meta
+        elif op == "result":
+            rec = ResultRecord.from_dict(raw["record"])
+            if rec.status == "completed":
+                if rec.key in state.completed:
+                    state.duplicate_records += 1
+                else:
+                    state.completed[rec.key] = rec
+                    state.failed.pop(rec.key, None)
+            else:
+                if rec.key not in state.completed:
+                    state.failed[rec.key] = rec
+        else:
+            raise SCANError(f"unknown result-ledger op {op!r}")
+    return state
+
+
+@RESULT_STORES.register("memory")
+class MemoryResultStore(ResultStore):
+    """Ledger in a list; survives nothing (tests, single-run streaming).
+
+    Still replays correctly, which the round-trip property exploits:
+    record -> load -> resume-set must behave exactly like the persistent
+    backends even though "persist" never touches a disk.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[dict] = []
+        self._lock = threading.Lock()
+
+    def write_meta(self, meta: SweepMeta) -> None:
+        with self._lock:
+            self._records.append({"op": "meta", "meta": meta.to_dict()})
+
+    def record(self, record: ResultRecord) -> None:
+        with self._lock:
+            self._records.append({"op": "result", "record": record.to_dict()})
+
+    def load(self) -> RecoveredResults:
+        with self._lock:
+            records = list(self._records)
+        return _replay(records)
+
+
+@RESULT_STORES.register("jsonl")
+class JsonlResultStore(ResultStore):
+    """Append-only JSONL ledger: one record per line, flushed per write.
+
+    A crash mid-write leaves a torn final line; :meth:`load` tolerates and
+    counts it, and reopening truncates the fragment back to the last
+    newline so a post-crash append can never weld onto it (the same
+    repair the service plane's queue ledger performs).  Corruption
+    *mid-file* raises -- silently skipping acknowledged results would
+    fake completed work.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._repair_torn_tail()
+        self._fh: Optional[io.TextIOWrapper] = open(  # noqa: SIM115
+            path, "a", encoding="utf-8"
+        )
+
+    def _repair_torn_tail(self) -> None:
+        try:
+            fh = open(self.path, "rb+")  # noqa: SIM115
+        except FileNotFoundError:
+            return
+        with fh:
+            fh.seek(0, os.SEEK_END)
+            pos = fh.tell()
+            if pos == 0:
+                return
+            fh.seek(pos - 1)
+            if fh.read(1) == b"\n":
+                return
+            last_nl = -1
+            while pos > 0 and last_nl < 0:
+                start = max(0, pos - 4096)
+                fh.seek(start)
+                idx = fh.read(pos - start).rfind(b"\n")
+                if idx >= 0:
+                    last_nl = start + idx
+                pos = start
+            fh.truncate(last_nl + 1)
+
+    def _append(self, raw: dict) -> None:
+        line = json.dumps(raw, sort_keys=True)
+        with self._lock:
+            if self._fh is None:
+                raise SCANError(f"result store {self.path!r} is closed")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    def write_meta(self, meta: SweepMeta) -> None:
+        self._append({"op": "meta", "meta": meta.to_dict()})
+
+    def record(self, record: ResultRecord) -> None:
+        self._append({"op": "result", "record": record.to_dict()})
+
+    def load(self) -> RecoveredResults:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except FileNotFoundError:
+            return RecoveredResults()
+        records: List[dict] = []
+        corrupt = 0
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    corrupt += 1  # torn tail from the crash: tolerated
+                    break
+                raise SCANError(
+                    f"corrupt result ledger {self.path!r} at line {i + 1}: "
+                    f"{exc}"
+                ) from exc
+        state = _replay(records)
+        state.corrupt_records = corrupt
+        return state
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+@RESULT_STORES.register("sqlite")
+class SqliteResultStore(ResultStore):
+    """One row per (cell, repetition) in SQLite (WAL, synchronous=NORMAL).
+
+    ``record`` is an upsert that only overwrites a ``failed`` row -- a
+    completed result can never be clobbered, so replaying a retry is
+    idempotent.  ``load`` is a plain SELECT: no replay cost at boot once
+    the ledger has absorbed 10^6 repetitions.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS sweep_meta (
+        id      INTEGER PRIMARY KEY CHECK (id = 0),
+        payload TEXT NOT NULL
+    );
+    CREATE TABLE IF NOT EXISTS results (
+        cell    INTEGER NOT NULL,
+        rep     INTEGER NOT NULL,
+        seed    INTEGER NOT NULL,
+        status  TEXT NOT NULL,
+        error   TEXT NOT NULL DEFAULT '',
+        metrics TEXT NOT NULL,
+        PRIMARY KEY (cell, rep)
+    );
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        if path != ":memory:":
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+        self._conn: Optional[sqlite3.Connection] = sqlite3.connect(
+            path, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(self._SCHEMA)
+        self._conn.commit()
+
+    def _execute(self, sql: str, params: tuple) -> None:
+        with self._lock:
+            if self._conn is None:
+                raise SCANError(f"result store {self.path!r} is closed")
+            self._conn.execute(sql, params)
+            self._conn.commit()
+
+    def write_meta(self, meta: SweepMeta) -> None:
+        self._execute(
+            "INSERT OR IGNORE INTO sweep_meta (id, payload) VALUES (0, ?)",
+            (json.dumps(meta.to_dict(), sort_keys=True),),
+        )
+
+    def record(self, record: ResultRecord) -> None:
+        # Completed wins and sticks: only a 'failed' row may be replaced.
+        self._execute(
+            "INSERT INTO results (cell, rep, seed, status, error, metrics) "
+            "VALUES (?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT (cell, rep) DO UPDATE SET "
+            "seed=excluded.seed, status=excluded.status, "
+            "error=excluded.error, metrics=excluded.metrics "
+            "WHERE results.status = 'failed'",
+            (
+                record.cell_index,
+                record.rep_index,
+                record.seed,
+                record.status,
+                record.error,
+                json.dumps(record.metrics, sort_keys=True),
+            ),
+        )
+
+    def load(self) -> RecoveredResults:
+        with self._lock:
+            if self._conn is None:
+                raise SCANError(f"result store {self.path!r} is closed")
+            meta_rows = self._conn.execute(
+                "SELECT payload FROM sweep_meta WHERE id = 0"
+            ).fetchall()
+            rows = self._conn.execute(
+                "SELECT cell, rep, seed, status, error, metrics "
+                "FROM results ORDER BY cell, rep"
+            ).fetchall()
+        state = RecoveredResults()
+        if meta_rows:
+            state.meta = SweepMeta.from_dict(json.loads(meta_rows[0][0]))
+        for cell, rep, seed, status, error, metrics in rows:
+            rec = ResultRecord(
+                cell_index=cell,
+                rep_index=rep,
+                seed=seed,
+                status=status,
+                metrics=json.loads(metrics),
+                error=error,
+            )
+            if status == "completed":
+                state.completed[rec.key] = rec
+            else:
+                state.failed[rec.key] = rec
+        return state
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.commit()
+                self._conn.close()
+                self._conn = None
+
+
+def make_result_store(spec: str, fsync: bool = False) -> ResultStore:
+    """Build a result sink from a short spec string.
+
+    - ``memory``                                 -> :class:`MemoryResultStore`
+    - ``sqlite:PATH`` / ``*.db`` / ``*.sqlite``  -> :class:`SqliteResultStore`
+    - ``jsonl:PATH`` / any other path            -> :class:`JsonlResultStore`
+    """
+    if not spec:
+        raise ConfigurationError("result store spec must be non-empty")
+    if spec == "memory":
+        return RESULT_STORES.create("memory")
+    if ":" in spec and spec.split(":", 1)[0] in RESULT_STORES:
+        kind, path = spec.split(":", 1)
+        if not path:
+            raise ConfigurationError(f"store spec {spec!r} needs a path")
+        if kind == "jsonl":
+            return RESULT_STORES.create(kind, path, fsync)
+        return RESULT_STORES.create(kind, path)
+    if spec.endswith((".db", ".sqlite", ".sqlite3")):
+        return RESULT_STORES.create("sqlite", spec)
+    return RESULT_STORES.create("jsonl", spec, fsync)
+
+
+def open_result_stream(
+    store: ResultStore, meta: SweepMeta, resume: bool = False
+) -> RecoveredResults:
+    """Bind *store* to one sweep and report what is already done.
+
+    Fresh store: the header is written and an empty state returned.
+    Non-empty store: ``resume=True`` is required (refusing beats silently
+    interleaving two sweeps), and the stored header must equal *meta* --
+    same grid, same base config, same seed derivation.
+    """
+    state = store.load()
+    if state.meta is None:
+        if state.completed or state.failed:
+            raise SCANError(
+                "result store holds records but no sweep header; "
+                "it is not a scan-sim result ledger"
+            )
+        store.write_meta(meta)
+        state.meta = meta
+        return state
+    if not resume:
+        raise ConfigurationError(
+            f"result store already holds a sweep "
+            f"({len(state.completed)} completed repetition(s)); "
+            f"pass --resume to continue it or use a fresh path"
+        )
+    if state.meta != meta:
+        mismatched = [
+            name
+            for name in (
+                "schema", "cells", "repetitions", "base_seed",
+                "seed_mode", "grid_fingerprint", "config_fingerprint",
+            )
+            if getattr(state.meta, name) != getattr(meta, name)
+        ]
+        raise ConfigurationError(
+            f"result store belongs to a different sweep "
+            f"(mismatched: {', '.join(mismatched)}); resuming it with "
+            f"this grid/config would corrupt the report"
+        )
+    return state
+
+
+# -- incremental aggregation --------------------------------------------------
+
+
+class SweepAggregator:
+    """Fold per-repetition records into per-cell rows, incrementally.
+
+    Holds the raw per-run metric dicts only for *incomplete* cells; the
+    moment a cell's last repetition lands it collapses to a
+    :class:`~repro.sim.sweep.SweepRow` (summary statistics), optionally
+    handed to ``on_cell`` and -- unless ``retain_rows=False`` -- kept for
+    :meth:`rows`.  The fold is order-invariant (runs are sorted by
+    repetition index before aggregation) and exact: the finalize step is
+    the very ``aggregate_runs`` call the in-memory path makes.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[dict[str, Any]],
+        repetitions: int,
+        on_cell: Optional[Callable[[int, Any], None]] = None,
+        retain_rows: bool = True,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self._cells = [dict(cell) for cell in cells]
+        self._reps = repetitions
+        self._on_cell = on_cell
+        self._retain = retain_rows
+        #: cell_index -> {rep_index: per-run metrics} for in-flight cells.
+        self._partial: Dict[int, Dict[int, Dict[str, float]]] = {}
+        self._rows: Dict[int, Any] = {}
+        self._finalized: set[int] = set()
+        #: Completed records for an already-folded key (ignored).
+        self.duplicates = 0
+
+    @property
+    def cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def repetitions(self) -> int:
+        return self._reps
+
+    @property
+    def done_cells(self) -> int:
+        return len(self._finalized)
+
+    @property
+    def pending_cells(self) -> int:
+        """Cells with at least one run folded but not yet complete."""
+        return len(self._partial)
+
+    def add(self, record: ResultRecord) -> Optional[Any]:
+        """Fold one record; returns the cell's row when it completes."""
+        if record.status != "completed":
+            return None
+        return self._add_run(
+            record.cell_index, record.rep_index, dict(record.metrics)
+        )
+
+    def add_all(self, records: Iterable[ResultRecord]) -> List[Any]:
+        """Fold many records; returns the rows completed by them."""
+        rows = []
+        for record in records:
+            row = self.add(record)
+            if row is not None:
+                rows.append(row)
+        return rows
+
+    def _add_run(
+        self, cell_index: int, rep_index: int, metrics: Dict[str, float]
+    ) -> Optional[Any]:
+        if not 0 <= cell_index < len(self._cells):
+            raise SCANError(
+                f"record cell_index {cell_index} outside grid of "
+                f"{len(self._cells)} cells"
+            )
+        if not 0 <= rep_index < self._reps:
+            raise SCANError(
+                f"record rep_index {rep_index} outside {self._reps} "
+                f"repetitions"
+            )
+        if cell_index in self._finalized or rep_index in self._partial.get(
+            cell_index, ()
+        ):
+            self.duplicates += 1
+            return None
+        slot = self._partial.setdefault(cell_index, {})
+        slot[rep_index] = metrics
+        if len(slot) < self._reps:
+            return None
+        del self._partial[cell_index]
+        return self._finalize(cell_index, slot)
+
+    def _finalize(
+        self, cell_index: int, runs: Dict[int, Dict[str, float]]
+    ) -> Any:
+        from repro.sim.sweep import row_from_runs
+
+        row = row_from_runs(
+            self._cells[cell_index], [runs[k] for k in sorted(runs)]
+        )
+        self._finalized.add(cell_index)
+        if self._retain:
+            self._rows[cell_index] = row
+        if self._on_cell is not None:
+            self._on_cell(cell_index, row)
+        return row
+
+    def missing_keys(self) -> List[tuple[int, int]]:
+        """The (cell, rep) keys not yet folded, in grid order."""
+        out = []
+        for cell_index in range(len(self._cells)):
+            if cell_index in self._finalized:
+                continue
+            have = self._partial.get(cell_index, ())
+            out.extend(
+                (cell_index, k) for k in range(self._reps) if k not in have
+            )
+        return out
+
+    def rows(self) -> List[Any]:
+        """All rows in grid order; every cell must be complete."""
+        if not self._retain:
+            raise SCANError("aggregator built with retain_rows=False")
+        missing = self.missing_keys()
+        if missing:
+            raise SCANError(
+                f"sweep incomplete: {len(missing)} repetition(s) missing "
+                f"(first: cell {missing[0][0]} rep {missing[0][1]})"
+            )
+        return [self._rows[i] for i in range(len(self._cells))]
+
+    def merge(self, other: "SweepAggregator") -> "SweepAggregator":
+        """Fold *other*'s state into this aggregator (disjoint records).
+
+        The map-reduce seam for a future multi-machine executor: each
+        worker folds its own slice, the driver merges.  Requires the same
+        grid/repetitions, both sides retaining rows, and *disjoint*
+        record sets -- a cell finalized on both sides (or finalized on
+        one and partial on the other) proves an overlap, and merging
+        overlapping folds cannot be exact, so it raises.
+        """
+        if other._cells != self._cells or other._reps != self._reps:
+            raise SCANError("cannot merge aggregators of different sweeps")
+        if not (self._retain and other._retain):
+            raise SCANError("merge requires retain_rows=True on both sides")
+        for cell_index in sorted(other._finalized):
+            if cell_index in self._finalized or cell_index in self._partial:
+                raise SCANError(
+                    f"merge overlap: cell {cell_index} present on both sides"
+                )
+            self._finalized.add(cell_index)
+            row = other._rows[cell_index]
+            self._rows[cell_index] = row
+            if self._on_cell is not None:
+                self._on_cell(cell_index, row)
+        for cell_index, runs in sorted(other._partial.items()):
+            for rep_index in sorted(runs):
+                self._add_run(cell_index, rep_index, dict(runs[rep_index]))
+        self.duplicates += other.duplicates
+        return self
+
+
+def fold_records(
+    cells: Sequence[dict[str, Any]],
+    repetitions: int,
+    records: Iterable[ResultRecord],
+) -> SweepAggregator:
+    """Convenience: a fresh aggregator with *records* folded in."""
+    agg = SweepAggregator(cells, repetitions)
+    agg.add_all(records)
+    return agg
+
+
+def records_from_runs(
+    cell_index: int,
+    rep_indices: Sequence[int],
+    seeds: Sequence[int],
+    per_run: Sequence[Dict[str, float]],
+) -> List[ResultRecord]:
+    """Completed records for one executed slice of a cell."""
+    if not len(rep_indices) == len(seeds) == len(per_run):
+        raise ValueError("rep_indices, seeds and per_run must align")
+    return [
+        ResultRecord(
+            cell_index=cell_index,
+            rep_index=rep_index,
+            seed=seed,
+            status="completed",
+            metrics=dict(metrics),
+        )
+        for rep_index, seed, metrics in zip(rep_indices, seeds, per_run)
+    ]
+
+
+def failed_records(
+    cell_index: int,
+    rep_indices: Sequence[int],
+    seeds: Sequence[int],
+    error: str,
+) -> List[ResultRecord]:
+    """Failed (dead-letter) records for one exhausted slice of a cell."""
+    return [
+        ResultRecord(
+            cell_index=cell_index,
+            rep_index=rep_index,
+            seed=seed,
+            status="failed",
+            error=error,
+        )
+        for rep_index, seed in zip(rep_indices, seeds)
+    ]

@@ -25,7 +25,15 @@ from repro.core.config import (
 )
 from repro.sim.session import run_repetitions
 
-__all__ = ["SweepSpec", "SweepRow", "run_cell", "run_sweep", "TABLE1_FULL"]
+__all__ = [
+    "SweepSpec",
+    "SweepRow",
+    "run_cell",
+    "run_cell_runs",
+    "row_from_runs",
+    "run_sweep",
+    "TABLE1_FULL",
+]
 
 
 @dataclass(frozen=True)
@@ -124,20 +132,20 @@ def apply_cell(base: PlatformConfig, cell: dict[str, Any]) -> PlatformConfig:
     )
 
 
-def run_cell(
+def run_cell_runs(
     base: PlatformConfig,
     cell: dict[str, Any],
     repetitions: Optional[int] = None,
     base_seed: Optional[int] = None,
     registry: Optional[ApplicationRegistry] = None,
     seeds: Optional[Sequence[int]] = None,
-) -> SweepRow:
-    """Run one grid cell's repetitions and aggregate them into a row.
+) -> list[dict[str, float]]:
+    """Run one grid cell's repetitions; per-run metric dicts, in seed order.
 
-    This is the shared unit of work between :func:`run_sweep` and the
-    process-pool executor in :mod:`repro.sim.parallel`: both produce rows
-    through this exact code path, which is what makes serial and parallel
-    sweeps bit-identical.
+    The pre-aggregation half of :func:`run_cell`, split out so the
+    streaming result sink (:mod:`repro.sim.results`) can persist each
+    repetition individually and aggregate incrementally -- the records it
+    writes are exactly the dicts the in-memory path would have folded.
 
     The estimator's cell-scoped EET-memo counters are zeroed on entry, so
     after this returns :func:`repro.scheduler.estimator.eet_cell_stats`
@@ -155,8 +163,51 @@ def run_cell(
         registry=registry,
         seeds=seeds,
     )
-    metrics = aggregate_runs([r.metrics() for r in results])
-    return SweepRow(params=dict(cell), metrics=metrics, repetitions=len(results))
+    return [r.metrics() for r in results]
+
+
+def row_from_runs(
+    cell: dict[str, Any], per_run: Sequence[dict[str, float]]
+) -> SweepRow:
+    """Aggregate per-run metric dicts (in repetition order) into a row.
+
+    The post-aggregation half of :func:`run_cell`; the streaming
+    aggregator calls this with persisted run dicts, and because JSON
+    round-trips Python floats exactly, the resulting row is bit-identical
+    to one computed without ever touching disk.
+    """
+    return SweepRow(
+        params=dict(cell),
+        metrics=aggregate_runs(list(per_run)),
+        repetitions=len(per_run),
+    )
+
+
+def run_cell(
+    base: PlatformConfig,
+    cell: dict[str, Any],
+    repetitions: Optional[int] = None,
+    base_seed: Optional[int] = None,
+    registry: Optional[ApplicationRegistry] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> SweepRow:
+    """Run one grid cell's repetitions and aggregate them into a row.
+
+    This is the shared unit of work between :func:`run_sweep` and the
+    process-pool executor in :mod:`repro.sim.parallel`: both produce rows
+    through this exact code path, which is what makes serial and parallel
+    sweeps bit-identical.  Composes :func:`run_cell_runs` and
+    :func:`row_from_runs`, the halves the streaming sink uses separately.
+    """
+    per_run = run_cell_runs(
+        base,
+        cell,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        registry=registry,
+        seeds=seeds,
+    )
+    return row_from_runs(cell, per_run)
 
 
 def run_sweep(
@@ -166,24 +217,98 @@ def run_sweep(
     base_seed: Optional[int] = None,
     registry: Optional[ApplicationRegistry] = None,
     progress: Optional[Any] = None,
+    results: Optional[Any] = None,
+    resume: bool = False,
 ) -> list[SweepRow]:
     """Run every cell of *spec*; returns one aggregated row per cell.
 
     ``progress``, if given, is called with ``(done, total, cell)`` after
     each cell -- handy for long sweeps.
+
+    ``results``, if given, is a :class:`~repro.sim.results.ResultStore`:
+    every completed repetition is appended to it as the sweep advances,
+    and with ``resume=True`` repetitions the store already holds are *not*
+    re-run -- their persisted metrics are folded back in, yielding rows
+    bit-identical to an uninterrupted sweep.  Without a store the
+    historical in-memory path runs untouched.
     """
-    rows: list[SweepRow] = []
-    total = spec.size()
-    for done, cell in enumerate(spec.cells(), start=1):
-        rows.append(
-            run_cell(
+    if results is None:
+        rows: list[SweepRow] = []
+        total = spec.size()
+        for done, cell in enumerate(spec.cells(), start=1):
+            rows.append(
+                run_cell(
+                    base,
+                    cell,
+                    repetitions=repetitions,
+                    base_seed=base_seed,
+                    registry=registry,
+                )
+            )
+            if progress is not None:
+                progress(done, total, cell)
+        return rows
+    return _run_sweep_streaming(
+        base,
+        spec,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        registry=registry,
+        progress=progress,
+        results=results,
+        resume=resume,
+    )
+
+
+def _run_sweep_streaming(
+    base: PlatformConfig,
+    spec: SweepSpec,
+    repetitions: Optional[int],
+    base_seed: Optional[int],
+    registry: Optional[ApplicationRegistry],
+    progress: Optional[Any],
+    results: Any,
+    resume: bool,
+) -> list[SweepRow]:
+    """The serial executor against a result sink (see :func:`run_sweep`)."""
+    from repro.sim.results import (
+        SweepAggregator,
+        open_result_stream,
+        records_from_runs,
+        sweep_meta,
+    )
+
+    base.validate()
+    cells = list(spec.cells())
+    n_reps = base.simulation.repetitions if repetitions is None else repetitions
+    if n_reps < 1:
+        raise ValueError("repetitions must be >= 1")
+    seed0 = base.simulation.seed if base_seed is None else base_seed
+    meta = sweep_meta(base, cells, n_reps, seed0, seed_mode="crn")
+    state = open_result_stream(results, meta, resume=resume)
+    agg = SweepAggregator(cells, n_reps)
+    agg.add_all(state.completed.values())
+    total = len(cells)
+    for cell_index, cell in enumerate(cells):
+        # The serial crn convention: every cell reuses seed0 + k.
+        missing = [
+            k
+            for k in range(n_reps)
+            if (cell_index, k) not in state.completed
+        ]
+        if missing:
+            per_run = run_cell_runs(
                 base,
                 cell,
-                repetitions=repetitions,
-                base_seed=base_seed,
                 registry=registry,
+                seeds=[seed0 + k for k in missing],
             )
-        )
+            fresh = records_from_runs(
+                cell_index, missing, [seed0 + k for k in missing], per_run
+            )
+            for record in fresh:
+                results.record(record)
+                agg.add(record)
         if progress is not None:
-            progress(done, total, cell)
-    return rows
+            progress(cell_index + 1, total, cell)
+    return agg.rows()

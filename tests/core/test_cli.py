@@ -214,6 +214,80 @@ class TestSweepJobs:
         assert "always" in capsys.readouterr().out
 
 
+class TestSweepResults:
+    SWEEP_ARGS = [
+        "sweep", "--duration", "40", "--repetitions", "1",
+        "--intervals", "2.5",
+    ]
+
+    def test_results_out_streams_and_matches_plain(self, capsys, tmp_path):
+        assert main(self.SWEEP_ARGS) == 0
+        plain = capsys.readouterr().out
+        ledger = tmp_path / "r.jsonl"
+        assert main(self.SWEEP_ARGS + ["--results-out", str(ledger)]) == 0
+        assert capsys.readouterr().out == plain
+        from repro.sim.results import make_result_store
+
+        state = make_result_store(str(ledger)).load()
+        assert state.meta is not None
+        assert len(state.completed) == 3  # 3 scaling policies x 1 rep
+
+    def test_resume_reprints_identical_table(self, capsys, tmp_path):
+        ledger = tmp_path / "r.jsonl"
+        args = self.SWEEP_ARGS + ["--results-out", str(ledger)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_second_run_without_resume_is_error(self, capsys, tmp_path):
+        ledger = tmp_path / "r.jsonl"
+        args = self.SWEEP_ARGS + ["--results-out", str(ledger)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_without_store_is_error(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--resume"]) == 2
+        assert "--results-out" in capsys.readouterr().err
+
+    def test_config_results_store_used(self, capsys, tmp_path, monkeypatch):
+        # A config file with results.store set streams without the flag.
+        import json as _json
+
+        from repro.core.config import PlatformConfig
+
+        ledger = tmp_path / "from_config.jsonl"
+        cfg = PlatformConfig.paper_defaults().with_overrides(
+            simulation={"duration": 40.0},
+            results={"store": str(ledger)},
+        )
+        cfg_file = tmp_path / "cfg.json"
+        cfg_file.write_text(cfg.to_json() + "\n")
+        assert main(
+            [
+                "sweep", "--repetitions", "1", "--intervals", "2.5",
+                "--config", str(cfg_file),
+            ]
+        ) == 0
+        assert ledger.exists()
+        lines = [
+            _json.loads(line) for line in ledger.read_text().splitlines()
+        ]
+        assert lines[0]["op"] == "meta"
+        assert sum(1 for rec in lines if rec["op"] == "result") == 3
+
+    def test_preset_flag_accepted_on_sweep(self, capsys):
+        assert main(
+            [
+                "sweep", "--preset", "smoke", "--repetitions", "1",
+                "--intervals", "2.5",
+            ]
+        ) == 0
+        assert "always" in capsys.readouterr().out
+
+
 class TestSubmit:
     def test_submit_small_analysis(self, capsys):
         code = main(["submit", "--size-gb", "4", "--name", "cli-test"])

@@ -10,8 +10,8 @@ from repro.core.presets import PRESETS, make_preset, preset_names
 class TestPresets:
     def test_builtin_names(self):
         assert preset_names() == [
-            "busy", "chaos", "drift", "observed", "paper", "smoke",
-            "throughput",
+            "busy", "chaos", "drift", "observed", "overnight", "paper",
+            "smoke", "throughput",
         ]
 
     @pytest.mark.parametrize("name", PRESETS.names())

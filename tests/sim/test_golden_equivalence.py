@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.core.config import PlatformConfig, ScalingAlgorithm
 from repro.sim.sweep import SweepSpec, run_sweep
 
@@ -71,6 +73,41 @@ class TestGoldenSweepEquivalence:
             _canonical(_variants()["telemetry_chaos"])
             == self._golden()["telemetry_chaos"]
         )
+
+
+class TestStreamingSinkEquivalence:
+    """The streaming result ledger must not perturb a single byte.
+
+    Same golden fixture, but every repetition now round-trips through an
+    on-disk JSONL ledger and the incremental aggregator -- serially and
+    across a 4-worker process pool, plain and under the busiest
+    telemetry+chaos configuration.  Byte-equality here is what licenses
+    the resume path: rows rebuilt from persisted records are
+    indistinguishable from rows that never left memory.
+    """
+
+    @pytest.mark.parametrize("variant", ["plain", "telemetry_chaos"])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_streamed_rows_byte_identical(self, tmp_path, variant, jobs):
+        from repro.sim.parallel import run_sweep_parallel
+        from repro.sim.results import make_result_store
+
+        golden = json.loads(FIXTURE.read_text())[variant]
+        config = _variants()[variant]
+        store = make_result_store(str(tmp_path / "ledger.jsonl"))
+        try:
+            if jobs == 1:
+                rows = run_sweep(config, SPEC, base_seed=0, results=store)
+            else:
+                rows = run_sweep_parallel(
+                    config, SPEC, base_seed=0, jobs=jobs, results=store
+                )
+        finally:
+            store.close()
+        streamed = json.dumps(
+            [r.as_flat_dict() for r in rows], sort_keys=True
+        )
+        assert streamed == golden
 
 
 class TestServicePlaneEquivalence:

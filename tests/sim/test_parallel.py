@@ -222,6 +222,178 @@ class TestReporting:
         assert counter.value(outcome="completed") == SPEC.size()
 
 
+class TestStreamingResults:
+    """The result sink against the process-pool executor.
+
+    Streaming must keep rows bit-identical, dead-lettered tasks must land
+    in the ledger as ``failed`` (the resume retry set -- the regression
+    this class pins), and a resume must schedule exactly the missing
+    repetitions.
+    """
+
+    def _store(self, tmp_path, name="r.jsonl"):
+        from repro.sim.results import make_result_store
+
+        return make_result_store(str(tmp_path / name))
+
+    def test_streamed_rows_identical(self, tmp_path):
+        serial = run_sweep(small_base(), SPEC, base_seed=42)
+        store = self._store(tmp_path)
+        try:
+            parallel = run_sweep_parallel(
+                small_base(), SPEC, base_seed=42, jobs=2, results=store
+            )
+        finally:
+            store.close()
+        assert rows_as_bytes(parallel) == rows_as_bytes(serial)
+
+    def test_repetition_granularity_streamed_identical(self, tmp_path):
+        serial = run_sweep(small_base(), SPEC, base_seed=42)
+        store = self._store(tmp_path)
+        try:
+            parallel = run_sweep_parallel(
+                small_base(),
+                SPEC,
+                base_seed=42,
+                config=ParallelSweepConfig(jobs=2, granularity="repetition"),
+                results=store,
+            )
+        finally:
+            store.close()
+        assert rows_as_bytes(parallel) == rows_as_bytes(serial)
+
+    def test_dead_letter_recorded_as_failed_then_resumed(self, tmp_path):
+        """Regression: the SweepExecutionError path must write ``failed``
+        records, so the next ``--resume`` retries those repetitions
+        instead of silently treating the sweep as unschedulable."""
+        from repro.sim.results import make_result_store
+
+        cfg = ParallelSweepConfig(
+            jobs=2,
+            retry=type(ParallelSweepConfig().retry)(
+                max_attempts=2, base_delay_tu=0.0
+            ),
+        )
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        with pytest.raises(SweepExecutionError):
+            run_sweep_parallel(
+                small_base(),
+                SPEC,
+                base_seed=42,
+                config=cfg,
+                task_runner=_poison_runner,
+                results=store,
+            )
+        store.close()
+        state = make_result_store(str(path)).load()
+        # Every repetition of every cell is dead-lettered in the ledger.
+        reps = small_base().simulation.repetitions
+        assert len(state.failed) == SPEC.size() * reps
+        assert state.completed == {}
+        assert all("poison" in r.error for r in state.failed.values())
+        # A resume with a healthy runner retries exactly those and
+        # converges on the serial rows.
+        store = make_result_store(str(path))
+        try:
+            rows = run_sweep_parallel(
+                small_base(),
+                SPEC,
+                base_seed=42,
+                jobs=2,
+                results=store,
+                resume=True,
+            )
+        finally:
+            store.close()
+        serial = run_sweep(small_base(), SPEC, base_seed=42)
+        assert rows_as_bytes(rows) == rows_as_bytes(serial)
+        final = make_result_store(str(path)).load()
+        assert len(final.completed) == SPEC.size() * reps
+        assert final.failed == {}
+
+    @pytest.mark.parametrize("granularity", ["cell", "repetition"])
+    def test_resume_partial_cell_runs_only_missing(self, tmp_path,
+                                                   granularity):
+        from repro.sim.results import make_result_store
+
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        run_sweep_parallel(
+            small_base(), SPEC, base_seed=42, jobs=2, results=store
+        )
+        store.close()
+        lines = path.read_text().splitlines()
+        total_records = len(lines) - 1
+        # Drop the last three records: one cell loses both reps, another
+        # loses one -- partial-cell resume across task granularities.
+        path.write_text("\n".join(lines[:-3]) + "\n")
+        store = make_result_store(str(path))
+        try:
+            rows = run_sweep_parallel(
+                small_base(),
+                SPEC,
+                base_seed=42,
+                config=ParallelSweepConfig(jobs=2, granularity=granularity),
+                results=store,
+                resume=True,
+            )
+        finally:
+            store.close()
+        serial = run_sweep(small_base(), SPEC, base_seed=42)
+        assert rows_as_bytes(rows) == rows_as_bytes(serial)
+        final = path.read_text().splitlines()
+        assert len(final) - 1 == total_records  # no duplicates
+
+    def test_resume_complete_store_schedules_nothing(self, tmp_path):
+        from repro.sim.results import make_result_store
+
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        run_sweep_parallel(
+            small_base(), SPEC, base_seed=42, jobs=2, results=store
+        )
+        store.close()
+        before = path.read_text()
+        store = make_result_store(str(path))
+        calls = []
+        try:
+            rows = run_sweep_parallel(
+                small_base(),
+                SPEC,
+                base_seed=42,
+                jobs=2,
+                results=store,
+                resume=True,
+                progress=lambda d, t, c: calls.append(d),
+            )
+        finally:
+            store.close()
+        assert path.read_text() == before
+        assert calls == []  # no cell newly completed
+        serial = run_sweep(small_base(), SPEC, base_seed=42)
+        assert rows_as_bytes(rows) == rows_as_bytes(serial)
+
+    def test_nonempty_store_without_resume_refused(self, tmp_path):
+        from repro.core.errors import ConfigurationError
+        from repro.sim.results import make_result_store
+
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        run_sweep_parallel(
+            small_base(), SPEC, base_seed=42, jobs=2, results=store
+        )
+        store.close()
+        store = make_result_store(str(path))
+        try:
+            with pytest.raises(ConfigurationError, match="--resume"):
+                run_sweep_parallel(
+                    small_base(), SPEC, base_seed=42, jobs=2, results=store
+                )
+        finally:
+            store.close()
+
+
 class TestConfig:
     def test_resolve_jobs(self):
         assert resolve_jobs(0) == (os.cpu_count() or 1)

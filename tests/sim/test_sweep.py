@@ -1,5 +1,7 @@
 """Tests for the Table I sweep engine."""
 
+import json
+
 import pytest
 
 from repro.core.config import (
@@ -8,7 +10,15 @@ from repro.core.config import (
     RewardScheme,
     ScalingAlgorithm,
 )
-from repro.sim.sweep import TABLE1_FULL, SweepSpec, apply_cell, run_sweep
+from repro.sim.sweep import (
+    TABLE1_FULL,
+    SweepSpec,
+    apply_cell,
+    row_from_runs,
+    run_cell,
+    run_cell_runs,
+    run_sweep,
+)
 
 
 def tiny_base():
@@ -85,3 +95,165 @@ class TestRunSweep:
         assert flat["scaling"] == "predictive"
         assert "mean_profit_per_run_mean" in flat
         assert "mean_profit_per_run_std" in flat
+
+
+def rows_canon(rows) -> str:
+    return json.dumps([r.as_flat_dict() for r in rows], sort_keys=True)
+
+
+class TestSweepEdgePaths:
+    def test_empty_grid_returns_no_rows(self):
+        spec = SweepSpec(mean_interarrival=())
+        assert spec.size() == 0
+        assert run_sweep(tiny_base(), spec, repetitions=1) == []
+
+    def test_empty_grid_streaming(self, tmp_path):
+        from repro.sim.results import make_result_store
+
+        spec = SweepSpec(mean_interarrival=())
+        store = make_result_store(str(tmp_path / "r.jsonl"))
+        try:
+            assert run_sweep(tiny_base(), spec, results=store) == []
+        finally:
+            store.close()
+
+    def test_single_cell_grid(self):
+        rows = run_sweep(
+            tiny_base(), SweepSpec(), repetitions=1, base_seed=3
+        )
+        assert len(rows) == 1
+        assert rows[0].repetitions == 1
+        # n=1 aggregation: std pinned to 0, not NaN.
+        assert rows[0]["mean_profit_per_run"].std == 0.0
+
+    def test_run_cell_composes_its_halves(self):
+        cell = next(SweepSpec().cells())
+        whole = run_cell(tiny_base(), cell, repetitions=2, base_seed=7)
+        per_run = run_cell_runs(
+            tiny_base(), cell, repetitions=2, base_seed=7
+        )
+        assert row_from_runs(cell, per_run) == whole
+        assert len(per_run) == 2
+
+
+class TestStreamingSerial:
+    SPEC = SweepSpec(mean_interarrival=(2.2, 2.8))
+
+    def _reference(self):
+        return run_sweep(
+            tiny_base(), self.SPEC, repetitions=2, base_seed=5
+        )
+
+    def test_streaming_rows_identical_to_in_memory(self, tmp_path):
+        from repro.sim.results import make_result_store
+
+        store = make_result_store(str(tmp_path / "r.jsonl"))
+        try:
+            rows = run_sweep(
+                tiny_base(), self.SPEC, repetitions=2, base_seed=5,
+                results=store,
+            )
+        finally:
+            store.close()
+        assert rows_canon(rows) == rows_canon(self._reference())
+
+    def test_resume_complete_store_runs_nothing(self, tmp_path):
+        from repro.sim.results import make_result_store
+
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        run_sweep(tiny_base(), self.SPEC, repetitions=2, base_seed=5,
+                  results=store)
+        store.close()
+        before = path.read_text()
+        store = make_result_store(str(path))
+        try:
+            rows = run_sweep(
+                tiny_base(), self.SPEC, repetitions=2, base_seed=5,
+                results=store, resume=True,
+            )
+        finally:
+            store.close()
+        # Nothing re-ran: the ledger did not grow by a single byte.
+        assert path.read_text() == before
+        assert rows_canon(rows) == rows_canon(self._reference())
+
+    def test_resume_partial_store_runs_only_remainder(self, tmp_path):
+        from repro.sim.results import make_result_store
+
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        run_sweep(tiny_base(), self.SPEC, repetitions=2, base_seed=5,
+                  results=store)
+        store.close()
+        lines = path.read_text().splitlines()
+        total_records = len(lines) - 1  # minus the header
+        # Keep the header and the first completed repetition only.
+        path.write_text("\n".join(lines[:2]) + "\n")
+        store = make_result_store(str(path))
+        try:
+            rows = run_sweep(
+                tiny_base(), self.SPEC, repetitions=2, base_seed=5,
+                results=store, resume=True,
+            )
+        finally:
+            store.close()
+        assert rows_canon(rows) == rows_canon(self._reference())
+        # Exactly the missing repetitions were appended: no duplicates.
+        final = path.read_text().splitlines()
+        assert len(final) - 1 == total_records
+
+    def test_progress_fires_per_cell_in_grid_order(self, tmp_path):
+        from repro.sim.results import make_result_store
+
+        seen = []
+        store = make_result_store(str(tmp_path / "r.jsonl"))
+        try:
+            run_sweep(
+                tiny_base(), self.SPEC, repetitions=1, base_seed=5,
+                results=store,
+                progress=lambda done, total, cell: seen.append(
+                    (done, total)
+                ),
+            )
+        finally:
+            store.close()
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_nonempty_store_without_resume_refused(self, tmp_path):
+        from repro.core.errors import ConfigurationError
+        from repro.sim.results import make_result_store
+
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        run_sweep(tiny_base(), self.SPEC, repetitions=1, base_seed=5,
+                  results=store)
+        store.close()
+        store = make_result_store(str(path))
+        try:
+            with pytest.raises(ConfigurationError, match="--resume"):
+                run_sweep(
+                    tiny_base(), self.SPEC, repetitions=1, base_seed=5,
+                    results=store,
+                )
+        finally:
+            store.close()
+
+    def test_different_sweep_cannot_resume(self, tmp_path):
+        from repro.core.errors import ConfigurationError
+        from repro.sim.results import make_result_store
+
+        path = tmp_path / "r.jsonl"
+        store = make_result_store(str(path))
+        run_sweep(tiny_base(), self.SPEC, repetitions=1, base_seed=5,
+                  results=store)
+        store.close()
+        store = make_result_store(str(path))
+        try:
+            with pytest.raises(ConfigurationError, match="different sweep"):
+                run_sweep(
+                    tiny_base(), self.SPEC, repetitions=1, base_seed=6,
+                    results=store, resume=True,
+                )
+        finally:
+            store.close()
