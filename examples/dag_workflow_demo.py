@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Fan-out/fan-in DAG workflows as the scheduler's native unit of work.
+
+The STAR fan-out pipeline -- ``align -> {germline, somatic} -> integrate``
+-- is compiled into a topologically indexed node graph that every layer
+speaks directly: jobs carry the DAG, the scheduler releases a step the
+moment its last parent completes (branches queue concurrently), and the
+estimator prices remaining work by **critical path** instead of the
+linear Eq. 2 stage sum.
+
+Three views of the same workflow:
+
+1. the compiled graph (node scopes, per-node input scaling);
+2. critical-path ETT vs the serialized sum-of-steps a chain scheduler
+   would charge -- the overlap the DAG view recovers;
+3. a full simulated session under the ``fanout`` preset, with the
+   measured makespan landing near the critical-path prediction.
+
+Run:  python examples/dag_workflow_demo.py
+"""
+
+from repro.core.presets import make_preset
+from repro.scheduler.estimator import PipelineEstimator
+from repro.scheduler.tasks import Job
+from repro.sim.session import SimulationSession
+from repro.workflows import compile_spec, star_fanout_workflow
+
+INPUT_GB = 10.0
+
+
+def main() -> None:
+    wf = compile_spec(star_fanout_workflow())
+    print(f"workflow: {wf.name} ({wf.n_nodes} nodes, "
+          f"{'chain' if wf.is_chain else 'dag'})")
+    print(f"  entries  : {[wf.node(i).scope for i in wf.entries]}")
+    print(f"  terminals: {[wf.node(i).scope for i in wf.terminals]}")
+    print(f"\nper-node input at {INPUT_GB:.0f} GB submitted (output ratios "
+          "shrink data as it flows downstream):")
+    for i in range(wf.n_nodes):
+        node = wf.node(i)
+        parents = ", ".join(str(p) for p in node.parents) or "-"
+        print(f"  [{i:2d}] {node.scope:28s} in={wf.node_input_gb(i, INPUT_GB):6.2f} GB"
+              f"  parents: {parents}")
+
+    # -- critical path vs serialized sum -----------------------------------
+    session = SimulationSession(make_preset("fanout"))
+    # Borrow the built platform's registry-resolved entry application for
+    # a standalone estimator (single-threaded plan, empty queues).
+    app = session.app
+    estimator = PipelineEstimator(app, workflow=wf)
+    probe = Job(app=app, size=INPUT_GB, submit_time=0.0,
+                input_gb=INPUT_GB, workflow=wf)
+    critical = estimator.ett(probe, now=0.0)
+    serial = sum(
+        estimator.eet(i, wf.node_input_gb(i, INPUT_GB), 1)
+        for i in range(wf.n_nodes)
+    )
+    print(f"\nsingle-threaded remaining-time estimates at {INPUT_GB:.0f} GB:")
+    print(f"  serialized sum of steps : {serial:8.2f} TU  (a chain scheduler)")
+    print(f"  critical-path ETT       : {critical:8.2f} TU  (DAG-native)")
+    print(f"  branch overlap recovered: {serial - critical:8.2f} TU "
+          f"({(1 - critical / serial):.0%} shorter)")
+
+    # -- run it ------------------------------------------------------------
+    result = session.run(seed=11)
+    print("\nfanout preset session (seed 11):")
+    print(f"  jobs completed      : {result.completed_runs}")
+    print(f"  median job latency  : {result.latency_p50:6.2f} TU")
+    print(f"  p95 job latency     : {result.latency_p95:6.2f} TU")
+    print(f"  private utilization : {result.private_utilization:.2f}")
+    print("\nmeasured latencies sit well below even the critical-path bound "
+          "because the\nallocator threads each step; the point is the *shape*: "
+          "both variant-calling\nbranches run concurrently after alignment "
+          "instead of serializing, so the DAG\nview recovers the overlap a "
+          "chain scheduler would charge for (gap above).")
+
+
+if __name__ == "__main__":
+    main()

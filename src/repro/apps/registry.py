@@ -24,6 +24,7 @@ from repro.apps.cytoscape import build_cytoscape_model
 from repro.apps.gatk import build_gatk_model
 from repro.apps.maxquant import build_maxquant_model
 from repro.apps.mutect import build_mutect_model
+from repro.apps.star import build_star_model
 from repro.core.errors import ConfigurationError
 from repro.core.plugins import Registry
 
@@ -35,6 +36,7 @@ APPLICATIONS: "Registry[ApplicationModel]" = Registry("application")
 APPLICATIONS.register("gatk", build_gatk_model)
 APPLICATIONS.register("bwa", build_bwa_model)
 APPLICATIONS.register("mutect", build_mutect_model)
+APPLICATIONS.register("star", build_star_model)
 APPLICATIONS.register("maxquant", build_maxquant_model)
 APPLICATIONS.register("cellprofiler", build_cellprofiler_model)
 APPLICATIONS.register("cytoscape", build_cytoscape_model)

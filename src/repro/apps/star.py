@@ -1,0 +1,44 @@
+"""STAR: an alignment-heavy RNA-seq aligner profile.
+
+The cloud STAR-aligner study (PAPERS.md: "Accelerating Cloud-Based
+Transcriptomics: Performance Analysis and Optimization of the STAR Aligner
+Workflow") characterises a very different cost shape from the variant
+pipeline: a large fixed genome-index load (tens of GB resident, barely
+parallelisable), then a seed-and-stitch alignment phase that dominates
+wall time, scales nearly linearly with input, and parallelises almost
+perfectly across threads, then a comparatively cheap coordinate sort.
+
+The coefficients below encode that shape in Table II's unit system: the
+align stage carries the steep ``a`` and a parallel fraction of 0.98 (the
+study's near-linear thread scaling), while index load is all ``b`` and
+effectively serial -- so shard/thread advice for STAR workloads comes out
+very differently from GATK's, which is exactly why the DAG examples use
+it as the fan-out entry step.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ApplicationModel, StageModel
+from repro.genomics.datasets import DataFormat
+
+__all__ = ["build_star_model"]
+
+
+def build_star_model() -> ApplicationModel:
+    """A 3-stage alignment-heavy model: index load, align, sort."""
+    stages = (
+        StageModel(index=0, name="GenomeLoad", a=0.05, b=6.0, c=0.05, ram_gb=32.0),
+        StageModel(index=1, name="AlignReads", a=3.20, b=0.8, c=0.98, ram_gb=32.0),
+        StageModel(index=2, name="SortIndexBam", a=0.45, b=0.6, c=0.70, ram_gb=8.0),
+    )
+    return ApplicationModel(
+        name="star",
+        stages=stages,
+        input_format=DataFormat.FASTQ,
+        output_format=DataFormat.BAM,
+        worker_class="star",
+        description=(
+            "STAR-style spliced aligner: huge resident index, "
+            "embarrassingly parallel alignment, FASTQ in, sorted BAM out."
+        ),
+    )

@@ -198,6 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
 
+    workflows = sub.add_parser(
+        "workflows",
+        help="list registered workflow DAGs (steps, edges, formats)",
+    )
+    workflows.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     dump = sub.add_parser(
         "config-dump",
         help="print the resolved JSON config of a registered preset",
@@ -258,6 +266,12 @@ def _common_session_args(parser: argparse.ArgumentParser) -> None:
         "--estimates", default=None, metavar="PROVIDER",
         help="estimate provider behind the knowledge plane (built-in: "
         "static, adaptive); overrides --preset/--config too",
+    )
+    parser.add_argument(
+        "--workflow", default=None, metavar="NAME",
+        help="run a registered workflow DAG instead of the application's "
+        "linear chain (see `scan-sim workflows`); overrides "
+        "--preset/--config too",
     )
     chaos = parser.add_argument_group("chaos / resilience")
     chaos.add_argument(
@@ -339,6 +353,16 @@ def _apply_estimates_flag(
     return config.with_overrides(knowledge={"provider": provider})
 
 
+def _apply_workflow_flag(
+    config: PlatformConfig, args: argparse.Namespace
+) -> PlatformConfig:
+    """Overlay ``--workflow`` onto *config* (wins over preset/file)."""
+    workflow = getattr(args, "workflow", None)
+    if workflow is None:
+        return config
+    return config.with_overrides(workflow=workflow)
+
+
 def _resolve_run_config(args: argparse.Namespace) -> PlatformConfig:
     """run's config, from --config / --preset / individual flags."""
     if args.config is not None:
@@ -361,7 +385,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Run one simulation session and print its metrics."""
     from repro.sim.session import SimulationSession
 
-    config = _apply_estimates_flag(_resolve_run_config(args), args)
+    config = _apply_workflow_flag(
+        _apply_estimates_flag(_resolve_run_config(args), args), args
+    )
     telemetry_on = bool(args.trace_out or args.metrics_out or args.profile)
     if telemetry_on:
         config = config.with_overrides(
@@ -431,7 +457,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         reward_scheme=(_policy_name(RewardScheme, args.reward),),
         public_core_cost=(args.public_cost,),
     )
-    base = _apply_estimates_flag(_resolve_run_config(args), args)
+    base = _apply_workflow_flag(
+        _apply_estimates_flag(_resolve_run_config(args), args), args
+    )
     store_spec = args.results_out or base.results.store or None
     if args.resume and store_spec is None:
         print(
@@ -672,6 +700,58 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workflows(args: argparse.Namespace) -> int:
+    """List every registered workflow spec with its compiled shape.
+
+    Each workflow is compiled (against the default application registry)
+    so the listing shows what the scheduler would actually run: node
+    count, chain-or-DAG shape, entry/terminal steps, and per-step
+    application, data formats and edges.
+    """
+    from repro.workflows.compiled import compile_spec
+    from repro.workflows.library import WORKFLOWS, make_workflow
+
+    summaries = []
+    for name in WORKFLOWS.names():
+        spec = make_workflow(name)
+        compiled = compile_spec(spec)
+        summary = compiled.describe()
+        summary["registered_as"] = name
+        summary["step_edges"] = sorted(
+            [parent, child]
+            for parent in spec.topological_order
+            for child in spec.children(parent)
+        )
+        summary["step_apps"] = {
+            step_name: {
+                "app": step.app,
+                "input": spec.app_of(step_name).input_format.value,
+                "output": spec.app_of(step_name).output_format.value,
+                "output_ratio": step.output_ratio,
+            }
+            for step_name, step in spec.steps.items()
+        }
+        summaries.append(summary)
+    if args.json:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+        return 0
+    for summary in summaries:
+        shape = "chain" if summary["chain"] else "dag"
+        print(
+            f"{summary['registered_as']}: {summary['name']} "
+            f"({summary['nodes']} nodes, {shape})"
+        )
+        for step_name, info in sorted(summary["step_apps"].items()):
+            print(
+                f"  step {step_name}: {info['app']} "
+                f"[{info['input']} -> {info['output']}, "
+                f"ratio {info['output_ratio']}]"
+            )
+        for parent, child in summary["step_edges"]:
+            print(f"  edge {parent} -> {child}")
+    return 0
+
+
 def cmd_config_dump(args: argparse.Namespace) -> int:
     """Print one preset's fully-resolved config as round-trippable JSON."""
     from repro.core.presets import make_preset
@@ -772,6 +852,7 @@ _COMMANDS = {
     "table2": cmd_table2,
     "trace": cmd_trace,
     "policies": cmd_policies,
+    "workflows": cmd_workflows,
     "config-dump": cmd_config_dump,
     "kb": cmd_kb,
 }

@@ -179,6 +179,16 @@ class WorkloadConfig:
     #: hiring is necessary", 3.0 = private tier "rarely if ever fully
     #: occupied").
     size_unit_gb: float = 1.0
+    #: Arrival generator (an ``ARRIVAL_PROCESSES`` registry key);
+    #: ``"batch_poisson"`` is the paper's stochastic process, ``"trace"``
+    #: replays a recorded JSONL arrival log.
+    arrival_process: str = "batch_poisson"
+    #: Path of the JSONL trace replayed by ``arrival_process = "trace"``.
+    arrival_trace: str = ""
+
+    # Serialized sparsely (omitted at their defaults) so configs recorded
+    # before these knobs existed fingerprint and round-trip unchanged.
+    _SPARSE_FIELDS = frozenset({"arrival_process", "arrival_trace"})
 
     def validate(self) -> None:
         """Raise ConfigurationError on invalid fields."""
@@ -192,6 +202,12 @@ class WorkloadConfig:
             raise ConfigurationError("variances must be >= 0")
         if self.job_size_mean <= 0:
             raise ConfigurationError("job_size_mean must be positive")
+        if not self.arrival_process:
+            raise ConfigurationError("arrival_process must be named")
+        if self.arrival_process == "trace" and not self.arrival_trace:
+            raise ConfigurationError(
+                "arrival_process 'trace' needs arrival_trace (a JSONL path)"
+            )
 
 
 @dataclass(frozen=True)
@@ -516,10 +532,18 @@ _ENUM_REGISTRY_KINDS: dict[str, str] = {
 
 
 def _section_to_dict(section: Any) -> dict[str, Any]:
-    """One config section as plain JSON-serializable values."""
+    """One config section as plain JSON-serializable values.
+
+    Fields a section lists in ``_SPARSE_FIELDS`` are omitted while at
+    their declared default, so adding an opt-in knob does not perturb
+    the serialized form (or the fingerprint) of older configs.
+    """
+    sparse = getattr(type(section), "_SPARSE_FIELDS", frozenset())
     out: dict[str, Any] = {}
     for f in fields(section):
         value = getattr(section, f.name)
+        if f.name in sparse and value == f.default:
+            continue
         if isinstance(value, enum.Enum):
             value = value.value
         elif isinstance(value, tuple):
@@ -584,6 +608,10 @@ class PlatformConfig:
     results: ResultsConfig = field(default_factory=ResultsConfig)
     #: Name of the application pipeline to run (registry key).
     application: str = "gatk"
+    #: Name of the workflow DAG to run (a ``WORKFLOWS`` registry key).
+    #: Empty means "the application's own linear chain" -- the legacy
+    #: shape, serialized identically to configs that predate DAGs.
+    workflow: str = ""
 
     def validate(self) -> "PlatformConfig":
         """Validate all sections; returns self for chaining."""
@@ -645,6 +673,8 @@ class PlatformConfig:
             for name in self._SECTIONS
         }
         out["application"] = self.application
+        if self.workflow:
+            out["workflow"] = self.workflow
         return out
 
     @classmethod
@@ -668,11 +698,14 @@ class PlatformConfig:
             "simulation": SimulationConfig,
             "results": ResultsConfig,
         }
-        unknown = sorted(set(data) - set(section_classes) - {"application"})
+        unknown = sorted(
+            set(data) - set(section_classes) - {"application", "workflow"}
+        )
         if unknown:
             raise ConfigurationError(
                 f"unknown config section(s) {', '.join(map(repr, unknown))}; "
-                f"known: application, {', '.join(sorted(section_classes))}"
+                f"known: application, workflow, "
+                f"{', '.join(sorted(section_classes))}"
             )
         kwargs: dict[str, Any] = {}
         for name, section_cls in section_classes.items():
@@ -686,6 +719,8 @@ class PlatformConfig:
                 kwargs[name] = _section_from_dict(section_cls, section, name)
         if "application" in data:
             kwargs["application"] = data["application"]
+        if "workflow" in data:
+            kwargs["workflow"] = data["workflow"]
         return cls(**kwargs)
 
     def to_json(self, indent: "int | None" = 2) -> str:

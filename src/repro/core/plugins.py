@@ -161,6 +161,8 @@ def all_registries() -> Dict[str, "Registry[Any]"]:
         "repro.service.queue",
         "repro.service.store",
         "repro.sim.results",
+        "repro.workload.arrivals",
+        "repro.workflows.library",
     ):
         importlib.import_module(module)
     return dict(sorted(_REGISTRIES.items()))

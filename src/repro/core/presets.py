@@ -105,6 +105,20 @@ def _overnight() -> PlatformConfig:
     )
 
 
+@PRESETS.register("fanout")
+def _fanout() -> PlatformConfig:
+    """The STAR fan-out DAG (align -> {germline, somatic} -> integrate)
+    run natively by the scheduler: jobs carry the compiled workflow,
+    branch steps queue independently after alignment, and the estimator
+    prices remaining work by critical path instead of stage sum.  Short
+    duration: this is the DAG plumbing's CI-runnable showcase.
+    """
+    return PlatformConfig.paper_defaults().with_overrides(
+        workflow="star_fanout",
+        simulation={"duration": 120.0, "repetitions": 2},
+    )
+
+
 @PRESETS.register("observed")
 def _observed() -> PlatformConfig:
     """Telemetry fully on (tracing + metrics + audit); same sim results."""

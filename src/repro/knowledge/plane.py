@@ -51,8 +51,11 @@ __all__ = [
     "StaticEstimateProvider",
     "AdaptiveEstimateProvider",
     "FactProvider",
+    "WorkflowStaticProvider",
+    "WorkflowAdaptiveProvider",
     "ESTIMATE_PROVIDERS",
     "make_estimate_provider",
+    "make_workflow_provider",
     "fit_stage_fact",
     "diff_snapshots",
     "drifted_model",
@@ -725,6 +728,121 @@ class FactProvider:
                 f"no fact for {self.app!r} stage {stage} in the plane"
             )
         return fact.predict(size_gb, threads)
+
+
+class WorkflowStaticProvider:
+    """Frozen per-node coefficients for a compiled workflow.
+
+    The DAG analogue of :class:`StaticEstimateProvider`: ``stage_model``
+    maps a node index to the node's believed :class:`StageModel` object
+    itself, so a compiled *chain* serves the exact same model objects (and
+    floats) as the static provider over the underlying application.
+    """
+
+    def __init__(self, workflow: Any, plane: Any = None, **_: Any) -> None:
+        self.workflow = workflow
+
+    @property
+    def epoch(self) -> int:
+        return 0
+
+    @property
+    def n_stages(self) -> int:
+        return self.workflow.n_nodes
+
+    def stage_model(self, stage: int) -> StageModel:
+        return self.workflow.node(stage).model
+
+    def eet(self, stage: int, size_gb: float, threads: int) -> float:
+        return self.workflow.node(stage).model.threaded_time(threads, size_gb)
+
+
+class WorkflowAdaptiveProvider:
+    """Plane-backed estimates keyed per (workflow, step) fact scope.
+
+    Each compiled node reads the fact installed under
+    ``(node.scope, node.app_stage)`` -- for spec workflows the scope is
+    ``"{workflow}/{step}"``, so two branches running the *same* tool own
+    separate facts and the online refitter sharpens them independently
+    (the scheduler publishes ``StageCompleted`` events under the node
+    scope, which is all the refitter keys on).  Nodes without facts fall
+    back to their believed model; a cold plane is seeded from the
+    workflow's own coefficients, scope by scope.
+    """
+
+    def __init__(self, workflow: Any, plane: KnowledgePlane, **_: Any) -> None:
+        if plane is None:
+            raise KnowledgeBaseError(
+                "workflow adaptive provider requires a knowledge plane"
+            )
+        self.workflow = workflow
+        self.plane = plane
+        plane.install(
+            StageFact(
+                app=node.scope,
+                stage=node.app_stage,
+                a=node.model.a,
+                b=node.model.b,
+                c=node.model.c,
+                ram_gb=node.model.ram_gb,
+                provenance="model",
+                samples=0,
+                confidence=1.0,
+            )
+            for node in workflow
+            if plane.get(node.scope, node.app_stage) is None
+        )
+        self._models: Dict[int, StageModel] = {}
+        self._models_epoch = -1
+
+    @property
+    def epoch(self) -> int:
+        return self.plane.epoch
+
+    @property
+    def n_stages(self) -> int:
+        return self.workflow.n_nodes
+
+    def _refresh(self) -> None:
+        if self._models_epoch == self.plane.epoch:
+            return
+        models: Dict[int, StageModel] = {}
+        for node in self.workflow:
+            fact = self.plane.get(node.scope, node.app_stage)
+            if fact is None:
+                models[node.index] = node.model
+            else:
+                models[node.index] = fact.to_stage_model(name=node.model.name)
+        self._models = models
+        self._models_epoch = self.plane.epoch
+
+    def stage_model(self, stage: int) -> StageModel:
+        self._refresh()
+        return self._models[stage]
+
+    def eet(self, stage: int, size_gb: float, threads: int) -> float:
+        self._refresh()
+        return self._models[stage].threaded_time(threads, size_gb)
+
+
+def make_workflow_provider(
+    kind: Any, workflow: Any, plane: Optional[KnowledgePlane] = None
+) -> EstimateProvider:
+    """The workflow-scoped provider matching estimate-provider *kind*.
+
+    ``static`` and ``adaptive`` map to their DAG analogues; other kinds
+    (out-of-tree providers are keyed on a single application) have no
+    workflow form and are rejected.
+    """
+    kind = str(getattr(kind, "value", kind))
+    if kind == "static":
+        return WorkflowStaticProvider(workflow)
+    if kind == "adaptive":
+        return WorkflowAdaptiveProvider(workflow, plane)
+    raise KnowledgeBaseError(
+        f"estimate provider {kind!r} has no workflow-scoped form; "
+        "use 'static' or 'adaptive'"
+    )
 
 
 def drifted_model(app: ApplicationModel, factor: float) -> ApplicationModel:

@@ -68,6 +68,11 @@ class AllocationContext:
         """The current model for *stage* (plane-backed when wired)."""
         if self.estimates is not None:
             return self.estimates.stage_model(stage)
+        wf = job._workflow
+        if wf is not None:
+            # Chain workflows alias the app's own StageModel objects, so
+            # this is the legacy answer for them too.
+            return wf.node(stage).model
         return job.app.stage(stage)
 
 
@@ -122,6 +127,19 @@ def _best_stage_threads(
     return best_t
 
 
+def _stage_input(job: Job, stage: int) -> float:
+    """Input size node *stage* will process.
+
+    Chain jobs (and workflow nodes with unit scale) see ``job.input_gb``
+    unchanged -- the same float object the legacy sizing used -- so this
+    only diverges for DAG branches with a non-trivial input scale.
+    """
+    wf = job._workflow
+    if wf is None:
+        return job.input_gb
+    return wf.node_input_gb(stage, job.input_gb)
+
+
 def _optimise_plan(
     app: ApplicationModel,
     job: Job,
@@ -129,24 +147,36 @@ def _optimise_plan(
     from_stage: int,
     sweeps: int = 2,
 ) -> ExecutionPlan:
-    """Coordinate-descent plan optimisation from *from_stage* onward.
+    """Coordinate-descent plan optimisation over the job's remaining steps.
 
     The marginal value of saved time can depend on the plan itself (the
     throughput scheme values a TU more when the pipeline is fast), so we
     alternate: evaluate ETT under the current candidate plan, derive the
     marginal value there, re-pick each stage's threads, repeat.
+
+    For chain jobs the remaining steps are ``from_stage..n-1``, exactly
+    the legacy behaviour.  For DAG jobs completed nodes are sunk and every
+    not-yet-done node is replanned, because parallel branches dispatch in
+    an order the index gives no information about.
     """
+    wf = job._workflow
+    if wf is None or wf.is_chain:
+        step_indices: Sequence[int] = range(from_stage, job.n_stages)
+    else:
+        step_indices = [
+            i for i in range(job.n_stages) if not job.step_done(i)
+        ]
     current = list(
-        job.plan.threads if job.plan is not None else [1] * app.n_stages
+        job.plan.threads if job.plan is not None else [1] * job.n_stages
     )
     core_cost = ctx.costs.marginal_core_cost(1)
     for _ in range(max(sweeps, 1)):
         ett = ctx.estimator.ett(job, ctx.now, threads_per_stage=current)
         value = ctx.reward.marginal_value(max(ett, 0.0), job.records)
-        for stage_idx in range(from_stage, app.n_stages):
+        for stage_idx in step_indices:
             current[stage_idx] = _best_stage_threads(
                 ctx.stage_model(job, stage_idx),
-                job.input_gb,
+                _stage_input(job, stage_idx),
                 value,
                 core_cost,
                 ctx.thread_choices,
@@ -170,7 +200,7 @@ class GreedyAllocation:
         core_cost = ctx.costs.marginal_core_cost(1)
         return _best_stage_threads(
             ctx.stage_model(job, stage),
-            job.input_gb,
+            _stage_input(job, stage),
             value,
             core_cost,
             ctx.thread_choices,

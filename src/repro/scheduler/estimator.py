@@ -15,6 +15,13 @@ queue for stage i, EQT_i."
 EET comes from the application's stage models (which the knowledge base
 recovered by regression); EQT is an exponentially-weighted moving average
 of observed queue waits, updated every time a task leaves a queue.
+
+For DAG workflows Eq. 2's forward sum generalises to the **critical
+path**: remaining time is the longest path of per-node (EQT + EET)
+through the not-yet-completed subgraph, because independent branches run
+concurrently.  Chains keep the original forward-accumulation loop
+verbatim (same floats, same memo keys), so linear-pipeline estimates are
+bit-identical to the pre-DAG estimator.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.core.errors import SchedulingError
 from repro.knowledge.plane import EstimateProvider, StaticEstimateProvider
 from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.tasks import Job, StageTask
+from repro.workflows.compiled import CompiledWorkflow
 
 __all__ = [
     "DelayCostTerm",
@@ -96,16 +104,28 @@ class PipelineEstimator:
         app: ApplicationModel,
         eqt_alpha: float = 0.3,
         estimates: Optional[EstimateProvider] = None,
+        workflow: Optional[CompiledWorkflow] = None,
     ) -> None:
         if not 0.0 < eqt_alpha <= 1.0:
             raise SchedulingError("eqt_alpha must lie in (0, 1]")
         self.app = app
         self.eqt_alpha = eqt_alpha
-        self.estimates: EstimateProvider = (
-            estimates if estimates is not None else StaticEstimateProvider(app)
-        )
-        self._eqt = [0.0] * app.n_stages
-        self._eqt_seen = [0] * app.n_stages
+        if estimates is not None:
+            self.estimates: EstimateProvider = estimates
+        elif workflow is not None and not workflow.is_chain:
+            # A DAG has more (and differently scoped) nodes than the entry
+            # app; the app-shaped default would mis-size every index.
+            from repro.knowledge.plane import WorkflowStaticProvider
+
+            self.estimates = WorkflowStaticProvider(workflow)
+        else:
+            self.estimates = StaticEstimateProvider(app)
+        #: The DAG being estimated; ``None`` (or a compiled chain) keeps
+        #: every code path on the legacy linear arithmetic.
+        self.workflow = workflow
+        n_steps = workflow.n_nodes if workflow is not None else app.n_stages
+        self._eqt = [0.0] * n_steps
+        self._eqt_seen = [0] * n_steps
         # EET memo: (stage, size bucket, threads) -> T_i(t, d).  Buckets
         # are the exact float size -- quantising would change estimates
         # and break serial/parallel bit-equivalence; repeats come from the
@@ -175,20 +195,64 @@ class PipelineEstimator:
         now: float,
         threads_per_stage: Optional[Sequence[int]] = None,
     ) -> float:
-        """Estimated total time for *job*: elapsed + remaining stages.
+        """Estimated total time for *job*: elapsed + remaining work.
 
         ``threads_per_stage`` overrides the job's plan for the remaining
         stages (used when evaluating candidate plans); otherwise the job's
         plan (or single-threaded) is assumed.
+
+        Chains sum the remaining stages exactly as Eq. 2 writes it.  DAGs
+        take the **critical path**: independent branches overlap, so the
+        remaining time is the longest (EQT + EET) path through the
+        not-yet-completed subgraph, computed by one reverse-topological
+        sweep (node indices are topologically ordered by construction).
         """
         total = job.elapsed(now)
-        for stage in range(job.current_stage, job.n_stages):
+        wf = self.workflow
+        if wf is None or wf.is_chain:
+            for stage in range(job.current_stage, job.n_stages):
+                if threads_per_stage is not None:
+                    threads = threads_per_stage[stage]
+                else:
+                    threads = job.planned_threads(stage)
+                total += self.eqt(stage) + self.eet(stage, job.input_gb, threads)
+            return total
+        return total + self._critical_path(job, threads_per_stage)
+
+    def _critical_path(
+        self, job: Job, threads_per_stage: Optional[Sequence[int]] = None
+    ) -> float:
+        """Longest remaining (EQT + EET) path through *job*'s DAG.
+
+        ``f(n) = cost(n) + max(f(c) for remaining children c)`` swept in
+        reverse topological order; the answer is the max over remaining
+        *frontier* nodes (every parent already complete).  Like the chain
+        loop, a currently-executing node is still counted at full cost --
+        the estimate is conservative in exactly the same way.
+        """
+        wf = self.workflow
+        done = job.completed_steps
+        downstream = [0.0] * wf.n_nodes
+        best = 0.0
+        for i in range(wf.n_nodes - 1, -1, -1):
+            if i in done:
+                continue
+            node = wf.node(i)
             if threads_per_stage is not None:
-                threads = threads_per_stage[stage]
+                threads = threads_per_stage[i]
             else:
-                threads = job.planned_threads(stage)
-            total += self.eqt(stage) + self.eet(stage, job.input_gb, threads)
-        return total
+                threads = job.planned_threads(i)
+            cost = self.eqt(i) + self.eet(
+                i, wf.node_input_gb(i, job.input_gb), threads
+            )
+            tail = 0.0
+            for child in node.children:
+                if child not in done and downstream[child] > tail:
+                    tail = downstream[child]
+            downstream[i] = cost + tail
+            if downstream[i] > best and all(p in done for p in node.parents):
+                best = downstream[i]
+        return best
 
     def remaining_time(
         self, job: Job, now: float, threads_per_stage: Optional[Sequence[int]] = None

@@ -75,6 +75,7 @@ from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.scaling import ScalingContext, ScalingPolicy
 from repro.scheduler.tasks import Job, JobState, StageRecord, StageTask
 from repro.scheduler.workers import Worker, WorkerPools
+from repro.workflows.compiled import CompiledWorkflow, chain_of
 
 if TYPE_CHECKING:  # telemetry stays import-free on the default path
     from repro.telemetry.hub import TelemetryHub
@@ -113,6 +114,7 @@ class SCANScheduler:
         telemetry: "Optional[TelemetryHub]" = None,
         bus: Optional[EventBus] = None,
         estimates: Optional[EstimateProvider] = None,
+        workflow: Optional[CompiledWorkflow] = None,
     ) -> None:
         self.env = env
         self.app = app
@@ -127,6 +129,17 @@ class SCANScheduler:
             raise SchedulingError(
                 "actual_app must have the same stage count as app"
             )
+        #: The unit of work: a compiled DAG of stage executions.  Plain
+        #: application scheduling lowers the app into its (cached) chain,
+        #: where node i is stage i -- every queue, plan slot, EQT slot,
+        #: and event below is indexed by workflow node.
+        self.workflow = (
+            workflow
+            if workflow is not None
+            else chain_of(app, self.actual_app)
+        )
+        #: Schedulable steps (chain: the app's stage count).
+        self.n_steps = self.workflow.n_nodes
         self.infrastructure = infrastructure
         self.celar = celar
         self.reward = reward
@@ -160,9 +173,12 @@ class SCANScheduler:
             on_launch=self._launch_speculative,
         )
 
-        self.queues = QueueSet(app.n_stages, start_time=env.now)
+        self.queues = QueueSet(self.n_steps, start_time=env.now)
         self.estimator = PipelineEstimator(
-            app, eqt_alpha=self.config.eqt_alpha, estimates=estimates
+            app,
+            eqt_alpha=self.config.eqt_alpha,
+            estimates=estimates,
+            workflow=self.workflow,
         )
         self.costs = TieredCostFunction(infrastructure)
         self.pools = WorkerPools(
@@ -218,7 +234,7 @@ class SCANScheduler:
 
             self._lane_for_stage = lane_for_stage
             self._lane_for_worker = lane_for_worker
-            for stage in range(app.n_stages):
+            for stage in range(self.n_steps):
                 self._tracer.lane(lane_for_stage(stage), f"stage {stage} queue")
         if telemetry is not None:
             from repro.telemetry.bus_adapter import attach_hub
@@ -235,11 +251,21 @@ class SCANScheduler:
 
     # -- submission ----------------------------------------------------------------
     def submit(self, job: Job) -> Job:
-        """Accept a pipeline run and enqueue its first stage."""
+        """Accept a run and enqueue its entry steps (chain: stage 0)."""
         if job.app is not self.app:
             raise SchedulingError(
                 f"{job.name} targets {job.app.name!r}; this scheduler runs "
                 f"{self.app.name!r}"
+            )
+        job_wf = job._workflow
+        if job_wf is not None and (
+            job_wf.name != self.workflow.name
+            or job_wf.n_nodes != self.workflow.n_nodes
+        ):
+            raise SchedulingError(
+                f"{job.name} carries workflow {job_wf.name!r} "
+                f"({job_wf.n_nodes} nodes); this scheduler runs "
+                f"{self.workflow.name!r} ({self.workflow.n_nodes} nodes)"
             )
         job.state = JobState.RUNNING
         self.submitted_jobs.append(job)
@@ -251,7 +277,8 @@ class SCANScheduler:
             size=job.size,
             plan=tuple(job.plan.threads) if job.plan is not None else None,
         )
-        self._enqueue(job, 0)
+        for step in job.start_steps():
+            self._enqueue(job, step)
         return job
 
     # -- internals --------------------------------------------------------------
@@ -264,6 +291,15 @@ class SCANScheduler:
             now=self.env.now,
             estimates=self.estimator.estimates,
         )
+
+    def _worker_class(self, stage: int) -> str:
+        """The worker-pool key for *stage*'s node.
+
+        Chain nodes all carry the app's own worker class, so this is the
+        legacy single-pool behaviour there; DAG nodes route each step to
+        its application's pool.
+        """
+        return self.workflow.node(stage).worker_class
 
     def _enqueue(self, job: Job, stage: int) -> None:
         task = StageTask(job=job, stage=stage, enqueued_at=self.env.now)
@@ -299,7 +335,7 @@ class SCANScheduler:
         self._dispatch(task.stage)
 
     def _on_worker_available(self) -> None:
-        for stage in range(self.app.n_stages):
+        for stage in range(self.n_steps):
             self._dispatch(stage)
 
     def _on_worker_failed(self, worker: Worker) -> None:
@@ -340,7 +376,7 @@ class SCANScheduler:
         the queue is not stranded waiting for a boot that never began.
         """
         try:
-            self.pools.hire(self.app.worker_class, cores, tier, stage)
+            self.pools.hire(self._worker_class(stage), cores, tier, stage)
         except TransientDeployError as exc:
             now = self.env.now
             self.deploy_failures += 1
@@ -423,7 +459,7 @@ class SCANScheduler:
     def _schedule_redispatch_all(self, delay: float) -> None:
         def waker():
             yield self.env.timeout(max(delay, 0.0))
-            for stage in range(self.app.n_stages):
+            for stage in range(self.n_steps):
                 self._dispatch(stage)
 
         self.env.process(waker())
@@ -475,7 +511,7 @@ class SCANScheduler:
                 threads, ram_gb=self.estimator.estimates.stage_model(stage).ram_gb
             )
 
-            worker = self.pools.acquire(self.app.worker_class, cores)
+            worker = self.pools.acquire(self._worker_class(stage), cores)
             if worker is not None:
                 queue.pop(self.env.now)
                 self.env.process(self._execute(task, worker))
@@ -493,7 +529,7 @@ class SCANScheduler:
             # Private full: a re-pooled idle worker needs no new capacity.
             if self.config.repool_allowed:
                 candidate = self.pools.repool_candidate(
-                    self.app.worker_class, cores
+                    self._worker_class(stage), cores
                 )
                 if candidate is not None:
                     self.pools.repool(candidate, cores, stage)
@@ -514,7 +550,7 @@ class SCANScheduler:
 
             # Hire-or-wait: the horizontal-scaling policy's call.
             expected_wait = self.pools.estimate_wait(
-                self.app.worker_class,
+                self._worker_class(stage),
                 cores,
                 penalty_tu=self.celar.startup_penalty_tu,
             )
@@ -583,10 +619,13 @@ class SCANScheduler:
             self.estimator.observe_queue_wait(stage, wait)
 
         worker.vm.mark_busy()
-        # Reality may diverge from the believed model (actual_app).
-        duration = self.actual_app.stage(stage).threaded_time(
-            threads, job.input_gb
-        )
+        # Reality may diverge from the believed model (the node's ground
+        # truth comes from actual_app for chains, the drift-aware resolver
+        # for compiled specs).  The node's input is the job input scaled by
+        # the workflow's data-propagation factor (1.0 on every chain node).
+        node = self.workflow.node(stage)
+        stage_input = self.workflow.node_input_gb(stage, job.input_gb)
+        duration = node.actual.threaded_time(threads, stage_input)
         straggled = False
         if self.faults is not None and self.faults.stragglers_enabled:
             multiplier = self.faults.straggler_multiplier()
@@ -638,7 +677,7 @@ class SCANScheduler:
             and self.faults is not None
             and self.faults.stragglers_enabled
         ):
-            predicted = self.estimator.eet(stage, job.input_gb, threads)
+            predicted = self.estimator.eet(stage, stage_input, threads)
             self.env.process(
                 self.speculation.watchdog(self.env, group, predicted)
             )
@@ -823,16 +862,20 @@ class SCANScheduler:
             )
         # The knowledge loop's feedback edge: realised durations flow to
         # whoever subscribed (learning policies, the online refitter).
-        # `input_gb` is the stage-model axis (job.input_gb), unlike the
-        # legacy EventLog record above which carries the reward-unit size.
+        # `input_gb` is the stage-model axis (the node's scaled input),
+        # unlike the legacy EventLog record above which carries the
+        # reward-unit size.  The event is keyed by the node's fact scope
+        # and in-app stage: chains publish (app.name, stage) exactly as
+        # before, while DAG branches publish ("{workflow}/{step}", stage)
+        # so the refitter sharpens each branch independently.
         if StageCompleted in self.bus:
             self.bus.publish(
                 StageCompleted(
                     finished_at,
                     job.name,
-                    self.app.name,
-                    stage,
-                    job.input_gb,
+                    node.scope,
+                    node.app_stage,
+                    stage_input,
                     threads,
                     duration,
                     job,
@@ -869,7 +912,12 @@ class SCANScheduler:
                     JobCompleted(finished_at, job.name, latency, paid, job.size)
                 )
         else:
-            self._enqueue(job, job.current_stage)
+            # Release every child whose last outstanding parent just
+            # finished.  Chains release exactly [stage + 1], preserving
+            # the legacy enqueue order; DAG fan-outs release independent
+            # branches together, each into its own node queue.
+            for next_step in job.ready_after(stage):
+                self._enqueue(job, next_step)
 
     # -- retry / dead-letter machinery -------------------------------------------
     def _handle_failed_attempt(self, task: StageTask, reason: str) -> None:

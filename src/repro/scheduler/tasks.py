@@ -1,11 +1,20 @@
 """Jobs (pipeline runs) and per-stage tasks.
 
-A :class:`Job` is one user request: run the whole application pipeline over
-an input of size ``d``.  "latency measures the time from a task entering
-the queue for the first analysis stage to completing the last stage"; "the
-task's size ... generally reflects the number of records of input data
-supplied" (paper Section III-A.2).  We use the job size (GB-units) as the
-record count, as the paper's own model does (E_i is linear in d).
+A :class:`Job` is one user request: run a whole analysis over an input of
+size ``d``.  "latency measures the time from a task entering the queue for
+the first analysis stage to completing the last stage"; "the task's size
+... generally reflects the number of records of input data supplied"
+(paper Section III-A.2).  We use the job size (GB-units) as the record
+count, as the paper's own model does (E_i is linear in d).
+
+Since the DAG refactor a job's unit of work is a
+:class:`~repro.workflows.compiled.CompiledWorkflow` node, not a pipeline
+stage index.  A plain application job still works exactly as before -- it
+lazily lowers its app into the cached chain workflow, where node ``i`` is
+stage ``i`` -- but a job constructed with an explicit workflow tracks
+completion as a *set* of finished nodes plus dependency release: a node
+becomes ready only when every parent node has completed, and independent
+branches are handed to the scheduler together.
 """
 
 from __future__ import annotations
@@ -13,11 +22,14 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps.base import ApplicationModel, ExecutionPlan
 from repro.cloud.infrastructure import TierName
 from repro.core.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.workflows.compiled import CompiledWorkflow
 
 __all__ = ["JobState", "StageRecord", "Job", "StageTask"]
 
@@ -37,7 +49,7 @@ class JobState(str, enum.Enum):
 
 @dataclass(frozen=True)
 class StageRecord:
-    """What happened when one stage of a job ran."""
+    """What happened when one step (workflow node) of a job ran."""
 
     stage: int
     queued_at: float
@@ -58,7 +70,7 @@ class StageRecord:
 
 
 class Job:
-    """One pipeline run through every stage of an application."""
+    """One run through every node of a workflow (or every app stage)."""
 
     def __init__(
         self,
@@ -67,6 +79,7 @@ class Job:
         submit_time: float,
         name: str = "",
         input_gb: Optional[float] = None,
+        workflow: "Optional[CompiledWorkflow]" = None,
     ) -> None:
         if size <= 0:
             raise SchedulingError(f"job size must be positive, got {size}")
@@ -79,18 +92,27 @@ class Job:
         #: rewards.
         self.size = float(size)
         #: Input size on the E_i(d) axis (GB); defaults to ``size`` under
-        #: the 1-unit-=-1-GB mapping.
+        #: the 1-unit-=-1-GB mapping.  DAG nodes see this scaled by their
+        #: workflow input scale.
         self.input_gb = float(input_gb) if input_gb is not None else float(size)
         self.submit_time = float(submit_time)
         self.state = JobState.SUBMITTED
-        #: Thread counts per stage; set by the allocation policy.  May be
-        #: revised for *future* stages by adaptive policies.
+        #: Thread counts per workflow node; set by the allocation policy.
+        #: May be revised for *future* nodes by adaptive policies.
         self.plan: Optional[ExecutionPlan] = None
+        #: Number of completed step executions (for a chain: the index of
+        #: the next stage, exactly the legacy meaning).
         self.current_stage = 0
         self.history: list[StageRecord] = []
         self.completed_at: Optional[float] = None
         self.failed_at: Optional[float] = None
         self.reward_paid: Optional[float] = None
+        #: The compiled workflow this job runs; ``None`` means "the app's
+        #: own chain", lowered lazily on first access.
+        self._workflow = workflow
+        #: Completed node indices, and nodes already handed to a queue.
+        self._done: set[int] = set()
+        self._released: set[int] = set()
 
     @property
     def records(self) -> float:
@@ -98,8 +120,25 @@ class Job:
         return self.size
 
     @property
+    def workflow(self) -> "CompiledWorkflow":
+        """The compiled workflow (the app's chain when none was given)."""
+        wf = self._workflow
+        if wf is None:
+            from repro.workflows.compiled import chain_of
+
+            wf = self._workflow = chain_of(self.app)
+        return wf
+
+    @property
     def n_stages(self) -> int:
-        return self.app.n_stages
+        """Total schedulable steps (chain jobs: the app's stage count)."""
+        wf = self._workflow
+        return wf.n_nodes if wf is not None else self.app.n_stages
+
+    @property
+    def completed_steps(self) -> frozenset:
+        """Indices of completed workflow nodes."""
+        return frozenset(self._done)
 
     @property
     def is_complete(self) -> bool:
@@ -120,18 +159,77 @@ class Job:
         return self.completed_at - self.submit_time
 
     def planned_threads(self, stage: int) -> int:
-        """The planned thread count for *stage* (1 when unplanned)."""
+        """The planned thread count for node *stage* (1 when unplanned)."""
         if self.plan is None or stage >= len(self.plan.threads):
             return 1
         return self.plan.threads[stage]
 
+    def step_done(self, stage: int) -> bool:
+        """Whether node *stage* has a completion record."""
+        return stage in self._done
+
+    def start_steps(self) -> tuple[int, ...]:
+        """Entry nodes to enqueue at submit time (marks them released).
+
+        Chain jobs start at node 0, exactly as before; DAG jobs fan every
+        parentless node out at once.
+        """
+        wf = self._workflow
+        entries = wf.entries if wf is not None else (0,)
+        self._released.update(entries)
+        return entries
+
+    def ready_after(self, stage: int) -> list[int]:
+        """Nodes newly runnable after *stage* completed (marks released).
+
+        A child is released exactly once, when its *last* outstanding
+        parent finishes -- the DAG fan-in barrier.  For chains this is
+        ``[stage + 1]`` (or nothing at the end), matching the legacy
+        next-stage enqueue.
+        """
+        wf = self._workflow
+        if wf is None:
+            nxt = stage + 1
+            if nxt < self.app.n_stages:
+                self._released.add(nxt)
+                return [nxt]
+            return []
+        ready = []
+        for child in wf.node(stage).children:
+            if child in self._released:
+                continue
+            if all(p in self._done for p in wf.node(child).parents):
+                self._released.add(child)
+                ready.append(child)
+        return ready
+
     def record_stage(self, record: StageRecord) -> None:
-        """Append a stage record (must arrive in order)."""
-        if record.stage != self.current_stage:
-            raise SchedulingError(
-                f"{self.name}: stage {record.stage} completed out of order "
-                f"(expected {self.current_stage})"
-            )
+        """Append a step completion record.
+
+        Chain jobs must complete nodes in index order (the legacy
+        contract); DAG jobs may complete released branches in any order,
+        but never a node twice or before its parents.
+        """
+        wf = self._workflow
+        if wf is None or wf.is_chain:
+            if record.stage != self.current_stage:
+                raise SchedulingError(
+                    f"{self.name}: stage {record.stage} completed out of order "
+                    f"(expected {self.current_stage})"
+                )
+        else:
+            if record.stage in self._done:
+                raise SchedulingError(
+                    f"{self.name}: step {record.stage} completed twice"
+                )
+            node = wf.node(record.stage)
+            missing = [p for p in node.parents if p not in self._done]
+            if missing:
+                raise SchedulingError(
+                    f"{self.name}: step {record.stage} completed before "
+                    f"parent step(s) {missing}"
+                )
+        self._done.add(record.stage)
         self.history.append(record)
         self.current_stage += 1
 
@@ -166,7 +264,7 @@ class Job:
 
 @dataclass
 class StageTask:
-    """One stage of one job, waiting in (or leaving) a stage queue."""
+    """One workflow node of one job, waiting in (or leaving) its queue."""
 
     job: Job
     stage: int
@@ -205,8 +303,15 @@ class StageTask:
 
     def execution_time(self, threads: int) -> float:
         """Model-predicted runtime of this task at *threads* threads."""
-        return self.job.app.stage(self.stage).threaded_time(
-            threads, self.job.input_gb
+        job = self.job
+        wf = job._workflow
+        if wf is None:
+            return job.app.stage(self.stage).threaded_time(
+                threads, job.input_gb
+            )
+        node = wf.node(self.stage)
+        return node.model.threaded_time(
+            threads, wf.node_input_gb(self.stage, job.input_gb)
         )
 
     def __repr__(self) -> str:

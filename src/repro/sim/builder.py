@@ -41,6 +41,7 @@ from repro.knowledge.plane import (
     OnlineRefitter,
     drifted_model,
     make_estimate_provider,
+    make_workflow_provider,
 )
 from repro.scheduler.allocation import (
     AllocationPolicy,
@@ -50,7 +51,9 @@ from repro.scheduler.allocation import (
 from repro.scheduler.rewards import RewardFunction, make_reward
 from repro.scheduler.scaling import ScalingPolicy, make_scaling_policy
 from repro.scheduler.scheduler import SCANScheduler
-from repro.workload.arrivals import BatchArrivalProcess
+from repro.workflows.compiled import CompiledWorkflow, compile_spec
+from repro.workflows.library import make_workflow
+from repro.workload.arrivals import ArrivalProcess, make_arrival_process
 from repro.workload.jobs import JobFactory
 
 if TYPE_CHECKING:  # imported only when telemetry is enabled at runtime
@@ -101,19 +104,55 @@ class PlatformBuilder:
         self.config = config
         self.registry = registry if registry is not None else default_registry()
         self.capture_events = capture_events
-        self.app: ApplicationModel = self.registry.get(config.application)
-        # Ground-truth drift: plan with the profiled model, execute the
-        # drifted one.  An explicit actual_app wins over the config knob.
-        if actual_app is None and config.knowledge.model_drift != 1.0:
-            actual_app = drifted_model(self.app, config.knowledge.model_drift)
-        self.actual_app = actual_app
+        #: The compiled DAG when ``config.workflow`` names one; ``None``
+        #: keeps the legacy single-application chain shape.
+        self.workflow: Optional[CompiledWorkflow] = None
+        if config.workflow:
+            drift = config.knowledge.model_drift
+
+            def _resolve(
+                name: str,
+            ) -> tuple[ApplicationModel, ApplicationModel]:
+                # Drift applies per node: planning uses the registry model,
+                # execution the drifted one -- same contract as the chain
+                # path's actual_app, but resolved at compile time.
+                believed = self.registry.get(name)
+                if drift != 1.0:
+                    return believed, drifted_model(believed, drift)
+                return believed, believed
+
+            self.workflow = compile_spec(
+                make_workflow(config.workflow), resolve=_resolve
+            )
+            # The session's "application" is the workflow's entry app:
+            # arriving datasets are its inputs, and the scheduler's job
+            # identity checks key on it.
+            entry = self.workflow.node(self.workflow.entries[0])
+            self.app = self.registry.get(entry.app_name)
+            self.actual_app = None  # ground truth lives on the nodes
+        else:
+            self.app = self.registry.get(config.application)
+            # Ground-truth drift: plan with the profiled model, execute the
+            # drifted one.  An explicit actual_app wins over the config knob.
+            if actual_app is None and config.knowledge.model_drift != 1.0:
+                actual_app = drifted_model(
+                    self.app, config.knowledge.model_drift
+                )
+            self.actual_app = actual_app
         self.observers: list[Observer] = list(observers)
         # The offline best-constant plan depends only on the configuration,
-        # so compute it once per builder (i.e. once per session).
+        # so compute it once per builder (i.e. once per session).  A DAG
+        # session plans over the workflow flattened into a pseudo-app (one
+        # planned stage per node).
         self._constant_plan = None
         if config.scheduler.allocation is AllocationAlgorithm.BEST_CONSTANT:
+            plan_app = (
+                self.workflow.as_app()
+                if self.workflow is not None
+                else self.app
+            )
             self._constant_plan = find_best_constant_plan(
-                self.app,
+                plan_app,
                 make_reward(config.reward),
                 core_cost=config.cloud.private_core_cost,
                 job_size=config.workload.job_size_mean,
@@ -207,9 +246,14 @@ class PlatformBuilder:
         """
         know = self.config.knowledge
         plane = KnowledgePlane()
-        provider = make_estimate_provider(
-            know.provider, app=self.app, plane=plane
-        )
+        if self.workflow is not None:
+            provider = make_workflow_provider(
+                know.provider, workflow=self.workflow, plane=plane
+            )
+        else:
+            provider = make_estimate_provider(
+                know.provider, app=self.app, plane=plane
+            )
         refitter: Optional[OnlineRefitter] = None
         if know.provider != "static":
             refitter = OnlineRefitter(
@@ -254,18 +298,28 @@ class PlatformBuilder:
             telemetry=hub,
             bus=bus,
             estimates=estimates,
+            workflow=self.workflow,
         )
 
     def build_job_factory(self) -> JobFactory:
-        """Stage 7a: arriving datasets -> pipeline-run jobs."""
+        """Stage 7a: arriving datasets -> pipeline-run (or DAG-run) jobs."""
         return JobFactory(
-            self.app, size_unit_gb=self.config.workload.size_unit_gb
+            self.app,
+            size_unit_gb=self.config.workload.size_unit_gb,
+            workflow=self.workflow,
         )
 
-    def build_arrivals(self, streams: RandomStreams) -> BatchArrivalProcess:
-        """Stage 7b: the stochastic batch-arrival process."""
-        return BatchArrivalProcess(
-            self.config.workload, streams.stream("arrivals")
+    def build_arrivals(self, streams: RandomStreams) -> ArrivalProcess:
+        """Stage 7b: the configured arrival process (registry lookup).
+
+        The default ``batch_poisson`` draws from the same seeded stream as
+        ever; ``trace`` replays a recorded JSONL log and leaves the stream
+        untouched.
+        """
+        return make_arrival_process(
+            self.config.workload.arrival_process,
+            self.config.workload,
+            streams.stream("arrivals"),
         )
 
     def attach_observers(

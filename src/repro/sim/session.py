@@ -347,7 +347,7 @@ class SimulationSession:
             "stage queue depth (time-weighted statistics)",
             labelnames=("stage", "stat"),
         )
-        for stage in range(scheduler.app.n_stages):
+        for stage in range(scheduler.n_steps):
             monitor = scheduler.queues[stage].length_monitor
             depth.set(monitor.level, stage=str(stage), stat="level")
             depth.set(monitor.peak, stage=str(stage), stat="peak")

@@ -8,30 +8,60 @@ network analysis.
 
 - :mod:`repro.workflows.spec` -- workflow DAGs over registered
   applications, with format-compatibility and acyclicity validation.
+- :mod:`repro.workflows.compiled` -- specs lowered into topologically
+  indexed node graphs the scheduler/estimator/knowledge plane execute
+  natively (chains are the degenerate case, kept byte-identical).
 - :mod:`repro.workflows.engine` -- executes a workflow on the simulated
   cloud: one SCAN scheduler per application class, all sharing the
   infrastructure; a step is submitted the moment its upstream outputs
   exist.
 - :mod:`repro.workflows.library` -- ready-made workflows: the Figure 1
   integrative flow, variant-detection and miRNA-fusion chains (the
-  ontology's workflow individuals, made executable).
+  ontology's workflow individuals, made executable), plus the
+  :data:`~repro.workflows.library.WORKFLOWS` registry of
+  scheduler-runnable specs.
 """
 
-from repro.workflows.spec import WorkflowSpec, WorkflowStep, WorkflowError
-from repro.workflows.engine import WorkflowEngine, WorkflowRun
+from repro.workflows.compiled import CompiledWorkflow, WorkflowNode, chain_of, compile_spec
 from repro.workflows.library import (
-    variation_detection_workflow,
-    mirna_fusion_workflow,
+    WORKFLOWS,
+    gatk_chain_workflow,
     integrative_figure1_workflow,
+    make_workflow,
+    mirna_fusion_workflow,
+    star_fanout_workflow,
+    variation_detection_workflow,
+    workflow_names,
 )
+from repro.workflows.spec import WorkflowError, WorkflowSpec, WorkflowStep
 
 __all__ = [
     "WorkflowSpec",
     "WorkflowStep",
     "WorkflowError",
+    "CompiledWorkflow",
+    "WorkflowNode",
+    "chain_of",
+    "compile_spec",
     "WorkflowEngine",
     "WorkflowRun",
+    "WORKFLOWS",
+    "make_workflow",
+    "workflow_names",
     "variation_detection_workflow",
     "mirna_fusion_workflow",
     "integrative_figure1_workflow",
+    "gatk_chain_workflow",
+    "star_fanout_workflow",
 ]
+
+
+def __getattr__(name: str):
+    # The engine pulls in the scheduler stack; importing it lazily keeps
+    # `repro.workflows.compiled` importable from inside that stack
+    # (tasks/estimator) without a circular import.
+    if name in ("WorkflowEngine", "WorkflowRun"):
+        from repro.workflows import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

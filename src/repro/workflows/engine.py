@@ -13,7 +13,7 @@ engine watches completions via a per-job callback process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.celar import CelarManager
 from repro.cloud.infrastructure import Infrastructure
@@ -27,6 +27,9 @@ from repro.scheduler.scaling import make_scaling_policy
 from repro.scheduler.scheduler import SCANScheduler
 from repro.scheduler.tasks import Job
 from repro.workflows.spec import WorkflowError, WorkflowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.knowledge.advisor import ShardAdvisor
 
 __all__ = ["WorkflowEngine", "WorkflowRun"]
 
@@ -103,11 +106,20 @@ class WorkflowEngine:
         event_log: Optional[EventLog] = None,
         size_unit_gb: float = 1.0,
         shard_gb: Optional[float] = None,
+        shard_advisor: "Optional[ShardAdvisor]" = None,
     ) -> None:
         """``shard_gb``: when set, a step whose input exceeds it (and whose
         application consumes a shardable format) is split into parallel
         jobs of at most that size -- the Data Broker's parallelisation
-        applied per workflow step."""
+        applied per workflow step.
+
+        ``shard_advisor``: when set, each shardable branch asks the
+        knowledge-backed :class:`~repro.knowledge.advisor.ShardAdvisor`
+        for a profit-optimal shard count for *its own* application and
+        input size, instead of the one fixed ``shard_gb`` -- two branches
+        of a fan-out can shard differently.  ``shard_gb`` remains the
+        fallback for apps the advisor has no profile for.
+        """
         if size_unit_gb <= 0:
             raise WorkflowError("size_unit_gb must be positive")
         if shard_gb is not None and shard_gb <= 0:
@@ -122,6 +134,9 @@ class WorkflowEngine:
         self.log = event_log if event_log is not None else EventLog()
         self.size_unit_gb = size_unit_gb
         self.shard_gb = shard_gb
+        self.shard_advisor = shard_advisor
+        #: Per-(step, run) shard advice actually used, for reporting.
+        self.shard_decisions: list[dict] = []
         self._schedulers: dict[str, SCANScheduler] = {}
         self.runs: list[WorkflowRun] = []
 
@@ -202,10 +217,31 @@ class WorkflowEngine:
         return run
 
     def _shard_count(self, spec: WorkflowSpec, step: str, input_gb: float) -> int:
-        if self.shard_gb is None:
-            return 1
         app = spec.app_of(step)
         if not app.input_format.shardable:
+            return 1
+        if self.shard_advisor is not None:
+            # Per-branch advice: each step's own application and input
+            # size drive the split, so parallel branches shard unequally.
+            advice = self.shard_advisor.advise(
+                app.name,
+                input_gb,
+                parallel_workers=max(
+                    self.infrastructure.private.capacity_cores
+                    // max(self.scheduler_config.thread_choices), 1
+                ),
+                core_cost_per_tu=(
+                    self.infrastructure.private.core_cost_per_tu
+                ),
+                reward_fn=self.reward,
+            )
+            self.shard_decisions.append(
+                {"step": step, "app": app.name, "input_gb": input_gb,
+                 "n_shards": advice.n_shards, "shard_gb": advice.shard_gb,
+                 "source": advice.source}
+            )
+            return advice.n_shards
+        if self.shard_gb is None:
             return 1
         import math
 

@@ -12,6 +12,24 @@ this module makes the headline ones executable:
   NGS branch (BWA -> GATK), the proteomics branch (MaxQuant) and the
   imaging branch (CellProfiler) converging on Cytoscape
   ("Genotype2phenotype").
+- :func:`gatk_chain_workflow` -- the seed platform's 7-stage GATK
+  pipeline expressed as a single-step spec; compiled, it is a plain
+  chain, so running it through the DAG scheduler reproduces the legacy
+  linear pipeline byte for byte (the `dag-equivalence` CI job pins this).
+- :func:`star_fanout_workflow` -- a diamond: one STAR alignment fans out
+  to two independent callers whose outputs fan back into an integrative
+  step.  The estimator's critical-path ETT and per-branch knowledge
+  refitting are exercised (and unit-tested) on exactly this shape.
+
+Scheduler-runnable specs also register in the :data:`WORKFLOWS` plugin
+registry (``scan-sim run --workflow NAME``, ``scan-sim workflows``);
+out-of-tree DAGs register the same way::
+
+    from repro.workflows.library import WORKFLOWS
+
+    @WORKFLOWS.register("mylab_flow")
+    def _mylab_flow():
+        return WorkflowSpec(...)
 """
 
 from __future__ import annotations
@@ -19,15 +37,35 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.apps.registry import ApplicationRegistry
+from repro.core.plugins import Registry
 from repro.workflows.spec import WorkflowSpec, WorkflowStep
 
 __all__ = [
+    "WORKFLOWS",
+    "make_workflow",
+    "workflow_names",
     "variation_detection_workflow",
     "mirna_fusion_workflow",
     "integrative_figure1_workflow",
+    "gatk_chain_workflow",
+    "star_fanout_workflow",
 ]
 
+#: Plugin registry of workflow specs (``() -> WorkflowSpec``).
+WORKFLOWS: "Registry[WorkflowSpec]" = Registry("workflow")
 
+
+def make_workflow(name: str) -> WorkflowSpec:
+    """The registered spec called *name* (ConfigurationError if unknown)."""
+    return WORKFLOWS.create(name)
+
+
+def workflow_names() -> list[str]:
+    """Registered workflow names, sorted."""
+    return WORKFLOWS.names()
+
+
+@WORKFLOWS.register("variation_detection")
 def variation_detection_workflow(
     registry: Optional[ApplicationRegistry] = None,
 ) -> WorkflowSpec:
@@ -45,6 +83,7 @@ def variation_detection_workflow(
     )
 
 
+@WORKFLOWS.register("mirna_fusion")
 def mirna_fusion_workflow(
     registry: Optional[ApplicationRegistry] = None,
 ) -> WorkflowSpec:
@@ -66,6 +105,7 @@ def mirna_fusion_workflow(
     )
 
 
+@WORKFLOWS.register("integrative_figure1")
 def integrative_figure1_workflow(
     registry: Optional[ApplicationRegistry] = None,
 ) -> WorkflowSpec:
@@ -88,6 +128,56 @@ def integrative_figure1_workflow(
             ("variants", "integrate"),
             ("peptides", "integrate"),
             ("phenotypes", "integrate"),
+        ],
+        registry=registry,
+    )
+
+
+@WORKFLOWS.register("gatk_chain")
+def gatk_chain_workflow(
+    registry: Optional[ApplicationRegistry] = None,
+) -> WorkflowSpec:
+    """The seed 7-stage GATK pipeline as a single-step (chain) spec.
+
+    Compiling this spec yields one node per GATK stage with unscaled
+    input -- structurally identical to the implicit chain every legacy job
+    carries, so the DAG scheduler runs it through the exact legacy fast
+    paths and sweep reports stay byte-identical to the pre-refactor
+    fixtures.
+    """
+    return WorkflowSpec(
+        name="gatk_chain",
+        steps=[WorkflowStep("call", "gatk", output_ratio=0.01)],
+        edges=[],
+        registry=registry,
+    )
+
+
+@WORKFLOWS.register("star_fanout")
+def star_fanout_workflow(
+    registry: Optional[ApplicationRegistry] = None,
+) -> WorkflowSpec:
+    """A diamond DAG: STAR alignment fans out to two callers, fans back in.
+
+    One alignment-heavy entry (STAR) feeds two independent variant
+    callers -- germline (GATK) and somatic (MuTect) -- whose call sets
+    converge on a Cytoscape integration step.  The two caller branches
+    run concurrently once alignment lands, so makespan follows the
+    *longest* branch, not the sum: the critical-path ETT showcase.
+    """
+    return WorkflowSpec(
+        name="star_fanout",
+        steps=[
+            WorkflowStep("align", "star", output_ratio=0.9),
+            WorkflowStep("germline", "gatk", output_ratio=0.01),
+            WorkflowStep("somatic", "mutect", output_ratio=0.005),
+            WorkflowStep("integrate", "cytoscape", output_ratio=0.1),
+        ],
+        edges=[
+            ("align", "germline"),
+            ("align", "somatic"),
+            ("germline", "integrate"),
+            ("somatic", "integrate"),
         ],
         registry=registry,
     )

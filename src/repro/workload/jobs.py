@@ -2,29 +2,37 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.apps.base import ApplicationModel
 from repro.scheduler.tasks import Job
+from repro.workflows.compiled import CompiledWorkflow
 from repro.workload.arrivals import ArrivalBatch
 
 __all__ = ["JobFactory"]
 
 
 class JobFactory:
-    """Builds :class:`~repro.scheduler.tasks.Job` objects for one app."""
+    """Builds :class:`~repro.scheduler.tasks.Job` objects for one app.
+
+    When a compiled *workflow* is supplied every job carries it, so the
+    scheduler runs the DAG natively; without one, jobs keep the legacy
+    app-chain shape.
+    """
 
     def __init__(
         self,
         app: ApplicationModel,
         name_prefix: str = "",
         size_unit_gb: float = 1.0,
+        workflow: Optional[CompiledWorkflow] = None,
     ) -> None:
         if size_unit_gb <= 0:
             raise ValueError("size_unit_gb must be positive")
         self.app = app
         self.name_prefix = name_prefix or app.name
         self.size_unit_gb = size_unit_gb
+        self.workflow = workflow
         self._counter = 0
 
     @property
@@ -40,6 +48,7 @@ class JobFactory:
             submit_time=submit_time,
             name=f"{self.name_prefix}-{self._counter:05d}",
             input_gb=size * self.size_unit_gb,
+            workflow=self.workflow,
         )
 
     def from_batch(self, batch: ArrivalBatch) -> list[Job]:

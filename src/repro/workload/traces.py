@@ -3,19 +3,33 @@
 Recording a trace and replaying it against different scheduler policies
 gives a *paired* comparison (identical arrivals), tightening the error
 bars beyond the common-random-number effect the seeded streams already
-provide.  Traces serialize to plain dicts for JSON fixtures.
+provide.  Traces serialize to plain dicts for JSON fixtures, and to JSONL
+files (one batch object per line) for the ``"trace"`` entry in
+:data:`~repro.workload.arrivals.ARRIVAL_PROCESSES`:
+:class:`TraceArrivalProcess` makes a recorded trace a drop-in arrival
+generator, selected with ``workload.arrival_process = "trace"`` plus
+``workload.arrival_trace = <path>``.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Union
 
 from repro.core.errors import WorkloadError
 from repro.desim.engine import Environment
 from repro.workload.arrivals import ArrivalBatch, BatchArrivalProcess
 
-__all__ = ["ArrivalTrace", "record_trace", "replay_trace"]
+__all__ = [
+    "ArrivalTrace",
+    "TraceArrivalProcess",
+    "record_trace",
+    "replay_trace",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+]
 
 
 @dataclass(frozen=True)
@@ -61,9 +75,120 @@ class ArrivalTrace:
         )
 
 
+class TraceArrivalProcess:
+    """A recorded trace as a drop-in arrival process.
+
+    Satisfies :class:`~repro.workload.arrivals.ArrivalProcess`, so the
+    session builder can swap it for the Poisson generator: ``generate``
+    filters the recording by horizon, ``run`` delivers each batch at its
+    recorded timestamp.  The replay is exact -- the batches are not drawn
+    from a shared seed, they *are* the recorded batches.
+    """
+
+    def __init__(self, trace: ArrivalTrace) -> None:
+        self.trace = trace
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "TraceArrivalProcess":
+        """Load a replayable process from a JSONL trace file."""
+        return cls(load_trace_jsonl(path))
+
+    def generate(self, duration: float):
+        """Yield the recorded batches arriving in [0, duration)."""
+        if duration <= 0:
+            raise WorkloadError("duration must be positive")
+        for batch in self.trace:
+            if batch.time >= duration:
+                return
+            yield batch
+
+    def run(
+        self,
+        env: Environment,
+        on_batch: Callable[[ArrivalBatch], None],
+        until: Optional[float] = None,
+    ):
+        """Process: deliver recorded batches at their recorded times."""
+        for batch in self.trace:
+            if until is not None and batch.time >= until:
+                return
+            delay = batch.time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            on_batch(batch)
+
+    def expected_load_rate(self) -> float:
+        """Mean job-size units per TU over the recorded span."""
+        span = self.trace.duration
+        if span <= 0:
+            return 0.0
+        total = sum(b.total_size for b in self.trace)
+        return total / span
+
+
 def record_trace(process: BatchArrivalProcess, duration: float) -> ArrivalTrace:
     """Generate and freeze all arrivals in [0, duration)."""
     return ArrivalTrace(tuple(process.generate(duration)))
+
+
+def save_trace_jsonl(
+    path: Union[str, Path], trace: "ArrivalTrace | Iterable[ArrivalBatch]"
+) -> int:
+    """Write a trace as JSONL (one batch object per line); returns rows."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for batch in trace:
+            fh.write(
+                json.dumps({"time": batch.time, "sizes": list(batch.sizes)})
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> ArrivalTrace:
+    """Read a JSONL trace file, validating every line.
+
+    Malformed lines raise :class:`WorkloadError` naming the file and line
+    number; ordering is validated by :class:`ArrivalTrace` itself.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"arrival trace not found: {path}")
+    batches: list[ArrivalBatch] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if (
+                not isinstance(obj, dict)
+                or "time" not in obj
+                or "sizes" not in obj
+            ):
+                raise WorkloadError(
+                    f"{path}:{lineno}: expected an object with "
+                    f"'time' and 'sizes'"
+                )
+            try:
+                time = float(obj["time"])
+                sizes = tuple(float(s) for s in obj["sizes"])
+            except (TypeError, ValueError) as exc:
+                raise WorkloadError(
+                    f"{path}:{lineno}: non-numeric time or sizes"
+                ) from exc
+            if not sizes or any(s <= 0 for s in sizes):
+                raise WorkloadError(
+                    f"{path}:{lineno}: batches need >= 1 positive size"
+                )
+            batches.append(ArrivalBatch(time=time, sizes=sizes))
+    return ArrivalTrace(tuple(batches))
 
 
 def replay_trace(

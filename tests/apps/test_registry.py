@@ -10,7 +10,10 @@ from repro.genomics.datasets import DataFormat
 
 class TestDefaultRegistry:
     def test_all_paper_tools_registered(self, registry):
-        expected = {"gatk", "bwa", "mutect", "maxquant", "cellprofiler", "cytoscape"}
+        expected = {
+            "gatk", "bwa", "mutect", "star",
+            "maxquant", "cellprofiler", "cytoscape",
+        }
         assert set(registry.names()) == expected
 
     def test_get_returns_cached_instance(self, registry):

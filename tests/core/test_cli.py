@@ -458,3 +458,51 @@ class TestKb:
         assert main(["kb", "--diff", str(tmp_path / "a.json"),
                      str(tmp_path / "b.json")]) == 2
         assert "cannot read snapshot" in capsys.readouterr().err
+
+
+class TestWorkflowsCommand:
+    def test_lists_registered_workflows(self, capsys):
+        assert main(["workflows"]) == 0
+        out = capsys.readouterr().out
+        assert "gatk_chain" in out
+        assert "star_fanout" in out
+        assert "align -> germline" in out
+
+    def test_json_output(self, capsys):
+        assert main(["workflows", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        by_name = {d["registered_as"]: d for d in data}
+        fanout = by_name["star_fanout"]
+        assert fanout["nodes"] == 16
+        assert fanout["chain"] is False
+        assert ["align", "somatic"] in fanout["step_edges"]
+        assert by_name["gatk_chain"]["chain"] is True
+
+    def test_policies_include_workflow_and_arrival_registries(self, capsys):
+        assert main(["policies", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "star_fanout" in data["workflow"]
+        assert "batch_poisson" in data["arrival"]
+
+
+class TestWorkflowFlag:
+    def test_run_with_workflow(self, capsys):
+        code = main([
+            "run", "--workflow", "star_fanout", "--duration", "60",
+            "--seed", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed_runs"] > 0
+
+    def test_chain_workflow_matches_plain_run(self, capsys):
+        base = ["run", "--duration", "100", "--seed", "1", "--json"]
+        assert main(base) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(base + ["--workflow", "gatk_chain"]) == 0
+        chained = json.loads(capsys.readouterr().out)
+        assert chained == plain
+
+    def test_unknown_workflow_is_a_config_error(self, capsys):
+        code = main(["run", "--workflow", "nonexistent", "--json"])
+        assert code != 0

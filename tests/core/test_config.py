@@ -143,3 +143,55 @@ class TestEnums:
             "always", "never", "predictive",
         }
         assert {r.value for r in RewardScheme} == {"time", "throughput"}
+
+
+class TestWorkflowField:
+    def test_defaults_to_empty(self):
+        assert PlatformConfig.paper_defaults().workflow == ""
+
+    def test_override_and_round_trip(self):
+        config = PlatformConfig.paper_defaults().with_overrides(
+            workflow="star_fanout"
+        )
+        assert config.workflow == "star_fanout"
+        back = PlatformConfig.from_dict(config.to_dict())
+        assert back == config
+        assert back.workflow == "star_fanout"
+
+    def test_empty_workflow_omitted_from_dict(self):
+        # Pre-DAG config dumps must keep loading AND pre-DAG dumps must be
+        # reproducible: an unset workflow leaves no trace in the JSON.
+        assert "workflow" not in PlatformConfig.paper_defaults().to_dict()
+
+
+class TestSparseWorkloadFields:
+    def test_defaults_omitted_from_dict(self):
+        d = PlatformConfig.paper_defaults().to_dict()
+        assert "arrival_process" not in d["workload"]
+        assert "arrival_trace" not in d["workload"]
+
+    def test_non_defaults_survive_round_trip(self):
+        config = PlatformConfig.paper_defaults().with_overrides(
+            workload={
+                "arrival_process": "trace",
+                "arrival_trace": "runs/t.jsonl",
+            },
+        )
+        d = config.to_dict()
+        assert d["workload"]["arrival_process"] == "trace"
+        assert d["workload"]["arrival_trace"] == "runs/t.jsonl"
+        assert PlatformConfig.from_dict(d) == config
+
+    def test_trace_process_requires_trace_path(self):
+        config = PlatformConfig.paper_defaults().with_overrides(
+            workload={"arrival_process": "trace"},
+        )
+        with pytest.raises(ConfigurationError, match="arrival_trace"):
+            config.validate()
+
+    def test_empty_arrival_process_rejected(self):
+        config = PlatformConfig.paper_defaults().with_overrides(
+            workload={"arrival_process": ""},
+        )
+        with pytest.raises(ConfigurationError, match="arrival_process"):
+            config.validate()

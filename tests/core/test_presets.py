@@ -10,8 +10,8 @@ from repro.core.presets import PRESETS, make_preset, preset_names
 class TestPresets:
     def test_builtin_names(self):
         assert preset_names() == [
-            "busy", "chaos", "drift", "observed", "overnight", "paper",
-            "smoke", "throughput",
+            "busy", "chaos", "drift", "fanout", "observed", "overnight",
+            "paper", "smoke", "throughput",
         ]
 
     @pytest.mark.parametrize("name", PRESETS.names())
@@ -32,6 +32,7 @@ class TestPresets:
         drift = make_preset("drift")
         assert drift.knowledge.model_drift == 0.5
         assert drift.reward.scheme is RewardScheme.THROUGHPUT
+        assert make_preset("fanout").workflow == "star_fanout"
 
     def test_unknown_preset_lists_registered(self):
         with pytest.raises(ConfigurationError, match="smoke"):

@@ -72,6 +72,13 @@ class TestExamples:
         assert "greedy" in out
         assert "custom policy demo complete" in out
 
+    def test_dag_workflow_demo(self):
+        out = run_example("dag_workflow_demo.py")
+        assert "star_fanout (16 nodes, dag)" in out
+        assert "critical-path ETT" in out
+        assert "branch overlap recovered" in out
+        assert "fanout preset session" in out
+
     def test_examples_all_covered(self):
         """Every example file is either tested here or a figure/sweep
         regenerator covered by the benchmark suite."""
@@ -79,7 +86,7 @@ class TestExamples:
             "quickstart.py", "knowledge_base_tour.py",
             "data_broker_sharding.py", "cancer_pipeline.py",
             "integrative_workflow.py", "resilience_demo.py",
-            "custom_policy_demo.py",
+            "custom_policy_demo.py", "dag_workflow_demo.py",
         }
         bench_covered = {
             "figure4_scaling.py", "figure5_corestages.py", "full_sweep.py",

@@ -378,3 +378,97 @@ class TestDriftedModel:
             drifted_model(gatk_model, 0.0)
         with pytest.raises(ValueError):
             drifted_model(gatk_model, -2.0)
+
+
+class TestWorkflowProviders:
+    def _fanout(self):
+        from repro.workflows.compiled import compile_spec
+        from repro.workflows.library import star_fanout_workflow
+
+        return compile_spec(star_fanout_workflow())
+
+    def test_factory_maps_kinds(self):
+        from repro.knowledge.plane import (
+            WorkflowAdaptiveProvider,
+            WorkflowStaticProvider,
+            make_workflow_provider,
+        )
+
+        wf = self._fanout()
+        assert isinstance(
+            make_workflow_provider("static", wf), WorkflowStaticProvider
+        )
+        assert isinstance(
+            make_workflow_provider("adaptive", wf, plane=KnowledgePlane()),
+            WorkflowAdaptiveProvider,
+        )
+        with pytest.raises(KnowledgeBaseError, match="workflow-scoped"):
+            make_workflow_provider("fact", wf, plane=KnowledgePlane())
+
+    def test_adaptive_requires_plane(self):
+        from repro.knowledge.plane import WorkflowAdaptiveProvider
+
+        with pytest.raises(KnowledgeBaseError):
+            WorkflowAdaptiveProvider(self._fanout(), None)
+
+    def test_static_serves_node_models_exactly(self):
+        from repro.knowledge.plane import WorkflowStaticProvider
+
+        wf = self._fanout()
+        provider = WorkflowStaticProvider(wf)
+        assert provider.n_stages == wf.n_nodes
+        for i in range(wf.n_nodes):
+            assert provider.stage_model(i) is wf.node(i).model
+            assert provider.eet(i, 4.0, 2) == wf.node(i).model.threaded_time(
+                2, 4.0
+            )
+
+    def test_adaptive_seeds_cold_plane_per_scope(self):
+        from repro.knowledge.plane import WorkflowAdaptiveProvider
+
+        wf = self._fanout()
+        plane = KnowledgePlane()
+        WorkflowAdaptiveProvider(wf, plane)
+        scopes = {f.app for f in plane.facts()}
+        assert scopes == {
+            "star_fanout/align", "star_fanout/germline",
+            "star_fanout/somatic", "star_fanout/integrate",
+        }
+
+    def test_two_branches_refit_independently(self):
+        """The acceptance scenario: one run's observations drive the two
+        fan-out branches to DIFFERENT fitted coefficients, because facts
+        are keyed by (workflow/step, app_stage) scope -- not by tool."""
+        from repro.core.bus import EventBus, StageCompleted
+        from repro.knowledge.plane import WorkflowAdaptiveProvider
+
+        wf = self._fanout()
+        plane = KnowledgePlane()
+        provider = WorkflowAdaptiveProvider(wf, plane)
+        bus = EventBus()
+        OnlineRefitter(plane, refit_every=4, min_samples=4).attach(bus)
+
+        def publish(scope, stage, a, b):
+            for size in (2.0, 4.0, 6.0, 8.0):
+                bus.publish(StageCompleted(
+                    time=0.0, job="j", app=scope, stage=stage,
+                    input_gb=size, threads=1, duration=a * size + b,
+                ))
+
+        publish("star_fanout/germline", 0, a=3.0, b=1.0)
+        publish("star_fanout/somatic", 0, a=5.0, b=2.0)
+
+        germline = plane.get("star_fanout/germline", 0)
+        somatic = plane.get("star_fanout/somatic", 0)
+        assert germline.provenance == somatic.provenance == "refit"
+        assert germline.a == pytest.approx(3.0)
+        assert somatic.a == pytest.approx(5.0)
+
+        germline_head = min(
+            n.index for n in wf if n.scope == "star_fanout/germline"
+        )
+        somatic_head = min(
+            n.index for n in wf if n.scope == "star_fanout/somatic"
+        )
+        assert provider.eet(germline_head, 10.0, 1) == pytest.approx(31.0)
+        assert provider.eet(somatic_head, 10.0, 1) == pytest.approx(52.0)

@@ -1,0 +1,84 @@
+"""Property-based invariants over randomized workflow DAGs.
+
+Specs are drawn as random edge sets over index-ordered steps (always
+acyclic by construction) with Cytoscape everywhere -- its CSV-in/CSV-out
+signature makes every topology format-valid, so the properties exercise
+shape alone:
+
+- the spec's topological order puts every parent before its children;
+- compiled node indices respect every edge (the estimator's reverse
+  sweep depends on it);
+- executing a compiled DAG job in ANY released-step order the fan-in
+  barrier admits completes all nodes without ever running a node before
+  its parents.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler.tasks import Job, StageRecord
+from repro.workflows.compiled import compile_spec
+from repro.workflows.spec import WorkflowSpec, WorkflowStep
+
+
+@st.composite
+def dag_specs(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    candidates = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.sets(st.sampled_from(candidates)))
+    return WorkflowSpec(
+        "prop",
+        [WorkflowStep(f"s{i}", "cytoscape") for i in range(n)],
+        [(f"s{i}", f"s{j}") for i, j in sorted(edges)],
+    )
+
+
+@given(spec=dag_specs())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_respects_edges(spec):
+    order = {name: i for i, name in enumerate(spec.topological_order)}
+    assert len(order) == len(spec)
+    for step in spec.topological_order:
+        for child in spec.children(step):
+            assert order[step] < order[child]
+
+
+@given(spec=dag_specs())
+@settings(max_examples=60, deadline=None)
+def test_compiled_indices_respect_edges(spec):
+    wf = compile_spec(spec)
+    for node in wf:
+        assert all(p < node.index for p in node.parents)
+        assert all(c > node.index for c in node.children)
+        # parents/children agree with each other.
+        for p in node.parents:
+            assert node.index in wf.node(p).children
+
+
+@given(spec=dag_specs(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_any_admitted_execution_order_respects_edges(spec, data):
+    wf = compile_spec(spec)
+    app = spec.registry.get("cytoscape")
+    job = Job(app=app, size=2.0, submit_time=0.0, workflow=wf)
+    frontier = list(job.start_steps())
+    executed = []
+    while frontier:
+        pick = data.draw(
+            st.integers(min_value=0, max_value=len(frontier) - 1),
+            label="frontier pick",
+        )
+        stage = frontier.pop(pick)
+        # The barrier only ever releases nodes whose parents all ran.
+        assert all(p in job.completed_steps for p in wf.node(stage).parents)
+        t = float(len(executed))
+        job.record_stage(
+            StageRecord(
+                stage=stage, queued_at=t, started_at=t,
+                finished_at=t + 1.0, threads=1, tier="private",
+            )
+        )
+        executed.append(stage)
+        frontier.extend(job.ready_after(stage))
+    assert len(executed) == wf.n_nodes
+    assert set(executed) == set(range(wf.n_nodes))

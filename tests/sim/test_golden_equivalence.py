@@ -159,6 +159,33 @@ class TestServicePlaneEquivalence:
         assert self._via_service_plane() == self._direct()
 
 
+class TestChainWorkflowGoldenEquivalence:
+    """The DAG refactor's equivalence proof against the PRE-REFACTOR world.
+
+    ``workflow = "gatk_chain"`` lowers the seed 7-stage GATK pipeline to a
+    chain-shaped compiled workflow and routes it through the DAG-aware
+    scheduler/estimator/allocator.  The canonical row dump must equal the
+    fixture captured before any workflow plumbing existed -- serially and
+    across a process pool, plain and under telemetry+chaos.  This is the
+    CI ``dag-equivalence`` job's backing test.
+    """
+
+    @pytest.mark.parametrize("variant", ["plain", "telemetry_chaos"])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_chain_workflow_byte_identical_to_golden(self, variant, jobs):
+        from repro.sim.parallel import run_sweep_parallel
+
+        golden = json.loads(FIXTURE.read_text())[variant]
+        config = _variants()[variant].with_overrides(workflow="gatk_chain")
+        if jobs == 1:
+            rows = run_sweep(config, SPEC, base_seed=0)
+        else:
+            rows = run_sweep_parallel(config, SPEC, base_seed=0, jobs=jobs)
+        assert json.dumps(
+            [r.as_flat_dict() for r in rows], sort_keys=True
+        ) == golden
+
+
 if __name__ == "__main__":  # regeneration entry point
     out = {name: _canonical(cfg) for name, cfg in _variants().items()}
     FIXTURE.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")

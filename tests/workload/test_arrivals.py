@@ -97,3 +97,55 @@ class TestLoadRate:
         busy = make_process(mean_interarrival=2.0).expected_load_rate()
         quiet = make_process(mean_interarrival=3.0).expected_load_rate()
         assert busy / quiet == pytest.approx(1.5)
+
+
+class TestArrivalRegistry:
+    def test_registry_lists_builtins(self):
+        from repro.workload.arrivals import ARRIVAL_PROCESSES
+
+        assert set(ARRIVAL_PROCESSES.names()) >= {"batch_poisson", "trace"}
+
+    def test_batch_poisson_is_default_factory(self):
+        from repro.workload.arrivals import make_arrival_process
+
+        proc = make_arrival_process(
+            "batch_poisson", WorkloadConfig(), np.random.default_rng(3)
+        )
+        assert isinstance(proc, BatchArrivalProcess)
+
+    def test_trace_kind_requires_a_path(self):
+        from repro.workload.arrivals import make_arrival_process
+
+        with pytest.raises(WorkloadError, match="arrival_trace"):
+            make_arrival_process(
+                "trace", WorkloadConfig(), np.random.default_rng(3)
+            )
+
+    def test_trace_kind_loads_jsonl(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.workload.arrivals import make_arrival_process
+        from repro.workload.traces import (
+            TraceArrivalProcess,
+            record_trace,
+            save_trace_jsonl,
+        )
+
+        trace = record_trace(make_process(seed=2), duration=40.0)
+        path = tmp_path / "t.jsonl"
+        save_trace_jsonl(path, trace)
+        config = replace(WorkloadConfig(), arrival_trace=str(path))
+        proc = make_arrival_process(
+            "trace", config, np.random.default_rng(3)
+        )
+        assert isinstance(proc, TraceArrivalProcess)
+        assert proc.trace == trace
+
+    def test_unknown_kind_lists_registered(self):
+        from repro.core.errors import ConfigurationError
+        from repro.workload.arrivals import make_arrival_process
+
+        with pytest.raises(ConfigurationError, match="batch_poisson"):
+            make_arrival_process(
+                "bursty", WorkloadConfig(), np.random.default_rng(3)
+            )
