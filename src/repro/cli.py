@@ -9,6 +9,7 @@ Subcommands::
     scan-sim table2       print the Table II recovery (profiling regression)
     scan-sim trace        inspect a Chrome trace written by ``run --trace-out``
     scan-sim policies     list every plugin registry and its entries
+    scan-sim tiers        show a config's elastic tier stack
     scan-sim config-dump  print a named preset's resolved JSON config
     scan-sim kb           dump the knowledge plane facts, or diff snapshots
 
@@ -203,6 +204,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered workflow DAGs (steps, edges, formats)",
     )
     workflows.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    tiers = sub.add_parser(
+        "tiers",
+        help="show a config's elastic tier stack (backend, capacity, "
+        "pricing, caps) in placement order",
+    )
+    tiers_source = tiers.add_mutually_exclusive_group()
+    tiers_source.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="load the full platform configuration from a JSON file "
+        "(see config-dump)",
+    )
+    tiers_source.add_argument(
+        "--preset", default=None, metavar="NAME",
+        help="use a registered configuration preset (see `scan-sim "
+        "policies`); defaults to the paper's two-tier stack",
+    )
+    tiers.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
 
@@ -752,6 +773,49 @@ def cmd_workflows(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tiers(args: argparse.Namespace) -> int:
+    """Dump the configured tier stack in placement order.
+
+    Nothing is simulated: the stack is built against a throwaway
+    environment purely for its configuration view, so this works for
+    any preset or dumped config file -- including out-of-tree tier
+    backends registered via plugins.
+    """
+    from repro.cloud.tiers import tier_stack_description
+
+    if args.config is not None:
+        try:
+            with open(args.config) as fh:
+                config = PlatformConfig.from_json(fh.read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read config {args.config!r}: {exc}", file=sys.stderr)
+            return 2
+    elif args.preset is not None:
+        from repro.core.presets import make_preset
+
+        config = make_preset(args.preset)
+    else:
+        config = PlatformConfig.paper_defaults()
+    stack = tier_stack_description(config.cloud)
+    if args.json:
+        print(json.dumps(
+            {"placement": config.cloud.placement, "tiers": stack},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"placement: {config.cloud.placement}")
+    for position, desc in enumerate(stack):
+        kind = "elastic" if desc["elastic"] else "base"
+        print(
+            f"  [{position}] {desc['name']} ({desc['backend']}, {kind}): "
+            f"{desc['capacity_cores']} cores "
+            f"@ {desc['core_cost_per_tu']} CU/core/TU"
+        )
+        for cap, value in sorted(desc["caps"].items()):
+            print(f"        {cap} = {value}")
+    return 0
+
+
 def cmd_config_dump(args: argparse.Namespace) -> int:
     """Print one preset's fully-resolved config as round-trippable JSON."""
     from repro.core.presets import make_preset
@@ -853,6 +917,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "policies": cmd_policies,
     "workflows": cmd_workflows,
+    "tiers": cmd_tiers,
     "config-dump": cmd_config_dump,
     "kb": cmd_kb,
 }

@@ -1,11 +1,14 @@
 """Simulated hybrid-cloud substrate.
 
-Models the evaluation's infrastructure (paper Section IV-A): a two-tier
-hybrid cloud -- a bounded private tier (624 cores at 5 CU/TU per core) and
-an effectively unbounded public tier (20-110 CU/TU per core) -- plus the
-pieces the prototype ran on:
+Models the evaluation's infrastructure (paper Section IV-A): by default a
+two-tier hybrid cloud -- a bounded private tier (624 cores at 5 CU/TU per
+core) and an effectively unbounded public tier (20-110 CU/TU per core) --
+generalised since the tier-backend refactor to an N-tier stack of
+pluggable backends, plus the pieces the prototype ran on:
 
-- :mod:`repro.cloud.infrastructure` -- tiers, core accounting, cost meters.
+- :mod:`repro.cloud.infrastructure` -- the tier stack, core accounting.
+- :mod:`repro.cloud.tiers` -- the ``TIER_BACKENDS`` registry (reserved /
+  on_demand / serverless / spot) and ``TIER_PLACEMENT`` policies.
 - :mod:`repro.cloud.vm` -- VM lifecycle with the 30-second (0.5 TU) start /
   restart penalty paid when CELAR resizes a worker's vCPU count.
 - :mod:`repro.cloud.pricing` -- per-core-per-TU cost model and invoices.
@@ -15,7 +18,19 @@ pieces the prototype ran on:
   replicated key-value store (Cassandra stand-in) models.
 """
 
-from repro.cloud.infrastructure import CloudTier, Infrastructure, TierName
+from repro.cloud.infrastructure import (
+    CloudTier,
+    Infrastructure,
+    TierName,
+    tier_name,
+)
+from repro.cloud.tiers import (
+    TIER_BACKENDS,
+    TIER_PLACEMENT,
+    OnDemandTier,
+    ServerlessTier,
+    SpotTier,
+)
 from repro.cloud.vm import VirtualMachine, VMState
 from repro.cloud.pricing import PricingModel, CostMeter, Invoice
 from repro.cloud.failures import FailureModel
@@ -27,6 +42,12 @@ __all__ = [
     "CloudTier",
     "Infrastructure",
     "TierName",
+    "tier_name",
+    "TIER_BACKENDS",
+    "TIER_PLACEMENT",
+    "OnDemandTier",
+    "ServerlessTier",
+    "SpotTier",
     "VirtualMachine",
     "VMState",
     "PricingModel",

@@ -22,7 +22,7 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure, tier_name
 from repro.cloud.vm import VirtualMachine, VMState
 from repro.core.errors import CloudError, TransientDeployError
 from repro.desim.engine import Environment
@@ -92,7 +92,7 @@ class CelarManager:
             f"(largest is {self.allowed_sizes[-1]})"
         )
 
-    def deploy(self, cores: int, tier: TierName) -> VirtualMachine:
+    def deploy(self, cores: int, tier: str) -> VirtualMachine:
         """Hire a VM: cores are claimed NOW; boot still takes the penalty.
 
         Allocation is synchronous so a scheduling decision's capacity check
@@ -101,8 +101,10 @@ class CelarManager:
         it) to bring the VM to READY.
 
         ``cores`` must be one of the allowed instance sizes (use
-        :meth:`fit_size` to round up).
+        :meth:`fit_size` to round up).  Tiers with per-allocation latency
+        (a serverless cold start) add it to the boot penalty.
         """
+        tier = tier_name(tier)
         if cores not in self.allowed_sizes:
             raise CloudError(
                 f"{cores} is not an allowed instance size {self.allowed_sizes}"
@@ -115,18 +117,22 @@ class CelarManager:
                 self.tracer.instant(
                     "celar.deploy_failed",
                     "cloud",
-                    args={"tier": tier.value, "cores": cores},
+                    args={"tier": tier, "cores": cores},
                 )
             raise TransientDeployError(
-                f"transient provisioning error on {tier.value} tier "
+                f"transient provisioning error on {tier} tier "
                 f"({cores} cores)"
             )
+        penalty = self.startup_penalty_tu
+        extra = self.infrastructure.tier(tier).allocation_latency_tu(cores)
+        if extra > 0:
+            penalty += extra
         vm = VirtualMachine(
             self.env,
             self.infrastructure,
             cores=cores,
             tier=tier,
-            startup_penalty_tu=self.startup_penalty_tu,
+            startup_penalty_tu=penalty,
         )
         self.vms.append(vm)
         self.deploy_count += 1
@@ -134,11 +140,11 @@ class CelarManager:
             self.tracer.instant(
                 "celar.deploy",
                 "cloud",
-                args={"tier": tier.value, "cores": cores, "vm": vm.uid},
+                args={"tier": tier, "cores": cores, "vm": vm.uid},
             )
         return vm
 
-    def deploy_and_boot(self, cores: int, tier: TierName):
+    def deploy_and_boot(self, cores: int, tier: str):
         """Process: :meth:`deploy` then boot; returns the READY VM."""
         vm = self.deploy(cores, tier)
         yield from vm.boot()
@@ -159,7 +165,7 @@ class CelarManager:
                 "celar.resize",
                 "cloud",
                 args={"vm": vm.uid, "from": old_cores, "to": new_cores,
-                      "tier": vm.tier.value},
+                      "tier": vm.tier},
             )
 
     def resize(self, vm: VirtualMachine, new_cores: int):

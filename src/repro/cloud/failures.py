@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.cloud.infrastructure import TierName
+from repro.cloud.infrastructure import tier_name
 from repro.core.errors import CloudError
 
 __all__ = ["FailureModel"]
@@ -54,11 +54,17 @@ class FailureModel:
         self._rng = rng
         self.failures_drawn = 0
 
-    def mtbf_for(self, tier: TierName) -> float:
-        """The tier's mean time between failures (TU)."""
-        return self.mtbf_tu if tier is TierName.PRIVATE else self.public_mtbf_tu
+    def mtbf_for(self, tier: str) -> float:
+        """The tier's mean time between failures (TU).
 
-    def draw_lifetime(self, tier: TierName) -> float:
+        The tier literally named ``private`` gets the private rate;
+        every other tier (public, spot, serverless, ...) is treated as
+        public-like -- elastic capacity shares the elastic failure
+        profile.
+        """
+        return self.mtbf_tu if tier_name(tier) == "private" else self.public_mtbf_tu
+
+    def draw_lifetime(self, tier: str) -> float:
         """One VM's time-to-failure from boot (TU)."""
         self.failures_drawn += 1
         return float(self._rng.exponential(self.mtbf_for(tier)))

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.failures import FailureModel
-from repro.cloud.infrastructure import TierName
+from repro.cloud.infrastructure import tier_name
 from repro.core.errors import CloudError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -39,6 +39,9 @@ BOOT_STREAM = "faults.boot"
 DEPLOY_STREAM = "faults.deploy"
 STRAGGLER_STREAM = "faults.straggler"
 CORRUPT_STREAM = "faults.corrupt"
+#: Spot-tier eviction lifetimes; a dedicated stream so adding a spot
+#: tier never perturbs any other fault class's draws.
+SPOT_STREAM = "faults.spot"
 
 
 @dataclass(frozen=True)
@@ -82,9 +85,14 @@ class FaultPlan:
         if self.straggler_min_factor < 1.0:
             raise CloudError("straggler_min_factor must be >= 1")
 
-    def deploy_fail_probability(self, tier: TierName) -> float:
-        """The deploy-failure probability for *tier*."""
-        if tier is TierName.PUBLIC and self.p_deploy_fail_public is not None:
+    def deploy_fail_probability(self, tier: str) -> float:
+        """The deploy-failure probability for *tier*.
+
+        The public-specific override applies to every tier except the
+        one literally named ``private`` -- elastic tiers (public, spot,
+        serverless) share the elastic provisioning failure profile.
+        """
+        if tier_name(tier) != "private" and self.p_deploy_fail_public is not None:
             return self.p_deploy_fail_public
         return self.p_deploy_fail
 
@@ -172,6 +180,7 @@ class FaultInjector:
         self.deploy_failures_injected = 0
         self.stragglers_injected = 0
         self.corruptions_injected = 0
+        self.evictions_drawn = 0
 
     @staticmethod
     def from_failure_model(model: FailureModel) -> "FaultInjector":
@@ -186,11 +195,26 @@ class FaultInjector:
     def crashes_enabled(self) -> bool:
         return self.crash_model is not None
 
-    def draw_lifetime(self, tier: TierName) -> float:
+    def draw_lifetime(self, tier: str) -> float:
         """One VM's time-to-failure from boot (TU)."""
         if self.crash_model is None:
             raise CloudError("crash injection is not enabled")
         return self.crash_model.draw_lifetime(tier)
+
+    # -- spot evictions --------------------------------------------------------
+    def draw_eviction(self, mtbf_tu: float) -> float:
+        """One spot worker's time-to-eviction (TU).
+
+        Exponential with the tier's (price-scaled) eviction MTBF, drawn
+        from the dedicated ``faults.spot`` stream so spot tiers never
+        perturb crash/boot/deploy/straggler/corruption draws.
+        """
+        if mtbf_tu <= 0:
+            raise CloudError("eviction MTBF must be positive")
+        if self._streams is None:
+            raise CloudError("spot evictions need RandomStreams")
+        self.evictions_drawn += 1
+        return float(self._streams.stream(SPOT_STREAM).exponential(mtbf_tu))
 
     # -- probabilistic streams ------------------------------------------------
     def _bernoulli(self, stream_name: str, p: float) -> bool:
@@ -199,14 +223,14 @@ class FaultInjector:
         assert self._streams is not None
         return bool(self._streams.stream(stream_name).random() < p)
 
-    def boot_fails(self, tier: TierName) -> bool:
+    def boot_fails(self, tier: str) -> bool:
         """Whether this boot sequence dies before reaching READY."""
         hit = self._bernoulli(BOOT_STREAM, self.plan.p_boot_fail)
         if hit:
             self.boot_failures_injected += 1
         return hit
 
-    def deploy_fails(self, tier: TierName) -> bool:
+    def deploy_fails(self, tier: str) -> bool:
         """Whether this deploy request bounces transiently."""
         hit = self._bernoulli(
             DEPLOY_STREAM, self.plan.deploy_fail_probability(tier)

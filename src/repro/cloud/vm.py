@@ -14,7 +14,7 @@ import itertools
 from typing import Optional
 
 from repro.core.errors import CloudError
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure, tier_name
 from repro.desim.engine import Environment
 
 __all__ = ["VMState", "VirtualMachine"]
@@ -42,7 +42,7 @@ class VirtualMachine:
         env: Environment,
         infrastructure: Infrastructure,
         cores: int,
-        tier: TierName,
+        tier: str,
         startup_penalty_tu: float = 0.5,
     ) -> None:
         if cores < 1:
@@ -53,13 +53,13 @@ class VirtualMachine:
         self.infrastructure = infrastructure
         self.uid = next(_vm_ids)
         self.cores = cores
-        self.tier = tier
+        self.tier = tier_name(tier)
         self.startup_penalty_tu = startup_penalty_tu
         self.state = VMState.BOOTING
         self.hired_at = env.now
         self.terminated_at: Optional[float] = None
         self.boot_count = 0
-        infrastructure.allocate(cores, tier)
+        infrastructure.allocate(cores, self.tier)
 
     def boot(self):
         """Process: pay the startup penalty, then become READY.
@@ -146,6 +146,6 @@ class VirtualMachine:
 
     def __repr__(self) -> str:
         return (
-            f"<VM {self.uid} {self.cores}c {self.tier.value} "
+            f"<VM {self.uid} {self.cores}c {self.tier} "
             f"{self.state.value}>"
         )

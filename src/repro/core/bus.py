@@ -43,7 +43,9 @@ __all__ = [
     "WorkerHired",
     "WorkerRepooled",
     "WorkerFailed",
+    "WorkerEvicted",
     "DeployFailed",
+    "PlacementRejected",
     "ScalingDecisionMade",
     "FaultInjected",
     "EventBus",
@@ -119,6 +121,9 @@ class StageCompleted(BusEvent):
     duration: float
     #: The job object itself (learning subscribers read per-job state).
     job_obj: Any = field(compare=False, default=None)
+    #: Tier the attempt ran on ("" when the publisher predates tiers);
+    #: lets per-tier learners scope their coefficient fits.
+    tier: str = ""
 
 
 @dataclass(frozen=True)
@@ -234,6 +239,21 @@ class WorkerFailed(BusEvent):
 
 
 @dataclass(frozen=True)
+class WorkerEvicted(BusEvent):
+    """A spot-tier worker was reclaimed by the provider mid-lease.
+
+    Distinct from :class:`WorkerFailed` (a crash): evictions are a
+    price-correlated fault stream, and observers tracking spot viability
+    need to tell reclaim pressure apart from hardware failure.  The
+    victim's task flows through the same retry/dead-letter machinery.
+    """
+
+    worker: int
+    tier: str
+    cores: int
+
+
+@dataclass(frozen=True)
 class DeployFailed(BusEvent):
     """A CELAR deploy request bounced transiently."""
 
@@ -241,6 +261,19 @@ class DeployFailed(BusEvent):
     cores: int
     stage: int
     breaker_opened: bool
+
+
+@dataclass(frozen=True)
+class PlacementRejected(BusEvent):
+    """A tier refused an allocation request.
+
+    ``reason`` is ``capacity`` (not enough free cores) or a backend cap
+    (``max_cores_per_allocation`` / ``max_duration_tu`` for serverless).
+    """
+
+    tier: str
+    cores: int
+    reason: str
 
 
 # -- decisions and faults ---------------------------------------------------
@@ -391,7 +424,9 @@ _ALL_EVENT_TYPES: List[type] = [
     WorkerHired,
     WorkerRepooled,
     WorkerFailed,
+    WorkerEvicted,
     DeployFailed,
+    PlacementRejected,
     ScalingDecisionMade,
     FaultInjected,
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "AllocationAlgorithm",
     "ScalingAlgorithm",
     "RewardConfig",
+    "TierConfig",
     "CloudConfig",
     "WorkloadConfig",
     "SchedulerConfig",
@@ -109,6 +110,90 @@ class RewardConfig:
 
 
 @dataclass(frozen=True)
+class TierConfig:
+    """One tier of an explicit N-tier stack (``CloudConfig.tiers``).
+
+    ``backend`` names a ``TIER_BACKENDS`` registry entry (``reserved``,
+    ``on_demand``, ``serverless``, ``spot``, or a plugin); fields a
+    backend does not understand are ignored by its factory, so one shape
+    serves every backend.
+    """
+
+    #: Tier name (unique within the stack; "private"-named tiers get the
+    #: private fault/crash profile, all others the elastic profile).
+    name: str = ""
+    #: ``TIER_BACKENDS`` registry key.
+    backend: str = "on_demand"
+    #: Core capacity of the tier.
+    capacity_cores: int = 1_000_000
+    #: Cost per core per TU (CU).
+    core_cost_per_tu: float = 0.0
+    #: Serverless: flat charge per allocation (CU).
+    invocation_cost: float = 0.0
+    #: Serverless: cold-start latency added to the boot penalty (TU).
+    cold_start_tu: float = 0.0
+    #: Serverless: per-allocation core cap (None = uncapped).
+    max_cores_per_allocation: "int | None" = None
+    #: Serverless: per-allocation duration cap (TU; None = uncapped).
+    max_duration_tu: "float | None" = None
+    #: Spot: mean time between evictions at the reference price (TU);
+    #: None for non-spot backends.
+    eviction_mtbf_tu: "float | None" = None
+    #: Spot: the price the eviction MTBF was quoted at; the effective
+    #: MTBF scales by ``core_cost_per_tu / reference_cost_per_tu``
+    #: (cheaper spot capacity is reclaimed more often).
+    reference_cost_per_tu: "float | None" = None
+
+    # Only name/backend/capacity/cost are universal; backend-specific
+    # knobs serialize sparsely so stacks stay compact.
+    _SPARSE_FIELDS = frozenset({
+        "invocation_cost", "cold_start_tu", "max_cores_per_allocation",
+        "max_duration_tu", "eviction_mtbf_tu", "reference_cost_per_tu",
+    })
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid fields."""
+        if not self.name:
+            raise ConfigurationError("tier name must be non-empty")
+        if not self.backend:
+            raise ConfigurationError(f"tier {self.name}: backend must be named")
+        if self.capacity_cores < 0:
+            raise ConfigurationError(f"tier {self.name}: capacity must be >= 0")
+        if self.core_cost_per_tu < 0:
+            raise ConfigurationError(f"tier {self.name}: cost must be >= 0")
+        if self.invocation_cost < 0:
+            raise ConfigurationError(
+                f"tier {self.name}: invocation_cost must be >= 0"
+            )
+        if self.cold_start_tu < 0:
+            raise ConfigurationError(
+                f"tier {self.name}: cold_start_tu must be >= 0"
+            )
+        if (
+            self.max_cores_per_allocation is not None
+            and self.max_cores_per_allocation < 1
+        ):
+            raise ConfigurationError(
+                f"tier {self.name}: max_cores_per_allocation must be >= 1"
+            )
+        if self.max_duration_tu is not None and self.max_duration_tu <= 0:
+            raise ConfigurationError(
+                f"tier {self.name}: max_duration_tu must be positive"
+            )
+        if self.eviction_mtbf_tu is not None and self.eviction_mtbf_tu <= 0:
+            raise ConfigurationError(
+                f"tier {self.name}: eviction_mtbf_tu must be positive"
+            )
+        if (
+            self.reference_cost_per_tu is not None
+            and self.reference_cost_per_tu <= 0
+        ):
+            raise ConfigurationError(
+                f"tier {self.name}: reference_cost_per_tu must be positive"
+            )
+
+
+@dataclass(frozen=True)
 class CloudConfig:
     """Two-tier hybrid cloud (Section IV-A, Tables I and III)."""
 
@@ -131,6 +216,17 @@ class CloudConfig:
     #: Mean time between VM failures (TU); None disables failure
     #: injection (the paper's evaluation assumes reliable workers).
     vm_mtbf_tu: "float | None" = None
+    #: Explicit N-tier stack, in order.  Empty keeps the legacy two-tier
+    #: fields above (the paper's private/public pair); non-empty replaces
+    #: them entirely.
+    tiers: tuple[TierConfig, ...] = ()
+    #: ``TIER_PLACEMENT`` registry key; ``cheapest_first`` reproduces the
+    #: paper's private-first placement on the default stack.
+    placement: str = "cheapest_first"
+
+    # Serialized sparsely so configs recorded before the N-tier refactor
+    # fingerprint and round-trip unchanged.
+    _SPARSE_FIELDS = frozenset({"tiers", "placement"})
 
     def validate(self) -> None:
         """Raise ConfigurationError on invalid fields."""
@@ -150,6 +246,14 @@ class CloudConfig:
             raise ConfigurationError("instance_sizes must be sorted ascending")
         if self.startup_penalty_tu < 0:
             raise ConfigurationError("startup_penalty_tu must be >= 0")
+        if not self.placement:
+            raise ConfigurationError("placement must be named")
+        seen: set[str] = set()
+        for tier in self.tiers:
+            tier.validate()
+            if tier.name in seen:
+                raise ConfigurationError(f"duplicate tier name {tier.name!r}")
+            seen.add(tier.name)
 
 
 @dataclass(frozen=True)
@@ -445,6 +549,14 @@ class KnowledgeConfig:
     #: the ``drift`` preset mis-specifies the profile to exercise the
     #: adaptive provider's recovery.
     model_drift: float = 1.0
+    #: When True the online refitter also learns per-tier coefficient
+    #: sets (scoped ``app@tier``), so estimates can reflect systematic
+    #: per-tier performance differences.  Off by default: the fact scope
+    #: and observation volume are unchanged from the two-tier era.
+    per_tier: bool = False
+
+    # Serialized sparsely: configs predating the knob round-trip unchanged.
+    _SPARSE_FIELDS = frozenset({"per_tier"})
 
     def validate(self) -> None:
         """Raise ConfigurationError on invalid fields."""
@@ -530,6 +642,12 @@ _ENUM_REGISTRY_KINDS: dict[str, str] = {
     "scaling": "scaling",
 }
 
+#: Fields holding a tuple of nested config dataclasses (field name ->
+#: element class); serialized as lists of sparse dicts.
+_TUPLE_DATACLASS_FIELDS: dict[str, type] = {
+    "tiers": TierConfig,
+}
+
 
 def _section_to_dict(section: Any) -> dict[str, Any]:
     """One config section as plain JSON-serializable values.
@@ -546,6 +664,8 @@ def _section_to_dict(section: Any) -> dict[str, Any]:
             continue
         if isinstance(value, enum.Enum):
             value = value.value
+        elif f.name in _TUPLE_DATACLASS_FIELDS:
+            value = [_section_to_dict(item) for item in value]
         elif isinstance(value, tuple):
             value = list(value)
         out[f.name] = value
@@ -566,29 +686,49 @@ def _section_from_dict(cls: type, data: Mapping[str, Any], where: str) -> Any:
             f"unknown key(s) {', '.join(map(repr, unknown))} in config "
             f"section {where!r}; known: {', '.join(sorted(known))}"
         )
-    kwargs: dict[str, Any] = {}
-    for name, value in data.items():
-        enum_cls = _ENUM_FIELDS.get(name)
-        if enum_cls is not None and not isinstance(value, enum_cls):
-            try:
-                value = enum_cls(value)
-            except ValueError:
-                # Not a built-in: out-of-tree policies registered through
-                # load_plugins() stay addressable by raw name in config
-                # files, so consult the registry before rejecting.
-                from repro.core.plugins import get_registry
-
-                registry = get_registry(_ENUM_REGISTRY_KINDS[name])
-                if value not in registry:
-                    valid = ", ".join(registry.names())
-                    raise ConfigurationError(
-                        f"unknown {where}.{name} {value!r}; "
-                        f"registered: {valid}"
-                    ) from None
-        elif isinstance(value, list):
-            value = tuple(value)
-        kwargs[name] = value
+    kwargs = {
+        name: _coerce_field(name, value, where)
+        for name, value in data.items()
+    }
     return cls(**kwargs)
+
+
+def _coerce_field(name: str, value: Any, where: str) -> Any:
+    """One section field coerced from JSON/override shape to Python.
+
+    Shared by :meth:`PlatformConfig.from_dict` and
+    :meth:`PlatformConfig.with_overrides` so dict-shaped nested configs
+    (e.g. ``cloud={"tiers": [{"name": ...}, ...]}``) and raw enum/policy
+    names behave identically on both paths.
+    """
+    enum_cls = _ENUM_FIELDS.get(name)
+    if enum_cls is not None and not isinstance(value, enum_cls):
+        try:
+            value = enum_cls(value)
+        except ValueError:
+            # Not a built-in: out-of-tree policies registered through
+            # load_plugins() stay addressable by raw name in config
+            # files, so consult the registry before rejecting.
+            from repro.core.plugins import get_registry
+
+            registry = get_registry(_ENUM_REGISTRY_KINDS[name])
+            if value not in registry:
+                valid = ", ".join(registry.names())
+                raise ConfigurationError(
+                    f"unknown {where}.{name} {value!r}; "
+                    f"registered: {valid}"
+                ) from None
+    elif name in _TUPLE_DATACLASS_FIELDS and isinstance(value, (list, tuple)):
+        element_cls = _TUPLE_DATACLASS_FIELDS[name]
+        value = tuple(
+            item
+            if isinstance(item, element_cls)
+            else _section_from_dict(element_cls, item, f"{where}.{name}[{i}]")
+            for i, item in enumerate(value)
+        )
+    elif isinstance(value, list):
+        value = tuple(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -644,7 +784,11 @@ class PlatformConfig:
             if current is None:
                 raise ConfigurationError(f"unknown config section {section!r}")
             if isinstance(fields, Mapping):
-                updates[section] = replace(current, **fields)
+                coerced = {
+                    name: _coerce_field(name, value, section)
+                    for name, value in fields.items()
+                }
+                updates[section] = replace(current, **coerced)
             else:
                 updates[section] = fields
         return replace(self, **updates)

@@ -37,6 +37,7 @@ class EventKind(str, enum.Enum):
     VM_BOOT_STARTED = "vm_boot_started"
     VM_READY = "vm_ready"
     WORKER_FAILED = "worker_failed"
+    WORKER_EVICTED = "worker_evicted"
     TASK_RETRIED = "task_retried"
     TASK_RETRY_SCHEDULED = "task_retry_scheduled"
     TASK_DEAD_LETTERED = "task_dead_lettered"

@@ -328,6 +328,6 @@ class SCANPlatform:
             "total_cost": sched.total_cost(),
             "profit": sched.profit(),
             "kb_instances": float(self.kb.instance_count()),
-            "private_utilization": self.infrastructure.private.utilization(),
+            "private_utilization": self.infrastructure.base.utilization(),
             "staged_files": float(self.stager.staged_count),
         }

@@ -154,6 +154,7 @@ def all_registries() -> Dict[str, "Registry[Any]"]:
         "repro.scheduler.allocation",
         "repro.scheduler.scaling",
         "repro.scheduler.rewards",
+        "repro.cloud.tiers",
         "repro.broker.sharders",
         "repro.apps.registry",
         "repro.core.presets",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.core.config import (
     PlatformConfig,
     RewardScheme,
+    TierConfig,
 )
 from repro.core.plugins import Registry
 
@@ -115,6 +116,72 @@ def _fanout() -> PlatformConfig:
     """
     return PlatformConfig.paper_defaults().with_overrides(
         workflow="star_fanout",
+        simulation={"duration": 120.0, "repetitions": 2},
+    )
+
+
+@PRESETS.register("serverless_burst")
+def _serverless_burst() -> PlatformConfig:
+    """A three-tier stack with a FaaS burst tier (Arjona et al. style).
+
+    Reserved metal takes the base load; a serverless tier absorbs bursts
+    at a discount over on-demand but pays per-invocation charges, a
+    cold start, and hard per-allocation caps (16 cores, 30 TU) -- tasks
+    that exceed the caps are rejected at placement and overflow to
+    on-demand.  Short duration: the multi-tier CI-runnable showcase.
+    """
+    return PlatformConfig.paper_defaults().with_overrides(
+        cloud={
+            "tiers": (
+                TierConfig(
+                    name="private", backend="reserved",
+                    capacity_cores=624, core_cost_per_tu=5.0,
+                ),
+                TierConfig(
+                    name="faas", backend="serverless",
+                    capacity_cores=1_000_000, core_cost_per_tu=35.0,
+                    invocation_cost=2.0, cold_start_tu=0.25,
+                    max_cores_per_allocation=16, max_duration_tu=30.0,
+                ),
+                TierConfig(
+                    name="public", backend="on_demand",
+                    capacity_cores=1_000_000, core_cost_per_tu=50.0,
+                ),
+            ),
+        },
+        simulation={"duration": 120.0, "repetitions": 2},
+    )
+
+
+@PRESETS.register("spot_saver")
+def _spot_saver() -> PlatformConfig:
+    """A three-tier stack with a deeply discounted preemptible tier.
+
+    The spot tier undercuts on-demand 5x but is reclaimed with
+    price-correlated intensity (MTBF 60 TU at the on-demand reference
+    price, so ~12 TU at the 10 CU discount); evicted tasks ride the
+    ordinary retry path (bounded attempts), with on-demand as the
+    fallback when spot capacity is exhausted.
+    """
+    return PlatformConfig.paper_defaults().with_overrides(
+        cloud={
+            "tiers": (
+                TierConfig(
+                    name="private", backend="reserved",
+                    capacity_cores=624, core_cost_per_tu=5.0,
+                ),
+                TierConfig(
+                    name="spot", backend="spot",
+                    capacity_cores=2048, core_cost_per_tu=10.0,
+                    eviction_mtbf_tu=60.0, reference_cost_per_tu=50.0,
+                ),
+                TierConfig(
+                    name="public", backend="on_demand",
+                    capacity_cores=1_000_000, core_cost_per_tu=50.0,
+                ),
+            ),
+        },
+        resilience={"max_attempts": 5},
         simulation={"duration": 120.0, "repetitions": 2},
     )
 

@@ -215,16 +215,16 @@ class ScanRpcServer:
         return {
             "idle": [
                 {"uid": w.uid, "class": w.worker_class, "cores": w.cores,
-                 "tier": w.tier.value}
+                 "tier": w.tier}
                 for w in pools.idle_workers
             ],
             "busy": [
                 {"uid": w.uid, "class": w.worker_class, "cores": w.cores,
-                 "tier": w.tier.value}
+                 "tier": w.tier}
                 for w in sorted(pools.busy_workers, key=lambda w: w.uid)
             ],
             "booting": sum(pools.booting_for_stage.values()),
-            "hires": {t.value: n for t, n in pools.hires.items()},
+            "hires": dict(pools.hires),
             "repools": pools.repools,
         }
 

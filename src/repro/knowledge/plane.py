@@ -468,6 +468,7 @@ class OnlineRefitter:
         max_observations: int = 4096,
         metrics: Any = None,
         clock: Any = None,
+        per_tier: bool = False,
     ) -> None:
         if refit_every < 1:
             raise ValueError("refit_every must be >= 1")
@@ -477,6 +478,11 @@ class OnlineRefitter:
         self.refit_every = refit_every
         self.min_samples = min_samples
         self.max_observations = max_observations
+        #: When True, observations tagged with a tier are *also* folded
+        #: into a tier-scoped fact (``app@tier``), so the plane learns
+        #: per-tier coefficient sets (e.g. serverless cold environments
+        #: running systematically slower than reserved metal).
+        self.per_tier = per_tier
         self._clock = clock
         self._observations: Dict[Tuple[str, int], List[_Obs]] = {}
         self._dirty: set[Tuple[str, int]] = set()
@@ -508,6 +514,15 @@ class OnlineRefitter:
         self.observe(
             event.app, event.stage, event.input_gb, event.threads, event.duration
         )
+        tier = getattr(event, "tier", "")
+        if self.per_tier and tier:
+            self.observe(
+                f"{event.app}@{tier}",
+                event.stage,
+                event.input_gb,
+                event.threads,
+                event.duration,
+            )
 
     def observe(
         self, app: str, stage: int, input_gb: float, threads: int, duration: float

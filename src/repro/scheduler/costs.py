@@ -5,33 +5,56 @@ that can be hired at a given price.  For example ... their institution's
 private cloud as a tier of resources at negligible cost, their University's
 private cloud as a tier with higher cost with availability bounded by the
 available physical [machines]."
+
+Generalised to N tiers: the *base* tier (first non-elastic tier of the
+stack, the paper's private cloud) anchors every premium computation, and
+the elastic overflow reference defaults to the cheapest elastic tier (the
+paper's public cloud).
 """
 
 from __future__ import annotations
 
-from repro.cloud.infrastructure import Infrastructure, TierName
+from typing import Optional
+
+from repro.cloud.infrastructure import CloudTier, Infrastructure
 
 __all__ = ["TieredCostFunction"]
 
 
 class TieredCostFunction:
-    """Cost queries over the hybrid infrastructure.
+    """Cost queries over the tiered infrastructure.
 
     Wraps the live :class:`Infrastructure` so scheduling decisions see the
-    *current* marginal price: private-tier cores while they last, the
-    public premium after that.
+    *current* marginal price: base-tier cores while they last, the
+    elastic premium after that.
     """
 
     def __init__(self, infrastructure: Infrastructure) -> None:
         self.infrastructure = infrastructure
 
+    def _overflow_tier(self) -> CloudTier:
+        """The elastic reference tier: cheapest elastic, else the last."""
+        tier = self.infrastructure.cheapest_elastic()
+        return tier if tier is not None else self.infrastructure.tiers[-1]
+
+    def core_cost(self, tier) -> float:
+        """Per-core price of one named tier (CU per core per TU)."""
+        return self.infrastructure.tier(tier).core_cost_per_tu
+
+    @property
+    def base_core_cost(self) -> float:
+        """The base (reserved) tier's price."""
+        return self.infrastructure.base.core_cost_per_tu
+
     @property
     def private_core_cost(self) -> float:
-        return self.infrastructure.private.core_cost_per_tu
+        """Legacy name for :attr:`base_core_cost` (audit records keep it)."""
+        return self.base_core_cost
 
     @property
     def public_core_cost(self) -> float:
-        return self.infrastructure.public.core_cost_per_tu
+        """The elastic overflow reference price (cheapest elastic tier)."""
+        return self._overflow_tier().core_cost_per_tu
 
     def current_rate(self) -> float:
         """Spend rate of everything currently hired (CU/TU)."""
@@ -39,10 +62,11 @@ class TieredCostFunction:
 
     def marginal_core_cost(self, cores: int) -> float:
         """Per-core price of the cheapest tier that can fit *cores* now."""
-        tier = self.infrastructure.place(cores, allow_public=True)
+        tier = self.infrastructure.place(cores)
         if tier is None:
-            # Both tiers exhausted; quote public (the elastic tier's price
-            # is the scheduling-relevant signal even when momentarily full).
+            # Every tier exhausted; quote the elastic reference (the
+            # elastic price is the scheduling-relevant signal even when
+            # momentarily full).
             return self.public_core_cost
         return self.infrastructure.tier(tier).core_cost_per_tu
 
@@ -50,7 +74,7 @@ class TieredCostFunction:
         self,
         cores: int,
         duration_tu: float,
-        tier: TierName,
+        tier,
         startup_penalty_tu: float = 0.0,
     ) -> float:
         """Cost of hiring *cores* on *tier* for a task of *duration_tu*.
@@ -65,17 +89,33 @@ class TieredCostFunction:
         rate = self.infrastructure.tier(tier).core_cost_per_tu
         return cores * rate * (duration_tu + startup_penalty_tu)
 
+    def premium(
+        self,
+        cores: int,
+        duration_tu: float,
+        tier: Optional[str] = None,
+        startup_penalty_tu: float = 0.0,
+    ) -> float:
+        """Extra cost of *tier* over the base tier for the same work.
+
+        This is what predictive scaling weighs against the delay cost: the
+        work will be done either way; hiring elastic capacity *now* rather
+        than waiting for a base-tier core costs the price difference (plus
+        the boot overhead of the new instance).  ``tier=None`` quotes the
+        elastic overflow reference.
+        """
+        rate = (
+            self._overflow_tier().core_cost_per_tu
+            if tier is None
+            else self.infrastructure.tier(tier).core_cost_per_tu
+        )
+        diff = rate - self.base_core_cost
+        return cores * (diff * duration_tu + rate * startup_penalty_tu)
+
     def public_premium(
         self, cores: int, duration_tu: float, startup_penalty_tu: float = 0.0
     ) -> float:
-        """Extra cost of public over private for the same work.
-
-        This is what predictive scaling weighs against the delay cost: the
-        work will be done either way; hiring public *now* rather than
-        waiting for a private core costs the price difference (plus the
-        boot overhead of the new instance).
-        """
-        diff = self.public_core_cost - self.private_core_cost
-        return cores * (
-            diff * duration_tu + self.public_core_cost * startup_penalty_tu
+        """Legacy name: :meth:`premium` against the elastic reference."""
+        return self.premium(
+            cores, duration_tu, startup_penalty_tu=startup_penalty_tu
         )

@@ -5,15 +5,20 @@ front of a task queue ... should a worker (or workers ...) be hired from
 the elastic cloud to run it immediately, or should it be delayed until an
 existing worker becomes available?" (Section III-A.2).
 
-All three policies hire from the *private* tier whenever it has room --
-private cores are strictly cheaper.  They differ "when private resources
-are fully occupied" (Section IV-B):
+All three policies hire from the *base* tier (the paper's private cloud)
+whenever it has room -- base cores are strictly cheaper.  They differ
+"when private resources are fully occupied" (Section IV-B):
 
-- **Always-scale**: hire a public worker immediately.
-- **Never-scale**: wait for a private worker to free up.
-- **Predictive**: hire a public worker only when the delay cost (Eq. 1) of
-  waiting out the estimated queue time exceeds the public-tier premium for
+- **Always-scale**: hire an elastic worker immediately.
+- **Never-scale**: wait for a base-tier worker to free up.
+- **Predictive**: hire elastic capacity only when the delay cost (Eq. 1)
+  of waiting out the estimated queue time exceeds the elastic premium for
   the task.
+
+Elastic candidates come from the infrastructure's placement policy
+(``TIER_PLACEMENT``), so a spot or serverless tier configured cheaper
+than on-demand is preferred automatically; for the default two-tier
+stack the one elastic candidate is the public tier, exactly as before.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Protocol
 
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.config import ScalingAlgorithm
 from repro.core.errors import SchedulingError
 from repro.core.plugins import Registry
@@ -68,8 +73,8 @@ class ScalingContext:
     #: Expected wait if we do not hire (estimated time until a suitable
     #: worker frees up); the scheduler supplies its best estimate.
     expected_wait: float
-    #: False while the public-tier circuit breaker is open: repeated
-    #: deploy failures make public hires pointless until the cooldown.
+    #: False while the elastic-tier circuit breaker is open: repeated
+    #: deploy failures make elastic hires pointless until the cooldown.
     public_available: bool = True
     #: When True, policies attach a :class:`DecisionExplanation` to the
     #: decision (telemetry audit log); the choice itself is unaffected.
@@ -87,6 +92,8 @@ class DecisionExplanation:
     """
 
     policy: str
+    #: Whether the decision landed on the base (reserved) tier.  Field
+    #: name kept from the two-tier era for audit-record compatibility.
     private_free: bool
     public_available: bool
     public_capacity: Optional[bool] = None
@@ -107,10 +114,10 @@ class DecisionExplanation:
 
 @dataclass(frozen=True)
 class ScalingDecision:
-    """Outcome: hire on some tier, or wait."""
+    """Outcome: hire on some tier (by name), or wait."""
 
     hire: bool
-    tier: Optional[TierName] = None
+    tier: Optional[str] = None
     explanation: Optional[DecisionExplanation] = field(
         default=None, compare=False, repr=False
     )
@@ -120,7 +127,7 @@ class ScalingDecision:
         return ScalingDecision(hire=False, tier=None)
 
     @staticmethod
-    def on(tier: TierName) -> "ScalingDecision":
+    def on(tier: str) -> "ScalingDecision":
         return ScalingDecision(hire=True, tier=tier)
 
 
@@ -131,11 +138,25 @@ class ScalingPolicy(Protocol):
         ...
 
 
-def _private_first(cores: int, ctx: ScalingContext) -> Optional[ScalingDecision]:
-    """Common fast path: private capacity available -> hire private."""
-    if ctx.infrastructure.private.can_allocate(cores):
-        return ScalingDecision.on(TierName.PRIVATE)
+def _base_first(cores: int, ctx: ScalingContext) -> Optional[ScalingDecision]:
+    """Common fast path: base-tier capacity available -> hire there."""
+    base = ctx.infrastructure.base
+    if base.can_allocate(cores):
+        return ScalingDecision.on(base.name)
     return None
+
+
+def _cap_duration(ctx: ScalingContext, task: StageTask, cores: int):
+    """Expected duration, computed only when a tier caps durations.
+
+    Serverless backends reject over-long invocations at placement; that
+    needs a duration estimate.  The default stack has no duration caps,
+    so the hot path never touches the estimator here.
+    """
+    if not ctx.infrastructure.has_duration_caps():
+        return None
+    threads = task.threads if task.threads is not None else cores
+    return ctx.estimator.eet(task.stage, task.job.input_gb, max(threads, 1))
 
 
 def _explain(
@@ -159,7 +180,7 @@ def _explain(
     threads = task.threads if task.threads is not None else cores
     explanation = DecisionExplanation(
         policy=policy,
-        private_free=decision.tier is TierName.PRIVATE,
+        private_free=decision.tier == ctx.infrastructure.base.name,
         public_available=ctx.public_available,
         public_capacity=public_capacity,
         expected_wait=ctx.expected_wait,
@@ -179,42 +200,47 @@ def _explain(
 
 
 class AlwaysScale:
-    """Private if possible, otherwise public, immediately."""
+    """Base tier if possible, otherwise the placement's elastic pick."""
 
     def decide(self, task: StageTask, cores: int, ctx: ScalingContext) -> ScalingDecision:
-        """Hire private if possible, else public, immediately."""
-        decision = _private_first(cores, ctx)
+        """Hire base if possible, else the best elastic tier, immediately."""
+        decision = _base_first(cores, ctx)
         if decision is not None:
             return _explain(decision, ctx, task, cores, "always")
-        capacity = ctx.infrastructure.public.can_allocate(cores)
+        candidate = ctx.infrastructure.place_elastic(
+            cores, duration_tu=_cap_duration(ctx, task, cores)
+        )
+        capacity = candidate is not None
         if ctx.public_available and capacity:
-            decision = ScalingDecision.on(TierName.PUBLIC)
+            decision = ScalingDecision.on(candidate)
         else:
             decision = ScalingDecision.wait()
         return _explain(decision, ctx, task, cores, "always", public_capacity=capacity)
 
 
 class NeverScale:
-    """Private if possible, otherwise wait -- never pay public prices."""
+    """Base tier if possible, otherwise wait -- never pay elastic prices."""
 
     def decide(self, task: StageTask, cores: int, ctx: ScalingContext) -> ScalingDecision:
-        """Hire private if possible, otherwise wait."""
-        decision = _private_first(cores, ctx)
+        """Hire on the base tier if possible, otherwise wait."""
+        decision = _base_first(cores, ctx)
         if decision is not None:
             return _explain(decision, ctx, task, cores, "never")
         return _explain(ScalingDecision.wait(), ctx, task, cores, "never")
 
 
 class PredictiveScale:
-    """Hire public only when delaying the queue costs more than the premium.
+    """Hire elastic only when delaying the queue costs more than the premium.
 
     The comparison (both sides in CU):
 
     - delay cost: Eq. 1 evaluated over the stage's queue at the expected
       wait (capped at the configured horizon so a single pathological
       estimate cannot force unbounded hiring);
-    - hire premium: the public-over-private price difference for this
-      task's core-time, plus the public price of the boot penalty.
+    - hire premium: the elastic-over-base price difference for this
+      task's core-time, plus the elastic price of the boot penalty --
+      priced against the placement policy's elastic candidate, so a cheap
+      spot tier lowers the bar exactly as it should.
     """
 
     def __init__(self, horizon_tu: float = 5.0) -> None:
@@ -223,16 +249,19 @@ class PredictiveScale:
         self.horizon_tu = horizon_tu
 
     def decide(self, task: StageTask, cores: int, ctx: ScalingContext) -> ScalingDecision:
-        """Hire public only when delay cost exceeds the premium."""
-        decision = _private_first(cores, ctx)
+        """Hire elastic only when delay cost exceeds the premium."""
+        decision = _base_first(cores, ctx)
         if decision is not None:
             return _explain(decision, ctx, task, cores, "predictive",
                             horizon=self.horizon_tu)
         if not ctx.public_available:
-            # Breaker open: public deploys are bouncing, don't bother.
+            # Breaker open: elastic deploys are bouncing, don't bother.
             return _explain(ScalingDecision.wait(), ctx, task, cores,
                             "predictive", horizon=self.horizon_tu)
-        if not ctx.infrastructure.public.can_allocate(cores):
+        candidate = ctx.infrastructure.place_elastic(
+            cores, duration_tu=_cap_duration(ctx, task, cores)
+        )
+        if candidate is None:
             return _explain(ScalingDecision.wait(), ctx, task, cores,
                             "predictive", public_capacity=False,
                             horizon=self.horizon_tu)
@@ -250,8 +279,9 @@ class PredictiveScale:
         duration = ctx.estimator.eet(
             task.stage, task.job.input_gb, max(threads, 1)
         )
-        premium = ctx.costs.public_premium(
-            cores, duration, startup_penalty_tu=ctx.startup_penalty_tu
+        premium = ctx.costs.premium(
+            cores, duration, tier=candidate,
+            startup_penalty_tu=ctx.startup_penalty_tu,
         )
         # Eq. 1 over the tasks currently waiting in this stage's queue; the
         # candidate task is included (it is at the front of the queue).
@@ -263,7 +293,7 @@ class PredictiveScale:
         else:
             dc = delay_cost(ctx.queue, ctx.estimator, ctx.reward, wait, ctx.now)
         if dc > premium:
-            decision = ScalingDecision.on(TierName.PUBLIC)
+            decision = ScalingDecision.on(candidate)
         else:
             decision = ScalingDecision.wait()
         return _explain(decision, ctx, task, cores, "predictive",

@@ -37,7 +37,7 @@ from repro.apps.base import ApplicationModel
 from repro.cloud.celar import CelarManager
 from repro.cloud.failures import FailureModel
 from repro.cloud.faults import FaultInjector
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.desim.process import Interrupt
 from repro.core.bus import (
     DeployFailed,
@@ -52,6 +52,7 @@ from repro.core.bus import (
     TaskQueued,
     TaskRetryScheduled,
     TaskStarted,
+    WorkerEvicted,
     WorkerFailed,
     WorkerHired,
     WorkerRepooled,
@@ -339,20 +340,41 @@ class SCANScheduler:
             self._dispatch(stage)
 
     def _on_worker_failed(self, worker: Worker) -> None:
-        """A busy worker's VM died: interrupt its task for retry."""
-        self.log.emit(
-            self.env.now,
-            EventKind.WORKER_FAILED,
-            worker=worker.uid,
-            tier=worker.tier.value,
-            cores=worker.cores,
-        )
-        if WorkerFailed in self.bus:
-            self.bus.publish(
-                WorkerFailed(
-                    self.env.now, worker.uid, worker.tier.value, worker.cores
-                )
+        """A busy worker's VM died: interrupt its task for retry.
+
+        A spot eviction (provider reclaim) takes the same path -- the
+        victim's task retries or dead-letters exactly like a crash -- but
+        is reported distinctly so observers can tell reclaim pressure
+        from hardware failure.
+        """
+        if worker.evicted:
+            self.log.emit(
+                self.env.now,
+                EventKind.WORKER_EVICTED,
+                worker=worker.uid,
+                tier=worker.tier,
+                cores=worker.cores,
             )
+            if WorkerEvicted in self.bus:
+                self.bus.publish(
+                    WorkerEvicted(
+                        self.env.now, worker.uid, worker.tier, worker.cores
+                    )
+                )
+        else:
+            self.log.emit(
+                self.env.now,
+                EventKind.WORKER_FAILED,
+                worker=worker.uid,
+                tier=worker.tier,
+                cores=worker.cores,
+            )
+            if WorkerFailed in self.bus:
+                self.bus.publish(
+                    WorkerFailed(
+                        self.env.now, worker.uid, worker.tier, worker.cores
+                    )
+                )
         process = self._executing.pop(worker, None)
         if process is not None and getattr(process, "is_alive", False):
             process.interrupt("vm-failure")
@@ -363,15 +385,26 @@ class SCANScheduler:
             self.env.now,
             EventKind.BOOT_FAILED,
             worker=worker.uid,
-            tier=worker.tier.value,
+            tier=worker.tier,
             cores=worker.cores,
             stage=stage,
         )
 
-    def _try_hire(self, cores: int, tier: TierName, stage: int) -> bool:
+    def _breaker_guards(self, tier: str) -> bool:
+        """Whether the deploy circuit breaker watches this tier.
+
+        The breaker protects elastic hires (the two-tier era's "public"
+        check); base-tier deploys never feed it.
+        """
+        return (
+            self.breaker is not None
+            and self.infrastructure.tier(tier).elastic
+        )
+
+    def _try_hire(self, cores: int, tier: str, stage: int) -> bool:
         """Hire a worker, absorbing transient deploy bounces.
 
-        On a bounce: record it, feed the circuit breaker (public tier),
+        On a bounce: record it, feed the circuit breaker (elastic tiers),
         and re-arm dispatch for *stage* after the deploy retry delay so
         the queue is not stranded waiting for a boot that never began.
         """
@@ -383,19 +416,19 @@ class SCANScheduler:
             self.log.emit(
                 now,
                 EventKind.DEPLOY_FAILED,
-                tier=tier.value,
+                tier=tier,
                 cores=cores,
                 stage=stage,
                 error=str(exc),
             )
             breaker_opened = False
-            if tier is TierName.PUBLIC and self.breaker is not None:
+            if self._breaker_guards(tier):
                 breaker_opened = self.breaker.record_failure(now)
                 if breaker_opened:
                     self.log.emit(
                         now,
                         EventKind.BREAKER_OPEN,
-                        tier=tier.value,
+                        tier=tier,
                         cooldown=self.breaker.cooldown_tu,
                     )
                     # Once the cooldown elapses a half-open probe is
@@ -403,7 +436,7 @@ class SCANScheduler:
                     self._schedule_redispatch_all(self.breaker.cooldown_tu)
             if DeployFailed in self.bus:
                 self.bus.publish(
-                    DeployFailed(now, tier.value, cores, stage, breaker_opened)
+                    DeployFailed(now, tier, cores, stage, breaker_opened)
                 )
             if self.resilience.enabled:
                 self._schedule_redispatch(
@@ -416,18 +449,18 @@ class SCANScheduler:
         self.log.emit(
             self.env.now,
             EventKind.WORKER_HIRED,
-            tier=tier.value,
+            tier=tier,
             cores=cores,
             stage=stage,
         )
         if WorkerHired in self.bus:
             self.bus.publish(
-                WorkerHired(self.env.now, tier.value, cores, stage)
+                WorkerHired(self.env.now, tier, cores, stage)
             )
-        if tier is TierName.PUBLIC and self.breaker is not None:
+        if self._breaker_guards(tier):
             if self.breaker.record_success(self.env.now):
                 self.log.emit(
-                    self.env.now, EventKind.BREAKER_CLOSED, tier=tier.value
+                    self.env.now, EventKind.BREAKER_CLOSED, tier=tier
                 )
         return True
 
@@ -521,9 +554,10 @@ class SCANScheduler:
             if self.pools.booting_for_stage.get(stage, 0) > 0:
                 return
 
-            # Private capacity available: every policy hires there.
-            if self.infrastructure.private.can_allocate(cores):
-                self._try_hire(cores, TierName.PRIVATE, stage)
+            # Base-tier capacity available: every policy hires there.
+            base = self.infrastructure.base
+            if base.can_allocate(cores):
+                self._try_hire(cores, base.name, stage)
                 return
 
             # Private full: a re-pooled idle worker needs no new capacity.
@@ -587,8 +621,9 @@ class SCANScheduler:
             # Waiting -- but guard against a stall where nothing will ever
             # free up by itself (no busy workers, nothing booting).
             if not self.pools.busy_workers and self.pools.booting_total() == 0:
-                if self.pools.force_free_private(cores):
-                    self._try_hire(cores, TierName.PRIVATE, stage)
+                base = self.infrastructure.base
+                if self.pools.force_free(base.name, cores):
+                    self._try_hire(cores, base.name, stage)
                     return
             return
 
@@ -640,7 +675,7 @@ class SCANScheduler:
             stage=stage,
             threads=threads,
             worker=worker.uid,
-            tier=worker.tier.value,
+            tier=worker.tier,
             wait=wait,
             attempt=task.attempt,
             speculative=task.speculative,
@@ -654,7 +689,7 @@ class SCANScheduler:
                     stage,
                     threads,
                     worker.uid,
-                    worker.tier.value,
+                    worker.tier,
                     wait,
                     task.attempt,
                     task.speculative,
@@ -690,7 +725,7 @@ class SCANScheduler:
         if self._tracer is not None:
             lane = self._tracer.lane(
                 self._lane_for_worker(worker.uid),
-                f"worker {worker.uid} ({worker.tier.value} x{worker.cores})",
+                f"worker {worker.uid} ({worker.tier} x{worker.cores})",
             )
             span = self._tracer.span(
                 f"{job.name}/s{stage}",
@@ -700,7 +735,7 @@ class SCANScheduler:
                     "job": job.name,
                     "stage": stage,
                     "threads": threads,
-                    "tier": worker.tier.value,
+                    "tier": worker.tier,
                     "attempt": task.attempt,
                     "speculative": task.speculative,
                     "straggled": straggled,
@@ -733,7 +768,7 @@ class SCANScheduler:
                             stage,
                             "speculative_loss",
                             worker.uid,
-                            worker.tier.value,
+                            worker.tier,
                         )
                     )
                 self.pools.release(worker)
@@ -750,7 +785,7 @@ class SCANScheduler:
                         stage,
                         "vm_failure",
                         worker.uid,
-                        worker.tier.value,
+                        worker.tier,
                     )
                 )
             if group is not None and self.speculation.twin_survives(
@@ -795,7 +830,7 @@ class SCANScheduler:
                         stage,
                         "corrupted",
                         worker.uid,
-                        worker.tier.value,
+                        worker.tier,
                     )
                 )
             if FaultInjected in self.bus:
@@ -846,7 +881,7 @@ class SCANScheduler:
             input_gb=job.size,
             threads=threads,
             duration=duration,
-            tier=worker.tier.value,
+            tier=worker.tier,
         )
 
         if TaskFinished in self.bus:
@@ -857,7 +892,7 @@ class SCANScheduler:
                     stage,
                     "completed",
                     worker.uid,
-                    worker.tier.value,
+                    worker.tier,
                 )
             )
         # The knowledge loop's feedback edge: realised durations flow to
@@ -879,6 +914,7 @@ class SCANScheduler:
                     threads,
                     duration,
                     job,
+                    tier=worker.tier,
                 )
             )
 

@@ -25,7 +25,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.apps.base import ApplicationModel, ExecutionPlan
-from repro.cloud.infrastructure import TierName
 from repro.core.errors import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -56,7 +55,7 @@ class StageRecord:
     started_at: float
     finished_at: float
     threads: int
-    tier: TierName
+    tier: str
     #: Executions this stage consumed (1 = first try succeeded).
     attempts: int = 1
 

@@ -24,7 +24,6 @@ from typing import Callable, Optional
 from repro.cloud.celar import CelarManager
 from repro.cloud.failures import FailureModel
 from repro.cloud.faults import FaultInjector
-from repro.cloud.infrastructure import TierName
 from repro.cloud.vm import VirtualMachine, VMState
 from repro.core.errors import SchedulingError
 from repro.desim.engine import Environment
@@ -44,6 +43,11 @@ class Worker:
         self.idle_since: Optional[float] = None
         #: Whether a failure doom-timer is already armed for this worker.
         self.doom_armed = False
+        #: Whether a spot-eviction timer is already armed for this worker.
+        self.eviction_armed = False
+        #: Set when the provider reclaimed this worker's spot capacity;
+        #: the scheduler reports the failure as an eviction.
+        self.evicted = False
         #: Predicted completion time of the current task (for wait
         #: estimation); None while idle.
         self.busy_until: Optional[float] = None
@@ -54,7 +58,7 @@ class Worker:
         return self.vm.cores
 
     @property
-    def tier(self) -> TierName:
+    def tier(self) -> str:
         return self.vm.tier
 
     @property
@@ -64,7 +68,7 @@ class Worker:
     def __repr__(self) -> str:
         return (
             f"<Worker {self.uid} {self.worker_class} {self.cores}c "
-            f"{self.tier.value} {self.vm.state.value}>"
+            f"{self.tier} {self.vm.state.value}>"
         )
 
 
@@ -113,11 +117,14 @@ class WorkerPools:
         #: Invoked with (worker, stage) when an injected boot failure kills
         #: a worker before it reaches READY.
         self.on_boot_failed: Optional[Callable[[Worker, int], None]] = None
-        self.hires = {TierName.PRIVATE: 0, TierName.PUBLIC: 0}
+        self.hires = Counter(
+            {name: 0 for name in celar.infrastructure.tier_names()}
+        )
         self.repools = 0
         self.reaped = 0
         self.failed = 0
         self.boot_failures = 0
+        self.evicted = 0
         self._reaper_started = False
 
     @property
@@ -206,7 +213,7 @@ class WorkerPools:
         self.env.process(self._boot_and_attach(worker, stage))
         return worker
 
-    def hire(self, worker_class: str, cores: int, tier: TierName, stage: int) -> Worker:
+    def hire(self, worker_class: str, cores: int, tier: str, stage: int) -> Worker:
         """Deploy a fresh worker for *stage*: cores claimed now, boot async.
 
         May raise :class:`~repro.core.errors.TransientDeployError` when a
@@ -215,7 +222,7 @@ class WorkerPools:
         vm = self.celar.deploy(cores, tier)
         worker = Worker(vm, worker_class)
         self.booting_for_stage[stage] += 1
-        self.hires[tier] += 1
+        self.hires[vm.tier] += 1
         self.env.process(self._boot_and_attach(worker, stage))
         return worker
 
@@ -239,14 +246,14 @@ class WorkerPools:
         if self.tracer is not None:
             lane = self.tracer.lane(
                 self._lane_for_worker(worker.uid),
-                f"worker {worker.uid} ({worker.tier.value} x{worker.cores})",
+                f"worker {worker.uid} ({worker.tier} x{worker.cores})",
             )
             # Boot spans the startup penalty in sim time -> sync=False.
             span = self.tracer.span(
                 "vm.boot",
                 "cloud",
                 lane=lane,
-                args={"tier": worker.tier.value, "cores": worker.cores,
+                args={"tier": worker.tier, "cores": worker.cores,
                       "stage": stage},
                 sync=False,
             )
@@ -271,6 +278,10 @@ class WorkerPools:
             if self._crashes_enabled and not worker.doom_armed:
                 worker.doom_armed = True
                 self.env.process(self._doom(worker))
+            eviction_mtbf = self._eviction_mtbf(worker)
+            if eviction_mtbf is not None and not worker.eviction_armed:
+                worker.eviction_armed = True
+                self.env.process(self._evict(worker, eviction_mtbf))
             self._make_available(worker)
         else:
             if boot_failed and self.on_boot_failed is not None:
@@ -307,6 +318,51 @@ class WorkerPools:
             self.on_worker_failed(worker)
         # Freed capacity (and a possibly-lost worker) can change dispatch
         # decisions either way.
+        if self.on_available is not None:
+            self.on_available()
+
+    def _eviction_mtbf(self, worker: Worker) -> Optional[float]:
+        """The worker tier's eviction MTBF, if evictions apply to it.
+
+        Only spot-style backends expose ``effective_eviction_mtbf``; an
+        injector must be present (it owns the ``faults.spot`` stream).
+        """
+        if self.injector is None:
+            return None
+        tier = self.celar.infrastructure.tier(worker.tier)
+        return getattr(tier, "effective_eviction_mtbf", None)
+
+    def _evict(self, worker: Worker, mtbf_tu: float):
+        """Process: the provider reclaims a spot worker after an
+        exponential lifetime drawn from the ``faults.spot`` stream.
+
+        Mirrors :meth:`_doom` exactly -- a busy victim's task is
+        interrupted via ``on_worker_failed`` and flows through the
+        scheduler's retry / dead-letter resilience path.
+        """
+        assert self.injector is not None
+        lifetime = self.injector.draw_eviction(mtbf_tu)
+        yield self.env.timeout(lifetime)
+        if not worker.vm.alive:
+            return
+        worker.evicted = True
+        tier = self.celar.infrastructure.tier(worker.tier)
+        record = getattr(tier, "record_eviction", None)
+        if record is not None:
+            record()
+        self.evicted += 1
+        if worker.vm.state is VMState.BOOTING:
+            self.failed += 1
+            self.celar.terminate(worker.vm)
+            return
+        self.failed += 1
+        was_busy = worker in self._busy
+        if worker in self._idle:
+            self._idle.remove(worker)
+        self._busy.discard(worker)
+        self.celar.terminate(worker.vm)
+        if was_busy and self.on_worker_failed is not None:
+            self.on_worker_failed(worker)
         if self.on_available is not None:
             self.on_available()
 
@@ -389,19 +445,19 @@ class WorkerPools:
             self.on_available()
         return dead
 
-    def force_free_private(self, cores: int) -> bool:
-        """Terminate idle private workers until *cores* fit; True on success.
+    def force_free(self, tier: str, cores: int) -> bool:
+        """Terminate idle workers on *tier* until *cores* fit there.
 
-        Used to break the never-scale stall where the private tier is full
-        of idle-but-wrong-shape workers.
+        Returns True on success.  Used to break the never-scale stall
+        where the base tier is full of idle-but-wrong-shape workers.
         """
-        private = [w for w in self._idle if w.tier is TierName.PRIVATE]
-        private.sort(key=lambda w: -w.cores)
-        tier = self.celar.infrastructure.private
-        for worker in private:
-            if tier.can_allocate(cores):
+        victims = [w for w in self._idle if w.tier == tier]
+        victims.sort(key=lambda w: -w.cores)
+        tier_obj = self.celar.infrastructure.tier(tier)
+        for worker in victims:
+            if tier_obj.can_allocate(cores):
                 break
             self._idle.remove(worker)
             self.celar.terminate(worker.vm)
             self.reaped += 1
-        return tier.can_allocate(cores)
+        return tier_obj.can_allocate(cores)

@@ -30,6 +30,7 @@ from repro.apps.registry import ApplicationRegistry, default_registry
 from repro.cloud.celar import CelarManager
 from repro.cloud.faults import FaultInjector, FaultPlan
 from repro.cloud.infrastructure import Infrastructure
+from repro.cloud.tiers import infrastructure_from_cloud_config
 from repro.core.bus import EventBus
 from repro.core.config import AllocationAlgorithm, PlatformConfig
 from repro.core.events import EventLog
@@ -168,15 +169,14 @@ class PlatformBuilder:
 
     # -- stages (override any of these) -----------------------------------------
     def build_infrastructure(self, env: Environment) -> Infrastructure:
-        """Stage 1: the two-tier simulated cloud."""
-        cloud = self.config.cloud
-        return Infrastructure(
-            env,
-            private_cores=cloud.private_cores,
-            private_cost=cloud.private_core_cost,
-            public_cores=cloud.public_cores,
-            public_cost=cloud.public_core_cost,
-        )
+        """Stage 1: the simulated cloud (tier stack from config).
+
+        ``cloud.tiers`` (when set) builds an N-tier stack through the
+        ``TIER_BACKENDS`` registry; otherwise the legacy two-tier fields
+        produce the paper's private/public pair, byte-identical to the
+        pre-registry wiring.
+        """
+        return infrastructure_from_cloud_config(env, self.config.cloud)
 
     def build_faults(
         self, streams: RandomStreams
@@ -263,6 +263,7 @@ class PlatformBuilder:
                 max_observations=know.max_observations,
                 metrics=hub.metrics if hub is not None else None,
                 clock=lambda: env.now,
+                per_tier=know.per_tier,
             )
             refitter.attach(bus)
         return plane, provider, refitter
@@ -339,11 +340,24 @@ class PlatformBuilder:
         """Run every stage in order and start the scheduler."""
         infrastructure = self.build_infrastructure(env)
         injector = self.build_faults(streams)
+        if injector is None and any(
+            t.backend == "spot" for t in infrastructure.tiers
+        ):
+            # A spot tier's evictions are a fault stream of their own:
+            # arm an injector for them even when the fault plan itself is
+            # inert, so eviction lifetimes can be drawn.
+            injector = FaultInjector(
+                FaultPlan.from_config(self.config.faults, self.config.cloud),
+                streams,
+            )
         celar = self.build_celar(env, infrastructure, injector, hub)
         reward = self.build_reward()
         allocation = self.build_allocation()
         scaling = self.build_scaling()
         bus = self.build_bus()
+        # Tiers publish PlacementRejected on the session bus (observers
+        # previously could not see capacity/cap rejections at all).
+        infrastructure.bind_bus(bus)
         event_log = self.build_event_log()
         plane, estimates, refitter = self.build_knowledge(env, bus, hub)
         scheduler = self.build_scheduler(

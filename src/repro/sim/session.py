@@ -17,7 +17,6 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.apps.base import ApplicationModel
 from repro.apps.registry import ApplicationRegistry
-from repro.cloud.infrastructure import TierName
 from repro.core.bus import EventBus
 from repro.core.config import PlatformConfig
 from repro.core.events import EventLog
@@ -219,13 +218,18 @@ class SimulationSession:
 
         def take(_event) -> None:
             infra = scheduler.infrastructure
+            base_tier = infra.base
             snapshot.update(
                 reward=scheduler.total_reward,
                 cost=scheduler.total_cost(),
                 completed=len(scheduler.completed_jobs),
                 submitted=len(scheduler.submitted_jobs),
-                private_core_tu=infra.private.core_tu_consumed(),
-                public_core_tu=infra.public.core_tu_consumed(),
+                private_core_tu=base_tier.core_tu_consumed(),
+                public_core_tu=sum(
+                    t.core_tu_consumed()
+                    for t in infra.tiers
+                    if t is not base_tier
+                ),
             )
 
         timer = env.timeout(warmup)
@@ -240,6 +244,8 @@ class SimulationSession:
         hub: "Optional[TelemetryHub]" = None,
     ) -> SessionResult:
         infra = scheduler.infrastructure
+        base_tier = infra.base
+        overflow_tiers = [t for t in infra.tiers if t is not base_tier]
         pools = scheduler.pools
         duration = self.config.simulation.duration
         base = snapshot or {}
@@ -273,13 +279,20 @@ class SimulationSession:
             total_cost=scheduler.total_cost() - cost0,
             mean_latency=mean_latency,
             mean_core_stages=mean_core_stages,
-            private_core_tu=infra.private.core_tu_consumed()
+            # "private"/"public" report the base tier vs the sum of every
+            # overflow tier -- identical to the historical pair on the
+            # default two-tier stack, meaningful on N-tier stacks.
+            private_core_tu=base_tier.core_tu_consumed()
             - base.get("private_core_tu", 0.0),
-            public_core_tu=infra.public.core_tu_consumed()
+            public_core_tu=sum(
+                t.core_tu_consumed() for t in overflow_tiers
+            )
             - base.get("public_core_tu", 0.0),
-            private_utilization=infra.private.utilization(),
-            hires_private=pools.hires[TierName.PRIVATE],
-            hires_public=pools.hires[TierName.PUBLIC],
+            private_utilization=base_tier.utilization(),
+            hires_private=pools.hires[base_tier.name],
+            hires_public=sum(
+                pools.hires[t.name] for t in overflow_tiers
+            ),
             repools=pools.repools,
             reaped=pools.reaped,
             final_queue_depth=scheduler.queues.total_waiting(),
@@ -336,12 +349,12 @@ class SimulationSession:
             "infra_utilization", "time-weighted tier utilisation",
             labelnames=("tier",),
         )
-        utilization.set(infra.private.utilization(), tier="private")
+        utilization.set(infra.base.utilization(), tier=infra.base.name)
         core_tu = registry.gauge(
             "infra_core_tu", "core-TUs consumed per tier", labelnames=("tier",)
         )
-        core_tu.set(infra.private.core_tu_consumed(), tier="private")
-        core_tu.set(infra.public.core_tu_consumed(), tier="public")
+        for t in infra.tiers:
+            core_tu.set(t.core_tu_consumed(), tier=t.name)
         depth = registry.gauge(
             "scheduler_queue_depth",
             "stage queue depth (time-weighted statistics)",

@@ -17,7 +17,6 @@ from typing import Iterator, Optional
 
 from repro.scheduler.rewards import RewardFunction
 from repro.scheduler.scaling import DecisionExplanation, ScalingDecision
-from repro.cloud.infrastructure import TierName
 
 __all__ = [
     "ScalingDecisionRecord",
@@ -28,10 +27,14 @@ __all__ = [
 
 
 def decision_label(decision: ScalingDecision) -> str:
-    """Canonical string for a decision: hire_private / hire_public / wait."""
+    """Canonical string for a decision: ``hire_<tier>`` or ``wait``.
+
+    For the default two-tier stack this yields the historical
+    ``hire_private`` / ``hire_public`` labels unchanged.
+    """
     if not decision.hire:
         return "wait"
-    return "hire_public" if decision.tier is TierName.PUBLIC else "hire_private"
+    return f"hire_{decision.tier}"
 
 
 @dataclass(frozen=True)

@@ -175,7 +175,7 @@ class WorkflowEngine:
         plan = find_best_constant_plan(
             app,
             self.reward,
-            core_cost=self.infrastructure.private.core_cost_per_tu,
+            core_cost=self.infrastructure.base.core_cost_per_tu,
             job_size=5.0,
             thread_choices=self.scheduler_config.thread_choices,
         )
@@ -227,11 +227,11 @@ class WorkflowEngine:
                 app.name,
                 input_gb,
                 parallel_workers=max(
-                    self.infrastructure.private.capacity_cores
+                    self.infrastructure.base.capacity_cores
                     // max(self.scheduler_config.thread_choices), 1
                 ),
                 core_cost_per_tu=(
-                    self.infrastructure.private.core_cost_per_tu
+                    self.infrastructure.base.core_cost_per_tu
                 ),
                 reward_fn=self.reward,
             )

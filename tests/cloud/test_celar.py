@@ -8,7 +8,7 @@ from repro.cloud.celar import (
     ScalingCommand,
     ScalingRule,
 )
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.errors import CloudError
 
 
@@ -34,23 +34,23 @@ class TestManager:
             celar.fit_size(17)
 
     def test_deploy_claims_cores_synchronously(self, env, celar, infra):
-        vm = celar.deploy(8, TierName.PRIVATE)
+        vm = celar.deploy(8, "private")
         assert infra.private.cores_in_use == 8  # before any boot
         assert celar.deploy_count == 1
         assert vm in celar.vms
 
     def test_deploy_rejects_non_catalog_size(self, celar):
         with pytest.raises(CloudError):
-            celar.deploy(3, TierName.PRIVATE)
+            celar.deploy(3, "private")
 
     def test_deploy_and_boot_process(self, env, celar):
-        p = env.process(celar.deploy_and_boot(4, TierName.PRIVATE))
+        p = env.process(celar.deploy_and_boot(4, "private"))
         vm = env.run(until=p)
         assert env.now == pytest.approx(0.5)
         assert vm.state.value == "ready"
 
     def test_resize_through_catalog_only(self, env, celar):
-        vm = celar.deploy(4, TierName.PRIVATE)
+        vm = celar.deploy(4, "private")
         env.run(until=env.process(vm.boot()))
         with pytest.raises(CloudError):
             celar.begin_resize(vm, 5)
@@ -59,8 +59,8 @@ class TestManager:
         assert celar.resize_count == 1
 
     def test_terminate_all(self, env, celar, infra):
-        celar.deploy(4, TierName.PRIVATE)
-        celar.deploy(8, TierName.PUBLIC)
+        celar.deploy(4, "private")
+        celar.deploy(8, "public")
         celar.terminate_all()
         assert celar.alive_vms() == []
         assert infra.total_cores_in_use() == 0

@@ -5,7 +5,6 @@ import pytest
 
 from repro.cloud.failures import FailureModel
 from repro.cloud.faults import FaultInjector, FaultPlan
-from repro.cloud.infrastructure import TierName
 from repro.core.config import CloudConfig, FaultConfig
 from repro.core.errors import CloudError
 from repro.desim.rng import RandomStreams
@@ -42,11 +41,11 @@ class TestFaultPlan:
 
     def test_deploy_probability_tier_override(self):
         plan = FaultPlan(p_deploy_fail=0.1, p_deploy_fail_public=0.4)
-        assert plan.deploy_fail_probability(TierName.PRIVATE) == 0.1
-        assert plan.deploy_fail_probability(TierName.PUBLIC) == 0.4
+        assert plan.deploy_fail_probability("private") == 0.1
+        assert plan.deploy_fail_probability("public") == 0.4
         # Without the override the public tier inherits the base rate.
         plan = FaultPlan(p_deploy_fail=0.1)
-        assert plan.deploy_fail_probability(TierName.PUBLIC) == 0.1
+        assert plan.deploy_fail_probability("public") == 0.1
 
     def test_from_config_fault_section_wins(self):
         faults = FaultConfig(mtbf_tu=30.0)
@@ -72,22 +71,22 @@ class TestFaultInjector:
         injector = FaultInjector.from_failure_model(model)
         assert injector.crashes_enabled
         assert injector.crash_model is model
-        assert injector.draw_lifetime(TierName.PRIVATE) > 0
+        assert injector.draw_lifetime("private") > 0
 
     def test_crash_stream_matches_legacy_failure_model(self):
         """Crash-only plans must replay the seed's ``"failures"`` stream."""
         legacy = FailureModel(40.0, RandomStreams(7).stream("failures"))
         injector = FaultInjector(FaultPlan(mtbf_tu=40.0), RandomStreams(7))
         for _ in range(50):
-            assert injector.draw_lifetime(TierName.PUBLIC) == pytest.approx(
-                legacy.draw_lifetime(TierName.PUBLIC)
+            assert injector.draw_lifetime("public") == pytest.approx(
+                legacy.draw_lifetime("public")
             )
 
     def test_draw_lifetime_requires_crashes(self):
         injector = FaultInjector(FaultPlan(p_corrupt=0.5), RandomStreams(1))
         assert not injector.crashes_enabled
         with pytest.raises(CloudError):
-            injector.draw_lifetime(TierName.PRIVATE)
+            injector.draw_lifetime("private")
 
     def test_zero_probability_never_draws(self):
         """p = 0 must not consume RNG state (bit-identity requirement)."""
@@ -95,8 +94,8 @@ class TestFaultInjector:
         injector = FaultInjector(FaultPlan(p_straggler=0.5), streams)
         for _ in range(100):
             assert not injector.corrupts()
-            assert not injector.boot_fails(TierName.PRIVATE)
-            assert not injector.deploy_fails(TierName.PUBLIC)
+            assert not injector.boot_fails("private")
+            assert not injector.deploy_fails("public")
         # The disabled streams were never advanced: their next draw equals
         # a fresh stream's first draw.
         for name in ("faults.corrupt", "faults.boot", "faults.deploy"):
@@ -119,7 +118,7 @@ class TestFaultInjector:
             # Interleave other-stream draws; the straggler stream must not
             # notice.
             mixed.corrupts()
-            mixed.deploy_fails(TierName.PRIVATE)
+            mixed.deploy_fails("private")
             b = mixed.straggler_multiplier()
             assert a == pytest.approx(b)
 
@@ -142,8 +141,8 @@ class TestFaultInjector:
             FaultPlan(p_boot_fail=1.0, p_deploy_fail=1.0, p_corrupt=1.0),
             RandomStreams(4),
         )
-        assert injector.boot_fails(TierName.PRIVATE)
-        assert injector.deploy_fails(TierName.PUBLIC)
+        assert injector.boot_fails("private")
+        assert injector.deploy_fails("public")
         assert injector.corrupts()
         assert injector.boot_failures_injected == 1
         assert injector.deploy_failures_injected == 1

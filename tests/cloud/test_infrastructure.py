@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.cloud.infrastructure import CloudTier, Infrastructure, TierName
+from repro.cloud.infrastructure import CloudTier, Infrastructure
 from repro.core.errors import CloudError
 
 
 class TestCloudTier:
     def test_allocate_and_release(self, env):
-        tier = CloudTier(env, TierName.PRIVATE, 100, 5.0)
+        tier = CloudTier(env, "private", 100, 5.0)
         tier.allocate(30)
         assert tier.cores_in_use == 30
         assert tier.cores_free == 70
@@ -16,25 +16,25 @@ class TestCloudTier:
         assert tier.cores_in_use == 20
 
     def test_over_allocation_rejected(self, env):
-        tier = CloudTier(env, TierName.PRIVATE, 10, 5.0)
+        tier = CloudTier(env, "private", 10, 5.0)
         tier.allocate(10)
         with pytest.raises(CloudError):
             tier.allocate(1)
 
     def test_over_release_rejected(self, env):
-        tier = CloudTier(env, TierName.PRIVATE, 10, 5.0)
+        tier = CloudTier(env, "private", 10, 5.0)
         tier.allocate(5)
         with pytest.raises(CloudError):
             tier.release(6)
 
     def test_can_allocate(self, env):
-        tier = CloudTier(env, TierName.PUBLIC, 8, 50.0)
+        tier = CloudTier(env, "public", 8, 50.0)
         assert tier.can_allocate(8)
         tier.allocate(4)
         assert not tier.can_allocate(5)
 
     def test_utilization_time_weighted(self, env):
-        tier = CloudTier(env, TierName.PRIVATE, 10, 5.0)
+        tier = CloudTier(env, "private", 10, 5.0)
 
         def proc(env, tier):
             tier.allocate(10)  # 100% for 5 TU
@@ -47,7 +47,7 @@ class TestCloudTier:
         assert tier.utilization() == pytest.approx(0.5)
 
     def test_core_tu_consumed(self, env):
-        tier = CloudTier(env, TierName.PRIVATE, 10, 5.0)
+        tier = CloudTier(env, "private", 10, 5.0)
 
         def proc(env, tier):
             tier.allocate(4)
@@ -61,9 +61,9 @@ class TestCloudTier:
 
     def test_validation(self, env):
         with pytest.raises(CloudError):
-            CloudTier(env, TierName.PRIVATE, -1, 5.0)
+            CloudTier(env, "private", -1, 5.0)
         with pytest.raises(CloudError):
-            CloudTier(env, TierName.PRIVATE, 1, -5.0)
+            CloudTier(env, "private", 1, -5.0)
 
 
 class TestInfrastructure:
@@ -81,30 +81,30 @@ class TestInfrastructure:
         assert infra.public.core_cost_per_tu == 50.0
 
     def test_private_first_placement(self, infra):
-        assert infra.place(8) is TierName.PRIVATE
+        assert infra.place(8) == "private"
 
     def test_public_when_private_full(self, infra):
-        infra.allocate(16, TierName.PRIVATE)
-        assert infra.place(8) is TierName.PUBLIC
+        infra.allocate(16, "private")
+        assert infra.place(8) == "public"
         assert infra.place(8, allow_public=False) is None
 
     def test_private_full_flag(self, infra):
         assert not infra.private_full
-        infra.allocate(16, TierName.PRIVATE)
+        infra.allocate(16, "private")
         assert infra.private_full
 
     def test_cost_rate_mixes_tiers(self, infra):
-        infra.allocate(10, TierName.PRIVATE)
-        infra.allocate(2, TierName.PUBLIC)
+        infra.allocate(10, "private")
+        infra.allocate(2, "public")
         assert infra.cost_rate() == pytest.approx(10 * 5.0 + 2 * 50.0)
 
     def test_accumulated_cost(self, env, infra):
         def proc(env, infra):
-            infra.allocate(4, TierName.PRIVATE)
-            infra.allocate(2, TierName.PUBLIC)
+            infra.allocate(4, "private")
+            infra.allocate(2, "public")
             yield env.timeout(10)
-            infra.release(4, TierName.PRIVATE)
-            infra.release(2, TierName.PUBLIC)
+            infra.release(4, "private")
+            infra.release(2, "public")
 
         env.process(proc(env, infra))
         env.run()
@@ -113,6 +113,6 @@ class TestInfrastructure:
         )
 
     def test_total_cores_in_use(self, infra):
-        infra.allocate(3, TierName.PRIVATE)
-        infra.allocate(5, TierName.PUBLIC)
+        infra.allocate(3, "private")
+        infra.allocate(5, "public")
         assert infra.total_cores_in_use() == 8

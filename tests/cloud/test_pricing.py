@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cloud.infrastructure import TierName
 from repro.cloud.pricing import CostMeter, Invoice, PricingModel
 from repro.core.errors import CloudError
 
@@ -10,42 +9,42 @@ from repro.core.errors import CloudError
 class TestPricingModel:
     def test_paper_defaults(self):
         pm = PricingModel()
-        assert pm.core_cost(TierName.PRIVATE) == 5.0
-        assert pm.core_cost(TierName.PUBLIC) == 50.0
+        assert pm.core_cost("private") == 5.0
+        assert pm.core_cost("public") == 50.0
 
     def test_rate_and_charge(self):
         pm = PricingModel(private_core_cost=5.0, public_core_cost=80.0)
-        assert pm.rate(4, TierName.PUBLIC) == 320.0
-        assert pm.charge(4, TierName.PUBLIC, 2.5) == 800.0
+        assert pm.rate(4, "public") == 320.0
+        assert pm.charge(4, "public", 2.5) == 800.0
 
     def test_table1_public_cost_values(self):
         for cost in (20.0, 50.0, 80.0, 110.0):
             pm = PricingModel(public_core_cost=cost)
-            assert pm.charge(1, TierName.PUBLIC, 1.0) == cost
+            assert pm.charge(1, "public", 1.0) == cost
 
     def test_validation(self):
         with pytest.raises(CloudError):
             PricingModel(private_core_cost=-1)
         pm = PricingModel()
         with pytest.raises(CloudError):
-            pm.rate(-1, TierName.PRIVATE)
+            pm.rate(-1, "private")
         with pytest.raises(CloudError):
-            pm.charge(1, TierName.PRIVATE, -1.0)
+            pm.charge(1, "private", -1.0)
 
 
 class TestCostMeter:
     def test_charges_accumulate_by_tier(self):
         meter = CostMeter()
-        meter.charge(0.0, 4, TierName.PRIVATE, 10.0)  # 200
-        meter.charge(5.0, 2, TierName.PUBLIC, 1.0)  # 100
+        meter.charge(0.0, 4, "private", 10.0)  # 200
+        meter.charge(5.0, 2, "public", 1.0)  # 100
         assert meter.invoice.private_cu == 200.0
         assert meter.invoice.public_cu == 100.0
         assert meter.total_cu == 300.0
 
     def test_invoice_items_recorded(self):
         meter = CostMeter()
-        meter.charge(1.0, 8, TierName.PRIVATE, 2.0)
-        assert meter.invoice.items == [(1.0, TierName.PRIVATE, 8, 2.0, 80.0)]
+        meter.charge(1.0, 8, "private", 2.0)
+        assert meter.invoice.items == [(1.0, "private", 8, 2.0, 80.0)]
 
     def test_empty_invoice(self):
         assert Invoice().total_cu == 0.0

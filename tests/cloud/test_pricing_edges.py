@@ -1,0 +1,149 @@
+"""Pricing edge cases: degenerate tiers and multi-tier cost additivity.
+
+The refactored accounting has to stay exact at its corners: tiers with
+zero capacity (utilization must be 0, never a division by zero), tiers
+with zero cost (free capacity accrues nothing no matter the schedule),
+and stacks of three or more tiers, where the infrastructure total must
+equal the hand-computed sum of every tier's metered core-TUs plus the
+serverless invocation impulses -- Hypothesis drives the schedules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.infrastructure import CloudTier, Infrastructure
+from repro.cloud.tiers import OnDemandTier, ServerlessTier, SpotTier
+from repro.desim.engine import Environment
+
+holds = st.floats(
+    min_value=0.0, max_value=25.0, allow_nan=False, allow_infinity=False
+)
+#: (tier index, cores, hold TU) allocation steps, run sequentially.
+schedules = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(1, 48), holds),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _wait(env, hold):
+    yield env.timeout(hold)
+
+
+def _run_schedule(env, tiers, schedule):
+    """Sequentially allocate/hold/release; returns the charges made.
+
+    Steps that do not fit (capacity or caps) are skipped -- exactly what
+    a placement policy would do -- so every Hypothesis-drawn schedule is
+    runnable.
+    """
+    ledger = {"core_tu": dict.fromkeys(range(len(tiers)), 0.0),
+              "invocations": 0}
+
+    def proc():
+        for raw_idx, cores, hold in schedule:
+            idx = raw_idx % len(tiers)
+            tier = tiers[idx]
+            if not tier.can_allocate(cores):
+                continue
+            tier.allocate(cores)
+            if isinstance(tier, ServerlessTier):
+                ledger["invocations"] += 1
+            yield env.timeout(hold)
+            tier.release(cores)
+            ledger["core_tu"][idx] += cores * hold
+
+    env.process(proc())
+    env.run()
+    return ledger
+
+
+class TestZeroCapacity:
+    def test_utilization_zero_not_nan(self, env):
+        tier = CloudTier(env, "empty", 0, 5.0)
+        assert tier.utilization() == 0.0
+
+    def test_utilization_zero_after_time_passes(self, env):
+        tier = CloudTier(env, "empty", 0, 5.0)
+        env.process(_wait(env, 10.0))
+        env.run()
+        assert env.now == pytest.approx(10.0)
+        assert tier.utilization() == 0.0
+        assert tier.accumulated_cost() == 0.0
+
+    def test_zero_capacity_cannot_allocate(self, env):
+        assert not CloudTier(env, "empty", 0, 5.0).can_allocate(1)
+
+    @given(hold=holds)
+    @settings(max_examples=25, deadline=None)
+    def test_zero_capacity_never_charges(self, hold):
+        env = Environment()
+        tier = OnDemandTier(env, "empty", 0, 50.0)
+        env.process(_wait(env, hold))
+        env.run()
+        assert tier.accumulated_cost() == 0.0
+        assert tier.cost_rate() == 0.0
+
+
+class TestZeroCost:
+    @given(schedule=schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_free_tiers_accrue_nothing(self, schedule):
+        env = Environment()
+        tiers = [
+            CloudTier(env, "base", 64, 0.0),
+            OnDemandTier(env, "public", 64, 0.0),
+            ServerlessTier(env, "faas", 64, 0.0),  # invocation_cost 0 too
+            SpotTier(env, "spot", 64, 0.0),
+        ]
+        _run_schedule(env, tiers, schedule)
+        infra_total = sum(t.accumulated_cost() for t in tiers)
+        assert infra_total == 0.0
+        assert all(t.cost_rate() == 0.0 for t in tiers)
+
+    def test_free_serverless_still_counts_invocations(self, env):
+        tier = ServerlessTier(env, "faas", 8, 0.0)
+        tier.allocate(4)
+        assert tier.invocations == 1
+        assert tier.accumulated_cost() == 0.0
+
+
+class TestMultiTierAdditivity:
+    @given(schedule=schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_accumulated_cost_matches_hand_ledger(self, schedule):
+        """>= 3 tiers: total == sum(core_tu * price) + invocation CU."""
+        env = Environment()
+        tiers = [
+            CloudTier(env, "base", 64, 5.0),
+            SpotTier(env, "spot", 48, 10.0, eviction_mtbf_tu=60.0),
+            ServerlessTier(env, "faas", 32, 35.0, invocation_cost=2.0,
+                           max_cores_per_allocation=24),
+            OnDemandTier(env, "public", 1000, 50.0),
+        ]
+        infra = Infrastructure(env, tiers=tiers)
+        ledger = _run_schedule(env, tiers, schedule)
+        expected = sum(
+            ledger["core_tu"][i] * tiers[i].core_cost_per_tu
+            for i in range(len(tiers))
+        ) + ledger["invocations"] * 2.0
+        assert infra.accumulated_cost() == pytest.approx(expected)
+
+    @given(schedule=schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_infrastructure_total_is_sum_of_tiers(self, schedule):
+        env = Environment()
+        tiers = [
+            CloudTier(env, "base", 64, 5.0),
+            ServerlessTier(env, "faas", 32, 35.0, invocation_cost=2.0),
+            OnDemandTier(env, "public", 1000, 50.0),
+        ]
+        infra = Infrastructure(env, tiers=tiers)
+        _run_schedule(env, tiers, schedule)
+        assert infra.accumulated_cost() == pytest.approx(
+            sum(t.accumulated_cost() for t in tiers)
+        )
+        assert infra.cost_rate() == pytest.approx(
+            sum(t.cost_rate() for t in tiers)
+        )

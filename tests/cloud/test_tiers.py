@@ -1,0 +1,242 @@
+"""Tier backends, placement policies, caps and rejection events."""
+
+import pytest
+
+from repro.cloud.infrastructure import CloudTier, Infrastructure
+from repro.cloud.tiers import (
+    TIER_BACKENDS,
+    TIER_PLACEMENT,
+    OnDemandTier,
+    ServerlessTier,
+    SpotTier,
+    build_tier,
+    infrastructure_from_cloud_config,
+    tier_stack_description,
+)
+from repro.core.bus import EventBus, PlacementRejected
+from repro.core.config import CloudConfig, TierConfig
+from repro.core.errors import CloudError
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        for backend in ("reserved", "on_demand", "serverless", "spot"):
+            assert backend in TIER_BACKENDS
+
+    def test_builtin_placements_registered(self):
+        for policy in ("cheapest_first", "first_fit"):
+            assert policy in TIER_PLACEMENT
+
+    def test_build_tier_from_mapping(self, env):
+        tier = build_tier(
+            env, {"name": "edge", "backend": "spot", "capacity_cores": 64,
+                  "core_cost_per_tu": 2.0, "eviction_mtbf_tu": 10.0},
+        )
+        assert isinstance(tier, SpotTier)
+        assert tier.name == "edge"
+        assert tier.capacity_cores == 64
+
+    def test_build_tier_from_config(self, env):
+        tier = build_tier(
+            env,
+            TierConfig(name="faas", backend="serverless", capacity_cores=99,
+                       core_cost_per_tu=3.0, invocation_cost=1.0),
+        )
+        assert isinstance(tier, ServerlessTier)
+        assert tier.invocation_cost == 1.0
+
+    def test_build_tier_requires_name(self, env):
+        with pytest.raises(CloudError, match="name"):
+            build_tier(env, {"backend": "reserved"})
+
+    def test_backend_roles(self, env):
+        assert CloudTier(env, "a", 1, 1.0).elastic is False
+        assert OnDemandTier(env, "b", 1, 1.0).elastic is True
+        assert ServerlessTier(env, "c", 1, 1.0).elastic is True
+        assert SpotTier(env, "d", 1, 1.0).elastic is True
+
+
+class TestServerlessCaps:
+    def test_core_cap_rejected_at_placement(self, env):
+        tier = ServerlessTier(env, "faas", 100, 1.0, max_cores_per_allocation=8)
+        assert tier.placement_check(8) is None
+        assert "caps allocations at 8 cores" in tier.placement_check(9)
+        assert not tier.can_allocate(9)
+
+    def test_duration_cap_needs_known_duration(self, env):
+        tier = ServerlessTier(env, "faas", 100, 1.0, max_duration_tu=30.0)
+        assert tier.placement_check(4) is None
+        assert tier.placement_check(4, duration_tu=29.0) is None
+        assert "caps invocations" in tier.placement_check(4, duration_tu=31.0)
+
+    def test_capped_allocate_raises_and_publishes(self, env):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(PlacementRejected, seen.append)
+        tier = ServerlessTier(env, "faas", 100, 1.0, max_cores_per_allocation=4)
+        tier.bind_bus(bus)
+        with pytest.raises(CloudError, match="caps allocations"):
+            tier.allocate(5)
+        assert len(seen) == 1
+        assert seen[0].tier == "faas"
+        assert seen[0].cores == 5
+        assert "caps allocations" in seen[0].reason
+
+    def test_invocation_charges_and_cold_start(self, env):
+        tier = ServerlessTier(
+            env, "faas", 100, 0.0, invocation_cost=2.0, cold_start_tu=0.25
+        )
+        tier.allocate(4)
+        tier.allocate(4)
+        assert tier.invocations == 2
+        assert tier.accumulated_cost() == pytest.approx(4.0)
+        assert tier.allocation_latency_tu(4) == pytest.approx(0.25)
+        # impulses are not a rate: nothing metered at zero core cost
+        assert tier.cost_rate() == 0.0
+
+
+class TestSpotTier:
+    def test_effective_mtbf_scales_with_price(self, env):
+        tier = SpotTier(env, "spot", 64, 10.0, eviction_mtbf_tu=60.0,
+                        reference_cost_per_tu=50.0)
+        assert tier.effective_eviction_mtbf == pytest.approx(12.0)
+
+    def test_mtbf_unscaled_without_reference(self, env):
+        tier = SpotTier(env, "spot", 64, 10.0, eviction_mtbf_tu=60.0)
+        assert tier.effective_eviction_mtbf == pytest.approx(60.0)
+
+    def test_no_mtbf_disables_evictions(self, env):
+        assert SpotTier(env, "spot", 64, 10.0).effective_eviction_mtbf is None
+
+    def test_record_eviction_counts(self, env):
+        tier = SpotTier(env, "spot", 64, 10.0, eviction_mtbf_tu=5.0)
+        tier.record_eviction()
+        tier.record_eviction()
+        assert tier.evictions == 2
+        assert tier.describe()["evictions"] == 2
+
+
+class TestRejectionEvents:
+    def test_full_tier_publishes_rejection(self, env):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(PlacementRejected, seen.append)
+        infra = Infrastructure(env, private_cores=8)
+        infra.bind_bus(bus)
+        with pytest.raises(CloudError, match="free cores"):
+            infra.allocate(9, "private")
+        assert [(e.tier, e.cores) for e in seen] == [("private", 9)]
+
+    def test_no_subscriber_no_publish(self, env):
+        # binding a bus nobody listens on must stay silent but still raise
+        infra = Infrastructure(env, private_cores=8)
+        infra.bind_bus(EventBus())
+        with pytest.raises(CloudError):
+            infra.allocate(9, "private")
+
+
+class TestPlacementPolicies:
+    def _stack(self, env):
+        return [
+            CloudTier(env, "base", 16, 5.0),
+            SpotTier(env, "spot", 16, 2.0),
+            OnDemandTier(env, "public", 1000, 50.0),
+        ]
+
+    def test_cheapest_first_prefers_price(self, env):
+        infra = Infrastructure(env, tiers=self._stack(env))
+        assert infra.place(8) == "spot"
+
+    def test_first_fit_honours_order(self, env):
+        infra = Infrastructure(
+            env, tiers=self._stack(env), placement="first_fit"
+        )
+        assert infra.place(8) == "base"
+
+    def test_full_tiers_skipped(self, env):
+        infra = Infrastructure(env, tiers=self._stack(env))
+        infra.allocate(16, "spot")
+        infra.allocate(16, "base")
+        assert infra.place(8) == "public"
+
+    def test_capped_tier_skipped_by_duration(self, env):
+        tiers = [
+            ServerlessTier(env, "faas", 1000, 1.0, max_duration_tu=10.0),
+            OnDemandTier(env, "public", 1000, 50.0),
+        ]
+        infra = Infrastructure(env, tiers=tiers)
+        assert infra.place(4, duration_tu=5.0) == "faas"
+        assert infra.place(4, duration_tu=50.0) == "public"
+
+    def test_nothing_fits_returns_none(self, env):
+        infra = Infrastructure(env, tiers=[CloudTier(env, "only", 4, 1.0)])
+        assert infra.place(5) is None
+
+
+class TestInfrastructureStack:
+    def test_base_is_first_non_elastic(self, env):
+        infra = Infrastructure(
+            env,
+            tiers=[
+                OnDemandTier(env, "cloud", 100, 50.0),
+                CloudTier(env, "metal", 16, 5.0),
+            ],
+        )
+        assert infra.base.name == "metal"
+
+    def test_all_elastic_base_falls_back_to_first(self, env):
+        infra = Infrastructure(
+            env, tiers=[OnDemandTier(env, "cloud", 100, 50.0)]
+        )
+        assert infra.base.name == "cloud"
+
+    def test_duplicate_names_rejected(self, env):
+        with pytest.raises(CloudError, match="duplicate"):
+            Infrastructure(
+                env,
+                tiers=[CloudTier(env, "x", 1, 1.0), CloudTier(env, "x", 1, 1.0)],
+            )
+
+    def test_has_duration_caps(self, env):
+        plain = Infrastructure(env)
+        assert not plain.has_duration_caps()
+        capped = Infrastructure(
+            env,
+            tiers=[ServerlessTier(env, "faas", 10, 1.0, max_duration_tu=5.0)],
+        )
+        assert capped.has_duration_caps()
+
+
+class TestConfigGlue:
+    def test_legacy_cloud_config_builds_default_pair(self, env):
+        infra = infrastructure_from_cloud_config(env, CloudConfig())
+        assert infra.tier_names() == ("private", "public")
+        assert infra.base.name == "private"
+
+    def test_tiers_list_wins(self, env):
+        cloud = CloudConfig(
+            tiers=(
+                TierConfig(name="metal", backend="reserved",
+                           capacity_cores=32, core_cost_per_tu=1.0),
+                TierConfig(name="spot", backend="spot", capacity_cores=64,
+                           core_cost_per_tu=0.5, eviction_mtbf_tu=10.0),
+            ),
+        )
+        infra = infrastructure_from_cloud_config(env, cloud)
+        assert infra.tier_names() == ("metal", "spot")
+        assert isinstance(infra.tier("spot"), SpotTier)
+
+    def test_stack_description_has_no_runtime_state(self):
+        cloud = CloudConfig(
+            tiers=(
+                TierConfig(name="metal", backend="reserved",
+                           capacity_cores=32, core_cost_per_tu=1.0),
+                TierConfig(name="faas", backend="serverless",
+                           capacity_cores=64, core_cost_per_tu=2.0,
+                           max_cores_per_allocation=8),
+            ),
+        )
+        stack = tier_stack_description(cloud)
+        assert [d["name"] for d in stack] == ["metal", "faas"]
+        assert all("cores_in_use" not in d for d in stack)
+        assert stack[1]["caps"] == {"max_cores_per_allocation": 8}

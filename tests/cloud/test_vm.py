@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.cloud.vm import VirtualMachine, VMState
 from repro.core.errors import CloudError
 
@@ -14,13 +14,13 @@ def infra(env):
 
 class TestLifecycle:
     def test_hire_allocates_cores_immediately(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=8, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=8, tier="private")
         assert infra.private.cores_in_use == 8
         assert vm.state is VMState.BOOTING
 
     def test_boot_takes_penalty(self, env, infra):
         vm = VirtualMachine(
-            env, infra, cores=4, tier=TierName.PRIVATE, startup_penalty_tu=0.5
+            env, infra, cores=4, tier="private", startup_penalty_tu=0.5
         )
         p = env.process(vm.boot())
         env.run(until=p)
@@ -30,7 +30,7 @@ class TestLifecycle:
 
     def test_zero_penalty_boot_immediate(self, env, infra):
         vm = VirtualMachine(
-            env, infra, cores=4, tier=TierName.PRIVATE, startup_penalty_tu=0.0
+            env, infra, cores=4, tier="private", startup_penalty_tu=0.0
         )
         p = env.process(vm.boot())
         env.run(until=p)
@@ -38,7 +38,7 @@ class TestLifecycle:
         assert vm.state is VMState.READY
 
     def test_busy_idle_transitions(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=4, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=4, tier="private")
         env.run(until=env.process(vm.boot()))
         vm.mark_busy()
         assert vm.state is VMState.BUSY
@@ -46,19 +46,19 @@ class TestLifecycle:
         assert vm.state is VMState.READY
 
     def test_busy_requires_ready(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=4, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=4, tier="private")
         with pytest.raises(CloudError):
             vm.mark_busy()  # still BOOTING
 
     def test_terminate_releases_cores(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=8, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=8, tier="private")
         vm.terminate()
         assert infra.private.cores_in_use == 0
         assert vm.state is VMState.TERMINATED
         vm.terminate()  # idempotent
 
     def test_boot_after_terminate_rejected(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=4, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=4, tier="private")
         vm.terminate()
         with pytest.raises(CloudError):
             env.process(vm.boot())
@@ -66,25 +66,25 @@ class TestLifecycle:
 
     def test_minimum_core_count(self, env, infra):
         with pytest.raises(CloudError):
-            VirtualMachine(env, infra, cores=0, tier=TierName.PRIVATE)
+            VirtualMachine(env, infra, cores=0, tier="private")
 
 
 class TestResize:
     def test_reshape_settles_core_delta(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=4, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=4, tier="private")
         vm.reshape(16)
         assert infra.private.cores_in_use == 16
         vm.reshape(2)
         assert infra.private.cores_in_use == 2
 
     def test_reshape_beyond_tier_rejected(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=30, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=30, tier="private")
         with pytest.raises(CloudError):
             vm.reshape(64)  # private has only 32
 
     def test_resize_process_pays_penalty(self, env, infra):
         vm = VirtualMachine(
-            env, infra, cores=4, tier=TierName.PRIVATE, startup_penalty_tu=0.5
+            env, infra, cores=4, tier="private", startup_penalty_tu=0.5
         )
         env.run(until=env.process(vm.boot()))
         p = env.process(vm.resize(8))
@@ -96,7 +96,7 @@ class TestResize:
 
 class TestCostAccounting:
     def test_lifetime_and_cost(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=4, tier=TierName.PUBLIC)
+        vm = VirtualMachine(env, infra, cores=4, tier="public")
 
         def killer(env, vm):
             yield env.timeout(10)
@@ -108,5 +108,5 @@ class TestCostAccounting:
         assert vm.accumulated_cost() == pytest.approx(4 * 50.0 * 10)
 
     def test_core_cost_per_tu(self, env, infra):
-        vm = VirtualMachine(env, infra, cores=2, tier=TierName.PRIVATE)
+        vm = VirtualMachine(env, infra, cores=2, tier="private")
         assert vm.core_cost_per_tu == pytest.approx(10.0)

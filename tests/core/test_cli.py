@@ -336,6 +336,57 @@ class TestPolicies:
         assert main(["policies", "--kind", "styling"]) == 2
         assert "unknown registry kind" in capsys.readouterr().err
 
+    def test_tier_registries_listed(self, capsys):
+        assert main(["policies", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {"reserved", "on_demand", "serverless", "spot"} <= set(
+            data["tier_backend"]
+        )
+        assert {"cheapest_first", "first_fit"} <= set(data["tier_placement"])
+
+
+class TestTiers:
+    def test_default_stack(self, capsys):
+        assert main(["tiers"]) == 0
+        out = capsys.readouterr().out
+        assert "placement: cheapest_first" in out
+        assert "[0] private (reserved, base): 624 cores" in out
+        assert "[1] public (on_demand, elastic)" in out
+
+    def test_preset_stack_shows_caps(self, capsys):
+        assert main(["tiers", "--preset", "serverless_burst"]) == 0
+        out = capsys.readouterr().out
+        assert "faas (serverless, elastic)" in out
+        assert "max_cores_per_allocation = 16" in out
+        assert "max_duration_tu = 30.0" in out
+
+    def test_json_output(self, capsys):
+        assert main(["tiers", "--preset", "spot_saver", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["placement"] == "cheapest_first"
+        names = [t["name"] for t in data["tiers"]]
+        assert names == ["private", "spot", "public"]
+        spot = data["tiers"][1]
+        assert spot["backend"] == "spot"
+        assert spot["effective_eviction_mtbf_tu"] == 12.0
+        assert all("cores_in_use" not in t for t in data["tiers"])
+
+    def test_config_file_source(self, capsys, tmp_path):
+        from repro.core.presets import make_preset
+
+        path = tmp_path / "stack.json"
+        path.write_text(make_preset("serverless_burst").to_json())
+        assert main(["tiers", "--config", str(path)]) == 0
+        assert "faas (serverless" in capsys.readouterr().out
+
+    def test_unreadable_config_is_error(self, capsys, tmp_path):
+        assert main(["tiers", "--config", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read config" in capsys.readouterr().err
+
+    def test_unknown_preset_is_error(self, capsys):
+        assert main(["tiers", "--preset", "warp"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
 
 class TestConfigDump:
     def test_dump_parses_as_config(self, capsys):

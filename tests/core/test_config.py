@@ -12,6 +12,7 @@ from repro.core.config import (
     ScalingAlgorithm,
     SchedulerConfig,
     SimulationConfig,
+    TierConfig,
     WorkloadConfig,
 )
 from repro.core.errors import ConfigurationError
@@ -129,6 +130,40 @@ class TestOverrides:
     def test_unknown_section_rejected(self):
         with pytest.raises(ConfigurationError):
             PlatformConfig().with_overrides(bogus={"x": 1})
+
+    def test_with_overrides_coerces_like_from_dict(self):
+        # Dict-shaped tier lists and raw enum names take the same
+        # coercion path as from_dict, so the result serializes and
+        # compares equal to a config built from TierConfig objects.
+        base = PlatformConfig.paper_defaults()
+        from_dicts = base.with_overrides(
+            cloud={"tiers": [
+                {"name": "private", "backend": "reserved",
+                 "capacity_cores": 624, "core_cost_per_tu": 5.0},
+                {"name": "public", "backend": "on_demand",
+                 "capacity_cores": 1_000_000, "core_cost_per_tu": 50.0},
+            ]},
+            scheduler={"scaling": "always"},
+        )
+        assert all(isinstance(t, TierConfig) for t in from_dicts.cloud.tiers)
+        assert from_dicts.scheduler.scaling is ScalingAlgorithm.ALWAYS
+        from_objects = base.with_overrides(
+            cloud={"tiers": [
+                TierConfig(name="private", backend="reserved",
+                           capacity_cores=624, core_cost_per_tu=5.0),
+                TierConfig(name="public", backend="on_demand",
+                           capacity_cores=1_000_000, core_cost_per_tu=50.0),
+            ]},
+            scheduler={"scaling": ScalingAlgorithm.ALWAYS},
+        )
+        assert from_dicts == from_objects
+        assert PlatformConfig.from_json(from_dicts.to_json()) == from_dicts
+
+    def test_with_overrides_rejects_unknown_tier_keys(self):
+        with pytest.raises(ConfigurationError, match="cloud.tiers"):
+            PlatformConfig().with_overrides(
+                cloud={"tiers": [{"name": "x", "bogus": 1}]}
+            )
 
 
 class TestEnums:

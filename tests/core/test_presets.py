@@ -11,7 +11,7 @@ class TestPresets:
     def test_builtin_names(self):
         assert preset_names() == [
             "busy", "chaos", "drift", "fanout", "observed", "overnight",
-            "paper", "smoke", "throughput",
+            "paper", "serverless_burst", "smoke", "spot_saver", "throughput",
         ]
 
     @pytest.mark.parametrize("name", PRESETS.names())

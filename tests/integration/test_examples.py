@@ -79,6 +79,13 @@ class TestExamples:
         assert "branch overlap recovered" in out
         assert "fanout preset session" in out
 
+    def test_cost_frontier_demo(self):
+        out = run_example("cost_frontier_demo.py", timeout=600.0)
+        assert "frontier" in out
+        assert "per-tier cost curves" in out
+        assert "cheapest mix per deadline" in out
+        assert "spot_saver" in out
+
     def test_examples_all_covered(self):
         """Every example file is either tested here or a figure/sweep
         regenerator covered by the benchmark suite."""
@@ -87,6 +94,7 @@ class TestExamples:
             "data_broker_sharding.py", "cancer_pipeline.py",
             "integrative_workflow.py", "resilience_demo.py",
             "custom_policy_demo.py", "dag_workflow_demo.py",
+            "cost_frontier_demo.py",
         }
         bench_covered = {
             "figure4_scaling.py", "figure5_corestages.py", "full_sweep.py",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.scheduler.costs import TieredCostFunction
 
 
@@ -20,31 +20,31 @@ class TestMarginalCost:
         assert costs.marginal_core_cost(8) == 5.0
 
     def test_public_once_private_full(self, costs):
-        costs.infrastructure.allocate(16, TierName.PRIVATE)
+        costs.infrastructure.allocate(16, "private")
         assert costs.marginal_core_cost(1) == 50.0
 
     def test_public_quoted_when_both_full(self, env):
         infra = Infrastructure(env, private_cores=1, public_cores=1)
-        infra.allocate(1, TierName.PRIVATE)
-        infra.allocate(1, TierName.PUBLIC)
+        infra.allocate(1, "private")
+        infra.allocate(1, "public")
         assert TieredCostFunction(infra).marginal_core_cost(1) == 50.0
 
 
 class TestHireCost:
     def test_basic(self, costs):
-        assert costs.hire_cost(4, 10.0, TierName.PRIVATE) == pytest.approx(200.0)
+        assert costs.hire_cost(4, 10.0, "private") == pytest.approx(200.0)
 
     def test_startup_penalty_billed(self, costs):
         with_boot = costs.hire_cost(
-            4, 10.0, TierName.PUBLIC, startup_penalty_tu=0.5
+            4, 10.0, "public", startup_penalty_tu=0.5
         )
         assert with_boot == pytest.approx(4 * 50.0 * 10.5)
 
     def test_validation(self, costs):
         with pytest.raises(ValueError):
-            costs.hire_cost(0, 1.0, TierName.PRIVATE)
+            costs.hire_cost(0, 1.0, "private")
         with pytest.raises(ValueError):
-            costs.hire_cost(1, -1.0, TierName.PRIVATE)
+            costs.hire_cost(1, -1.0, "private")
 
 
 class TestPublicPremium:
@@ -64,6 +64,6 @@ class TestPublicPremium:
 
 class TestCurrentRate:
     def test_tracks_live_allocations(self, costs):
-        costs.infrastructure.allocate(4, TierName.PRIVATE)
-        costs.infrastructure.allocate(1, TierName.PUBLIC)
+        costs.infrastructure.allocate(4, "private")
+        costs.infrastructure.allocate(1, "public")
         assert costs.current_rate() == pytest.approx(4 * 5.0 + 50.0)

@@ -185,13 +185,12 @@ class TestETT:
         assert estimator.ett(job, now=10.0) == pytest.approx(base + 10.0)
 
     def test_completed_stages_drop_out(self, estimator, gatk_model):
-        from repro.cloud.infrastructure import TierName
         from repro.scheduler.tasks import StageRecord
 
         job = make_job(gatk_model)
         full = estimator.ett(job, now=0.0)
         job.record_stage(
-            StageRecord(0, 0.0, 0.0, 1.0, threads=1, tier=TierName.PRIVATE)
+            StageRecord(0, 0.0, 0.0, 1.0, threads=1, tier="private")
         )
         # Now stage 0's EET no longer appears (but elapsed does).
         reduced = estimator.ett(job, now=0.0)

@@ -7,7 +7,7 @@ import numpy as np
 from repro.cloud.celar import CelarManager
 from repro.cloud.failures import FailureModel
 from repro.cloud.faults import FaultInjector
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.scheduler.workers import WorkerPools
 
 
@@ -35,7 +35,7 @@ class TestDeathWhileIdle:
         infra, pools = build_pools(env, lifetime=2.0)
         failed_calls = []
         pools.on_worker_failed = failed_calls.append
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)  # boot done at 0.5; doom armed for 0.5 + 2.0
         assert len(pools.idle_workers) == 1
         assert infra.private.cores_in_use == 4
@@ -52,7 +52,7 @@ class TestDeathWhileBusy:
         infra, pools = build_pools(env, lifetime=2.0)
         failed_calls = []
         pools.on_worker_failed = failed_calls.append
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 4)
         worker.vm.mark_busy()
@@ -71,7 +71,7 @@ class TestDeathWhileBooting:
         infra, pools = build_pools(env, lifetime=0.7)
         available_calls = []
         pools.on_available = lambda: available_calls.append(env.now)
-        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 8, "private", stage=0)
         env.run(until=0.6)  # boot done at 0.5; doom fires at 0.5 + 0.7 = 1.2
         (worker,) = pools.idle_workers
         pools.repool(worker, 4, stage=3)  # reboot until 0.6 + 0.5 = 1.1...
@@ -90,7 +90,7 @@ class TestDeathWhileBooting:
 
     def test_booting_counter_pruned_after_death(self, env):
         _infra, pools = build_pools(env, lifetime=0.7)
-        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 8, "private", stage=0)
         env.run(until=0.6)
         (worker,) = pools.idle_workers
         pools.repool(worker, 4, stage=3)
@@ -105,7 +105,7 @@ class TestReaperRacingDoom:
         """The reaper terminates an idle worker before its doom timer
         fires; the late doom must not double-count or double-release."""
         infra, pools = build_pools(env, lifetime=5.0, idle_timeout=1.0)
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.process(pools.start_reaper())
         env.run(until=3.0)  # reaped at ~1.5 (idle since 0.5)
         assert pools.reaped == 1
@@ -118,7 +118,7 @@ class TestReaperRacingDoom:
         """Doom first, reap later: the dead worker is already out of the
         idle pool, so the reaper never sees it."""
         infra, pools = build_pools(env, lifetime=1.0, idle_timeout=3.0)
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.process(pools.start_reaper())
         env.run(until=10.0)  # doom at 1.5 beats the 3.0 idle timeout
         assert pools.failed == 1
@@ -131,14 +131,14 @@ class TestForceFreeEdge:
         """With nothing idle to sacrifice, force_free_private answers from
         tier capacity alone -- no crash, no phantom reaping."""
         infra, pools = build_pools(env, private_cores=16)
-        assert pools.force_free_private(8)  # empty tier: already fits
+        assert pools.force_free("private", 8)  # empty tier: already fits
         assert pools.reaped == 0
         # Fill the tier with a BUSY worker: still nothing idle to free.
-        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 16, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 16)
         assert worker is not None
-        assert not pools.force_free_private(8)
+        assert not pools.force_free("private", 8)
         assert pools.reaped == 0
         assert worker in pools.busy_workers
         assert infra.private.cores_in_use == 16

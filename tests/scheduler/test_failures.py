@@ -6,7 +6,7 @@ import pytest
 from repro.apps.base import ExecutionPlan
 from repro.cloud.celar import CelarManager
 from repro.cloud.failures import FailureModel
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.config import PlatformConfig
 from repro.core.errors import CloudError
 from repro.core.events import EventKind
@@ -23,14 +23,14 @@ class TestFailureModel:
     def test_lifetime_mean_matches_mtbf(self):
         rng = np.random.default_rng(1)
         model = FailureModel(50.0, rng)
-        draws = [model.draw_lifetime(TierName.PRIVATE) for _ in range(20_000)]
+        draws = [model.draw_lifetime("private") for _ in range(20_000)]
         assert np.mean(draws) == pytest.approx(50.0, rel=0.05)
 
     def test_separate_public_mtbf(self):
         rng = np.random.default_rng(2)
         model = FailureModel(100.0, rng, public_mtbf_tu=10.0)
-        assert model.mtbf_for(TierName.PRIVATE) == 100.0
-        assert model.mtbf_for(TierName.PUBLIC) == 10.0
+        assert model.mtbf_for("private") == 100.0
+        assert model.mtbf_for("public") == 10.0
 
     def test_validation(self):
         rng = np.random.default_rng(3)

@@ -7,7 +7,7 @@ import pytest
 from repro.apps.base import ExecutionPlan
 from repro.cloud.celar import CelarManager
 from repro.cloud.faults import FaultInjector, FaultPlan
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.config import ResilienceConfig
 from repro.core.errors import SchedulingError
 from repro.core.events import EventKind
@@ -181,7 +181,7 @@ class ScriptedDeploys(FaultInjector):
         self.failing = True
 
     def deploy_fails(self, tier):
-        if self.failing and tier is TierName.PUBLIC:
+        if self.failing and tier == "public":
             self.deploy_failures_injected += 1
             return True
         return False

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.config import ScalingAlgorithm
 from repro.scheduler.costs import TieredCostFunction
 from repro.scheduler.estimator import PipelineEstimator
@@ -32,7 +32,7 @@ def make_ctx(
         public_cores=10_000, public_cost=public_cost,
     )
     if private_used:
-        infra.allocate(private_used, TierName.PRIVATE)
+        infra.allocate(private_used, "private")
     estimator = PipelineEstimator(gatk_model)
     queue = StageQueue(0)
     for size in queue_sizes:
@@ -60,12 +60,12 @@ class TestAlwaysScale:
     def test_private_preferred(self, env, gatk_model):
         ctx = make_ctx(env, gatk_model)
         decision = AlwaysScale().decide(front_task(ctx), 4, ctx)
-        assert decision.hire and decision.tier is TierName.PRIVATE
+        assert decision.hire and decision.tier == "private"
 
     def test_public_when_private_full(self, env, gatk_model):
         ctx = make_ctx(env, gatk_model, private_cores=4, private_used=4)
         decision = AlwaysScale().decide(front_task(ctx), 4, ctx)
-        assert decision.hire and decision.tier is TierName.PUBLIC
+        assert decision.hire and decision.tier == "public"
 
     def test_waits_only_when_both_tiers_full(self, env, gatk_model):
         ctx = make_ctx(env, gatk_model, private_cores=4, private_used=4)
@@ -78,7 +78,7 @@ class TestNeverScale:
     def test_private_still_used(self, env, gatk_model):
         ctx = make_ctx(env, gatk_model)
         decision = NeverScale().decide(front_task(ctx), 4, ctx)
-        assert decision.hire and decision.tier is TierName.PRIVATE
+        assert decision.hire and decision.tier == "private"
 
     def test_waits_when_private_full(self, env, gatk_model):
         ctx = make_ctx(env, gatk_model, private_cores=4, private_used=4)
@@ -90,7 +90,7 @@ class TestPredictiveScale:
     def test_private_fast_path(self, env, gatk_model):
         ctx = make_ctx(env, gatk_model)
         decision = PredictiveScale().decide(front_task(ctx), 4, ctx)
-        assert decision.hire and decision.tier is TierName.PRIVATE
+        assert decision.hire and decision.tier == "private"
 
     def test_hires_public_when_delay_cost_exceeds_premium(self, env, gatk_model):
         # A big queue of big jobs makes waiting expensive.
@@ -101,7 +101,7 @@ class TestPredictiveScale:
             queue_sizes=(9.0,) * 30,
         )
         decision = PredictiveScale(horizon_tu=5.0).decide(front_task(ctx), 4, ctx)
-        assert decision.hire and decision.tier is TierName.PUBLIC
+        assert decision.hire and decision.tier == "public"
 
     def test_waits_when_premium_exceeds_delay_cost(self, env, gatk_model):
         # One small job, expensive public tier, short wait.

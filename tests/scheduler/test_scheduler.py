@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.base import ExecutionPlan
 from repro.cloud.celar import CelarManager
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.config import SchedulerConfig
 from repro.core.errors import SchedulingError
 from repro.core.events import EventKind, EventLog
@@ -178,7 +178,7 @@ class TestScalingBehaviour:
         for _ in range(6):
             scheduler.submit(Job(app=gatk_model, size=5.0, submit_time=0.0))
         env.run(until=3000.0)
-        assert scheduler.pools.hires[TierName.PUBLIC] == 0
+        assert scheduler.pools.hires["public"] == 0
         assert all(j.is_complete for j in scheduler.submitted_jobs)
 
     def test_always_scale_goes_public_under_pressure(self, gatk_model):
@@ -189,7 +189,7 @@ class TestScalingBehaviour:
         for _ in range(8):
             scheduler.submit(Job(app=gatk_model, size=5.0, submit_time=0.0))
         env.run(until=3000.0)
-        assert scheduler.pools.hires[TierName.PUBLIC] > 0
+        assert scheduler.pools.hires["public"] > 0
 
     def test_greedy_allocation_runs_clean(self, gatk_model):
         env = Environment()

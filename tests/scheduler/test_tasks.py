@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cloud.infrastructure import TierName
 from repro.core.errors import SchedulingError
 from repro.apps.base import ExecutionPlan
 from repro.scheduler.tasks import Job, JobState, StageRecord, StageTask
@@ -16,7 +15,7 @@ def job(gatk_model):
 def record(stage, start=20.0, end=30.0, queued=15.0, threads=2):
     return StageRecord(
         stage=stage, queued_at=queued, started_at=start,
-        finished_at=end, threads=threads, tier=TierName.PRIVATE,
+        finished_at=end, threads=threads, tier="private",
     )
 
 

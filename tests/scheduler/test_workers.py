@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud.celar import CelarManager
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.errors import SchedulingError
 from repro.scheduler.workers import Worker, WorkerPools
 
@@ -16,7 +16,7 @@ def setup(env):
     return env, infra, celar, pools
 
 
-def ready_worker(env, pools, cores=4, tier=TierName.PRIVATE, cls="gatk"):
+def ready_worker(env, pools, cores=4, tier="private", cls="gatk"):
     """Hire and boot a worker to the idle pool."""
     pools.hire(cls, cores, tier, stage=0)
     env.run(until=env.now + 0.6)
@@ -27,24 +27,24 @@ def ready_worker(env, pools, cores=4, tier=TierName.PRIVATE, cls="gatk"):
 class TestHire:
     def test_hire_claims_cores_synchronously(self, setup):
         env, infra, _celar, pools = setup
-        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 8, "private", stage=0)
         assert infra.private.cores_in_use == 8
         assert pools.booting_for_stage[0] == 1
         assert pools.idle_workers == ()
 
     def test_worker_idle_after_boot(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 8, "private", stage=0)
         env.run(until=1.0)
         assert pools.booting_for_stage[0] == 0
         assert len(pools.idle_workers) == 1
-        assert pools.hires[TierName.PRIVATE] == 1
+        assert pools.hires["private"] == 1
 
     def test_on_available_fires_when_ready(self, setup):
         env, _infra, _celar, pools = setup
         calls = []
         pools.on_available = lambda: calls.append(env.now)
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=2)
+        pools.hire("gatk", 4, "private", stage=2)
         env.run(until=1.0)
         assert calls == [0.5]
 
@@ -52,7 +52,7 @@ class TestHire:
 class TestAcquire:
     def test_exact_match_taken(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 4)
         assert worker is not None
@@ -63,8 +63,8 @@ class TestAcquire:
         """Workers belong to vCPU-count pools: an 8-core request must not
         take a 16-core worker (that worker would need a re-pool restart)."""
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
-        pools.hire("gatk", 8, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 16, "private", stage=0)
+        pools.hire("gatk", 8, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 8)
         assert worker.cores == 8
@@ -72,19 +72,19 @@ class TestAcquire:
 
     def test_too_small_workers_skipped(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 2, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 2, "private", stage=0)
         env.run(until=1.0)
         assert pools.acquire("gatk", 4) is None
 
     def test_class_must_match(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("bwa", 8, TierName.PRIVATE, stage=0)
+        pools.hire("bwa", 8, "private", stage=0)
         env.run(until=1.0)
         assert pools.acquire("gatk", 4) is None
 
     def test_release_returns_to_idle(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 4)
         worker.vm.mark_busy()
@@ -94,7 +94,7 @@ class TestAcquire:
 
     def test_release_of_non_busy_rejected(self, setup):
         env, _infra, celar, pools = setup
-        vm = celar.deploy(4, TierName.PRIVATE)
+        vm = celar.deploy(4, "private")
         stray = Worker(vm, "gatk")
         with pytest.raises(SchedulingError):
             pools.release(stray)
@@ -103,7 +103,7 @@ class TestAcquire:
 class TestRepool:
     def test_repool_changes_shape_with_penalty(self, setup):
         env, infra, _celar, pools = setup
-        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 16, "private", stage=0)
         env.run(until=1.0)
         candidate = pools.repool_candidate("gatk", 4)
         assert candidate is not None
@@ -117,8 +117,8 @@ class TestRepool:
 
     def test_candidate_prefers_shrink_over_grow(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
-        pools.hire("gatk", 2, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 16, "private", stage=0)
+        pools.hire("gatk", 2, "private", stage=0)
         env.run(until=1.0)
         candidate = pools.repool_candidate("gatk", 8)
         assert candidate.cores == 16  # shrink 16->8 beats grow 2->8
@@ -127,14 +127,14 @@ class TestRepool:
         infra = Infrastructure(env, private_cores=4, public_cores=4)
         celar = CelarManager(env, infra)
         pools = WorkerPools(env, celar)
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)
         # Growing 4 -> 8 needs 4 more private cores; tier is full.
         assert pools.repool_candidate("gatk", 8) is None
 
     def test_repool_requires_idle(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 4)
         with pytest.raises(SchedulingError):
@@ -148,7 +148,7 @@ class TestWaitEstimation:
 
     def test_matching_busy_worker_remaining_time(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 4)
         worker.busy_until = env.now + 3.0
@@ -156,7 +156,7 @@ class TestWaitEstimation:
 
     def test_mismatched_worker_adds_penalty(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 2, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 2, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 2)
         worker.busy_until = env.now + 3.0
@@ -167,7 +167,7 @@ class TestWaitEstimation:
 class TestReaper:
     def test_idle_workers_reaped_after_timeout(self, setup):
         env, infra, _celar, pools = setup
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.process(pools.start_reaper())
         env.run(until=5.0)
         assert pools.reaped == 1
@@ -175,7 +175,7 @@ class TestReaper:
 
     def test_busy_workers_never_reaped(self, setup):
         env, _infra, _celar, pools = setup
-        pools.hire("gatk", 4, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 4, "private", stage=0)
         env.run(until=1.0)
         worker = pools.acquire("gatk", 4)
         env.process(pools.start_reaper())
@@ -187,10 +187,10 @@ class TestReaper:
         infra = Infrastructure(env, private_cores=16, public_cores=10)
         celar = CelarManager(env, infra)
         pools = WorkerPools(env, celar)
-        pools.hire("gatk", 16, TierName.PRIVATE, stage=0)
+        pools.hire("gatk", 16, "private", stage=0)
         env.run(until=1.0)
         assert not infra.private.can_allocate(8)
-        assert pools.force_free_private(8)
+        assert pools.force_free("private", 8)
         assert infra.private.can_allocate(8)
         assert pools.reaped == 1
 

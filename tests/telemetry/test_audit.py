@@ -8,7 +8,6 @@ from repro.core.config import PlatformConfig
 from repro.scheduler.estimator import DelayCostTerm
 from repro.scheduler.rewards import make_reward
 from repro.scheduler.scaling import DecisionExplanation, ScalingDecision
-from repro.cloud.infrastructure import TierName
 from repro.telemetry.audit import (
     DecisionAuditLog,
     ScalingDecisionRecord,
@@ -33,8 +32,8 @@ def _record(explanation, decision="wait", **kwargs):
 class TestDecisionLabel:
     def test_labels(self):
         assert decision_label(ScalingDecision.wait()) == "wait"
-        assert decision_label(ScalingDecision.on(TierName.PUBLIC)) == "hire_public"
-        assert decision_label(ScalingDecision.on(TierName.PRIVATE)) == "hire_private"
+        assert decision_label(ScalingDecision.on("public")) == "hire_public"
+        assert decision_label(ScalingDecision.on("private")) == "hire_private"
 
 
 class TestAuditLog:

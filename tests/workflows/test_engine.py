@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud.celar import CelarManager
-from repro.cloud.infrastructure import Infrastructure, TierName
+from repro.cloud.infrastructure import Infrastructure
 from repro.core.config import SchedulerConfig, AllocationAlgorithm
 from repro.core.errors import SCANError
 from repro.desim.engine import Environment
